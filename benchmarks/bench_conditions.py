@@ -1,0 +1,87 @@
+"""E3 — OCL pre/postcondition gating: cost and ablation.
+
+Measures the price of the paper's specialized pre/postconditions: checking
+a realistic precondition set against models of growing size, and the
+ablation DESIGN.md calls out — applying the same transformation with
+condition checking enabled vs disabled.
+"""
+
+import pytest
+
+from repro.core.registry import default_registry
+from repro.ocl.evaluator import types_from_package
+from repro.repository import ModelRepository
+from repro.transform import TransformationEngine
+from repro.uml import UML
+
+from conftest import SIZES, make_model
+
+TYPES = types_from_package(UML.package)
+REGISTRY = default_registry()
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_precondition_check_scaling(benchmark, size):
+    """Distribution's three preconditions over a size-parameterized model."""
+    resource, _ = make_model(size)
+    gmt = REGISTRY.get("distribution")
+    parameters = dict(server_classes=["C0", f"C{size - 1}"], registry_prefix="svc")
+
+    def check():
+        violated = gmt.preconditions.violations(resource, TYPES, parameters)
+        assert violated == []
+
+    benchmark(check)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_postcondition_check_scaling(benchmark, size):
+    """Transactions' postconditions (collect over every operation)."""
+    resource, _ = make_model(size)
+    engine = TransformationEngine(ModelRepository(resource))
+    cmt = REGISTRY.get("transactions").specialize(
+        transactional_ops=["C0.op0"], state_classes=["C0"]
+    )
+    engine.apply(cmt)
+
+    def check():
+        violated = cmt.postconditions.violations(resource, TYPES, cmt.parameters)
+        assert violated == []
+
+    benchmark(check)
+
+
+@pytest.mark.parametrize("checked", [True, False], ids=["checks-on", "checks-off"])
+def bench_apply_with_and_without_checks(benchmark, checked):
+    """Ablation: the same CMT application, gated vs ungated."""
+    gmt = REGISTRY.get("logging")
+
+    def apply():
+        resource, _ = make_model(30)
+        engine = TransformationEngine(
+            ModelRepository(resource),
+            check_preconditions=checked,
+            check_postconditions=checked,
+        )
+        result = engine.apply(gmt.specialize(log_patterns=["C0.*", "C1.*"]))
+        assert result.created_elements > 0
+
+    benchmark(apply)
+
+
+def bench_violated_precondition_fast_fail(benchmark):
+    """A failing precondition must be cheap: the model is never touched."""
+    resource, _ = make_model(30)
+    engine = TransformationEngine(ModelRepository(resource))
+    cmt = REGISTRY.get("distribution").specialize(server_classes=["Ghost"])
+
+    def rejected():
+        from repro.errors import PreconditionViolation
+
+        try:
+            engine.apply(cmt)
+        except PreconditionViolation:
+            return True
+        raise AssertionError("expected a violation")
+
+    benchmark(rejected)

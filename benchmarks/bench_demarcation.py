@@ -1,0 +1,76 @@
+"""E6 — concern demarcation ("colors"): attribution overhead and queries."""
+
+import pytest
+
+from repro.repository import ModelRepository
+from repro.uml import add_class, add_operation, find_element
+
+from conftest import make_model
+
+
+@pytest.mark.parametrize("painted", [True, False], ids=["painted", "unpainted"])
+def bench_transaction_with_painting(benchmark, painted):
+    """Ablation: the same edits with and without concern attribution."""
+    resource, _ = make_model(10)
+    repo = ModelRepository(resource)
+    pkg = find_element(resource.roots[0], "app")
+    counter = [0]
+
+    def edit():
+        counter[0] += 1
+        concern = "bench-concern" if painted else None
+        with repo.transaction(f"edit{counter[0]}", concern=concern):
+            cls = add_class(pkg, f"Painted{counter[0]}")
+            add_operation(cls, "noop")
+        repo.undo()
+
+    benchmark(edit)
+
+
+def bench_elements_of_query(benchmark):
+    """Looking up every element a concern introduced (association list)."""
+    resource, _ = make_model(30)
+    repo = ModelRepository(resource)
+    pkg = find_element(resource.roots[0], "app")
+    with repo.transaction("grow", concern="observability"):
+        for i in range(20):
+            add_class(pkg, f"Obs{i}")
+
+    def query():
+        elements = repo.demarcation.elements_of("observability")
+        assert len(elements) == 20
+        return elements
+
+    benchmark(query)
+
+
+def bench_demarcation_report(benchmark):
+    """Rendering the concern/color association list."""
+    resource, _ = make_model(20)
+    repo = ModelRepository(resource)
+    pkg = find_element(resource.roots[0], "app")
+    for concern in ("c1", "c2", "c3", "c4"):
+        with repo.transaction(concern, concern=concern):
+            add_class(pkg, f"Cls_{concern}")
+
+    def report():
+        text = repo.demarcation.report()
+        assert "c1" in text and "c4" in text
+        return text
+
+    benchmark(report)
+
+
+def bench_remaining_concerns(benchmark):
+    """The developer-guidance query over covered vs planned concerns."""
+    resource, _ = make_model(5)
+    repo = ModelRepository(resource)
+    with repo.transaction("a", concern="distribution"):
+        pass
+    planned = ["distribution", "transactions", "security", "logging"]
+
+    def remaining():
+        rest = repo.demarcation.remaining_concerns(planned)
+        assert rest == ["transactions", "security", "logging"]
+
+    benchmark(remaining)

@@ -1,0 +1,75 @@
+"""E2 (Fig. 2) — three concerns T1/T2/T3 → A1/A2/A3 on the bank application.
+
+Regenerates the paper's concrete example: all three middleware concerns
+specialized with application parameters, the concrete aspects generated
+and deployed in application order, and the resulting woven application
+exercised (remote + atomic + secured transfer).
+"""
+
+import pytest
+
+from repro.errors import RemoteInvocationError, TransactionAborted
+
+from conftest import build_full_bank_app
+
+
+def bench_full_lifecycle_three_concerns(benchmark):
+    """PIM → 3 CMT applications → codegen → weave (the entire Fig. 2)."""
+
+    def lifecycle():
+        module, services, lifecycle, _ = build_full_bank_app()
+        assert len(lifecycle.plan) == 3
+        assert lifecycle.plan.order()[0].startswith("A_distribution")
+        return module
+
+    benchmark(lifecycle)
+
+
+def bench_woven_transfer_success(benchmark, bank_app):
+    """One authorized, distributed, transactional transfer (happy path)."""
+    module, services, _, credential = bank_app
+    bank = module.Bank()
+    source = module.Account(balance=1e12)
+    target = module.Account(balance=0.0)
+
+    def transfer():
+        with services.orb.call_context(credentials=credential.token):
+            assert bank.transfer(source, target, 1.0) is True
+
+    benchmark(transfer)
+
+
+def bench_woven_transfer_rollback(benchmark, bank_app):
+    """One failing transfer: full abort path with snapshot restoration."""
+    module, services, _, credential = bank_app
+    bank = module.Bank()
+    source = module.Account(balance=10.0)
+    target = module.Account(balance=0.0)
+
+    def failing_transfer():
+        with services.orb.call_context(credentials=credential.token):
+            try:
+                bank.transfer(source, target, 10_000.0)
+            except (ValueError, RemoteInvocationError, TransactionAborted):
+                pass
+        assert source.balance == 10.0 and target.balance == 0.0
+
+    benchmark(failing_transfer)
+
+
+def bench_unwoven_transfer_baseline(benchmark):
+    """Baseline: the same functional code with no concerns woven at all."""
+    from repro.codegen import compile_model
+
+    from conftest import make_bank
+
+    _, model = make_bank()
+    module = compile_model(model, "bench_bank_plain")
+    bank = module.Bank()
+    source = module.Account(balance=1e12)
+    target = module.Account(balance=0.0)
+
+    def transfer():
+        assert bank.transfer(source, target, 1.0) is True
+
+    benchmark(transfer)

@@ -1,0 +1,181 @@
+"""E13 — middleware substrate characterization: RPC, 2PC, locks, security."""
+
+import pytest
+
+from repro.errors import LockTimeoutError, TransactionAborted
+from repro.middleware import (
+    Acl,
+    AccessController,
+    AuthenticationService,
+    CredentialStore,
+    LockManager,
+    LockMode,
+    Orb,
+    SimClock,
+    TransactionManager,
+)
+
+
+class Echo:
+    def ping(self, payload):
+        return payload
+
+
+def bench_rpc_small_payload(benchmark):
+    orb = Orb()
+    orb.register(Echo(), name="echo")
+    proxy = orb.proxy("echo")
+
+    def call():
+        assert proxy.ping(1) == 1
+
+    benchmark(call)
+
+
+@pytest.mark.parametrize("items", [10, 100, 1000])
+def bench_rpc_marshalling_scaling(benchmark, items):
+    orb = Orb()
+    orb.register(Echo(), name="echo")
+    proxy = orb.proxy("echo")
+    payload = list(range(items))
+
+    def call():
+        result = proxy.ping(payload)
+        assert len(result) == items
+
+    benchmark(call)
+
+
+def bench_txn_commit_empty(benchmark):
+    manager = TransactionManager()
+
+    def commit():
+        with manager.transaction():
+            pass
+
+    benchmark(commit)
+
+
+@pytest.mark.parametrize("resources", [1, 8, 32])
+def bench_txn_commit_with_enlisted_objects(benchmark, resources):
+    manager = TransactionManager()
+
+    class State:
+        def __init__(self):
+            self.x = 0
+
+    objects = [State() for _ in range(resources)]
+
+    def commit():
+        with manager.transaction():
+            for obj in objects:
+                manager.enlist_object(obj)
+                obj.x += 1
+
+    benchmark(commit)
+
+
+def bench_txn_abort_with_restore(benchmark):
+    manager = TransactionManager()
+
+    class State:
+        def __init__(self):
+            self.x = 0
+
+    state = State()
+
+    def abort():
+        try:
+            with manager.transaction():
+                manager.enlist_object(state)
+                state.x = 99
+                raise ValueError("fail")
+        except ValueError:
+            pass
+        assert state.x == 0
+
+    benchmark(abort)
+
+
+def bench_lock_acquire_release(benchmark):
+    locks = LockManager()
+    counter = [0]
+
+    def cycle():
+        counter[0] += 1
+        txid = f"t{counter[0]}"
+        for key in ("a", "b", "c", "d"):
+            locks.acquire(txid, key, LockMode.WRITE)
+        locks.release_all(txid)
+
+    benchmark(cycle)
+
+
+def bench_lock_contention_conflict_path(benchmark):
+    locks = LockManager()
+    locks.acquire("holder", "hot", LockMode.WRITE)
+    counter = [0]
+
+    def conflict():
+        counter[0] += 1
+        try:
+            locks.acquire(f"w{counter[0]}", "hot", LockMode.WRITE)
+        except LockTimeoutError:
+            pass
+        else:
+            raise AssertionError("expected conflict")
+
+    benchmark(conflict)
+
+
+def bench_two_phase_commit_prepare_fault(benchmark):
+    manager = TransactionManager()
+
+    class State:
+        def __init__(self):
+            self.x = 0
+
+    state = State()
+
+    def aborted_commit():
+        manager.faults.fail_next("txn.prepare")
+        try:
+            with manager.transaction():
+                manager.enlist_object(state)
+                state.x = 1
+        except TransactionAborted:
+            pass
+        assert state.x == 0
+
+    benchmark(aborted_commit)
+
+
+def bench_auth_login(benchmark):
+    store = CredentialStore()
+    store.add_user("alice", "pw", roles=["teller"])
+    auth = AuthenticationService(store, SimClock(), ttl_ms=1e12)
+
+    def login():
+        credential = auth.login("alice", "pw")
+        assert credential.principal.name == "alice"
+
+    benchmark(login)
+
+
+def bench_acl_check(benchmark):
+    store = CredentialStore()
+    store.add_user("alice", "pw", roles=["teller"])
+    clock = SimClock()
+    auth = AuthenticationService(store, clock, ttl_ms=1e12)
+    acl = Acl()
+    for i in range(20):  # realistic rule-list length
+        acl.allow_role("other", f"Service{i}.*", ["invoke"])
+    acl.allow_role("teller", "Account.*", ["invoke"])
+    controller = AccessController(auth, acl)
+    token = auth.login("alice", "pw").token
+
+    def check():
+        principal = controller.check_access(token, "Account.withdraw", "invoke")
+        assert principal.name == "alice"
+
+    benchmark(check)

@@ -1,0 +1,92 @@
+"""E12 — OCL evaluator throughput on condition-shaped queries."""
+
+import pytest
+
+from repro.ocl import OclContext, evaluate, parse
+from repro.ocl.evaluator import types_from_package
+from repro.uml import UML
+
+from conftest import SIZES, make_model
+
+TYPES = types_from_package(UML.package)
+
+
+def _context(size):
+    resource, _ = make_model(size)
+    return OclContext(resource=resource, types=TYPES)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_all_instances_select(benchmark, size):
+    ctx = _context(size)
+    ast = parse("Class.allInstances()->select(c | c.name.startsWith('C1'))")
+
+    def query():
+        result = evaluate(ast, ctx)
+        assert result
+
+    benchmark(query)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_forall_over_operations(benchmark, size):
+    """The exact shape of the transactions postcondition."""
+    ctx = _context(size)
+    ast = parse(
+        "Class.allInstances()->collect(c | c.operations)"
+        "->forAll(o | o.name <> '')"
+    )
+
+    def query():
+        assert evaluate(ast, ctx) is True
+
+    benchmark(query)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_nested_quantifier(benchmark, size):
+    ctx = _context(size)
+    ast = parse(
+        "Class.allInstances()->forAll(c | "
+        "c.attributes->forAll(a | a.name.size() > 0))"
+    )
+
+    def query():
+        assert evaluate(ast, ctx) is True
+
+    benchmark(query)
+
+
+def bench_parse_condition_text(benchmark):
+    text = (
+        "transactional_ops->forAll(n | Class.allInstances()->exists(c | "
+        "c.operations->exists(o | c.name.concat('.').concat(o.name) = n)))"
+    )
+
+    def parse_it():
+        return parse(text)
+
+    benchmark(parse_it)
+
+
+def bench_parameter_bound_query(benchmark):
+    """Condition evaluation with Si variables injected (the E3 hot path)."""
+    ctx = _context(40)
+    ast = parse(
+        "server_classes->forAll(n | Class.allInstances()->exists(c | c.name = n))"
+    )
+    bound = ctx.with_variables(server_classes=["C0", "C20", "C39"])
+
+    def query():
+        assert evaluate(ast, bound) is True
+
+    benchmark(query)
+
+
+def bench_scalar_expression_throughput(benchmark):
+    ast = parse("Sequence{1,2,3,4,5,6,7,8}->collect(x | x * x)->sum()")
+
+    def query():
+        assert evaluate(ast) == 204
+
+    benchmark(query)

@@ -1,0 +1,83 @@
+"""E4 — aspect precedence from application order.
+
+Measures advice dispatch as the number of deployed aspects grows, and the
+cost of the ordering machinery itself.  Correctness (the order actually
+matches deployment order) is asserted in the measured bodies.
+"""
+
+import pytest
+
+from repro.aop import Aspect, Weaver
+
+
+def _target_class():
+    class Target:
+        def work(self, x):
+            return x + 1
+
+    return Target
+
+
+def _around_aspect(name, order_sink):
+    aspect = Aspect(name)
+
+    @aspect.around("call(Target.work)")
+    def around(inv):
+        order_sink.append(name)
+        return inv.proceed()
+
+    return aspect
+
+
+@pytest.mark.parametrize("n_aspects", [1, 4, 8, 16])
+def bench_dispatch_with_n_around_aspects(benchmark, n_aspects):
+    """One call through a chain of n around advices."""
+    weaver = Weaver()
+    Target = _target_class()
+    weaver.weave_class(Target)
+    sink = []
+    for i in range(n_aspects):
+        weaver.deploy(_around_aspect(f"a{i}", sink))
+    target = Target()
+
+    def call():
+        sink.clear()
+        assert target.work(1) == 2
+        assert sink == [f"a{i}" for i in range(n_aspects)]
+
+    benchmark(call)
+
+
+def bench_reordering_changes_nesting(benchmark):
+    """Deploy the same two aspects in both orders; verify mirrored nesting."""
+
+    def run():
+        outcomes = []
+        for order in (("A", "B"), ("B", "A")):
+            weaver = Weaver()
+            Target = _target_class()
+            weaver.weave_class(Target)
+            sink = []
+            for name in order:
+                weaver.deploy(_around_aspect(name, sink))
+            Target().work(0)
+            outcomes.append(tuple(sink))
+        assert outcomes[0] == ("A", "B") and outcomes[1] == ("B", "A")
+
+    benchmark(run)
+
+
+def bench_precedence_table_ordered(benchmark):
+    """Sorting the precedence table with many deployed aspects."""
+    from repro.aop import PrecedenceTable
+
+    table = PrecedenceTable()
+    for i in range(64):
+        table.deploy(Aspect(f"aspect{i}"))
+
+    def ordered():
+        ranked = table.ordered()
+        assert len(ranked) == 64
+        assert ranked[0][0] == 0
+
+    benchmark(ordered)

@@ -1,0 +1,88 @@
+"""E5 — versioned repository: commit, checkout, diff, undo/redo scaling."""
+
+import pytest
+
+from repro.core.registry import default_registry
+from repro.repository import ModelRepository
+from repro.transform import TransformationEngine
+from repro.uml import add_class, find_element
+
+from conftest import SIZES, make_model
+
+REGISTRY = default_registry()
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_commit_snapshot(benchmark, size):
+    """Deep-clone snapshot cost vs model size."""
+    resource, _ = make_model(size)
+    repo = ModelRepository(resource)
+
+    def commit():
+        return repo.commit("snapshot")
+
+    benchmark(commit)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_checkout(benchmark, size):
+    """Restoring a committed version (clone + root swap)."""
+    resource, _ = make_model(size)
+    repo = ModelRepository(resource)
+    version = repo.commit("base")
+
+    def checkout():
+        repo.checkout(version.id)
+
+    benchmark(checkout)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_diff_versions(benchmark, size):
+    """Structural diff between two versions differing in one transformation."""
+    resource, _ = make_model(size)
+    repo = ModelRepository(resource)
+    engine = TransformationEngine(repo)
+    v0 = repo.commit("before")
+    engine.apply(REGISTRY.get("logging").specialize(log_patterns=["C0.*"]))
+    v1 = repo.commit("after")
+
+    def diff():
+        entries = repo.diff(v0.id, v1.id)
+        assert any(e.kind == "added" for e in entries)
+        return entries
+
+    benchmark(diff)
+
+
+def bench_undo_redo_transformation(benchmark):
+    """Undoing and redoing one transformation application (raw replay)."""
+    resource, _ = make_model(40)
+    repo = ModelRepository(resource)
+    engine = TransformationEngine(repo)
+    engine.apply(
+        REGISTRY.get("distribution").specialize(server_classes=["C0", "C1"])
+    )
+
+    def undo_redo():
+        repo.undo()
+        repo.redo()
+
+    benchmark(undo_redo)
+
+
+def bench_transaction_recording_overhead(benchmark):
+    """Grouping model edits into an undoable unit (recorder active)."""
+    resource, _ = make_model(10)
+    repo = ModelRepository(resource)
+    pkg = find_element(resource.roots[0], "app")
+    counter = [0]
+
+    def record():
+        counter[0] += 1
+        with repo.transaction(f"edit{counter[0]}"):
+            cls = add_class(pkg, f"Extra{counter[0]}")
+            cls.documentation = "temp"
+        repo.undo()
+
+    benchmark(record)

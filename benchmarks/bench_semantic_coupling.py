@@ -1,0 +1,98 @@
+"""E9 — the semantic-coupling experiment as a benchmark.
+
+Three variants of the same failing bank transfer (the Kienzle/Guerraoui
+scenario): unprotected, naively-generic transactional aspect (no Si), and
+the paper's Si-specialized concrete aspect.  Correctness of each variant's
+*outcome* is asserted inside the measured body, so the benchmark doubles
+as the experiment record: only the Si-specialized variant preserves the
+money, at a measurable (and modest) cost over the naive aspect.
+"""
+
+import pytest
+
+from repro.aop import Aspect
+from repro.codegen import compile_model
+from repro.core import MiddlewareServices
+from repro.core.registry import default_registry
+
+from conftest import make_bank
+
+_counter = [0]
+
+
+def _fresh_module():
+    _counter[0] += 1
+    _, model = make_bank()
+    return compile_model(model, f"coupling_bench_{_counter[0]}")
+
+
+def _run_failing_transfer(module):
+    bank = module.Bank()
+    source = module.Account(balance=100.0)
+    target = module.Account(balance=0.0)
+    original = module.Account.deposit
+
+    def poisoned(self, amount):
+        raise RuntimeError("deposit crashed")
+
+    module.Account.deposit = poisoned
+    try:
+        try:
+            bank.transfer(source, target, 40.0)
+        except Exception:
+            pass
+    finally:
+        module.Account.deposit = original
+    return source.balance, target.balance
+
+
+def bench_unprotected_money_lost(benchmark):
+    module = _fresh_module()
+
+    def run():
+        source_balance, _ = _run_failing_transfer(module)
+        assert source_balance == 60.0  # money vanished
+        # restore for the next round
+        return source_balance
+
+    benchmark(run)
+
+
+def bench_naive_generic_aspect_money_lost(benchmark):
+    module = _fresh_module()
+    services = MiddlewareServices.create()
+    services.weaver.weave_class(module.Account)
+    services.weaver.weave_class(module.Bank)
+    naive = Aspect("naive_tx")
+
+    @naive.around("call(*.*)")
+    def wrap(inv):
+        with services.transactions.transaction():
+            return inv.proceed()  # no Si: nothing enlisted, nothing restored
+
+    services.weaver.deploy(naive)
+
+    def run():
+        source_balance, _ = _run_failing_transfer(module)
+        assert source_balance == 60.0  # aborted, but still lost
+
+    benchmark(run)
+
+
+def bench_si_specialized_aspect_atomic(benchmark):
+    module = _fresh_module()
+    services = MiddlewareServices.create()
+    ca = default_registry().get("transactions").specialize(
+        transactional_ops=["Bank.transfer", "Account.withdraw", "Account.deposit"],
+        state_classes=["Account"],
+    ).derive_aspect()
+    services.weaver.weave_class(module.Account)
+    services.weaver.weave_class(module.Bank)
+    services.weaver.deploy(ca.build(services))
+
+    def run():
+        source_balance, target_balance = _run_failing_transfer(module)
+        assert source_balance == 100.0  # rolled back: the paper's claim holds
+        assert target_balance == 0.0
+
+    benchmark(run)

@@ -1,0 +1,62 @@
+"""E15 — shipping & replay of refined components (§2's open question)."""
+
+import pytest
+
+from repro.core import ComponentPackage, MiddlewareServices, model_fingerprint, replay, ship
+
+from conftest import build_full_bank_app
+
+
+@pytest.fixture(scope="module")
+def package():
+    _, _, lifecycle, _ = build_full_bank_app()
+    return ship(lifecycle)
+
+
+def bench_ship_component(benchmark):
+    _, _, lifecycle, _ = build_full_bank_app()
+
+    def pack():
+        shipped = ship(lifecycle)
+        assert len(shipped.steps) == 3
+        return shipped
+
+    benchmark(pack)
+
+
+def bench_package_json_roundtrip(benchmark, package):
+    def roundtrip():
+        restored = ComponentPackage.from_json(package.to_json())
+        assert restored.steps == package.steps
+
+    benchmark(roundtrip)
+
+
+def bench_replay_with_verification(benchmark, package):
+    def run():
+        lifecycle = replay(package, services=MiddlewareServices.create())
+        assert len(lifecycle.applied) == 3
+
+    benchmark(run)
+
+
+def bench_replay_without_verification(benchmark, package):
+    """Ablation: the fingerprint check's share of a replay."""
+
+    def run():
+        replay(package, services=MiddlewareServices.create(), verify=False)
+
+    benchmark(run)
+
+
+def bench_model_fingerprint(benchmark):
+    from conftest import make_model
+
+    resource, _ = make_model(40)
+
+    def fingerprint():
+        lines = model_fingerprint(resource)
+        assert lines
+        return lines
+
+    benchmark(fingerprint)

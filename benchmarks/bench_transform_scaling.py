@@ -1,0 +1,81 @@
+"""E11 — CMT application time vs model size, with the trace ablation."""
+
+import pytest
+
+from repro.core.registry import default_registry
+from repro.repository import ModelRepository
+from repro.transform import TransformationEngine
+
+from conftest import SIZES, make_model
+
+REGISTRY = default_registry()
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_apply_logging_cmt(benchmark, size):
+    """The cheapest structural CMT (stereotypes only) across sizes."""
+    gmt = REGISTRY.get("logging")
+
+    def apply():
+        resource, _ = make_model(size)
+        engine = TransformationEngine(ModelRepository(resource))
+        result = engine.apply(gmt.specialize(log_patterns=["C*.op0"]))
+        assert result.created_elements >= size
+
+    benchmark(apply)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_apply_distribution_cmt(benchmark, size):
+    """A structure-building CMT: interfaces + proxies for 25% of classes."""
+    gmt = REGISTRY.get("distribution")
+
+    def apply():
+        resource, _ = make_model(size)
+        servers = [f"C{i}" for i in range(0, size, 4)]
+        engine = TransformationEngine(ModelRepository(resource))
+        result = engine.apply(gmt.specialize(server_classes=servers))
+        assert result.created_elements > 0
+
+    benchmark(apply)
+
+
+@pytest.mark.parametrize("traced", [True, False], ids=["trace-on", "trace-off"])
+def bench_trace_recording_ablation(benchmark, traced):
+    """DESIGN.md ablation: provenance recording on vs off."""
+    gmt = REGISTRY.get("distribution")
+
+    def apply():
+        resource, _ = make_model(40)
+        engine = TransformationEngine(
+            ModelRepository(resource), record_trace=traced
+        )
+        engine.apply(gmt.specialize(server_classes=["C0", "C1", "C2", "C3"]))
+        if traced:
+            assert len(engine.trace) > 0
+        else:
+            assert len(engine.trace) == 0
+
+    benchmark(apply)
+
+
+def bench_sequential_concern_stack(benchmark):
+    """Applying three different concerns back-to-back (model evolves)."""
+
+    def apply_stack():
+        resource, _ = make_model(20)
+        engine = TransformationEngine(ModelRepository(resource))
+        engine.apply(REGISTRY.get("distribution").specialize(server_classes=["C0"]))
+        engine.apply(
+            REGISTRY.get("transactions").specialize(
+                transactional_ops=["C0.op0"], state_classes=["C0"]
+            )
+        )
+        engine.apply(
+            REGISTRY.get("security").specialize(
+                protected_ops=["C0.op0"], role_grants={"user": ["C0.*"]}
+            )
+        )
+        assert len(engine.applications) == 3
+
+    benchmark(apply_stack)

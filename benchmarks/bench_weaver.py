@@ -1,0 +1,82 @@
+"""E10 — runtime weaving overhead: direct vs woven vs advised dispatch."""
+
+import pytest
+
+from repro.aop import Aspect, Weaver
+from repro.aop.advice import AdviceKind
+
+
+def _make_class():
+    class Worker:
+        def step(self, x):
+            return x * 2
+
+    return Worker
+
+
+def bench_direct_call_baseline(benchmark):
+    Worker = _make_class()
+    worker = Worker()
+    benchmark(lambda: worker.step(21))
+
+
+def bench_woven_no_matching_advice(benchmark):
+    """The wrapper cost when no deployed advice matches the join point."""
+    weaver = Weaver()
+    Worker = _make_class()
+    weaver.weave_class(Worker)
+    other = Aspect("elsewhere")
+    other.add_advice(AdviceKind.BEFORE, "call(Unrelated.*)", lambda jp: None)
+    weaver.deploy(other)
+    worker = Worker()
+    benchmark(lambda: worker.step(21))
+
+
+def bench_woven_zero_aspects(benchmark):
+    weaver = Weaver()
+    Worker = _make_class()
+    weaver.weave_class(Worker)
+    worker = Worker()
+    benchmark(lambda: worker.step(21))
+
+
+@pytest.mark.parametrize("kind", ["before", "after", "around"])
+def bench_single_advice_kinds(benchmark, kind):
+    weaver = Weaver()
+    Worker = _make_class()
+    weaver.weave_class(Worker)
+    aspect = Aspect("one")
+    if kind == "around":
+        aspect.add_advice(AdviceKind.AROUND, "call(Worker.step)", lambda inv: inv.proceed())
+    else:
+        aspect.add_advice(AdviceKind(kind), "call(Worker.step)", lambda jp: None)
+    weaver.deploy(aspect)
+    worker = Worker()
+    benchmark(lambda: worker.step(21))
+
+
+def bench_field_get_woven(benchmark):
+    weaver = Weaver()
+
+    class Holder:
+        pass
+
+    weaver.weave_field(Holder, "value")
+    holder = Holder()
+    holder.value = 7
+    benchmark(lambda: holder.value)
+
+
+def bench_pointcut_matching(benchmark):
+    """Raw pointcut evaluation against a join point."""
+    from repro.aop import JoinPoint, JoinPointKind, parse_pointcut
+
+    pointcut = parse_pointcut(
+        "(call(Account.with*) || call(Account.dep*)) && !within(Sav*)"
+    )
+    jp = JoinPoint(JoinPointKind.EXECUTION, None, "Account", "withdraw")
+
+    def match():
+        assert pointcut.matches(jp)
+
+    benchmark(match)

@@ -1,0 +1,79 @@
+"""E8 — workflow-guided refinement: gating checks and sequence enumeration."""
+
+import pytest
+
+from repro.workflow import ConcernWizard, WorkflowModel
+from repro.core.registry import default_registry
+
+
+def _chain_workflow(n_steps):
+    workflow = WorkflowModel()
+    workflow.add_step("step0")
+    for i in range(1, n_steps):
+        workflow.add_step(f"step{i}", requires=[f"step{i - 1}"])
+    return workflow
+
+
+def _diamond_workflow(width):
+    """One root, ``width`` independent middles, one join step."""
+    workflow = WorkflowModel()
+    workflow.add_step("root")
+    middles = []
+    for i in range(width):
+        name = f"mid{i}"
+        workflow.add_step(name, requires=["root"])
+        middles.append(name)
+    workflow.add_step("join", requires=middles)
+    return workflow
+
+
+@pytest.mark.parametrize("n_steps", [5, 20, 60])
+def bench_is_allowed_chain(benchmark, n_steps):
+    workflow = _chain_workflow(n_steps)
+    history = [f"step{i}" for i in range(n_steps - 1)]
+
+    def check():
+        assert workflow.is_allowed(f"step{n_steps - 1}", history)
+        assert not workflow.is_allowed("step0", history)
+
+    benchmark(check)
+
+
+@pytest.mark.parametrize("width", [3, 5, 7])
+def bench_complete_sequence_enumeration(benchmark, width):
+    """Every legal order of a diamond workflow (width! interleavings)."""
+    import math
+
+    workflow = _diamond_workflow(width)
+
+    def enumerate_sequences():
+        sequences = workflow.complete_sequences(limit=10_000)
+        assert len(sequences) == math.factorial(width)
+        return sequences
+
+    benchmark(enumerate_sequences)
+
+
+def bench_allowed_next(benchmark):
+    workflow = _diamond_workflow(6)
+
+    def allowed():
+        return workflow.allowed_next(["root", "mid0", "mid1"])
+
+    benchmark(allowed)
+
+
+def bench_wizard_collect(benchmark):
+    """Wizard answer validation into Si."""
+    wizard = ConcernWizard(default_registry().get("security"))
+    answers = {
+        "protected_ops": ["Account.withdraw", "Bank.transfer"],
+        "role_grants": {"teller": ["Bank.*"], "auditor": ["*.*"]},
+    }
+
+    def collect():
+        si = wizard.collect(answers)
+        assert si["audit_denials"] is True
+        return si
+
+    benchmark(collect)

@@ -1,0 +1,65 @@
+"""E7 — XMI import/export: round-trip cost vs model size."""
+
+import pytest
+
+from repro.uml import UML
+from repro.xmi import parse_xmi, xmi_string
+
+from conftest import SIZES, make_model
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_xmi_write(benchmark, size):
+    resource, _ = make_model(size)
+
+    def write():
+        text = xmi_string(resource)
+        assert text.startswith("<?xml")
+        return text
+
+    benchmark(write)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_xmi_read(benchmark, size):
+    resource, _ = make_model(size)
+    document = xmi_string(resource)
+
+    def read():
+        restored = parse_xmi(document, UML.package)
+        assert restored.roots
+        return restored
+
+    benchmark(read)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_xmi_roundtrip(benchmark, size):
+    resource, _ = make_model(size)
+    original_count = sum(1 for _ in resource.all_contents())
+
+    def roundtrip():
+        restored = parse_xmi(xmi_string(resource), UML.package)
+        assert sum(1 for _ in restored.all_contents()) == original_count
+
+    benchmark(roundtrip)
+
+
+def bench_xmi_with_stereotypes(benchmark):
+    """Round-trip of a heavily stereotyped (refined) model."""
+    from repro.core.registry import default_registry
+    from repro.repository import ModelRepository
+    from repro.transform import TransformationEngine
+
+    resource, _ = make_model(20)
+    engine = TransformationEngine(ModelRepository(resource))
+    registry = default_registry()
+    engine.apply(registry.get("distribution").specialize(server_classes=["C0", "C1"]))
+    engine.apply(registry.get("logging").specialize(log_patterns=["C*.op0"]))
+
+    def roundtrip():
+        restored = parse_xmi(xmi_string(resource), UML.package)
+        assert restored.roots
+        return restored
+
+    benchmark(roundtrip)

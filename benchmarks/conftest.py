@@ -1,0 +1,119 @@
+"""Shared benchmark helpers: synthetic model generators and wired stacks.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(E1..E14).  Models are synthetic but executable: every operation carries a
+``<<PythonBody>>`` so generated code runs, which keeps the full pipeline
+(codegen → weave → call) honest in end-to-end benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MdaLifecycle, MiddlewareServices
+from repro.uml import (
+    add_attribute,
+    add_class,
+    add_operation,
+    add_package,
+    apply_stereotype,
+    ensure_primitives,
+    new_model,
+)
+
+#: model sizes (number of classes) used by scaling benchmarks
+SIZES = (10, 40, 120)
+
+
+def make_model(n_classes: int, ops_per_class: int = 3, attrs_per_class: int = 2):
+    """A synthetic but executable UML model with ``n_classes`` classes."""
+    resource, model = new_model(f"synthetic_{n_classes}")
+    prims = ensure_primitives(model)
+    pkg = add_package(model, "app")
+    for i in range(n_classes):
+        cls = add_class(pkg, f"C{i}")
+        for a in range(attrs_per_class):
+            add_attribute(cls, f"a{a}", prims["Real"])
+        for o in range(ops_per_class):
+            op = add_operation(
+                cls, f"op{o}", [("x", prims["Real"])], return_type=prims["Real"]
+            )
+            apply_stereotype(
+                op, "PythonBody", body=f"self.a0 = self.a0 + x\nreturn self.a0"
+            )
+    return resource, model
+
+
+def make_bank():
+    """The Fig. 2 banking PIM (same shape as the test fixture)."""
+    resource, model = new_model("bank")
+    prims = ensure_primitives(model)
+    pkg = add_package(model, "accounts")
+    account = add_class(pkg, "Account")
+    add_attribute(account, "balance", prims["Real"])
+    deposit = add_operation(
+        account, "deposit", [("amount", prims["Real"])], return_type=prims["Real"]
+    )
+    apply_stereotype(
+        deposit, "PythonBody", body="self.balance += amount\nreturn self.balance"
+    )
+    withdraw = add_operation(
+        account, "withdraw", [("amount", prims["Real"])], return_type=prims["Real"]
+    )
+    apply_stereotype(
+        withdraw,
+        "PythonBody",
+        body=(
+            "if amount > self.balance:\n"
+            "    raise ValueError('insufficient funds')\n"
+            "self.balance -= amount\n"
+            "return self.balance"
+        ),
+    )
+    bank = add_class(pkg, "Bank")
+    transfer = add_operation(
+        bank,
+        "transfer",
+        [("source", None), ("target", None), ("amount", prims["Real"])],
+        return_type=prims["Boolean"],
+    )
+    apply_stereotype(
+        transfer,
+        "PythonBody",
+        body="source.withdraw(amount)\ntarget.deposit(amount)\nreturn True",
+    )
+    return resource, model
+
+
+BANK_PARAMS = {
+    "distribution": dict(server_classes=["Account"], registry_prefix="bank"),
+    "transactions": dict(
+        transactional_ops=["Bank.transfer", "Account.withdraw", "Account.deposit"],
+        state_classes=["Account"],
+    ),
+    "security": dict(
+        protected_ops=["Bank.transfer"], role_grants={"teller": ["Bank.*"]}
+    ),
+}
+
+
+_module_counter = [0]
+
+
+def build_full_bank_app():
+    """Refine + generate + weave the bank; returns (module, services, lifecycle)."""
+    resource, _ = make_bank()
+    services = MiddlewareServices.create()
+    lifecycle = MdaLifecycle(resource, services=services)
+    for concern, params in BANK_PARAMS.items():
+        lifecycle.apply_concern(concern, **params)
+    _module_counter[0] += 1
+    module = lifecycle.build_application(f"bench_bank_{_module_counter[0]}")
+    services.credentials.add_user("alice", "pw", roles=["teller"])
+    credential = services.auth.login("alice", "pw")
+    return module, services, lifecycle, credential
+
+
+@pytest.fixture(scope="module")
+def bank_app():
+    return build_full_bank_app()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of *Generic Concern-Oriented Model
+Transformations Meet AOP* (Silaghi & Strohmeier, MIDDLEWARE 2003 workshop).
+
+The library implements the complete system the paper describes, from
+scratch (see DESIGN.md for the inventory and substitutions):
+
+==========  ====================================================
+package     role
+==========  ====================================================
+metamodel   EMOF-like reflective metamodeling kernel (S1)
+uml         UML 1.4 subset metamodel + profiles (S2)
+ocl         OCL expression language: parser + evaluator (S3)
+xmi         XMI import/export (S4)
+repository  versioned repository, undo/redo, diff, demarcation (S5)
+transform   transformation engine with OCL pre/postconditions (S6)
+workflow    workflow-guided refinement + concern wizards (S7)
+aop         join points, pointcuts, advice, runtime weaver (S8)
+codegen     functional code generator + aspect generators (S9)
+middleware  simulated ORB, transactions, security substrate (S10)
+concerns    distribution / transactions / security / logging (S11)
+core        GMT/CMT/GA/CA, shared Si, precedence, lifecycle (S12)
+==========  ====================================================
+
+Quickstart::
+
+    from repro import MdaLifecycle, new_model
+    from repro.uml import add_class, add_operation, ensure_primitives
+
+    resource, model = new_model("bank")
+    # ...build the functional PIM...
+    lifecycle = MdaLifecycle(resource)
+    lifecycle.apply_concern("transactions",
+                            transactional_ops=["Account.withdraw"],
+                            state_classes=["Account"])
+    app = lifecycle.build_application()
+"""
+
+from repro.core import (
+    Concern,
+    ConcernRegistry,
+    ConcreteAspect,
+    ConcreteTransformation,
+    GenericAspect,
+    GenericTransformation,
+    MdaLifecycle,
+    MiddlewareServices,
+    Parameter,
+    ParameterSet,
+    ParameterSignature,
+)
+from repro.uml.model import new_model
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Concern",
+    "ConcernRegistry",
+    "GenericTransformation",
+    "ConcreteTransformation",
+    "GenericAspect",
+    "ConcreteAspect",
+    "Parameter",
+    "ParameterSignature",
+    "ParameterSet",
+    "MiddlewareServices",
+    "MdaLifecycle",
+    "new_model",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""S8 — Aspect-oriented programming substrate (AspectJ-equivalent, in Python).
+
+The paper pairs every concrete model transformation with a concrete
+*aspect* that implements the concern at code level.  This package supplies
+the machinery those aspects run on:
+
+* a join-point model (:mod:`repro.aop.joinpoint`): method call/execution
+  and field get/set join points with full reflective context;
+* a pointcut language (:mod:`repro.aop.pointcut`): ``call(Account.with*)``,
+  ``execution(*.deposit)``, ``get(Account.balance)``, ``set(*.*)``,
+  ``within(Account)``, combined with ``&&``, ``||``, ``!`` and parentheses;
+* advice kinds ``before``, ``after``, ``after_returning``,
+  ``after_throwing`` and ``around`` with ``proceed()``
+  (:mod:`repro.aop.advice`);
+* a runtime :class:`~repro.aop.weaver.Weaver` that instruments plain Python
+  classes and dispatches matching advice with deterministic precedence
+  (:mod:`repro.aop.ordering`): the order aspects were deployed — which the
+  core (S12) derives from the order transformations were applied at model
+  level, exactly as the paper prescribes.
+"""
+
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.aop.pointcut import Pointcut, parse_pointcut
+from repro.aop.advice import Advice, AdviceKind, Invocation
+from repro.aop.aspect import Aspect
+from repro.aop.weaver import Weaver
+from repro.aop.ordering import PrecedenceTable
+
+__all__ = [
+    "JoinPoint",
+    "JoinPointKind",
+    "Pointcut",
+    "parse_pointcut",
+    "Advice",
+    "AdviceKind",
+    "Invocation",
+    "Aspect",
+    "Weaver",
+    "PrecedenceTable",
+]

@@ -1,0 +1,66 @@
+"""Advice kinds and the around-invocation chain."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.errors import AopError
+from repro.aop.joinpoint import JoinPoint
+from repro.aop.pointcut import Pointcut, parse_pointcut
+
+
+class AdviceKind(enum.Enum):
+    BEFORE = "before"
+    AFTER = "after"                    #: runs on both normal and exceptional exit
+    AFTER_RETURNING = "after_returning"
+    AFTER_THROWING = "after_throwing"
+    AROUND = "around"
+
+
+class Advice:
+    """A pointcut-guarded piece of behaviour owned by an aspect.
+
+    Non-around advice bodies receive the :class:`JoinPoint`; around bodies
+    receive an :class:`Invocation` whose ``proceed()`` continues the chain.
+    """
+
+    def __init__(self, kind: AdviceKind, pointcut, body: Callable, name: str = ""):
+        self.kind = kind
+        self.pointcut: Pointcut = parse_pointcut(pointcut)
+        self.body = body
+        self.name = name or getattr(body, "__name__", kind.value)
+
+    def matches(self, jp: JoinPoint) -> bool:
+        return self.pointcut.matches(jp)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Advice {self.kind.value} {self.name} @ {self.pointcut!r}>"
+
+
+class Invocation:
+    """The continuation handed to around advice.
+
+    ``proceed()`` runs the next around advice in precedence order, bottoming
+    out at the original member.  Each invocation may proceed at most once —
+    a second call indicates a logic error in the aspect.
+    """
+
+    __slots__ = ("join_point", "_next", "_proceeded")
+
+    def __init__(self, join_point: JoinPoint, next_step: Callable[[], object]):
+        self.join_point = join_point
+        self._next = next_step
+        self._proceeded = False
+
+    def proceed(self):
+        if self._proceeded:
+            raise AopError(
+                f"proceed() called twice for {self.join_point.signature}"
+            )
+        self._proceeded = True
+        return self._next()
+
+    @property
+    def proceeded(self) -> bool:
+        return self._proceeded

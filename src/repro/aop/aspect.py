@@ -1,0 +1,70 @@
+"""Aspect: a named unit of cross-cutting behaviour (a bag of advices).
+
+Aspects can be populated imperatively (``aspect.add_advice(...)``) or with
+decorators::
+
+    audit = Aspect("audit")
+
+    @audit.before("call(Account.*)")
+    def log_entry(jp):
+        print("entering", jp.signature)
+
+    @audit.around("call(Account.withdraw)")
+    def guard(inv):
+        if inv.join_point.args[0] < 0:
+            raise ValueError("negative amount")
+        return inv.proceed()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.aop.advice import Advice, AdviceKind
+from repro.aop.joinpoint import JoinPoint
+
+
+class Aspect:
+    """A named collection of advice deployed as one unit."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.advices: List[Advice] = []
+
+    def add_advice(self, kind: AdviceKind, pointcut, body: Callable, name: str = "") -> Advice:
+        advice = Advice(kind, pointcut, body, name)
+        self.advices.append(advice)
+        return advice
+
+    # -- decorator helpers ---------------------------------------------------
+
+    def _decorator(self, kind: AdviceKind, pointcut):
+        def register(fn: Callable) -> Callable:
+            self.add_advice(kind, pointcut, fn)
+            return fn
+
+        return register
+
+    def before(self, pointcut):
+        return self._decorator(AdviceKind.BEFORE, pointcut)
+
+    def after(self, pointcut):
+        return self._decorator(AdviceKind.AFTER, pointcut)
+
+    def after_returning(self, pointcut):
+        return self._decorator(AdviceKind.AFTER_RETURNING, pointcut)
+
+    def after_throwing(self, pointcut):
+        return self._decorator(AdviceKind.AFTER_THROWING, pointcut)
+
+    def around(self, pointcut):
+        return self._decorator(AdviceKind.AROUND, pointcut)
+
+    # -- queries --------------------------------------------------------------
+
+    def matching(self, jp: JoinPoint) -> List[Advice]:
+        return [a for a in self.advices if a.matches(jp)]
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Aspect {self.name} ({len(self.advices)} advice)>"

@@ -1,0 +1,67 @@
+"""Join-point model: the points in program execution advice can attach to.
+
+A runtime weaver intercepts at the callee, so ``call`` and ``execution``
+join points coincide here; both kinds are kept so pointcuts written in
+AspectJ style parse and match as expected (a documented substitution —
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional, Tuple
+
+
+class JoinPointKind(enum.Enum):
+    CALL = "call"
+    EXECUTION = "execution"
+    GET = "get"
+    SET = "set"
+
+
+class JoinPoint:
+    """Reflective context of one intercepted event."""
+
+    __slots__ = (
+        "kind",
+        "target",
+        "class_name",
+        "member_name",
+        "args",
+        "kwargs",
+        "result",
+        "exception",
+    )
+
+    def __init__(
+        self,
+        kind: JoinPointKind,
+        target: Any,
+        class_name: str,
+        member_name: str,
+        args: Tuple = (),
+        kwargs: Optional[Dict] = None,
+    ):
+        self.kind = kind
+        self.target = target
+        self.class_name = class_name
+        self.member_name = member_name
+        self.args = args
+        self.kwargs = kwargs or {}
+        #: set after the underlying member ran (for after-advice inspection)
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+
+    @property
+    def signature(self) -> str:
+        """``Class.member`` — what member patterns match against."""
+        return f"{self.class_name}.{self.member_name}"
+
+    def matches_kind(self, kind: JoinPointKind) -> bool:
+        """call and execution join points are interchangeable (runtime weaver)."""
+        if kind in (JoinPointKind.CALL, JoinPointKind.EXECUTION):
+            return self.kind in (JoinPointKind.CALL, JoinPointKind.EXECUTION)
+        return self.kind is kind
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<JoinPoint {self.kind.value}({self.signature})>"

@@ -1,0 +1,68 @@
+"""Deterministic aspect precedence.
+
+The paper: *"The order in which specialized/concrete aspects will be
+applied at code level (their precedence) is dictated by the order in which
+the specialized/concrete model transformations were applied at model
+level."*
+
+:class:`PrecedenceTable` assigns each deployed aspect a rank equal to its
+deployment position (the lifecycle driver deploys in transformation-
+application order).  Rank semantics follow AspectJ's dominance rules:
+
+* *before* and *around* advice of a lower-rank (earlier) aspect runs
+  **first** — earlier aspects are outermost;
+* *after* advice of a lower-rank aspect runs **last** (symmetrically
+  outermost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WeavingError
+from repro.aop.aspect import Aspect
+
+
+class PrecedenceTable:
+    """Deployment-order ranking of aspects."""
+
+    def __init__(self):
+        self._rank: Dict[str, int] = {}
+        self._aspects: Dict[str, Aspect] = {}
+        self._next = 0
+
+    def deploy(self, aspect: Aspect, rank: Optional[int] = None) -> int:
+        """Register ``aspect``; explicit ``rank`` overrides arrival order."""
+        if aspect.name in self._rank:
+            raise WeavingError(f"aspect {aspect.name!r} is already deployed")
+        if rank is None:
+            rank = self._next
+        self._next = max(self._next, rank) + 1
+        self._rank[aspect.name] = rank
+        self._aspects[aspect.name] = aspect
+        return rank
+
+    def undeploy(self, aspect: Aspect) -> None:
+        if aspect.name not in self._rank:
+            raise WeavingError(f"aspect {aspect.name!r} is not deployed")
+        del self._rank[aspect.name]
+        del self._aspects[aspect.name]
+
+    def rank_of(self, aspect: Aspect) -> int:
+        try:
+            return self._rank[aspect.name]
+        except KeyError:
+            raise WeavingError(f"aspect {aspect.name!r} is not deployed") from None
+
+    def ordered(self) -> List[Tuple[int, Aspect]]:
+        """(rank, aspect) pairs, lowest rank (highest precedence) first."""
+        return sorted(
+            ((rank, self._aspects[name]) for name, rank in self._rank.items()),
+            key=lambda pair: pair[0],
+        )
+
+    def __contains__(self, aspect: Aspect) -> bool:
+        return aspect.name in self._rank
+
+    def __len__(self) -> int:
+        return len(self._rank)

@@ -1,0 +1,265 @@
+"""Pointcut language: designators, wildcards, and boolean composition.
+
+Grammar::
+
+    pointcut := or_expr
+    or_expr  := and_expr ("||" and_expr)*
+    and_expr := unary ("&&" unary)*
+    unary    := "!" unary | "(" pointcut ")" | designator
+    designator := ("call" | "execution" | "get" | "set") "(" pattern ")"
+                | "within" "(" class_pattern ")"
+    pattern  := class_pattern "." member_pattern | member_pattern
+    class_pattern, member_pattern := identifier with "*" wildcards
+
+Examples: ``call(Account.with*)``, ``execution(*.deposit) && within(Sav*)``,
+``set(Account.balance) || get(Account.balance)``, ``!call(*.internal_*)``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import List
+
+from repro.errors import PointcutSyntaxError
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<AND>&&)|(?P<OR>\|\|)|(?P<NOT>!)|(?P<LP>\()|(?P<RP>\))"
+    r"|(?P<NAME>[A-Za-z_][A-Za-z0-9_]*)|(?P<PATTERN>[A-Za-z0-9_*.]+))"
+)
+
+_DESIGNATORS = {"call", "execution", "get", "set", "within", "cflow", "cflowbelow"}
+
+
+class Pointcut:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, jp: JoinPoint) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Pointcut") -> "Pointcut":
+        return AndPointcut(self, other)
+
+    def __or__(self, other: "Pointcut") -> "Pointcut":
+        return OrPointcut(self, other)
+
+    def __invert__(self) -> "Pointcut":
+        return NotPointcut(self)
+
+
+class KindedPointcut(Pointcut):
+    """``kind(ClassPattern.memberPattern)`` designator."""
+
+    def __init__(self, kind: JoinPointKind, class_pattern: str, member_pattern: str):
+        self.kind = kind
+        self.class_pattern = class_pattern
+        self.member_pattern = member_pattern
+
+    def matches(self, jp: JoinPoint) -> bool:
+        return (
+            jp.matches_kind(self.kind)
+            and fnmatch.fnmatchcase(jp.class_name, self.class_pattern)
+            and fnmatch.fnmatchcase(jp.member_name, self.member_pattern)
+        )
+
+    def __repr__(self):
+        return f"{self.kind.value}({self.class_pattern}.{self.member_pattern})"
+
+
+class CflowPointcut(Pointcut):
+    """``cflow(Class.member)`` — matches while control flow is inside a
+    join point whose signature matches the pattern (the matched join point
+    itself included); ``cflowbelow`` excludes the matching frame itself.
+
+    The weaver maintains the active join-point stack
+    (:data:`repro.aop.weaver.call_stack`); evaluating a cflow pointcut
+    outside any woven call matches nothing.
+    """
+
+    def __init__(self, class_pattern: str, member_pattern: str, below: bool = False):
+        self.class_pattern = class_pattern
+        self.member_pattern = member_pattern
+        self.below = below
+
+    def _frame_matches(self, frame: JoinPoint) -> bool:
+        return fnmatch.fnmatchcase(
+            frame.class_name, self.class_pattern
+        ) and fnmatch.fnmatchcase(frame.member_name, self.member_pattern)
+
+    def matches(self, jp: JoinPoint) -> bool:
+        from repro.aop.weaver import call_stack
+
+        frames = call_stack()
+        if self.below and frames and frames[-1] is jp:
+            frames = frames[:-1]
+        return any(self._frame_matches(frame) for frame in frames)
+
+    def __repr__(self):
+        name = "cflowbelow" if self.below else "cflow"
+        return f"{name}({self.class_pattern}.{self.member_pattern})"
+
+
+class WithinPointcut(Pointcut):
+    """``within(ClassPattern)`` — restricts by the declaring class only."""
+
+    def __init__(self, class_pattern: str):
+        self.class_pattern = class_pattern
+
+    def matches(self, jp: JoinPoint) -> bool:
+        return fnmatch.fnmatchcase(jp.class_name, self.class_pattern)
+
+    def __repr__(self):
+        return f"within({self.class_pattern})"
+
+
+class AndPointcut(Pointcut):
+    def __init__(self, left: Pointcut, right: Pointcut):
+        self.left, self.right = left, right
+
+    def matches(self, jp: JoinPoint) -> bool:
+        return self.left.matches(jp) and self.right.matches(jp)
+
+    def __repr__(self):
+        return f"({self.left!r} && {self.right!r})"
+
+
+class OrPointcut(Pointcut):
+    def __init__(self, left: Pointcut, right: Pointcut):
+        self.left, self.right = left, right
+
+    def matches(self, jp: JoinPoint) -> bool:
+        return self.left.matches(jp) or self.right.matches(jp)
+
+    def __repr__(self):
+        return f"({self.left!r} || {self.right!r})"
+
+
+class NotPointcut(Pointcut):
+    def __init__(self, inner: Pointcut):
+        self.inner = inner
+
+    def matches(self, jp: JoinPoint) -> bool:
+        return not self.inner.matches(jp)
+
+    def __repr__(self):
+        return f"!{self.inner!r}"
+
+
+def _tokenize(text: str) -> List[tuple]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise PointcutSyntaxError(f"cannot tokenize pointcut at {rest[:15]!r}")
+        pos = match.end()
+        for group, value in match.groupdict().items():
+            if value is not None:
+                tokens.append((group, value))
+                break
+    tokens.append(("EOF", ""))
+    return tokens
+
+
+class _PointcutParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        if token[0] != "EOF":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str):
+        token = self.advance()
+        if token[0] != kind:
+            raise PointcutSyntaxError(
+                f"expected {kind} in pointcut {self.text!r}, found {token[1]!r}"
+            )
+        return token
+
+    def parse(self) -> Pointcut:
+        node = self.or_expr()
+        if self.peek()[0] != "EOF":
+            raise PointcutSyntaxError(
+                f"trailing input in pointcut {self.text!r}: {self.peek()[1]!r}"
+            )
+        return node
+
+    def or_expr(self) -> Pointcut:
+        node = self.and_expr()
+        while self.peek()[0] == "OR":
+            self.advance()
+            node = OrPointcut(node, self.and_expr())
+        return node
+
+    def and_expr(self) -> Pointcut:
+        node = self.unary()
+        while self.peek()[0] == "AND":
+            self.advance()
+            node = AndPointcut(node, self.unary())
+        return node
+
+    def unary(self) -> Pointcut:
+        kind, value = self.peek()
+        if kind == "NOT":
+            self.advance()
+            return NotPointcut(self.unary())
+        if kind == "LP":
+            self.advance()
+            node = self.or_expr()
+            self.expect("RP")
+            return node
+        return self.designator()
+
+    def designator(self) -> Pointcut:
+        kind, name = self.advance()
+        if kind != "NAME" or name not in _DESIGNATORS:
+            raise PointcutSyntaxError(
+                f"expected a designator ({', '.join(sorted(_DESIGNATORS))}) "
+                f"in {self.text!r}, found {name!r}"
+            )
+        self.expect("LP")
+        chunks = []
+        while self.peek()[0] in ("PATTERN", "NAME"):
+            chunks.append(self.advance()[1])
+        pattern = "".join(chunks)
+        if not pattern:
+            raise PointcutSyntaxError(f"expected a pattern in {self.text!r}")
+        self.expect("RP")
+        if name == "within":
+            if "." in pattern:
+                raise PointcutSyntaxError("within() takes a class pattern without '.'")
+            return WithinPointcut(pattern)
+        if name in ("cflow", "cflowbelow"):
+            if "." in pattern:
+                class_pattern, _, member_pattern = pattern.rpartition(".")
+            else:
+                class_pattern, member_pattern = "*", pattern
+            if not class_pattern or not member_pattern:
+                raise PointcutSyntaxError(f"malformed pattern {pattern!r}")
+            return CflowPointcut(class_pattern, member_pattern, below=name == "cflowbelow")
+        if "." in pattern:
+            class_pattern, _, member_pattern = pattern.rpartition(".")
+        else:
+            class_pattern, member_pattern = "*", pattern
+        if not class_pattern or not member_pattern:
+            raise PointcutSyntaxError(f"malformed pattern {pattern!r}")
+        return KindedPointcut(JoinPointKind(name), class_pattern, member_pattern)
+
+
+def parse_pointcut(text) -> Pointcut:
+    """Parse a pointcut expression; :class:`Pointcut` values pass through."""
+    if isinstance(text, Pointcut):
+        return text
+    return _PointcutParser(text).parse()

@@ -1,0 +1,218 @@
+"""Runtime weaver: instruments Python classes and dispatches advice.
+
+Weaving replaces the class's methods with thin wrappers that consult the
+weaver's deployed aspects *at call time*, so aspects may be deployed and
+undeployed without re-weaving.  Dispatch order at one join point:
+
+1. ``before`` advice, highest-precedence (lowest rank) first;
+2. the ``around`` chain, highest-precedence outermost, bottoming out at the
+   original member;
+3. on normal exit: ``after_returning`` then ``after`` advice, highest-
+   precedence **last** (symmetric nesting);
+4. on exception: ``after_throwing`` then ``after`` advice, same order, and
+   the exception is re-raised.
+
+Field join points (``get``/``set``) are supported by weaving named fields
+into properties (:meth:`Weaver.weave_field`).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import WeavingError
+from repro.aop.advice import Advice, AdviceKind, Invocation
+from repro.aop.aspect import Aspect
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.aop.ordering import PrecedenceTable
+
+_WOVEN_MARK = "__repro_woven__"
+_FIELD_PREFIX = "__repro_field_"
+
+#: active join-point stack (innermost last); read by cflow pointcuts
+_call_stack: List[JoinPoint] = []
+
+
+def call_stack() -> List[JoinPoint]:
+    """A snapshot of the active woven join points, outermost first."""
+    return list(_call_stack)
+
+
+class Weaver:
+    """Deploys aspects and instruments classes."""
+
+    def __init__(self):
+        self.precedence = PrecedenceTable()
+        #: class → {member name: original function}
+        self._woven_methods: Dict[type, Dict[str, Callable]] = {}
+        #: class → {field name: previous class attribute or sentinel}
+        self._woven_fields: Dict[type, Dict[str, object]] = {}
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(self, aspect: Aspect, rank: Optional[int] = None) -> int:
+        """Deploy an aspect; rank defaults to deployment order."""
+        return self.precedence.deploy(aspect, rank)
+
+    def undeploy(self, aspect: Aspect) -> None:
+        self.precedence.undeploy(aspect)
+
+    @property
+    def deployed_aspects(self) -> List[Aspect]:
+        return [aspect for _, aspect in self.precedence.ordered()]
+
+    # -- weaving methods -------------------------------------------------------
+
+    def weave_class(self, cls: type, members: Optional[List[str]] = None) -> List[str]:
+        """Instrument the plain functions of ``cls``; returns woven names.
+
+        ``members`` restricts which methods are woven; by default every
+        non-dunder function defined directly on the class is woven.
+        """
+        originals = self._woven_methods.setdefault(cls, {})
+        woven = []
+        names = members if members is not None else [
+            name
+            for name, value in vars(cls).items()
+            if callable(value) and not name.startswith("__")
+        ]
+        for name in names:
+            # explicit member lists may name inherited methods; the wrapper is
+            # installed on this class, shadowing the base definition
+            value = vars(cls).get(name, getattr(cls, name, None))
+            if value is None:
+                raise WeavingError(f"{cls.__name__} has no member {name!r}")
+            if getattr(value, _WOVEN_MARK, False):
+                continue
+            if not callable(value):
+                raise WeavingError(f"{cls.__name__}.{name} is not callable")
+            originals[name] = value
+            setattr(cls, name, self._method_wrapper(cls.__name__, name, value))
+            woven.append(name)
+        return woven
+
+    def unweave_class(self, cls: type) -> None:
+        """Restore the original methods and fields of ``cls``."""
+        for name, original in self._woven_methods.pop(cls, {}).items():
+            setattr(cls, name, original)
+        for name, previous in self._woven_fields.pop(cls, {}).items():
+            if previous is _MISSING:
+                delattr(cls, name)
+            else:
+                setattr(cls, name, previous)
+
+    def _method_wrapper(self, class_name: str, name: str, original: Callable) -> Callable:
+        weaver = self
+
+        @functools.wraps(original)
+        def wrapper(self_obj, *args, **kwargs):
+            jp = JoinPoint(
+                JoinPointKind.EXECUTION, self_obj, class_name, name, args, kwargs
+            )
+            return weaver.dispatch(jp, lambda: original(self_obj, *args, **kwargs))
+
+        setattr(wrapper, _WOVEN_MARK, True)
+        return wrapper
+
+    # -- weaving fields ----------------------------------------------------------
+
+    def weave_field(self, cls: type, field_name: str) -> None:
+        """Turn ``cls.field_name`` into a property emitting get/set join points.
+
+        Per-instance values are stored under a mangled key, so instances
+        created before weaving keep their state only if the field is woven
+        before they assign it; weave at class-definition time in practice.
+        """
+        fields = self._woven_fields.setdefault(cls, {})
+        if field_name in fields:
+            return
+        fields[field_name] = vars(cls).get(field_name, _MISSING)
+        storage = _FIELD_PREFIX + field_name
+        weaver = self
+        class_name = cls.__name__
+
+        def getter(self_obj):
+            jp = JoinPoint(JoinPointKind.GET, self_obj, class_name, field_name)
+            return weaver.dispatch(
+                jp, lambda: self_obj.__dict__.get(storage)
+            )
+
+        def setter(self_obj, value):
+            jp = JoinPoint(
+                JoinPointKind.SET, self_obj, class_name, field_name, (value,)
+            )
+
+            def store():
+                self_obj.__dict__[storage] = (
+                    jp.args[0] if jp.args else value
+                )
+
+            weaver.dispatch(jp, store)
+
+        setattr(cls, field_name, property(getter, setter))
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _collect(self, jp: JoinPoint) -> Dict[AdviceKind, List[Advice]]:
+        grouped: Dict[AdviceKind, List[Advice]] = {kind: [] for kind in AdviceKind}
+        for _, aspect in self.precedence.ordered():
+            for advice in aspect.advices:
+                if advice.matches(jp):
+                    grouped[advice.kind].append(advice)
+        return grouped
+
+    def dispatch(self, jp: JoinPoint, terminal: Callable[[], object]):
+        """Run the advice chain for ``jp`` around ``terminal``.
+
+        The join point is pushed on the cflow stack for the duration of
+        the dispatch (advice chain *and* the underlying member), so cflow
+        pointcuts evaluated in nested calls see it.
+        """
+        _call_stack.append(jp)
+        try:
+            return self._dispatch_inner(jp, terminal)
+        finally:
+            _call_stack.pop()
+
+    def _dispatch_inner(self, jp: JoinPoint, terminal: Callable[[], object]):
+        grouped = self._collect(jp)
+        if not any(grouped.values()):
+            return terminal()
+
+        call = terminal
+        for advice in reversed(grouped[AdviceKind.AROUND]):
+            call = _bind_around(advice, jp, call)
+
+        for advice in grouped[AdviceKind.BEFORE]:
+            advice.body(jp)
+        try:
+            result = call()
+        except BaseException as exc:
+            jp.exception = exc
+            for advice in reversed(grouped[AdviceKind.AFTER_THROWING]):
+                advice.body(jp)
+            for advice in reversed(grouped[AdviceKind.AFTER]):
+                advice.body(jp)
+            raise
+        jp.result = result
+        for advice in reversed(grouped[AdviceKind.AFTER_RETURNING]):
+            advice.body(jp)
+        for advice in reversed(grouped[AdviceKind.AFTER]):
+            advice.body(jp)
+        return result
+
+
+def _bind_around(advice: Advice, jp: JoinPoint, next_call: Callable[[], object]):
+    def step():
+        return advice.body(Invocation(jp, next_call))
+
+    return step
+
+
+class _Missing:
+    def __repr__(self):  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

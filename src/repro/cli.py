@@ -1,0 +1,183 @@
+"""Command-line front end: inspect, validate, refine, and generate.
+
+The §3 tool infrastructure, driveable from a shell::
+
+    python -m repro.cli concerns
+    python -m repro.cli info model.xmi
+    python -m repro.cli validate model.xmi
+    python -m repro.cli apply model.xmi --concern transactions \
+        --params '{"transactional_ops": ["Account.withdraw"], "state_classes": ["Account"]}' \
+        --out refined.xmi
+    python -m repro.cli generate refined.xmi --out generated_app.py
+    python -m repro.cli fingerprint refined.xmi
+
+``apply`` runs the full engine path (OCL preconditions → rules →
+postconditions) and reports the demarcation summary; ``generate`` emits
+the functional module source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.codegen import generate_module
+from repro.core.registry import default_registry
+from repro.core.shipping import model_fingerprint
+from repro.errors import ReproError
+from repro.metamodel import validate as validate_model
+from repro.repository import ModelRepository
+from repro.transform import TransformationEngine
+from repro.uml import UML, classes_of, owned_elements
+from repro.workflow import ConcernWizard
+from repro.xmi import read_xmi, write_xmi
+
+
+def _load(path: str):
+    return read_xmi(path, UML.package)
+
+
+def _cmd_concerns(args) -> int:
+    registry = default_registry()
+    for concern_name in registry.concerns():
+        wizard = ConcernWizard(registry.get(concern_name))
+        print(wizard.transcript())
+        print()
+    return 0
+
+
+def _cmd_info(args) -> int:
+    resource = _load(args.model)
+    model = resource.roots[0]
+    classes = list(classes_of(model))
+    packages = [
+        e for e in owned_elements(model) if e.isinstance_of(UML.Package)
+    ]
+    operations = sum(len(list(c.operations)) for c in classes)
+    attributes = sum(len(list(c.attributes)) for c in classes)
+    total = sum(1 for _ in resource.all_contents())
+    print(f"model {model.name!r}: {total} elements")
+    print(f"  packages:   {len(packages)}")
+    print(f"  classes:    {len(classes)}")
+    print(f"  operations: {operations}")
+    print(f"  attributes: {attributes}")
+    for cls in classes:
+        marks = ", ".join(s.name for s in cls.stereotypes)
+        suffix = f"  <<{marks}>>" if marks else ""
+        print(f"    class {cls.name}{suffix}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    resource = _load(args.model)
+    diagnostics = validate_model(resource, raise_on_error=False)
+    if not diagnostics:
+        print("model is well-formed")
+        return 0
+    for diagnostic in diagnostics:
+        print(f"violation: {diagnostic}")
+    return 1
+
+
+def _cmd_apply(args) -> int:
+    resource = _load(args.model)
+    try:
+        parameters = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        print(f"error: --params is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    registry = default_registry()
+    engine = TransformationEngine(ModelRepository(resource))
+    gmt = registry.get(args.concern)
+    cmt = gmt.specialize(**parameters)
+    result = engine.apply(cmt)
+    print(f"applied {result.transformation}")
+    print(f"  concern:          {result.concern}")
+    print(f"  elements created: {result.created_elements}")
+    print(f"  trace links:      {result.trace_links}")
+    print(engine.repository.demarcation.report())
+    if args.out:
+        write_xmi(resource, args.out)
+        print(f"refined model written to {args.out}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    resource = _load(args.model)
+    source = generate_module(resource.roots[0])
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"functional module written to {args.out}")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_fingerprint(args) -> int:
+    resource = _load(args.model)
+    for line in model_fingerprint(resource):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Concern-oriented MDA tooling (MIDDLEWARE'03 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("concerns", help="list registered concerns and their wizards")
+
+    info = sub.add_parser("info", help="summarize an XMI model")
+    info.add_argument("model")
+
+    check = sub.add_parser("validate", help="well-formedness check an XMI model")
+    check.add_argument("model")
+
+    apply_cmd = sub.add_parser("apply", help="apply a concern's transformation")
+    apply_cmd.add_argument("model")
+    apply_cmd.add_argument("--concern", required=True)
+    apply_cmd.add_argument(
+        "--params", default="", help="JSON object with the parameter set Si"
+    )
+    apply_cmd.add_argument("--out", default="", help="write the refined model here")
+
+    generate = sub.add_parser("generate", help="emit the functional Python module")
+    generate.add_argument("model")
+    generate.add_argument("--out", default="", help="write the source here")
+
+    fingerprint = sub.add_parser(
+        "fingerprint", help="print the uuid-free structural fingerprint"
+    )
+    fingerprint.add_argument("model")
+    return parser
+
+
+_COMMANDS = {
+    "concerns": _cmd_concerns,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "apply": _cmd_apply,
+    "generate": _cmd_generate,
+    "fingerprint": _cmd_fingerprint,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""S9 — Code and aspect generators.
+
+The paper replaces the single monolithic PSM-to-code generator with
+
+* one code generator for the **pure functional model** —
+  :mod:`repro.codegen.python_backend` emits a plain Python module from the
+  UML model, free of any concern logic; and
+* per-concern **aspect generators** —
+  :mod:`repro.codegen.aspect_backend` emits each concrete aspect as a
+  standalone, importable source artifact with the parameter set ``Si``
+  baked in as a literal.
+
+Operation bodies come from the ``<<PythonBody>>`` stereotype's ``body``
+tagged value — the action-language substitution for Executable UML
+(documented in DESIGN.md).
+"""
+
+from repro.codegen.emitter import CodeWriter
+from repro.codegen.python_backend import compile_model, generate_module
+from repro.codegen.aspect_backend import compile_aspect, generate_aspect_module
+
+__all__ = [
+    "CodeWriter",
+    "generate_module",
+    "compile_model",
+    "generate_aspect_module",
+    "compile_aspect",
+]

@@ -1,0 +1,50 @@
+"""Indentation-aware source writer used by both generator backends."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List
+
+
+class CodeWriter:
+    """Accumulates source lines with managed indentation."""
+
+    def __init__(self, indent_unit: str = "    "):
+        self._lines: List[str] = []
+        self._indent_unit = indent_unit
+        self._level = 0
+
+    def line(self, text: str = "") -> "CodeWriter":
+        """Emit one line at the current indentation (blank stays blank)."""
+        if text:
+            self._lines.append(self._indent_unit * self._level + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, text: str) -> "CodeWriter":
+        """Emit a multi-line block, re-indenting each line."""
+        for raw in text.splitlines():
+            self.line(raw.rstrip())
+        return self
+
+    @contextlib.contextmanager
+    def indent(self):
+        self._level += 1
+        try:
+            yield self
+        finally:
+            self._level -= 1
+
+    @contextlib.contextmanager
+    def block(self, header: str):
+        """``with w.block("class Foo:"):`` — header line plus one indent level."""
+        self.line(header)
+        with self.indent():
+            yield self
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def __len__(self):
+        return len(self._lines)

@@ -1,0 +1,44 @@
+"""S11 — The built-in concern library.
+
+The paper's running example names three middleware concerns: distribution
+(C1), transactions (C2), and security (C3).  Each sub-package provides the
+full Fig. 1 square for one concern:
+
+* a :class:`~repro.core.concern.Concern` with an OCL viewpoint,
+* one shared :class:`~repro.core.parameters.ParameterSignature` (the Pik),
+* the generic model transformation (GMT) with OCL pre/postconditions and
+  refinement rules, and
+* the 1–1 associated generic aspect (GA) whose factory builds the runtime
+  behaviour against the middleware substrate (S10).
+
+A fourth concern, ``logging``, exercises the machinery with a minimal
+observation-only aspect (useful for workflow and precedence experiments).
+"""
+
+from repro.concerns import (
+    distribution,
+    logging_concern,
+    platform,
+    security,
+    transactions,
+)
+
+
+def register_builtin_concerns(registry) -> None:
+    """Register every built-in GMT (with its GA) into ``registry``."""
+    registry.register(distribution.TRANSFORMATION)
+    registry.register(transactions.TRANSFORMATION)
+    registry.register(security.TRANSFORMATION)
+    registry.register(logging_concern.TRANSFORMATION)
+    registry.register(platform.PROJECTION)
+    registry.register(platform.ABSTRACTION)
+
+
+__all__ = [
+    "distribution",
+    "transactions",
+    "security",
+    "logging_concern",
+    "platform",
+    "register_builtin_concerns",
+]

@@ -1,0 +1,10 @@
+"""C1 — the distribution concern (GMT + GA pair)."""
+
+from repro.concerns.distribution.transformation import (
+    CONCERN,
+    SIGNATURE,
+    TRANSFORMATION,
+)
+from repro.concerns.distribution.aspect import GENERIC_ASPECT, build
+
+__all__ = ["CONCERN", "SIGNATURE", "TRANSFORMATION", "GENERIC_ASPECT", "build"]

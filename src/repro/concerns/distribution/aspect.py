@@ -1,0 +1,77 @@
+"""Generic aspect for the distribution concern.
+
+Specialized with the *same* ``Si`` as the model transformation, the built
+aspect routes every call on a server class through the ORB: arguments are
+marshalled (pass-by-value), the bus charges latency and byte statistics,
+and instances are auto-registered as servants and bound under
+``<registry_prefix>/<ClassName>/<n>`` on first use.
+
+The server-side re-entry guard: when the ORB dispatches the request to the
+servant, the advice sees ``__dispatching__`` in the call context and
+proceeds locally instead of looping through the bus forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.aop.aspect import Aspect
+from repro.core.aspect import GenericAspect
+from repro.concerns.distribution.transformation import SIGNATURE
+
+_instance_counter = itertools.count(1)
+
+
+def build(parameters, services) -> Aspect:
+    """GA(C1) factory — invoked with Si and the middleware services."""
+    server_classes = list(parameters["server_classes"])
+    registry_prefix = parameters["registry_prefix"]
+    orb = services.orb
+    aspect = Aspect(
+        "A_distribution",
+        "routes server-class calls through the ORB (marshalling, latency)",
+    )
+    if not server_classes:
+        return aspect
+
+    def _ensure_registered(obj):
+        ref = orb.ref_of(obj)
+        if ref is None:
+            binding = (
+                f"{registry_prefix}/{type(obj).__name__}/{next(_instance_counter)}"
+            )
+            ref = orb.register(obj, name=binding)
+        return ref
+
+    pointcut = " || ".join(f"call({name}.*)" for name in server_classes)
+
+    @aspect.around(pointcut)
+    def remote_call(inv):
+        jp = inv.join_point
+        if orb.current_context().get("__dispatching__"):
+            return inv.proceed()  # server side: run the real method locally
+        ref = _ensure_registered(jp.target)
+        # arguments that are themselves server objects travel by reference
+        for arg in jp.args:
+            if type(arg).__name__ in server_classes:
+                _ensure_registered(arg)
+        for value in jp.kwargs.values():
+            if type(value).__name__ in server_classes:
+                _ensure_registered(value)
+        return orb.invoke(ref, jp.member_name, jp.args, jp.kwargs)
+
+    return aspect
+
+
+GENERIC_ASPECT = GenericAspect(
+    "A_distribution",
+    SIGNATURE,
+    build,
+    factory_ref="repro.concerns.distribution.aspect:build",
+    description="GA(C1): ORB routing for the classes named in Si.",
+)
+
+# the 1–1 association of Fig. 1
+from repro.concerns.distribution.transformation import TRANSFORMATION  # noqa: E402
+
+TRANSFORMATION.associate_aspect(GENERIC_ASPECT)

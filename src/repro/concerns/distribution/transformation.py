@@ -1,0 +1,182 @@
+"""Generic model transformation for the distribution concern.
+
+Parameters (Pik):
+
+* ``server_classes`` — the application classes to expose remotely; this is
+  exactly the application-specific knowledge a generic "distribute
+  everything" aspect could never infer (the semantic-coupling problem);
+* ``registry_prefix`` — naming-service path prefix for the servant
+  bindings.
+
+Model refinement (the concern space is the selected classes):
+
+1. mark each server class ``<<Remote>>`` with its registry binding name;
+2. add a ``middleware`` package with a ``<<Generated>>`` broker class
+   representing the naming service;
+3. derive a remote interface ``I<Class>`` carrying the class's public
+   operations;
+4. derive a client proxy ``<Class>_Proxy`` realizing the interface, with a
+   ``delegates`` dependency on the original class.
+"""
+
+from __future__ import annotations
+
+from repro.core.concern import Concern
+from repro.core.parameters import ParameterSignature
+from repro.core.transformation import GenericTransformation
+from repro.uml.metamodel import UML
+from repro.uml.model import (
+    add_class,
+    add_interface,
+    add_operation,
+    add_package,
+    add_parameter,
+    classes_of,
+)
+from repro.uml.profiles import apply_stereotype
+
+CONCERN = Concern(
+    "distribution",
+    "Expose selected application classes through the object request broker.",
+    viewpoint=(
+        "Class.allInstances()->select(c | server_classes->includes(c.name))"
+    ),
+)
+
+SIGNATURE = ParameterSignature()
+SIGNATURE.declare(
+    "server_classes",
+    type=str,
+    many=True,
+    description="names of the application classes to expose remotely",
+)
+SIGNATURE.declare(
+    "registry_prefix",
+    type=str,
+    required=False,
+    default="services",
+    description="naming-service path prefix for servant bindings",
+)
+
+
+def _model_class(ctx, name):
+    for cls in classes_of(ctx.model):
+        if cls.name == name:
+            return cls
+    return None
+
+
+def _middleware_package(ctx):
+    for element in ctx.model.ownedElements:
+        if element.isinstance_of(UML.Package) and element.name == "middleware":
+            return element
+    pkg = add_package(ctx.model, "middleware")
+    ctx.record(sources=[ctx.model], targets=[pkg], note="middleware package")
+    return pkg
+
+
+def _copy_public_operations(source_class, target, ctx):
+    created = []
+    for operation in source_class.operations:
+        if operation.visibility != "public":
+            continue
+        copy = add_operation(target, operation.name, visibility="public")
+        for parameter in operation.parameters:
+            add_parameter(copy, parameter.name, parameter.type, parameter.direction)
+        created.append(copy)
+    return created
+
+
+TRANSFORMATION = GenericTransformation(
+    "T_distribution",
+    CONCERN,
+    SIGNATURE,
+    description="GMT(C1): remote interfaces, proxies, and registry bindings.",
+)
+
+TRANSFORMATION.precondition(
+    "server-classes-exist",
+    "server_classes->forAll(n | Class.allInstances()->exists(c | c.name = n))",
+    "every configured server class must exist in the model",
+)
+TRANSFORMATION.precondition(
+    "not-already-remote",
+    "Class.allInstances()->select(c | server_classes->includes(c.name))"
+    "->forAll(c | c.stereotypes->forAll(s | s.name <> 'Remote'))",
+    "a class may be distributed only once",
+)
+TRANSFORMATION.precondition(
+    "servers-have-operations",
+    "Class.allInstances()->select(c | server_classes->includes(c.name))"
+    "->forAll(c | c.operations->notEmpty())",
+    "a remote class without operations is useless",
+)
+
+TRANSFORMATION.postcondition(
+    "all-marked-remote",
+    "Class.allInstances()->select(c | server_classes->includes(c.name))"
+    "->forAll(c | c.stereotypes->exists(s | s.name = 'Remote'))",
+)
+TRANSFORMATION.postcondition(
+    "remote-interfaces-exist",
+    "server_classes->forAll(n | Interface.allInstances()"
+    "->exists(i | i.name = 'I'.concat(n)))",
+)
+TRANSFORMATION.postcondition(
+    "proxies-exist",
+    "server_classes->forAll(n | Class.allInstances()"
+    "->exists(p | p.name = n.concat('_Proxy')))",
+)
+
+
+@TRANSFORMATION.rule("mark-remote", "stereotype the server classes")
+def _mark_remote(ctx):
+    prefix = ctx.require_param("registry_prefix")
+    for name in ctx.require_param("server_classes"):
+        cls = _model_class(ctx, name)
+        app = apply_stereotype(
+            cls, "Remote", registryName=f"{prefix}/{name}"
+        )
+        ctx.record(sources=[cls], targets=[app], note="Remote stereotype")
+
+
+@TRANSFORMATION.rule("ensure-broker", "naming-service broker class")
+def _ensure_broker(ctx):
+    pkg = _middleware_package(ctx)
+    for element in pkg.ownedElements:
+        if element.isinstance_of(UML.Class) and element.name == "NamingServiceBroker":
+            return
+    broker = add_class(pkg, "NamingServiceBroker")
+    add_operation(broker, "bind")
+    add_operation(broker, "resolve")
+    apply_stereotype(broker, "Generated", by="distribution")
+    ctx.record(sources=[pkg], targets=[broker], note="naming broker")
+
+
+@TRANSFORMATION.rule("derive-remote-interfaces", "I<Class> per server class")
+def _derive_interfaces(ctx):
+    pkg = _middleware_package(ctx)
+    for name in ctx.require_param("server_classes"):
+        cls = _model_class(ctx, name)
+        interface = add_interface(pkg, f"I{name}")
+        apply_stereotype(interface, "Generated", by="distribution")
+        _copy_public_operations(cls, interface, ctx)
+        cls.interfaces.append(interface)
+        ctx.record(sources=[cls], targets=[interface], note="remote interface")
+
+
+@TRANSFORMATION.rule("derive-proxies", "<Class>_Proxy per server class")
+def _derive_proxies(ctx):
+    pkg = _middleware_package(ctx)
+    for name in ctx.require_param("server_classes"):
+        cls = _model_class(ctx, name)
+        proxy = add_class(pkg, f"{name}_Proxy")
+        apply_stereotype(proxy, "Proxy", target=name)
+        apply_stereotype(proxy, "Generated", by="distribution")
+        _copy_public_operations(cls, proxy, ctx)
+        dependency = UML.Dependency(name=f"{name}_Proxy_delegates")
+        dependency.client = proxy
+        dependency.supplier = cls
+        dependency.kind = "delegates"
+        pkg.ownedElements.append(dependency)
+        ctx.record(sources=[cls], targets=[proxy, dependency], note="client proxy")

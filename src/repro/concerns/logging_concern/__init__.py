@@ -1,0 +1,16 @@
+"""Extension concern — call logging (observation only).
+
+Not one of the paper's three example concerns, but a fourth dimension that
+exercises the machinery cheaply: its transformation only marks operations
+``<<Logged>>`` (no structural refinement), and its aspect records call
+events.  Used by the workflow and precedence experiments.
+"""
+
+from repro.concerns.logging_concern.transformation import (
+    CONCERN,
+    SIGNATURE,
+    TRANSFORMATION,
+)
+from repro.concerns.logging_concern.aspect import GENERIC_ASPECT, build
+
+__all__ = ["CONCERN", "SIGNATURE", "TRANSFORMATION", "GENERIC_ASPECT", "build"]

@@ -1,0 +1,53 @@
+"""Generic aspect for the logging concern.
+
+The built aspect records ``(event, Class.operation)`` tuples in its own
+``records`` list — inspectable by tests and by the precedence experiment,
+which reads interleavings of log events against other aspects' effects.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+from repro.aop.aspect import Aspect
+from repro.core.aspect import GenericAspect
+from repro.concerns.logging_concern.transformation import SIGNATURE
+
+
+def build(parameters, services) -> Aspect:
+    """GA(logging) factory — invoked with Si and the middleware services."""
+    patterns = list(parameters["log_patterns"])
+    level = parameters.get("level", "info")
+    aspect = Aspect("A_logging", "records entry/exit of matched operations")
+    aspect.records = []  # inspectable sink
+    if not patterns:
+        return aspect
+
+    def _matches(jp):
+        return any(fnmatch.fnmatchcase(jp.signature, p) for p in patterns)
+
+    @aspect.before("call(*.*)")
+    def log_entry(jp):
+        if _matches(jp):
+            aspect.records.append((level, "enter", jp.signature))
+
+    @aspect.after("call(*.*)")
+    def log_exit(jp):
+        if _matches(jp):
+            outcome = "raise" if jp.exception is not None else "return"
+            aspect.records.append((level, outcome, jp.signature))
+
+    return aspect
+
+
+GENERIC_ASPECT = GenericAspect(
+    "A_logging",
+    SIGNATURE,
+    build,
+    factory_ref="repro.concerns.logging_concern.aspect:build",
+    description="GA(logging): entry/exit recording for matched operations.",
+)
+
+from repro.concerns.logging_concern.transformation import TRANSFORMATION  # noqa: E402
+
+TRANSFORMATION.associate_aspect(GENERIC_ASPECT)

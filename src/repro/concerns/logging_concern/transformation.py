@@ -1,0 +1,71 @@
+"""Generic model transformation for the logging concern."""
+
+from __future__ import annotations
+
+import fnmatch
+
+from repro.core.concern import Concern
+from repro.core.parameters import ParameterSignature
+from repro.core.transformation import GenericTransformation
+from repro.uml.model import classes_of
+from repro.uml.profiles import apply_stereotype
+
+CONCERN = Concern(
+    "logging",
+    "Record entry/exit of selected operations.",
+    viewpoint="Class.allInstances()->select(c | c.operations->notEmpty())",
+)
+
+SIGNATURE = ParameterSignature()
+SIGNATURE.declare(
+    "log_patterns",
+    type=str,
+    many=True,
+    description="fnmatch patterns over qualified Class.operation names",
+)
+SIGNATURE.declare(
+    "level",
+    type=str,
+    required=False,
+    default="info",
+    choices=("debug", "info", "warning"),
+    description="log level recorded on the stereotype",
+)
+
+
+def _matched_operations(ctx):
+    patterns = ctx.require_param("log_patterns")
+    for cls in classes_of(ctx.model):
+        for operation in cls.operations:
+            qualified = f"{cls.name}.{operation.name}"
+            if any(fnmatch.fnmatchcase(qualified, p) for p in patterns):
+                yield cls, operation
+
+
+TRANSFORMATION = GenericTransformation(
+    "T_logging",
+    CONCERN,
+    SIGNATURE,
+    description="GMT(logging): mark operations <<Logged>>.",
+)
+
+TRANSFORMATION.precondition(
+    "patterns-present",
+    "log_patterns->notEmpty()",
+    "at least one pattern must be configured",
+)
+
+TRANSFORMATION.postcondition(
+    "something-logged",
+    "Class.allInstances()->collect(c | c.operations)"
+    "->exists(o | o.stereotypes->exists(s | s.name = 'Logged'))",
+    "the configured patterns must match at least one operation",
+)
+
+
+@TRANSFORMATION.rule("mark-logged", "stereotype the matched operations")
+def _mark_logged(ctx):
+    level = ctx.require_param("level")
+    for cls, operation in _matched_operations(ctx):
+        app = apply_stereotype(operation, "Logged", level=level)
+        ctx.record(sources=[cls, operation], targets=[app], note="Logged")

@@ -1,0 +1,32 @@
+"""Platform projection/abstraction — the PIM↔PSM mappings of §2.
+
+Two transformation pairs:
+
+* ``platform`` (PIM→PSM): projects the model onto the **python-inprocess**
+  platform — marks the root ``<<PlatformSpecific>>``, every class
+  ``<<PythonClass>>`` (tagged with its module), and every primitive
+  datatype ``<<PythonType>>`` (tagged with the Python type it maps to);
+* ``platform-abstraction`` (PSM→PIM): strips every platform mark,
+  recovering the PIM ("abstract models of existing implementations into
+  platform-independent models").
+
+Both have deliberately empty generic aspects: platform projection has no
+cross-cutting *runtime* behaviour — it informs the code generator.
+"""
+
+from repro.concerns.platform.transformation import (
+    ABSTRACTION,
+    CONCERN,
+    PROJECTION,
+    SIGNATURE,
+)
+from repro.concerns.platform.aspect import build, build_abstraction
+
+__all__ = [
+    "CONCERN",
+    "SIGNATURE",
+    "PROJECTION",
+    "ABSTRACTION",
+    "build",
+    "build_abstraction",
+]

@@ -1,0 +1,51 @@
+"""Generic aspects for the platform mappings — intentionally inert.
+
+Platform projection informs the *code generator*, not the runtime: there
+is no cross-cutting behaviour to weave.  The aspects exist so the Fig. 1
+square stays total (every GMT has its GA) and so the aspect generator can
+still emit a (trivially empty) concrete artifact for auditability.
+"""
+
+from __future__ import annotations
+
+from repro.aop.aspect import Aspect
+from repro.core.aspect import GenericAspect
+from repro.concerns.platform.transformation import (
+    ABSTRACTION,
+    ABSTRACTION_SIGNATURE,
+    PROJECTION,
+    SIGNATURE,
+)
+
+
+def build(parameters, services) -> Aspect:
+    """GA(platform) factory — a deliberately empty aspect."""
+    return Aspect(
+        "A_platform",
+        f"no runtime behaviour (platform {parameters.get('platform')!r} "
+        "is realized by the code generator)",
+    )
+
+
+def build_abstraction(parameters, services) -> Aspect:
+    """GA(platform-abstraction) factory — a deliberately empty aspect."""
+    return Aspect("A_platform_abstraction", "no runtime behaviour")
+
+
+GENERIC_ASPECT = GenericAspect(
+    "A_platform",
+    SIGNATURE,
+    build,
+    factory_ref="repro.concerns.platform.aspect:build",
+    description="GA(platform): inert; projection is a generator concern.",
+)
+PROJECTION.associate_aspect(GENERIC_ASPECT)
+
+ABSTRACTION_ASPECT = GenericAspect(
+    "A_platform_abstraction",
+    ABSTRACTION_SIGNATURE,
+    build_abstraction,
+    factory_ref="repro.concerns.platform.aspect:build_abstraction",
+    description="GA(platform-abstraction): inert.",
+)
+ABSTRACTION.associate_aspect(ABSTRACTION_ASPECT)

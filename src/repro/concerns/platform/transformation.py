@@ -1,0 +1,126 @@
+"""PIM→PSM projection and PSM→PIM abstraction transformations."""
+
+from __future__ import annotations
+
+from repro.core.concern import Concern
+from repro.core.parameters import ParameterSignature
+from repro.core.transformation import GenericTransformation
+from repro.transform.mappings import (
+    MappingKind,
+    mark_platform_specific,
+    unmark_platform_specific,
+)
+from repro.uml.metamodel import UML
+from repro.uml.model import classes_of, owned_elements
+from repro.uml.profiles import apply_stereotype, remove_stereotype
+
+#: UML primitive name → Python platform type
+PYTHON_TYPE_MAP = {
+    "String": "str",
+    "Integer": "int",
+    "Real": "float",
+    "Boolean": "bool",
+}
+
+CONCERN = Concern(
+    "platform",
+    "Project the PIM onto the python-inprocess execution platform.",
+    viewpoint="Class.allInstances()",
+)
+
+SIGNATURE = ParameterSignature()
+SIGNATURE.declare(
+    "platform",
+    type=str,
+    required=False,
+    default="python-inprocess",
+    choices=("python-inprocess",),
+    description="target platform identifier",
+)
+SIGNATURE.declare(
+    "module_name",
+    type=str,
+    required=False,
+    default="generated_app",
+    description="Python module the classes are generated into",
+)
+
+PROJECTION = GenericTransformation(
+    "T_platform_projection",
+    CONCERN,
+    SIGNATURE,
+    description="PIM-to-PSM projection for the python-inprocess platform.",
+    mapping_kind=MappingKind.PIM_TO_PSM,
+)
+
+PROJECTION.precondition(
+    "has-classes",
+    "Class.allInstances()->notEmpty()",
+    "an empty model has nothing to project",
+)
+PROJECTION.postcondition(
+    "all-classes-marked",
+    "Class.allInstances()->forAll(c | "
+    "c.stereotypes->exists(s | s.name = 'PythonClass'))",
+)
+
+
+@PROJECTION.rule("mark-root", "stamp the model root as platform-specific")
+def _mark_root(ctx):
+    mark_platform_specific(ctx.model, ctx.require_param("platform"))
+    ctx.record(targets=[ctx.model], note="PlatformSpecific")
+
+
+@PROJECTION.rule("map-classes", "bind every class to its Python module")
+def _map_classes(ctx):
+    module_name = ctx.require_param("module_name")
+    for cls in classes_of(ctx.model):
+        app = apply_stereotype(cls, "PythonClass", module=module_name)
+        ctx.record(sources=[cls], targets=[app], note="PythonClass")
+
+
+@PROJECTION.rule("map-primitives", "bind primitive datatypes to Python types")
+def _map_primitives(ctx):
+    for element in owned_elements(ctx.model):
+        if not element.isinstance_of(UML.DataType):
+            continue
+        if element.isinstance_of(UML.Enumeration):
+            mapped = "enum.Enum"
+        else:
+            mapped = PYTHON_TYPE_MAP.get(element.name)
+            if mapped is None:
+                continue
+        app = apply_stereotype(element, "PythonType", maps_to=mapped)
+        ctx.record(sources=[element], targets=[app], note="PythonType")
+
+
+ABSTRACTION_CONCERN = Concern(
+    "platform-abstraction",
+    "Recover the PIM by stripping every platform-specific mark.",
+)
+
+ABSTRACTION_SIGNATURE = ParameterSignature()
+
+ABSTRACTION = GenericTransformation(
+    "T_platform_abstraction",
+    ABSTRACTION_CONCERN,
+    ABSTRACTION_SIGNATURE,
+    description="PSM-to-PIM abstraction: remove platform marks.",
+    mapping_kind=MappingKind.PSM_TO_PIM,
+)
+
+ABSTRACTION.postcondition(
+    "no-platform-marks-left",
+    "Class.allInstances()->forAll(c | "
+    "c.stereotypes->forAll(s | s.name <> 'PythonClass'))",
+)
+
+
+@ABSTRACTION.rule("strip-marks", "remove every platform stereotype")
+def _strip_marks(ctx):
+    unmark_platform_specific(ctx.model)
+    for element in owned_elements(ctx.model):
+        if element.meta_class.has_feature("stereotypes"):
+            remove_stereotype(element, "PythonClass")
+            remove_stereotype(element, "PythonType")
+    ctx.record(targets=[ctx.model], note="platform marks removed")

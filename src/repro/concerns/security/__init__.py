@@ -1,0 +1,10 @@
+"""C3 — the security concern (GMT + GA pair)."""
+
+from repro.concerns.security.transformation import (
+    CONCERN,
+    SIGNATURE,
+    TRANSFORMATION,
+)
+from repro.concerns.security.aspect import GENERIC_ASPECT, build
+
+__all__ = ["CONCERN", "SIGNATURE", "TRANSFORMATION", "GENERIC_ASPECT", "build"]

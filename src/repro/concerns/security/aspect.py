@@ -1,0 +1,58 @@
+"""Generic aspect for the security concern.
+
+The built aspect installs the role grants from ``Si`` into the middleware
+ACL and guards every protected operation with a before-advice that
+
+1. pulls the caller's bearer token from the ORB call context
+   (``orb.call_context(credentials=token)`` on the client side — the same
+   channel the distribution concern propagates implicitly), and
+2. asks the :class:`~repro.middleware.security.AccessController` whether
+   the authenticated principal may ``invoke`` ``Class.operation``.
+
+Authentication failures and denials surface as the library's security
+exceptions and are written to the audit log.
+"""
+
+from __future__ import annotations
+
+from repro.aop.aspect import Aspect
+from repro.core.aspect import GenericAspect
+from repro.concerns.security.transformation import SIGNATURE
+
+
+def build(parameters, services) -> Aspect:
+    """GA(C3) factory — invoked with Si and the middleware services."""
+    protected_ops = list(parameters["protected_ops"])
+    role_grants = parameters.get("role_grants") or {}
+    aspect = Aspect(
+        "A_security",
+        "authenticate + authorize callers of the operations named in Si",
+    )
+    if not protected_ops:
+        return aspect
+
+    for role, patterns in role_grants.items():
+        for pattern in patterns:
+            services.acl.allow_role(role, pattern, ["invoke"])
+
+    pointcut = " || ".join(f"call({name})" for name in protected_ops)
+
+    @aspect.before(pointcut)
+    def check_access(jp):
+        token = services.orb.current_context().get("credentials")
+        services.access.check_access(token, jp.signature, "invoke")
+
+    return aspect
+
+
+GENERIC_ASPECT = GenericAspect(
+    "A_security",
+    SIGNATURE,
+    build,
+    factory_ref="repro.concerns.security.aspect:build",
+    description="GA(C3): ACL installation and access checks from Si.",
+)
+
+from repro.concerns.security.transformation import TRANSFORMATION  # noqa: E402
+
+TRANSFORMATION.associate_aspect(GENERIC_ASPECT)

@@ -1,0 +1,140 @@
+"""Generic model transformation for the security concern.
+
+Parameters (Pik):
+
+* ``protected_ops`` — qualified ``Class.operation`` names requiring an
+  authenticated, authorized caller;
+* ``role_grants`` — role → list of ``Class.operation`` patterns
+  (``fnmatch`` wildcards) that role may invoke;
+* ``audit_denials`` — whether denials must be audited (recorded on the
+  stereotype; the audit log itself lives in the middleware).
+
+Model refinement: stereotype the protected operations ``<<Secured>>``
+(tag: the action checked at run time), stereotype their owning classes
+``<<AccessControlled>>``, and add the access-controller broker.
+"""
+
+from __future__ import annotations
+
+from repro.core.concern import Concern
+from repro.core.parameters import ParameterSignature
+from repro.core.transformation import GenericTransformation
+from repro.uml.metamodel import UML
+from repro.uml.model import add_class, add_operation, add_package, classes_of
+from repro.uml.profiles import apply_stereotype
+
+CONCERN = Concern(
+    "security",
+    "Authenticate and authorize callers of selected operations.",
+    viewpoint=(
+        "Class.allInstances()->collect(c | c.operations)"
+        "->select(o | protected_ops->includes("
+        "o.oclContainer().name.concat('.').concat(o.name)))"
+    ),
+)
+
+SIGNATURE = ParameterSignature()
+SIGNATURE.declare(
+    "protected_ops",
+    type=str,
+    many=True,
+    description="qualified Class.operation names requiring authorization",
+)
+SIGNATURE.declare(
+    "role_grants",
+    type=dict,
+    required=False,
+    default=None,
+    description="role name -> list of Class.operation fnmatch patterns",
+)
+SIGNATURE.declare(
+    "audit_denials",
+    type=bool,
+    required=False,
+    default=True,
+    description="record denied accesses in the audit log",
+)
+
+
+def _middleware_package(ctx):
+    for element in ctx.model.ownedElements:
+        if element.isinstance_of(UML.Package) and element.name == "middleware":
+            return element
+    pkg = add_package(ctx.model, "middleware")
+    ctx.record(sources=[ctx.model], targets=[pkg], note="middleware package")
+    return pkg
+
+
+def _matched_operations(ctx):
+    wanted = set(ctx.require_param("protected_ops"))
+    for cls in classes_of(ctx.model):
+        for operation in cls.operations:
+            if f"{cls.name}.{operation.name}" in wanted:
+                yield cls, operation
+
+
+TRANSFORMATION = GenericTransformation(
+    "T_security",
+    CONCERN,
+    SIGNATURE,
+    description="GMT(C3): secured stereotypes + access-controller broker.",
+)
+
+TRANSFORMATION.precondition(
+    "operations-exist",
+    "protected_ops->forAll(n | Class.allInstances()->exists(c | "
+    "c.operations->exists(o | c.name.concat('.').concat(o.name) = n)))",
+    "every configured Class.operation must exist in the model",
+)
+TRANSFORMATION.precondition(
+    "not-already-secured",
+    "Class.allInstances()->collect(c | c.operations)"
+    "->select(o | protected_ops->includes("
+    "o.oclContainer().name.concat('.').concat(o.name)))"
+    "->forAll(o | o.stereotypes->forAll(s | s.name <> 'Secured'))",
+    "an operation may be secured only once",
+)
+
+TRANSFORMATION.postcondition(
+    "all-ops-secured",
+    "Class.allInstances()->collect(c | c.operations)"
+    "->select(o | protected_ops->includes("
+    "o.oclContainer().name.concat('.').concat(o.name)))"
+    "->forAll(o | o.stereotypes->exists(s | s.name = 'Secured'))",
+)
+TRANSFORMATION.postcondition(
+    "broker-exists",
+    "Class.allInstances()->exists(c | c.name = 'AccessControllerBroker')",
+)
+
+
+@TRANSFORMATION.rule("mark-secured", "stereotype the protected operations")
+def _mark_operations(ctx):
+    audit = ctx.require_param("audit_denials")
+    for cls, operation in _matched_operations(ctx):
+        app = apply_stereotype(
+            operation,
+            "Secured",
+            action="invoke",
+            resource=f"{cls.name}.{operation.name}",
+            audit=bool(audit),
+        )
+        ctx.record(sources=[cls, operation], targets=[app], note="Secured")
+        cls_app = apply_stereotype(cls, "AccessControlled")
+        ctx.record(sources=[cls], targets=[cls_app], note="AccessControlled")
+
+
+@TRANSFORMATION.rule("ensure-broker", "access-controller broker class")
+def _ensure_broker(ctx):
+    pkg = _middleware_package(ctx)
+    for element in pkg.ownedElements:
+        if (
+            element.isinstance_of(UML.Class)
+            and element.name == "AccessControllerBroker"
+        ):
+            return
+    broker = add_class(pkg, "AccessControllerBroker")
+    add_operation(broker, "authenticate")
+    add_operation(broker, "checkAccess")
+    apply_stereotype(broker, "Generated", by="security")
+    ctx.record(sources=[pkg], targets=[broker], note="access broker")

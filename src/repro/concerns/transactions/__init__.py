@@ -1,0 +1,10 @@
+"""C2 — the transactions concern (GMT + GA pair)."""
+
+from repro.concerns.transactions.transformation import (
+    CONCERN,
+    SIGNATURE,
+    TRANSFORMATION,
+)
+from repro.concerns.transactions.aspect import GENERIC_ASPECT, build
+
+__all__ = ["CONCERN", "SIGNATURE", "TRANSFORMATION", "GENERIC_ASPECT", "build"]

@@ -1,0 +1,64 @@
+"""Generic aspect for the transactions concern.
+
+The built aspect wraps each operation named in ``Si`` in a transaction:
+begin (joining any enclosing transaction), enlist every touched instance
+of a configured *state class* (write lock + before-image snapshot),
+proceed, commit — or roll every enlisted object back when the body raises.
+
+Join semantics matter: a transactional ``transfer`` that calls
+transactional ``withdraw`` and ``deposit`` commits exactly once, at the
+``transfer`` boundary, so a failing ``deposit`` undoes the already-
+executed ``withdraw`` — the observable behaviour the semantic-coupling
+experiment (E9) measures.  Without ``Si`` a generic aspect knows neither
+*which* operations bound transactions nor *which objects' state* must be
+snapshot; both arrive from the model-level configuration.
+"""
+
+from __future__ import annotations
+
+from repro.aop.aspect import Aspect
+from repro.core.aspect import GenericAspect
+from repro.concerns.transactions.transformation import SIGNATURE
+
+
+def build(parameters, services) -> Aspect:
+    """GA(C2) factory — invoked with Si and the middleware services."""
+    transactional_ops = list(parameters["transactional_ops"])
+    state_classes = set(parameters["state_classes"])
+    manager = services.transactions
+    aspect = Aspect(
+        "A_transactions",
+        "atomic execution with rollback for the operations named in Si",
+    )
+    if not transactional_ops:
+        return aspect
+
+    def _enlist_state(jp):
+        candidates = [jp.target, *jp.args, *jp.kwargs.values()]
+        for value in candidates:
+            if type(value).__name__ in state_classes:
+                manager.enlist_object(value)
+
+    pointcut = " || ".join(f"call({name})" for name in transactional_ops)
+
+    @aspect.around(pointcut)
+    def transactional(inv):
+        jp = inv.join_point
+        with manager.transaction():
+            _enlist_state(jp)
+            return inv.proceed()
+
+    return aspect
+
+
+GENERIC_ASPECT = GenericAspect(
+    "A_transactions",
+    SIGNATURE,
+    build,
+    factory_ref="repro.concerns.transactions.aspect:build",
+    description="GA(C2): transaction demarcation and state enlistment from Si.",
+)
+
+from repro.concerns.transactions.transformation import TRANSFORMATION  # noqa: E402
+
+TRANSFORMATION.associate_aspect(GENERIC_ASPECT)

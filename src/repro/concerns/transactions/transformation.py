@@ -1,0 +1,170 @@
+"""Generic model transformation for the transactions concern.
+
+Parameters (Pik):
+
+* ``transactional_ops`` — qualified ``Class.operation`` names that must
+  execute atomically;
+* ``state_classes`` — the classes whose instances form the transactional
+  state (enlisted and snapshot for rollback).  This is the application
+  semantics Kienzle & Guerraoui showed a generic transactional aspect
+  cannot know — here it arrives through ``Si``;
+* ``isolation`` — recorded on the ``<<Transactional>>`` stereotype.
+
+Model refinement: stereotype the selected operations, add the transaction-
+manager broker to the ``middleware`` package, and add a ``uses``
+dependency from each owning class to the broker.
+"""
+
+from __future__ import annotations
+
+from repro.core.concern import Concern
+from repro.core.parameters import ParameterSignature
+from repro.core.transformation import GenericTransformation
+from repro.uml.metamodel import UML
+from repro.uml.model import add_class, add_operation, add_package, classes_of
+from repro.uml.profiles import apply_stereotype
+
+CONCERN = Concern(
+    "transactions",
+    "Execute selected operations atomically with rollback on failure.",
+    viewpoint=(
+        "Class.allInstances()->collect(c | c.operations)"
+        "->select(o | transactional_ops->includes("
+        "o.oclContainer().name.concat('.').concat(o.name)))"
+    ),
+)
+
+SIGNATURE = ParameterSignature()
+SIGNATURE.declare(
+    "transactional_ops",
+    type=str,
+    many=True,
+    description="qualified Class.operation names to make atomic",
+)
+SIGNATURE.declare(
+    "state_classes",
+    type=str,
+    many=True,
+    description="classes whose instances are transactional state",
+)
+SIGNATURE.declare(
+    "isolation",
+    type=str,
+    required=False,
+    default="serializable",
+    choices=("serializable", "read-committed"),
+    description="isolation level recorded on the stereotype",
+)
+
+
+def _middleware_package(ctx):
+    for element in ctx.model.ownedElements:
+        if element.isinstance_of(UML.Package) and element.name == "middleware":
+            return element
+    pkg = add_package(ctx.model, "middleware")
+    ctx.record(sources=[ctx.model], targets=[pkg], note="middleware package")
+    return pkg
+
+
+def _matched_operations(ctx):
+    wanted = set(ctx.require_param("transactional_ops"))
+    for cls in classes_of(ctx.model):
+        for operation in cls.operations:
+            if f"{cls.name}.{operation.name}" in wanted:
+                yield cls, operation
+
+
+TRANSFORMATION = GenericTransformation(
+    "T_transactions",
+    CONCERN,
+    SIGNATURE,
+    description="GMT(C2): transactional stereotypes + transaction-manager broker.",
+)
+
+TRANSFORMATION.precondition(
+    "operations-exist",
+    "transactional_ops->forAll(n | Class.allInstances()->exists(c | "
+    "c.operations->exists(o | c.name.concat('.').concat(o.name) = n)))",
+    "every configured Class.operation must exist in the model",
+)
+TRANSFORMATION.precondition(
+    "state-classes-exist",
+    "state_classes->forAll(n | Class.allInstances()->exists(c | c.name = n))",
+    "every configured state class must exist in the model",
+)
+TRANSFORMATION.precondition(
+    "not-already-transactional",
+    "Class.allInstances()->collect(c | c.operations)"
+    "->select(o | transactional_ops->includes("
+    "o.oclContainer().name.concat('.').concat(o.name)))"
+    "->forAll(o | o.stereotypes->forAll(s | s.name <> 'Transactional'))",
+    "an operation may be made transactional only once",
+)
+
+TRANSFORMATION.postcondition(
+    "all-ops-marked",
+    "Class.allInstances()->collect(c | c.operations)"
+    "->select(o | transactional_ops->includes("
+    "o.oclContainer().name.concat('.').concat(o.name)))"
+    "->forAll(o | o.stereotypes->exists(s | s.name = 'Transactional'))",
+)
+TRANSFORMATION.postcondition(
+    "broker-exists",
+    "Class.allInstances()->exists(c | c.name = 'TransactionManagerBroker')",
+)
+
+
+@TRANSFORMATION.rule("mark-transactional", "stereotype the selected operations")
+def _mark_operations(ctx):
+    isolation = ctx.require_param("isolation")
+    for cls, operation in _matched_operations(ctx):
+        app = apply_stereotype(operation, "Transactional", isolation=isolation)
+        ctx.record(sources=[cls, operation], targets=[app], note="Transactional")
+
+
+@TRANSFORMATION.rule("mark-state-classes", "stereotype the state classes")
+def _mark_state(ctx):
+    for name in ctx.require_param("state_classes"):
+        for cls in classes_of(ctx.model):
+            if cls.name == name:
+                app = apply_stereotype(cls, "TransactionalState")
+                ctx.record(sources=[cls], targets=[app], note="state class")
+
+
+@TRANSFORMATION.rule("ensure-broker", "transaction-manager broker class")
+def _ensure_broker(ctx):
+    pkg = _middleware_package(ctx)
+    for element in pkg.ownedElements:
+        if (
+            element.isinstance_of(UML.Class)
+            and element.name == "TransactionManagerBroker"
+        ):
+            return
+    broker = add_class(pkg, "TransactionManagerBroker")
+    add_operation(broker, "begin")
+    add_operation(broker, "commit")
+    add_operation(broker, "rollback")
+    apply_stereotype(broker, "Generated", by="transactions")
+    ctx.record(sources=[pkg], targets=[broker], note="transaction broker")
+
+
+@TRANSFORMATION.rule("wire-dependencies", "owning classes use the broker")
+def _wire_dependencies(ctx):
+    pkg = _middleware_package(ctx)
+    broker = next(
+        element
+        for element in pkg.ownedElements
+        if element.isinstance_of(UML.Class)
+        and element.name == "TransactionManagerBroker"
+    )
+    seen = set()
+    for cls, _op in _matched_operations(ctx):
+        if id(cls) in seen:
+            continue
+        seen.add(id(cls))
+        dependency = UML.Dependency(name=f"{cls.name}_uses_txm")
+        dependency.client = cls
+        dependency.supplier = broker
+        dependency.kind = "uses"
+        pkg.ownedElements.append(dependency)
+        ctx.record(sources=[cls], targets=[dependency], note="uses broker")

@@ -1,0 +1,66 @@
+"""S12 — The paper's contribution: generic concern-oriented model
+transformations meeting AOP.
+
+Fig. 1 of the paper, as code:
+
+* :class:`~repro.core.concern.Concern` — a separated area of interest with
+  a *viewpoint* query selecting its concern space in a model;
+* :class:`~repro.core.parameters.ParameterSignature` /
+  :class:`~repro.core.parameters.ParameterSet` — ``Si = Set(Pik)``, the
+  application-specific configuration;
+* :class:`~repro.core.transformation.GenericTransformation` (GMT) —
+  parameterized model refinement with OCL pre/postconditions;
+  ``gmt.specialize(**Si)`` is the ``<<specialization>>`` arrow yielding a
+  :class:`~repro.core.transformation.ConcreteTransformation` (CMT);
+* :class:`~repro.core.aspect.GenericAspect` (GA) — the 1–1 associated
+  implementation-level artifact; specialized **by the same Si** into a
+  :class:`~repro.core.aspect.ConcreteAspect` (CA);
+* :func:`~repro.core.aspect_generator.generate_concrete_aspect` — the
+  aspect generator deriving the CA from an applied CMT;
+* :class:`~repro.core.precedence.AspectDeploymentPlan` — aspect precedence
+  dictated by the model-level application order;
+* :class:`~repro.core.lifecycle.MdaLifecycle` — the end-to-end driver:
+  refine the PIM concern by concern, generate functional code, generate and
+  weave the concrete aspects.
+"""
+
+from repro.core.concern import Concern, ConcernSpace
+from repro.core.parameters import Parameter, ParameterSet, ParameterSignature
+from repro.core.transformation import ConcreteTransformation, GenericTransformation
+from repro.core.aspect import ConcreteAspect, GenericAspect
+from repro.core.aspect_generator import generate_concrete_aspect
+from repro.core.precedence import AspectDeploymentPlan
+from repro.core.registry import ConcernRegistry
+from repro.core.runtime import MiddlewareServices
+from repro.core.lifecycle import MdaLifecycle
+from repro.core.shipping import (
+    ComponentPackage,
+    ShippedStep,
+    ShippingError,
+    model_fingerprint,
+    replay,
+    ship,
+)
+
+__all__ = [
+    "Concern",
+    "ConcernSpace",
+    "Parameter",
+    "ParameterSignature",
+    "ParameterSet",
+    "GenericTransformation",
+    "ConcreteTransformation",
+    "GenericAspect",
+    "ConcreteAspect",
+    "generate_concrete_aspect",
+    "AspectDeploymentPlan",
+    "ConcernRegistry",
+    "MiddlewareServices",
+    "MdaLifecycle",
+    "ComponentPackage",
+    "ShippedStep",
+    "ShippingError",
+    "ship",
+    "replay",
+    "model_fingerprint",
+]

@@ -1,0 +1,98 @@
+"""Generic and concrete aspects (the GA → CA arrow of Fig. 1).
+
+A :class:`GenericAspect` is the implementation-level twin of a generic
+transformation.  Its *factory* builds a runtime
+:class:`~repro.aop.aspect.Aspect` from a parameter dict and the middleware
+services; its *factory reference* (``"module.path:callable"``) lets the
+S9 aspect generator emit the concrete aspect as a standalone source
+artifact with the parameters baked in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SpecializationError
+from repro.core.parameters import ParameterSet, ParameterSignature
+
+
+class GenericAspect:
+    """GA(Ci): parameterized cross-cutting behaviour for one concern."""
+
+    def __init__(
+        self,
+        name: str,
+        signature: ParameterSignature,
+        factory: Callable,
+        factory_ref: Optional[str] = None,
+        description: str = "",
+    ):
+        self.name = name
+        self.signature = signature
+        self.factory = factory
+        #: importable reference ``"package.module:callable"`` for codegen
+        self.factory_ref = factory_ref
+        self.description = description
+        self._transformation = None
+
+    @property
+    def generic_transformation(self):
+        return self._transformation
+
+    def _set_transformation(self, transformation) -> None:
+        if self._transformation is not None and self._transformation is not transformation:
+            raise SpecializationError(
+                f"aspect {self.name!r} already belongs to a transformation"
+            )
+        self._transformation = transformation
+        if transformation.generic_aspect is not self:
+            transformation.associate_aspect(self)
+
+    def specialize(self, parameter_set: Optional[ParameterSet] = None, **values):
+        """The ``<<specialization>>`` arrow on the aspect side of Fig. 1.
+
+        Accepts the *same* :class:`ParameterSet` that specialized the
+        transformation — sharing ``Si`` is the point — or fresh values
+        bound against the shared signature.
+        """
+        if parameter_set is None:
+            parameter_set = self.signature.bind(**values)
+        elif parameter_set.signature is not self.signature:
+            raise SpecializationError(
+                f"parameter set was bound against a different signature than "
+                f"aspect {self.name!r}'s (GMT and GA must share one signature)"
+            )
+        return ConcreteAspect(self, parameter_set)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<GA {self.name}>"
+
+
+class ConcreteAspect:
+    """CA(Ci) = GA(Ci) + ``Si``; buildable into a runtime aspect."""
+
+    def __init__(self, generic: GenericAspect, parameter_set: ParameterSet):
+        self.generic = generic
+        self.parameter_set = parameter_set
+        self._built = None
+        #: deployment rank assigned by the precedence plan (None until deployed)
+        self.rank: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.generic.name}{self.parameter_set.render()}"
+
+    @property
+    def parameters(self) -> dict:
+        return self.parameter_set.as_dict()
+
+    def build(self, services):
+        """Instantiate the runtime aspect (cached)."""
+        if self._built is None:
+            self._built = self.generic.factory(self.parameters, services)
+            # keep the CA's fully-qualified name on the runtime artifact
+            self._built.name = self.name
+        return self._built
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<CA {self.name}>"

@@ -1,0 +1,29 @@
+"""The aspect generator: CMT → CA with the identical parameter set.
+
+The paper's central mechanism: *"the set of parameters Si, used to
+specialize the generic model transformation, could be used to specialize
+the corresponding generic aspect as well, thus overcoming the problem of
+semantic coupling"*.  :func:`generate_concrete_aspect` enforces that
+identity — the concrete aspect is derived from the applied concrete
+transformation, never configured independently.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecializationError
+from repro.core.aspect import ConcreteAspect
+from repro.core.transformation import ConcreteTransformation
+
+
+def generate_concrete_aspect(cmt: ConcreteTransformation) -> ConcreteAspect:
+    """Derive the concrete aspect of an applied concrete transformation.
+
+    Guarantees ``ca.parameter_set is cmt.parameter_set`` — the exact same
+    ``Si`` object specializes both sides of Fig. 1.
+    """
+    ca = cmt.derive_aspect()
+    if ca.parameter_set is not cmt.parameter_set:
+        raise SpecializationError(
+            f"aspect generation for {cmt.name!r} lost the shared parameter set"
+        )
+    return ca

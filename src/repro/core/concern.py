@@ -1,0 +1,76 @@
+"""Concerns and concern spaces (viewpoints).
+
+The paper: a model seen "from viewpoint *i*" exposes the *concern space
+i* — the model elements involved in addressing concern *i*.  A
+:class:`Concern` carries an optional OCL viewpoint query computing that
+space; the query may reference the concern's parameter names, so the same
+viewpoint specializes with ``Si`` just like the transformation does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TransformationError
+from repro.metamodel.instances import MObject, ModelResource
+from repro.metamodel.kernel import MetaClass
+from repro.ocl import OclContext, evaluate
+
+
+class Concern:
+    """A separated area of interest (distribution, transactions, ...)."""
+
+    def __init__(self, name: str, description: str = "", viewpoint: Optional[str] = None):
+        self.name = name
+        self.description = description
+        #: OCL expression yielding the concern-space elements; may use
+        #: parameter names as free variables.
+        self.viewpoint = viewpoint
+
+    def concern_space(
+        self,
+        resource: ModelResource,
+        types: Dict[str, MetaClass],
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> "ConcernSpace":
+        """Evaluate the viewpoint query on ``resource``."""
+        if self.viewpoint is None:
+            return ConcernSpace(self, [])
+        context = OclContext(
+            resource=resource, types=types, variables=dict(parameters or {})
+        )
+        result = evaluate(self.viewpoint, context)
+        if not isinstance(result, list):
+            raise TransformationError(
+                f"viewpoint of concern {self.name!r} must yield a collection, "
+                f"got {result!r}"
+            )
+        elements = [e for e in result if isinstance(e, MObject)]
+        return ConcernSpace(self, elements)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Concern {self.name}>"
+
+
+class ConcernSpace:
+    """The model elements seen from one concern's viewpoint."""
+
+    def __init__(self, concern: Concern, elements: List[MObject]):
+        self.concern = concern
+        self.elements = list(elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __len__(self):
+        return len(self.elements)
+
+    def __contains__(self, element: MObject) -> bool:
+        return any(e is element for e in self.elements)
+
+    def names(self) -> List[str]:
+        return [
+            e.get("name")
+            for e in self.elements
+            if e.meta_class.has_feature("name") and e.is_set("name")
+        ]

@@ -1,0 +1,144 @@
+"""The MDA lifecycle driver: refine, generate, weave — end to end.
+
+This is the §2 process as an executable object:
+
+1. the developer starts from a functional PIM in a repository;
+2. for each concern, :meth:`MdaLifecycle.apply_concern` selects the
+   registered generic transformation, specializes it with the
+   application-specific parameters ``Si``, applies it through the engine
+   (preconditions → rules → postconditions, demarcated and undoable), and
+   *generates the concrete aspect from the same Si*;
+3. :meth:`MdaLifecycle.build_application` runs the functional code
+   generator on the refined model, then weaves the generated classes and
+   deploys the concrete aspects **in transformation application order**
+   (their precedence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkflowError
+from repro.metamodel.instances import ModelResource
+from repro.repository import ModelRepository
+from repro.transform.engine import ApplicationResult, TransformationEngine
+from repro.codegen.aspect_backend import generate_aspect_module
+from repro.codegen.python_backend import compile_model
+from repro.core.aspect import ConcreteAspect
+from repro.core.aspect_generator import generate_concrete_aspect
+from repro.core.precedence import AspectDeploymentPlan
+from repro.core.registry import ConcernRegistry
+from repro.core.runtime import MiddlewareServices
+from repro.core.transformation import ConcreteTransformation
+
+
+class MdaLifecycle:
+    """Drives one application through concern-oriented refinement to code."""
+
+    def __init__(
+        self,
+        resource: ModelResource,
+        registry: Optional[ConcernRegistry] = None,
+        services: Optional[MiddlewareServices] = None,
+        workflow=None,
+    ):
+        if registry is None:
+            from repro.core.registry import default_registry
+
+            registry = default_registry()
+        self.repository = ModelRepository(resource)
+        self.engine = TransformationEngine(self.repository)
+        self.registry = registry
+        self.services = services or MiddlewareServices.create()
+        self.workflow = workflow
+        self.plan = AspectDeploymentPlan()
+        self.applied: List[Tuple[ConcreteTransformation, ConcreteAspect]] = []
+        self._module = None
+
+    # -- refinement ------------------------------------------------------------
+
+    @property
+    def applied_concerns(self) -> List[str]:
+        return [cmt.concern for cmt, _ in self.applied]
+
+    def apply_concern(self, concern_name: str, **parameters) -> ApplicationResult:
+        """Specialize and apply the concern's GMT; generate its CA.
+
+        Returns the engine's application result.  The concrete aspect is
+        queued on the deployment plan at the position corresponding to
+        this application (precedence = application order).
+        """
+        if self.workflow is not None and not self.workflow.is_allowed(
+            concern_name, self.applied_concerns
+        ):
+            raise WorkflowError(
+                f"workflow does not allow concern {concern_name!r} after "
+                f"{self.applied_concerns}"
+            )
+        if not self.repository.history.versions:
+            self.repository.commit("initial PIM")
+        gmt = self.registry.get(concern_name)
+        cmt = gmt.specialize(**parameters)
+        result = self.engine.apply(cmt)
+        ca = generate_concrete_aspect(cmt)
+        self.plan.add(ca)
+        self.applied.append((cmt, ca))
+        self.repository.commit(f"after {cmt.name}")
+        return result
+
+    def remaining_concerns(self) -> List[str]:
+        """Registered concerns not applied yet (the paper's to-do list)."""
+        done = set(self.applied_concerns)
+        return [c for c in self.registry.concerns() if c not in done]
+
+    # -- generation --------------------------------------------------------------
+
+    def generate_functional_code(self, module_name: str = "generated_app"):
+        """Run the functional code generator over the refined model."""
+        model = self.repository.resource.roots[0]
+        self._module = compile_model(model, module_name)
+        return self._module
+
+    def generate_aspect_sources(self) -> Dict[str, str]:
+        """Emit every queued concrete aspect as a source artifact."""
+        return {
+            ca.name: generate_aspect_module(ca) for _, ca in self.applied
+        }
+
+    # -- weaving -------------------------------------------------------------------
+
+    def application_classes(self) -> List[type]:
+        """The classes defined by the generated functional module."""
+        if self._module is None:
+            self.generate_functional_code()
+        import enum as _enum
+
+        return [
+            value
+            for value in vars(self._module).values()
+            if isinstance(value, type)
+            and value.__module__ == self._module.__name__
+            and not issubclass(value, _enum.Enum)
+        ]
+
+    def build_application(self, module_name: str = "generated_app"):
+        """Generate the functional module, weave it, deploy the aspects.
+
+        Returns the ready-to-use module: its classes are instrumented and
+        every concrete aspect is live, in application order.
+        """
+        module = self.generate_functional_code(module_name)
+        self.plan.deploy(
+            self.services.weaver, self.services, self.application_classes()
+        )
+        return module
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Fig. 2 as text: Ti<Si> → Ai<Si> pairs in precedence order."""
+        lines = ["transformation -> aspect (precedence = application order):"]
+        for rank, (cmt, ca) in enumerate(self.applied):
+            lines.append(f"  {rank}: {cmt.name}  ->  {ca.name}")
+        lines.append(self.repository.demarcation.report())
+        return "\n".join(lines)

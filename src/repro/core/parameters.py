@@ -1,0 +1,152 @@
+"""Parameter signatures and parameter sets — the paper's ``Si = Set(Pik)``.
+
+A :class:`ParameterSignature` declares the parameters ``Pik`` a generic
+artifact (transformation *and* its associated aspect) exposes along one
+concern dimension; a :class:`ParameterSet` is a validated binding of those
+parameters for one application.  The same :class:`ParameterSet` instance
+specializes both the GMT and the GA — that identity is what the paper
+proposes to break the semantic coupling problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Declaration of one ``Pik``."""
+
+    name: str
+    type: type = object
+    required: bool = True
+    default: object = None
+    many: bool = False           #: value is a list of ``type``
+    choices: Optional[Tuple] = None
+    description: str = ""
+    validator: Optional[Callable[[object], bool]] = None
+
+    def check(self, value):
+        """Validate and normalize one binding for this parameter."""
+        if self.many:
+            if not isinstance(value, (list, tuple)):
+                raise ParameterError(
+                    f"parameter {self.name!r} expects a list of {self.type.__name__}"
+                )
+            return [self._check_scalar(item) for item in value]
+        return self._check_scalar(value)
+
+    def _check_scalar(self, value):
+        if self.type is not object and not isinstance(value, self.type):
+            raise ParameterError(
+                f"parameter {self.name!r} expects {self.type.__name__}, "
+                f"got {value!r}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ParameterError(
+                f"parameter {self.name!r} must be one of {self.choices}, got {value!r}"
+            )
+        if self.validator is not None and not self.validator(value):
+            raise ParameterError(f"parameter {self.name!r}: {value!r} rejected by validator")
+        return value
+
+
+class ParameterSignature:
+    """Ordered declaration of the parameters of one generic artifact."""
+
+    def __init__(self, parameters: Optional[List[Parameter]] = None):
+        self._parameters: Dict[str, Parameter] = {}
+        for parameter in parameters or []:
+            self.add(parameter)
+
+    def add(self, parameter: Parameter) -> Parameter:
+        if parameter.name in self._parameters:
+            raise ParameterError(f"duplicate parameter {parameter.name!r}")
+        self._parameters[parameter.name] = parameter
+        return parameter
+
+    def declare(self, name: str, **kwargs) -> Parameter:
+        return self.add(Parameter(name, **kwargs))
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters.values())
+
+    def __len__(self):
+        return len(self._parameters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parameters
+
+    def names(self) -> List[str]:
+        return list(self._parameters)
+
+    def bind(self, **values) -> "ParameterSet":
+        """Validate ``values`` against this signature, filling defaults."""
+        unknown = set(values) - set(self._parameters)
+        if unknown:
+            raise ParameterError(
+                f"unknown parameter(s) {sorted(unknown)}; "
+                f"signature declares {self.names()}"
+            )
+        bound: Dict[str, object] = {}
+        for parameter in self._parameters.values():
+            if parameter.name in values:
+                bound[parameter.name] = parameter.check(values[parameter.name])
+            elif parameter.required and parameter.default is None:
+                raise ParameterError(f"missing required parameter {parameter.name!r}")
+            else:
+                default = parameter.default
+                bound[parameter.name] = list(default) if parameter.many and default else default
+                if parameter.many and bound[parameter.name] is None:
+                    bound[parameter.name] = []
+        return ParameterSet(self, bound)
+
+
+class ParameterSet:
+    """``Si``: an immutable, validated binding of a signature's parameters."""
+
+    def __init__(self, signature: ParameterSignature, values: Dict[str, object]):
+        self.signature = signature
+        self._values = dict(values)
+
+    def __getitem__(self, name: str):
+        try:
+            return self._values[name]
+        except KeyError:
+            raise ParameterError(f"no parameter {name!r} in this set") from None
+
+    def get(self, name: str, default=None):
+        return self._values.get(name, default)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._values)
+
+    def __iter__(self):
+        return iter(self._values.items())
+
+    def __eq__(self, other):
+        if not isinstance(other, ParameterSet):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self):
+        return hash(tuple(sorted((k, repr(v)) for k, v in self._values.items())))
+
+    def render(self) -> str:
+        """``<p11, p12, ...>`` suffix used in concrete artifact names."""
+        parts = []
+        for name, value in self._values.items():
+            if isinstance(value, list):
+                rendered = "[" + ",".join(str(v) for v in value) + "]"
+            else:
+                rendered = str(value)
+            if len(rendered) > 24:
+                rendered = rendered[:21] + "..."
+            parts.append(f"{name}={rendered}")
+        return "<" + ", ".join(parts) + ">"
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Si{self.render()}"

@@ -1,0 +1,62 @@
+"""Aspect precedence from transformation application order (Fig. 2, §2).
+
+*"The order in which specialized/concrete aspects will be applied at code
+level (their precedence) is dictated by the order in which the
+specialized/concrete model transformations were applied at model level."*
+
+The :class:`AspectDeploymentPlan` accumulates concrete aspects in exactly
+the order their transformations were applied and deploys them to a weaver
+with ranks equal to their positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.errors import WeavingError
+from repro.aop.weaver import Weaver
+from repro.core.aspect import ConcreteAspect
+
+
+class AspectDeploymentPlan:
+    """Ordered list of concrete aspects awaiting (or after) deployment."""
+
+    def __init__(self):
+        self._aspects: List[ConcreteAspect] = []
+        self._deployed = False
+
+    def add(self, ca: ConcreteAspect) -> int:
+        """Queue a concrete aspect; returns its precedence rank."""
+        if self._deployed:
+            raise WeavingError("deployment plan already executed")
+        self._aspects.append(ca)
+        return len(self._aspects) - 1
+
+    @property
+    def aspects(self) -> List[ConcreteAspect]:
+        return list(self._aspects)
+
+    def order(self) -> List[str]:
+        return [ca.name for ca in self._aspects]
+
+    def deploy(
+        self,
+        weaver: Weaver,
+        services,
+        classes: Optional[Iterable[type]] = None,
+    ) -> List[str]:
+        """Weave ``classes`` and deploy every queued aspect in plan order.
+
+        Returns the deployed aspect names, highest precedence first.
+        """
+        for cls in classes or ():
+            weaver.weave_class(cls)
+        for rank, ca in enumerate(self._aspects):
+            aspect = ca.build(services)
+            weaver.deploy(aspect, rank)
+            ca.rank = rank
+        self._deployed = True
+        return self.order()
+
+    def __len__(self):
+        return len(self._aspects)

@@ -1,0 +1,56 @@
+"""Registry of generic transformations keyed by concern name.
+
+Tool infrastructure glue: the workflow engine (S7) and lifecycle driver
+(S12) look generic transformations up here, and the concern library (S11)
+registers its GMT/GA pairs on import.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TransformationError
+from repro.core.transformation import GenericTransformation
+
+
+class ConcernRegistry:
+    """Concern name → generic transformation (with its associated aspect)."""
+
+    def __init__(self):
+        self._by_concern: Dict[str, GenericTransformation] = {}
+
+    def register(self, gmt: GenericTransformation) -> GenericTransformation:
+        concern_name = gmt.concern.name
+        if concern_name in self._by_concern:
+            raise TransformationError(
+                f"concern {concern_name!r} already has a registered transformation"
+            )
+        self._by_concern[concern_name] = gmt
+        return gmt
+
+    def get(self, concern_name: str) -> GenericTransformation:
+        try:
+            return self._by_concern[concern_name]
+        except KeyError:
+            raise TransformationError(
+                f"no generic transformation registered for concern "
+                f"{concern_name!r}; known: {sorted(self._by_concern)}"
+            ) from None
+
+    def concerns(self) -> List[str]:
+        return list(self._by_concern)
+
+    def __contains__(self, concern_name: str) -> bool:
+        return concern_name in self._by_concern
+
+    def __len__(self):
+        return len(self._by_concern)
+
+
+def default_registry() -> ConcernRegistry:
+    """A registry pre-populated with the built-in concern library (S11)."""
+    from repro.concerns import register_builtin_concerns
+
+    registry = ConcernRegistry()
+    register_builtin_concerns(registry)
+    return registry

@@ -1,0 +1,84 @@
+"""The wired middleware services bundle handed to concrete aspects.
+
+Concrete aspects are pure behaviour; everything stateful they touch — the
+ORB, the transaction manager, the access controller — lives here, so one
+application (one lifecycle run) has exactly one consistent set of
+middleware services, all sharing one simulation clock and fault injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.aop.weaver import Weaver
+from repro.middleware.bus import MessageBus
+from repro.middleware.clock import SimClock
+from repro.middleware.faults import FaultInjector
+from repro.middleware.locks import LockManager
+from repro.middleware.naming import NamingService
+from repro.middleware.rpc import Orb
+from repro.middleware.security import (
+    AccessController,
+    Acl,
+    AuditLog,
+    AuthenticationService,
+    CredentialStore,
+)
+from repro.middleware.txn import TransactionManager
+
+
+@dataclass
+class MiddlewareServices:
+    """Everything a concrete aspect may need at run time."""
+
+    clock: SimClock
+    faults: FaultInjector
+    bus: MessageBus
+    naming: NamingService
+    orb: Orb
+    locks: LockManager
+    transactions: TransactionManager
+    credentials: CredentialStore
+    auth: AuthenticationService
+    acl: Acl
+    access: AccessController
+    audit: AuditLog
+    weaver: Weaver
+
+    @classmethod
+    def create(
+        cls,
+        seed: int = 0,
+        latency_ms: float = 0.5,
+        credential_ttl_ms: float = 60_000.0,
+    ) -> "MiddlewareServices":
+        """Build a fully wired, mutually consistent service set."""
+        clock = SimClock()
+        faults = FaultInjector(seed)
+        bus = MessageBus(clock, faults, latency_ms)
+        naming = NamingService()
+        orb = Orb(bus, naming)
+        locks = LockManager()
+        transactions = TransactionManager(clock, faults, locks)
+        credentials = CredentialStore()
+        auth = AuthenticationService(credentials, clock, credential_ttl_ms)
+        acl = Acl()
+        audit = AuditLog()
+        access = AccessController(auth, acl, audit)
+        weaver = Weaver()
+        return cls(
+            clock=clock,
+            faults=faults,
+            bus=bus,
+            naming=naming,
+            orb=orb,
+            locks=locks,
+            transactions=transactions,
+            credentials=credentials,
+            auth=auth,
+            acl=acl,
+            access=access,
+            audit=audit,
+            weaver=weaver,
+        )

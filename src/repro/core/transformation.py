@@ -1,0 +1,159 @@
+"""Generic and concrete model transformations (the GMT → CMT arrow of Fig. 1).
+
+A :class:`GenericTransformation` packages, along one concern dimension:
+
+* a parameter signature (the ``Pik``),
+* OCL pre/postconditions written against the generic parameter names
+  (specialized by binding ``Si`` at evaluation time),
+* an ordered rule sequence refining the model,
+* the 1–1 associated :class:`~repro.core.aspect.GenericAspect`.
+
+``specialize(**Si)`` produces a :class:`ConcreteTransformation` that the
+S6 engine can apply and from which the S12 aspect generator derives the
+concrete aspect *with the same parameter set*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SpecializationError
+from repro.core.concern import Concern
+from repro.core.parameters import ParameterSet, ParameterSignature
+from repro.transform.conditions import ConditionSet
+from repro.transform.mappings import MappingKind
+from repro.transform.rules import RuleSequence
+
+
+class GenericTransformation:
+    """GMT(Ci): a parameterized, concern-oriented model refinement."""
+
+    def __init__(
+        self,
+        name: str,
+        concern: Concern,
+        signature: Optional[ParameterSignature] = None,
+        description: str = "",
+        mapping_kind: MappingKind = MappingKind.PIM_TO_PIM,
+    ):
+        self.name = name
+        self.concern = concern
+        self.signature = signature if signature is not None else ParameterSignature()
+        self.description = description
+        self.mapping_kind = mapping_kind
+        self.preconditions = ConditionSet()
+        self.postconditions = ConditionSet()
+        self.rules = RuleSequence()
+        self._generic_aspect = None
+
+    # -- authoring DSL ---------------------------------------------------------
+
+    def parameter(self, name: str, **kwargs):
+        """Declare one ``Pik``; chainable."""
+        self.signature.declare(name, **kwargs)
+        return self
+
+    def precondition(self, name: str, expression: str, description: str = ""):
+        self.preconditions.add(name, expression, description)
+        return self
+
+    def postcondition(self, name: str, expression: str, description: str = ""):
+        self.postconditions.add(name, expression, description)
+        return self
+
+    def rule(self, name: str, description: str = "") -> Callable:
+        """Decorator registering a rule body."""
+        return self.rules.rule(name, description)
+
+    # -- aspect association (1—1 in Fig. 1) ---------------------------------------
+
+    @property
+    def generic_aspect(self):
+        return self._generic_aspect
+
+    def associate_aspect(self, aspect) -> None:
+        """Wire the 1–1 GMT↔GA association; both directions are set."""
+        if self._generic_aspect is not None and self._generic_aspect is not aspect:
+            raise SpecializationError(
+                f"transformation {self.name!r} already has an associated aspect"
+            )
+        self._generic_aspect = aspect
+        if aspect.generic_transformation is not self:
+            aspect._set_transformation(self)
+
+    # -- specialization --------------------------------------------------------------
+
+    def specialize(self, parameter_set: Optional[ParameterSet] = None, **values):
+        """The ``<<specialization>>`` arrow: bind ``Si``, return the CMT."""
+        if parameter_set is not None and values:
+            raise SpecializationError(
+                "pass either a ParameterSet or keyword values, not both"
+            )
+        if parameter_set is None:
+            parameter_set = self.signature.bind(**values)
+        elif parameter_set.signature is not self.signature:
+            raise SpecializationError(
+                f"parameter set was bound against a different signature "
+                f"than {self.name!r}'s"
+            )
+        return ConcreteTransformation(self, parameter_set)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<GMT {self.name} ({self.concern.name})>"
+
+
+class ConcreteTransformation:
+    """CMT(Ci) = GMT(Ci) + ``Si``; the unit the engine applies.
+
+    Satisfies the engine's transformation-spec protocol by delegation.
+    """
+
+    def __init__(self, generic: GenericTransformation, parameter_set: ParameterSet):
+        self.generic = generic
+        self.parameter_set = parameter_set
+
+    @property
+    def name(self) -> str:
+        return f"{self.generic.name}{self.parameter_set.render()}"
+
+    @property
+    def concern(self) -> str:
+        return self.generic.concern.name
+
+    @property
+    def parameters(self) -> dict:
+        return self.parameter_set.as_dict()
+
+    @property
+    def preconditions(self) -> ConditionSet:
+        return self.generic.preconditions
+
+    @property
+    def postconditions(self) -> ConditionSet:
+        return self.generic.postconditions
+
+    @property
+    def rules(self) -> RuleSequence:
+        return self.generic.rules
+
+    @property
+    def mapping_kind(self) -> MappingKind:
+        return self.generic.mapping_kind
+
+    def derive_aspect(self):
+        """Specialize the associated GA **with this CMT's own Si** (Fig. 1)."""
+        aspect = self.generic.generic_aspect
+        if aspect is None:
+            raise SpecializationError(
+                f"transformation {self.generic.name!r} has no associated generic aspect"
+            )
+        return aspect.specialize(self.parameter_set)
+
+    def concern_space(self, resource, types):
+        """The model elements this CMT's concern sees (viewpoint + Si)."""
+        return self.generic.concern.concern_space(
+            resource, types, self.parameters
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<CMT {self.name}>"

@@ -1,0 +1,251 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Metamodel kernel (S1)
+# ---------------------------------------------------------------------------
+
+
+class MetamodelError(ReproError):
+    """Malformed metamodel definition (duplicate feature, bad opposite, ...)."""
+
+
+class ModelError(ReproError):
+    """Illegal operation on a model instance."""
+
+
+class TypeConformanceError(ModelError):
+    """A value does not conform to the declared type of a feature."""
+
+
+class MultiplicityError(ModelError):
+    """A feature's multiplicity constraint is violated."""
+
+
+class ContainmentError(ModelError):
+    """Containment invariants violated (cycle, double containment, ...)."""
+
+
+class ValidationError(ModelError):
+    """Raised by the validator when a model breaks well-formedness rules.
+
+    Carries the full list of diagnostics in :attr:`diagnostics`.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        summary = "; ".join(str(d) for d in self.diagnostics[:5])
+        if len(self.diagnostics) > 5:
+            summary += f"; ... ({len(self.diagnostics) - 5} more)"
+        super().__init__(f"model validation failed: {summary}")
+
+
+# ---------------------------------------------------------------------------
+# OCL (S3)
+# ---------------------------------------------------------------------------
+
+
+class OclError(ReproError):
+    """Base class for OCL failures."""
+
+
+class OclSyntaxError(OclError):
+    """The expression text could not be tokenized or parsed."""
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class OclEvaluationError(OclError):
+    """The expression is syntactically valid but failed to evaluate."""
+
+
+class OclTypeError(OclEvaluationError):
+    """An OCL operation was applied to a value of the wrong type."""
+
+
+class OclNameError(OclEvaluationError):
+    """An unknown variable, feature, or operation name was referenced."""
+
+
+# ---------------------------------------------------------------------------
+# XMI (S4)
+# ---------------------------------------------------------------------------
+
+
+class XmiError(ReproError):
+    """Base class for XMI serialization failures."""
+
+
+class XmiWriteError(XmiError):
+    """The model could not be serialized."""
+
+
+class XmiReadError(XmiError):
+    """The document is not a well-formed XMI model for the given metamodel."""
+
+
+# ---------------------------------------------------------------------------
+# Repository (S5)
+# ---------------------------------------------------------------------------
+
+
+class RepositoryError(ReproError):
+    """Base class for repository failures."""
+
+
+class NoSuchVersionError(RepositoryError):
+    """A requested version id does not exist in the repository."""
+
+
+class NothingToUndoError(RepositoryError):
+    """Undo was requested but the undo stack is empty."""
+
+
+class NothingToRedoError(RepositoryError):
+    """Redo was requested but the redo stack is empty."""
+
+
+# ---------------------------------------------------------------------------
+# Transformation engine (S6) and core (S12)
+# ---------------------------------------------------------------------------
+
+
+class TransformationError(ReproError):
+    """Base class for transformation failures."""
+
+
+class ParameterError(TransformationError):
+    """A parameter set does not satisfy a transformation's signature."""
+
+
+class PreconditionViolation(TransformationError):
+    """A specialized precondition evaluated to false; model left untouched."""
+
+    def __init__(self, condition, message=None):
+        self.condition = condition
+        super().__init__(message or f"precondition failed: {condition}")
+
+
+class PostconditionViolation(TransformationError):
+    """A specialized postcondition evaluated to false after application."""
+
+    def __init__(self, condition, message=None):
+        self.condition = condition
+        super().__init__(message or f"postcondition failed: {condition}")
+
+
+class SpecializationError(TransformationError):
+    """A generic artifact could not be specialized with the given Si."""
+
+
+# ---------------------------------------------------------------------------
+# Workflow (S7)
+# ---------------------------------------------------------------------------
+
+
+class WorkflowError(ReproError):
+    """Base class for workflow failures."""
+
+
+class IllegalStepError(WorkflowError):
+    """A transformation was attempted that the workflow does not allow yet."""
+
+
+# ---------------------------------------------------------------------------
+# AOP substrate (S8)
+# ---------------------------------------------------------------------------
+
+
+class AopError(ReproError):
+    """Base class for AOP substrate failures."""
+
+
+class PointcutSyntaxError(AopError):
+    """A pointcut expression could not be parsed."""
+
+
+class WeavingError(AopError):
+    """Weaving could not be performed (missing target, double weave, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Code generation (S9)
+# ---------------------------------------------------------------------------
+
+
+class CodegenError(ReproError):
+    """Code or aspect generation failed."""
+
+
+# ---------------------------------------------------------------------------
+# Middleware substrate (S10)
+# ---------------------------------------------------------------------------
+
+
+class MiddlewareError(ReproError):
+    """Base class for middleware substrate failures."""
+
+
+class NamingError(MiddlewareError):
+    """Name not found / already bound in the naming service."""
+
+
+class MarshallingError(MiddlewareError):
+    """A value could not be (un)marshalled for transport."""
+
+
+class RemoteInvocationError(MiddlewareError):
+    """An RPC failed (unknown object, unknown operation, injected fault)."""
+
+
+class TransactionError(MiddlewareError):
+    """Base class for transaction manager failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back; carries the abort reason."""
+
+    def __init__(self, txid, reason):
+        self.txid = txid
+        self.reason = reason
+        super().__init__(f"transaction {txid} aborted: {reason}")
+
+
+class NoTransactionError(TransactionError):
+    """A transactional operation was attempted outside any transaction."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired before the configured timeout."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager detected a deadlock and chose this caller as victim."""
+
+
+class SecurityError(MiddlewareError):
+    """Base class for security service failures."""
+
+
+class AuthenticationError(SecurityError):
+    """Credentials were missing or invalid."""
+
+
+class AccessDeniedError(SecurityError):
+    """An authenticated principal lacks the permission for an action."""

@@ -1,0 +1,74 @@
+"""S1 — Metamodeling kernel (EMOF-equivalent, built from scratch).
+
+This package provides the reflective metamodeling substrate the paper
+assumes (a MOF repository): metaclasses with typed attributes and
+references (including containment and bidirectional opposites), dynamic
+instances, change notification, resources holding object trees, and a
+well-formedness validator.
+
+Quick tour::
+
+    from repro.metamodel import MetaPackage, MetaClass, STRING, UNBOUNDED
+
+    pkg = MetaPackage("library")
+    book = MetaClass("Book", package=pkg)
+    book.add_attribute("title", STRING, lower=1)
+    shelf = MetaClass("Shelf", package=pkg)
+    shelf.add_reference("books", book, upper=UNBOUNDED, containment=True)
+
+    b = book(title="TAOCP")
+    s = shelf()
+    s.books.append(b)
+    assert b.container is s
+"""
+
+from repro.metamodel.kernel import (
+    UNBOUNDED,
+    MetaAttribute,
+    MetaClass,
+    MetaClassifier,
+    MetaDataType,
+    MetaElement,
+    MetaEnum,
+    MetaEnumLiteral,
+    MetaFeature,
+    MetaPackage,
+    MetaReference,
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    ANY,
+)
+from repro.metamodel.instances import MObject, MList, ModelResource
+from repro.metamodel.notifications import Notification, NotificationKind
+from repro.metamodel.builder import MetamodelBuilder
+from repro.metamodel.validation import Diagnostic, Validator, validate
+
+__all__ = [
+    "UNBOUNDED",
+    "MetaElement",
+    "MetaPackage",
+    "MetaClassifier",
+    "MetaDataType",
+    "MetaEnum",
+    "MetaEnumLiteral",
+    "MetaClass",
+    "MetaFeature",
+    "MetaAttribute",
+    "MetaReference",
+    "STRING",
+    "INTEGER",
+    "REAL",
+    "BOOLEAN",
+    "ANY",
+    "MObject",
+    "MList",
+    "ModelResource",
+    "Notification",
+    "NotificationKind",
+    "MetamodelBuilder",
+    "Diagnostic",
+    "Validator",
+    "validate",
+]

@@ -1,0 +1,122 @@
+"""Fluent construction of metamodels with deferred opposite resolution.
+
+Defining bidirectional references is awkward with the raw kernel API because
+both metaclasses must exist before the opposite pair can be linked.  The
+builder records opposite declarations by *name* and resolves them in
+:meth:`MetamodelBuilder.build`::
+
+    b = MetamodelBuilder("library")
+    book = b.metaclass("Book")
+    author = b.metaclass("Author")
+    b.reference(book, "authors", author, upper=UNBOUNDED, opposite="books")
+    b.reference(author, "books", book, upper=UNBOUNDED)
+    pkg = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import MetamodelError
+from repro.metamodel.kernel import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    UNBOUNDED,
+    MetaAttribute,
+    MetaClass,
+    MetaDataType,
+    MetaEnum,
+    MetaPackage,
+    MetaReference,
+)
+
+
+class MetamodelBuilder:
+    """Accumulates metamodel definitions and resolves cross-links at build time."""
+
+    #: Re-exported primitives so callers need a single import.
+    STRING = STRING
+    INTEGER = INTEGER
+    REAL = REAL
+    BOOLEAN = BOOLEAN
+    ANY = ANY
+    UNBOUNDED = UNBOUNDED
+
+    def __init__(self, package_name: str):
+        self.package = MetaPackage(package_name)
+        self._pending_opposites: list[tuple[MetaReference, MetaClass, str]] = []
+        self._built = False
+
+    def subpackage(self, name: str) -> MetaPackage:
+        sub = MetaPackage(name)
+        self.package.add_subpackage(sub)
+        return sub
+
+    def metaclass(
+        self,
+        name: str,
+        superclasses: Iterable[MetaClass] = (),
+        abstract: bool = False,
+        package: Optional[MetaPackage] = None,
+    ) -> MetaClass:
+        return MetaClass(
+            name,
+            package=package or self.package,
+            superclasses=superclasses,
+            abstract=abstract,
+        )
+
+    def enum(self, name: str, literals: Iterable[str], package=None) -> MetaEnum:
+        enum = MetaEnum(name, literals)
+        (package or self.package).add_classifier(enum)
+        return enum
+
+    def datatype(self, name: str, python_types: tuple, package=None) -> MetaDataType:
+        dt = MetaDataType(name, python_types)
+        (package or self.package).add_classifier(dt)
+        return dt
+
+    def attribute(
+        self, owner: MetaClass, name: str, type_, lower=0, upper=1, default=None, **kw
+    ) -> MetaAttribute:
+        return owner.add_attribute(name, type_, lower, upper, default, **kw)
+
+    def reference(
+        self,
+        owner: MetaClass,
+        name: str,
+        type_: MetaClass,
+        lower=0,
+        upper=1,
+        containment=False,
+        opposite: Optional[str] = None,
+        **kw,
+    ) -> MetaReference:
+        ref = owner.add_reference(name, type_, lower, upper, containment, **kw)
+        if opposite is not None:
+            self._pending_opposites.append((ref, type_, opposite))
+        return ref
+
+    def build(self) -> MetaPackage:
+        """Resolve pending opposites and return the finished package."""
+        if self._built:
+            return self.package
+        for ref, target_class, opposite_name in self._pending_opposites:
+            feature = target_class.feature(opposite_name)
+            if not isinstance(feature, MetaReference):
+                raise MetamodelError(
+                    f"opposite {target_class.name}.{opposite_name} is not a reference"
+                )
+            if feature.opposite is None or feature.opposite is ref:
+                ref.set_opposite(feature)
+            elif feature.opposite is not ref:
+                raise MetamodelError(
+                    f"{feature.qualified_name} already paired with "
+                    f"{feature.opposite.qualified_name}"
+                )
+        self._pending_opposites.clear()
+        self._built = True
+        return self.package

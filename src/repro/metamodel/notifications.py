@@ -1,0 +1,78 @@
+"""Change notification for model instances.
+
+Every *raw* slot mutation on an :class:`~repro.metamodel.instances.MObject`
+emits exactly one :class:`Notification`.  Higher-level operations (setting a
+bidirectional reference, moving a contained object) emit one notification
+per raw change they perform, which makes the stream *replayable*: applying
+the inverse of each notification in reverse order restores the previous
+state.  The repository's undo/redo log (S5) is built directly on this
+property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+class NotificationKind(enum.Enum):
+    """The kind of raw change a notification describes."""
+
+    SET = "set"        #: single-valued slot changed from ``old`` to ``new``
+    UNSET = "unset"    #: single-valued slot cleared (``old`` holds prior value)
+    ADD = "add"        #: ``new`` inserted into a many-valued slot at ``index``
+    REMOVE = "remove"  #: ``old`` removed from a many-valued slot at ``index``
+
+
+@dataclass(frozen=True)
+class Notification:
+    """An immutable record of one raw model change."""
+
+    obj: Any                      #: the MObject whose slot changed
+    feature: Any                  #: the MetaFeature that changed
+    kind: NotificationKind
+    old: Any = None
+    new: Any = None
+    index: Optional[int] = None   #: position for ADD/REMOVE
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used by diagnostics and the repository log."""
+        fname = f"{self.obj.meta_class.name}.{self.feature.name}"
+        if self.kind is NotificationKind.SET:
+            return f"set {fname}: {self.old!r} -> {self.new!r}"
+        if self.kind is NotificationKind.UNSET:
+            return f"unset {fname} (was {self.old!r})"
+        if self.kind is NotificationKind.ADD:
+            return f"add {self.new!r} to {fname}[{self.index}]"
+        return f"remove {self.old!r} from {fname}[{self.index}]"
+
+
+#: Signature of notification observers.
+Observer = Callable[[Notification], None]
+
+
+class NotificationMixin:
+    """Mixin providing observer registration and dispatch.
+
+    Subclasses must provide ``_observers`` (a list); objects additionally
+    forward notifications to their resource.
+    """
+
+    __slots__ = ()
+
+    def subscribe(self, observer: Observer) -> Observer:
+        """Register ``observer`` to receive every future notification."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Observer) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _dispatch(self, notification: Notification) -> None:
+        for observer in tuple(self._observers):
+            observer(notification)

@@ -1,0 +1,131 @@
+"""Well-formedness validation of model instances against their metamodel.
+
+High-level mutations already enforce type conformance and upper bounds at
+write time; the validator re-checks everything (useful after raw replays or
+hand-built object graphs) and additionally checks what can only be verified
+on a complete model: lower multiplicity bounds, opposite-link symmetry, and
+single containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import ValidationError
+from repro.metamodel.instances import MList, MObject, ModelResource
+from repro.metamodel.kernel import UNBOUNDED, MetaReference
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    obj: MObject
+    feature_name: str
+    message: str
+
+    def __str__(self):
+        return f"{self.obj!r}.{self.feature_name}: {self.message}"
+
+
+class Validator:
+    """Checks a set of objects (or a whole resource) for well-formedness."""
+
+    def validate_resource(self, resource: ModelResource) -> List[Diagnostic]:
+        return self.validate_objects(resource.all_contents())
+
+    def validate_objects(self, objects: Iterable[MObject]) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for obj in objects:
+            diagnostics.extend(self.validate_object(obj))
+        return diagnostics
+
+    def validate_object(self, obj: MObject) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for feature in obj.meta_class.all_features().values():
+            value = obj._slots.get(feature.name)
+            count = self._cardinality(feature, value)
+            if count < feature.lower:
+                out.append(
+                    Diagnostic(
+                        obj,
+                        feature.name,
+                        f"requires at least {feature.lower} value(s), has {count}",
+                    )
+                )
+            if feature.upper != UNBOUNDED and count > feature.upper:
+                out.append(
+                    Diagnostic(
+                        obj,
+                        feature.name,
+                        f"allows at most {feature.upper} value(s), has {count}",
+                    )
+                )
+            values = list(value) if isinstance(value, MList) else ([] if value is None else [value])
+            for item in values:
+                if not feature.type.is_instance(item):
+                    out.append(
+                        Diagnostic(
+                            obj,
+                            feature.name,
+                            f"value {item!r} does not conform to {feature.type.name}",
+                        )
+                    )
+                elif isinstance(feature, MetaReference):
+                    out.extend(self._check_reference(obj, feature, item))
+        return out
+
+    @staticmethod
+    def _cardinality(feature, value) -> int:
+        if value is None:
+            return 0
+        if isinstance(value, MList):
+            return len(value)
+        return 1
+
+    def _check_reference(self, obj: MObject, feature: MetaReference, target: MObject):
+        out: List[Diagnostic] = []
+        if feature.containment:
+            if target.container is not obj:
+                out.append(
+                    Diagnostic(
+                        obj,
+                        feature.name,
+                        f"contained value {target!r} has container {target.container!r}",
+                    )
+                )
+        opposite = feature.opposite
+        if opposite is not None:
+            back = target._slots.get(opposite.name)
+            linked = (
+                any(x is obj for x in back) if isinstance(back, MList) else back is obj
+            )
+            if not linked:
+                out.append(
+                    Diagnostic(
+                        obj,
+                        feature.name,
+                        f"opposite {opposite.name} on {target!r} does not link back",
+                    )
+                )
+        return out
+
+
+def validate(target, raise_on_error: bool = True) -> List[Diagnostic]:
+    """Validate a :class:`ModelResource`, a single object, or an iterable.
+
+    Returns the diagnostics; raises :class:`~repro.errors.ValidationError`
+    when any were found and ``raise_on_error`` is true.
+    """
+    validator = Validator()
+    if isinstance(target, ModelResource):
+        diagnostics = validator.validate_resource(target)
+    elif isinstance(target, MObject):
+        diagnostics = validator.validate_object(target)
+        diagnostics += validator.validate_objects(target.all_contents())
+    else:
+        diagnostics = validator.validate_objects(target)
+    if diagnostics and raise_on_error:
+        raise ValidationError(diagnostics)
+    return diagnostics

@@ -1,0 +1,194 @@
+"""In-process message bus with pass-by-value marshalling.
+
+The bus is the transport of the simulated middleware: the ORB (S10/rpc)
+turns proxy calls into :class:`Request` messages, the bus delivers them to
+registered servants and returns :class:`Response` messages.  Marshalling
+rebuilds argument structures (lists/dicts/primitives) so callee mutations
+never leak back to the caller — the semantic that distinguishes remote
+from local calls and that the distribution concern's tests rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import repro.errors as errors_module
+from repro.errors import MarshallingError, RemoteInvocationError, ReproError
+from repro.middleware.clock import SimClock
+from repro.middleware.faults import FaultInjector
+
+_message_counter = itertools.count(1)
+
+_PRIMITIVES = (str, int, float, bool, bytes, type(None))
+
+
+@dataclass(frozen=True)
+class ObjectRefData:
+    """Wire form of a remote object reference."""
+
+    object_id: str
+    type_name: str
+
+
+def marshal(value, ref_of: Optional[Callable] = None):
+    """Deep-copy ``value`` into wire form.
+
+    ``ref_of`` maps registered servant objects to :class:`ObjectRefData`
+    (pass-by-reference); everything unregistered and non-primitive is
+    rejected, as a real ORB would reject a non-serializable argument.
+    """
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [marshal(item, ref_of) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise MarshallingError(f"dict keys must be strings, got {key!r}")
+            out[key] = marshal(item, ref_of)
+        return out
+    if isinstance(value, ObjectRefData):
+        return value
+    if ref_of is not None:
+        ref = ref_of(value)
+        if ref is not None:
+            return ref
+    raise MarshallingError(
+        f"value {value!r} of type {type(value).__name__} is not marshallable"
+    )
+
+
+def wire_size(value) -> int:
+    """Approximate wire size in bytes (for bus statistics)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, list):
+        return 2 + sum(wire_size(item) for item in value)
+    if isinstance(value, dict):
+        return 2 + sum(len(k) + wire_size(v) for k, v in value.items())
+    if isinstance(value, ObjectRefData):
+        return len(value.object_id) + len(value.type_name)
+    return 8
+
+
+@dataclass
+class Request:
+    object_id: str
+    operation: str
+    args: list
+    kwargs: Dict[str, Any]
+    context: Dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+
+@dataclass
+class Response:
+    message_id: int
+    result: Any = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.error_type is not None
+
+
+def _rebuild_exception(response: Response) -> Exception:
+    """Reconstruct a library exception by name; unknown types degrade to
+    :class:`RemoteInvocationError` carrying the original description."""
+    exc_type = getattr(errors_module, response.error_type or "", None)
+    if (
+        isinstance(exc_type, type)
+        and issubclass(exc_type, ReproError)
+        and exc_type is not None
+    ):
+        try:
+            return exc_type(response.error_message)
+        except TypeError:
+            pass
+    return RemoteInvocationError(
+        f"remote raised {response.error_type}: {response.error_message}"
+    )
+
+
+class MessageBus:
+    """Servant registry plus synchronous request delivery."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        faults: Optional[FaultInjector] = None,
+        latency_ms: float = 0.5,
+    ):
+        self.clock = clock or SimClock()
+        self.faults = faults or FaultInjector()
+        self.latency_ms = latency_ms
+        self._servants: Dict[str, Any] = {}
+        #: delivery statistics for benchmarks
+        self.messages_delivered = 0
+        self.bytes_transferred = 0
+        self.errors_returned = 0
+
+    # -- servant registry ------------------------------------------------------
+
+    def register_servant(self, object_id: str, servant: Any) -> None:
+        if object_id in self._servants:
+            raise RemoteInvocationError(f"object id {object_id!r} already registered")
+        self._servants[object_id] = servant
+
+    def unregister_servant(self, object_id: str) -> None:
+        self._servants.pop(object_id, None)
+
+    def servant(self, object_id: str) -> Any:
+        try:
+            return self._servants[object_id]
+        except KeyError:
+            raise RemoteInvocationError(f"unknown object id {object_id!r}") from None
+
+    def is_registered(self, servant: Any) -> bool:
+        return any(existing is servant for existing in self._servants.values())
+
+    # -- delivery ----------------------------------------------------------------
+
+    def deliver(self, request: Request, dispatch: Callable[[Request, Any], Any]) -> Response:
+        """Deliver ``request``; ``dispatch`` invokes the operation on the servant.
+
+        The two-hop latency (request + reply) is charged to the clock.  Any
+        exception from dispatch is converted into an error response — the
+        bus itself never leaks exceptions except injected transport faults.
+        """
+        self.faults.check("bus.deliver")
+        self.clock.advance(self.latency_ms)
+        self.messages_delivered += 1
+        self.bytes_transferred += wire_size(request.args) + wire_size(request.kwargs)
+        try:
+            servant = self.servant(request.object_id)
+            result = dispatch(request, servant)
+            response = Response(request.message_id, result=result)
+        except Exception as exc:  # noqa: BLE001 - converted to wire error
+            self.errors_returned += 1
+            response = Response(
+                request.message_id,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+            )
+        self.clock.advance(self.latency_ms)
+        if not response.is_error:
+            self.bytes_transferred += wire_size(response.result)
+        return response
+
+    @staticmethod
+    def raise_remote(response: Response):
+        """Re-raise a wire error client-side, preserving library exception types."""
+        raise _rebuild_exception(response)

@@ -1,0 +1,31 @@
+"""Logical simulation clock.
+
+All latency in the middleware substrate is *accounted*, not slept: the bus
+advances the clock by the configured per-message latency, transaction and
+credential timeouts compare against it, and benchmarks read it to report
+simulated time independently of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MiddlewareError
+
+
+class SimClock:
+    """Monotonic logical clock measured in (simulated) milliseconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if delta_ms < 0:
+            raise MiddlewareError(f"clock cannot go backwards ({delta_ms} ms)")
+        self._now += delta_ms
+        return self._now
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<SimClock t={self._now:.3f}ms>"

@@ -1,0 +1,79 @@
+"""Deterministic fault injection for the middleware substrate.
+
+Faults are configured per *site* (a string such as ``"bus.deliver"`` or
+``"txn.prepare"``).  Two mechanisms compose:
+
+* probabilistic faults from a seeded RNG (reproducible across runs), and
+* scripted one-shot faults (``fail_next``) for targeted tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from repro.errors import MiddlewareError
+
+
+@dataclass
+class FaultSpec:
+    """Probability and exception type for one fault site."""
+
+    probability: float = 0.0
+    exception: Type[Exception] = MiddlewareError
+    message: str = "injected fault"
+
+
+class FaultInjector:
+    """Decides, deterministically, whether an operation at a site fails."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._specs: Dict[str, FaultSpec] = {}
+        self._scripted: Dict[str, int] = {}
+        #: counters of injected faults per site (for assertions and benches)
+        self.injected: Dict[str, int] = {}
+
+    def configure(
+        self,
+        site: str,
+        probability: float,
+        exception: Type[Exception] = MiddlewareError,
+        message: Optional[str] = None,
+    ) -> None:
+        """Set a steady-state failure probability for ``site``."""
+        if not 0.0 <= probability <= 1.0:
+            raise MiddlewareError(f"probability {probability} out of [0, 1]")
+        self._specs[site] = FaultSpec(
+            probability, exception, message or f"injected fault at {site}"
+        )
+
+    def fail_next(self, site: str, count: int = 1) -> None:
+        """Force the next ``count`` operations at ``site`` to fail."""
+        if count < 1:
+            raise MiddlewareError("fail_next count must be >= 1")
+        self._scripted[site] = self._scripted.get(site, 0) + count
+
+    def clear(self, site: Optional[str] = None) -> None:
+        if site is None:
+            self._specs.clear()
+            self._scripted.clear()
+        else:
+            self._specs.pop(site, None)
+            self._scripted.pop(site, None)
+
+    def check(self, site: str) -> None:
+        """Raise the configured exception if this operation should fail."""
+        if self._scripted.get(site, 0) > 0:
+            self._scripted[site] -= 1
+            if self._scripted[site] == 0:
+                del self._scripted[site]
+            self.injected[site] = self.injected.get(site, 0) + 1
+            spec = self._specs.get(site)
+            exception = spec.exception if spec else MiddlewareError
+            raise exception(f"injected fault at {site} (scripted)")
+        spec = self._specs.get(site)
+        if spec and spec.probability > 0 and self._rng.random() < spec.probability:
+            self.injected[site] = self.injected.get(site, 0) + 1
+            raise spec.exception(spec.message)

@@ -1,0 +1,132 @@
+"""Strict two-phase lock manager with deadlock detection.
+
+Locks are held until the owning transaction releases them all (strict
+2PL — the transaction manager releases at commit/rollback).  The
+simulation is single-threaded, so a request that cannot be granted does
+not block: it either detects a deadlock through the wait-for graph
+(networkx cycle check) and raises :class:`~repro.errors.DeadlockError`,
+or raises :class:`~repro.errors.LockTimeoutError` to model a would-block
+conflict the caller may retry.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Set
+
+import networkx as nx
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class _LockEntry:
+    __slots__ = ("mode", "holders")
+
+    def __init__(self, mode: LockMode):
+        self.mode = mode
+        self.holders: Set[str] = set()
+
+
+class LockManager:
+    """Lock table keyed by arbitrary string resource keys."""
+
+    def __init__(self):
+        self._table: Dict[str, _LockEntry] = {}
+        self._held_by_tx: Dict[str, Set[str]] = {}
+        self._waits_for = nx.DiGraph()
+        #: statistics for the lock-contention benchmark
+        self.grants = 0
+        self.conflicts = 0
+        self.deadlocks = 0
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(self, txid: str, key: str, mode: LockMode) -> None:
+        """Grant ``mode`` on ``key`` to ``txid`` or raise on conflict."""
+        entry = self._table.get(key)
+        if entry is None:
+            entry = _LockEntry(mode)
+            entry.holders.add(txid)
+            self._table[key] = entry
+            self._held_by_tx.setdefault(txid, set()).add(key)
+            self.grants += 1
+            return
+        if txid in entry.holders:
+            if mode is LockMode.WRITE and entry.mode is LockMode.READ:
+                if entry.holders == {txid}:
+                    entry.mode = LockMode.WRITE  # upgrade
+                    self.grants += 1
+                    return
+                self._conflict(txid, entry.holders - {txid}, key)
+            self.grants += 1  # re-entrant grant
+            return
+        if mode is LockMode.READ and entry.mode is LockMode.READ:
+            entry.holders.add(txid)
+            self._held_by_tx.setdefault(txid, set()).add(key)
+            self.grants += 1
+            return
+        self._conflict(txid, entry.holders, key)
+
+    def _conflict(self, txid: str, holders: Set[str], key: str) -> None:
+        """Register wait edges, detect deadlock, raise the right error."""
+        self.conflicts += 1
+        for holder in holders:
+            self._waits_for.add_edge(txid, holder)
+        try:
+            cycles = txid in self._waits_for and any(
+                txid in cycle for cycle in nx.simple_cycles(self._waits_for)
+            )
+        finally:
+            pass
+        if cycles:
+            self.deadlocks += 1
+            self._waits_for.remove_node(txid)
+            raise DeadlockError(
+                f"transaction {txid} deadlocked acquiring {key!r} "
+                f"(held by {sorted(holders)})"
+            )
+        raise LockTimeoutError(
+            f"transaction {txid} would block acquiring {key!r} "
+            f"(held by {sorted(holders)})"
+        )
+
+    # -- release ------------------------------------------------------------------
+
+    def release_all(self, txid: str) -> int:
+        """Release every lock of ``txid`` (commit/rollback); returns the count."""
+        keys = self._held_by_tx.pop(txid, set())
+        for key in keys:
+            entry = self._table.get(key)
+            if entry is None:
+                continue
+            entry.holders.discard(txid)
+            if not entry.holders:
+                del self._table[key]
+        if txid in self._waits_for:
+            self._waits_for.remove_node(txid)
+        # waits on txid are now resolvable; drop stale edges pointing at it
+        stale = [
+            (waiter, holder)
+            for waiter, holder in self._waits_for.edges
+            if holder == txid
+        ]
+        self._waits_for.remove_edges_from(stale)
+        return len(keys)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def holders_of(self, key: str) -> Set[str]:
+        entry = self._table.get(key)
+        return set(entry.holders) if entry else set()
+
+    def mode_of(self, key: str):
+        entry = self._table.get(key)
+        return entry.mode if entry else None
+
+    def locks_held(self, txid: str) -> Set[str]:
+        return set(self._held_by_tx.get(txid, set()))

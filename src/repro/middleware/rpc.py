@@ -1,0 +1,167 @@
+"""Object request broker: remote references, dynamic proxies, interceptors.
+
+The :class:`Orb` is the hub the distribution concern's generated aspect
+talks to: it registers application objects as servants, binds them in the
+naming service, and hands out :class:`RemoteProxy` objects whose method
+calls travel through the bus with full marshalling.
+
+Interceptors mirror CORBA portable interceptors: *client* interceptors run
+before a request is sent (the security aspect attaches credentials, the
+transaction aspect propagates the transaction id), *server* interceptors
+run before dispatch (access-control checks).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.errors import RemoteInvocationError
+from repro.middleware.bus import (
+    MessageBus,
+    ObjectRefData,
+    Request,
+    marshal,
+)
+from repro.middleware.naming import NamingService
+
+ObjectRef = ObjectRefData
+
+_object_counter = itertools.count(1)
+
+
+class Orb:
+    """Registers servants, mints references, builds proxies, runs interceptors."""
+
+    def __init__(self, bus: Optional[MessageBus] = None, naming: Optional[NamingService] = None):
+        self.bus = bus or MessageBus()
+        self.naming = naming or NamingService()
+        self.client_interceptors: List[Callable[[Request], None]] = []
+        self.server_interceptors: List[Callable[[Request, Any], None]] = []
+        self._refs_by_identity: Dict[int, ObjectRef] = {}
+        self._context_stack: List[Dict[str, Any]] = []
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, servant: Any, name: Optional[str] = None) -> ObjectRef:
+        """Register ``servant`` and optionally bind it in the naming service."""
+        existing = self._refs_by_identity.get(id(servant))
+        if existing is None:
+            object_id = f"obj-{next(_object_counter)}"
+            ref = ObjectRef(object_id, type(servant).__name__)
+            self.bus.register_servant(object_id, servant)
+            self._refs_by_identity[id(servant)] = ref
+        else:
+            ref = existing
+        if name is not None:
+            self.naming.rebind(name, ref)
+        return ref
+
+    def unregister(self, servant: Any) -> None:
+        ref = self._refs_by_identity.pop(id(servant), None)
+        if ref is not None:
+            self.bus.unregister_servant(ref.object_id)
+
+    def ref_of(self, servant: Any) -> Optional[ObjectRef]:
+        """The reference of a registered servant (used by marshalling)."""
+        return self._refs_by_identity.get(id(servant))
+
+    # -- call context -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def call_context(self, **entries):
+        """Attach implicit per-call context (credentials, transaction id...)."""
+        self._context_stack.append(entries)
+        try:
+            yield
+        finally:
+            self._context_stack.pop()
+
+    def current_context(self) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for frame in self._context_stack:
+            merged.update(frame)
+        return merged
+
+    # -- proxies ---------------------------------------------------------------
+
+    def proxy(self, target: Union[str, ObjectRef]) -> "RemoteProxy":
+        """Build a dynamic proxy for a name or a reference."""
+        ref = self.naming.resolve(target) if isinstance(target, str) else target
+        return RemoteProxy(self, ref)
+
+    # -- invocation path ---------------------------------------------------------
+
+    def invoke(self, ref: ObjectRef, operation: str, args: tuple, kwargs: dict):
+        if operation.startswith("_"):
+            raise RemoteInvocationError(
+                f"operation {operation!r} is not remotely accessible"
+            )
+        request = Request(
+            object_id=ref.object_id,
+            operation=operation,
+            args=marshal(list(args), self.ref_of),
+            kwargs=marshal(dict(kwargs), self.ref_of),
+            context=dict(self.current_context()),
+        )
+        for interceptor in self.client_interceptors:
+            interceptor(request)
+        response = self.bus.deliver(request, self._dispatch)
+        if response.is_error:
+            self.bus.raise_remote(response)
+        return self._from_wire(response.result)
+
+    def _dispatch(self, request: Request, servant: Any):
+        for interceptor in self.server_interceptors:
+            interceptor(request, servant)
+        method = getattr(servant, request.operation, None)
+        if method is None or not callable(method):
+            raise RemoteInvocationError(
+                f"{type(servant).__name__} has no operation {request.operation!r}"
+            )
+        args = [self._from_wire(a) for a in request.args]
+        kwargs = {k: self._from_wire(v) for k, v in request.kwargs.items()}
+        context = dict(request.context)
+        context["__dispatching__"] = True  # lets aspects detect server side
+        with self.call_context(**context):
+            result = method(*args, **kwargs)
+        return marshal(result, self.ref_of)
+
+    def _from_wire(self, value):
+        """Hydrate wire values: references become proxies, containers recurse."""
+        if isinstance(value, ObjectRefData):
+            return RemoteProxy(self, value)
+        if isinstance(value, list):
+            return [self._from_wire(item) for item in value]
+        if isinstance(value, dict):
+            return {key: self._from_wire(item) for key, item in value.items()}
+        return value
+
+
+class RemoteProxy:
+    """Dynamic client stub: attribute access yields remote invocations."""
+
+    __slots__ = ("_orb", "_ref")
+
+    def __init__(self, orb: Orb, ref: ObjectRef):
+        object.__setattr__(self, "_orb", orb)
+        object.__setattr__(self, "_ref", ref)
+
+    @property
+    def ref(self) -> ObjectRef:
+        return self._ref
+
+    def __getattr__(self, operation: str):
+        if operation.startswith("_"):
+            raise AttributeError(operation)
+        orb, ref = self._orb, self._ref
+
+        def remote_call(*args, **kwargs):
+            return orb.invoke(ref, operation, args, kwargs)
+
+        remote_call.__name__ = operation
+        return remote_call
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<RemoteProxy {self._ref.type_name}@{self._ref.object_id}>"

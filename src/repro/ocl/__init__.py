@@ -1,0 +1,26 @@
+"""S3 — An OCL expression language for model constraints.
+
+The paper prescribes OCL as "the obvious choice" for expressing the pre-
+and postconditions of model transformations on UML models.  This package
+implements the OCL expression core from scratch:
+
+* a lexer and recursive-descent parser (:mod:`repro.ocl.parser`) producing
+  an AST (:mod:`repro.ocl.astnodes`),
+* an evaluator (:mod:`repro.ocl.evaluator`) over S1 model objects with the
+  standard collection operations (``forAll``, ``exists``, ``select``,
+  ``collect``, ``sortedBy`` ...), string and arithmetic operations,
+  ``oclIsKindOf``/``oclIsTypeOf``/``oclAsType``, ``allInstances()`` and a
+  navigation extension ``oclContainer()``.
+
+Quick use::
+
+    from repro.ocl import OclContext, evaluate
+
+    ctx = OclContext(resource=res, types={"Class": UML.Class})
+    ok = evaluate("Class.allInstances()->forAll(c | c.name <> '')", ctx)
+"""
+
+from repro.ocl.parser import parse
+from repro.ocl.evaluator import OclContext, evaluate, Undefined, UNDEFINED
+
+__all__ = ["parse", "evaluate", "OclContext", "Undefined", "UNDEFINED"]

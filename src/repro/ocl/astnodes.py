@@ -1,0 +1,129 @@
+"""AST node definitions for the OCL expression subset.
+
+Nodes are small frozen dataclasses; the evaluator dispatches on node type.
+Each node keeps the source offset of its first token for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Node:
+    position: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A number, string, boolean, or null literal."""
+
+    value: object = None
+
+
+@dataclass(frozen=True)
+class Variable(Node):
+    """A bare name: a bound variable, ``self``, or a type name."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Navigate(Node):
+    """``source.name`` — property navigation (implicit collect on collections)."""
+
+    source: Optional[Node] = None
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class OperationCall(Node):
+    """``source.name(args...)`` — object operation (string ops, oclIsKindOf...)."""
+
+    source: Optional[Node] = None
+    name: str = ""
+    args: Tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class CollectionCall(Node):
+    """``source->name(args...)`` — non-iterating collection operation."""
+
+    source: Optional[Node] = None
+    name: str = ""
+    args: Tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class IteratorCall(Node):
+    """``source->name(v1, v2 | body)`` — iterating collection operation."""
+
+    source: Optional[Node] = None
+    name: str = ""
+    variables: Tuple[str, ...] = ()
+    body: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class IterateCall(Node):
+    """``source->iterate(v; acc = init | body)`` — the general fold."""
+
+    source: Optional[Node] = None
+    variable: str = ""
+    accumulator: str = ""
+    init: Optional[Node] = None
+    body: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    """``-x`` or ``not x``."""
+
+    op: str = ""
+    operand: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    """Arithmetic, comparison, and logical binary operators."""
+
+    op: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class If(Node):
+    condition: Optional[Node] = None
+    then: Optional[Node] = None
+    otherwise: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class Let(Node):
+    name: str = ""
+    value: Optional[Node] = None
+    body: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class CollectionLiteral(Node):
+    """``Set{...}`` / ``Sequence{...}`` / ``Bag{...}`` / ``OrderedSet{...}``."""
+
+    kind: str = "Sequence"
+    items: Tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class AllInstances(Node):
+    """``TypeName.allInstances()``."""
+
+    type_name: str = ""
+
+
+@dataclass(frozen=True)
+class TypeLiteral(Node):
+    """A type name used as an argument (e.g. ``x.oclIsKindOf(Class)``)."""
+
+    name: str = ""

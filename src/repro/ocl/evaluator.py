@@ -1,0 +1,609 @@
+"""Evaluator for the OCL expression subset over S1 model objects.
+
+Values are plain Python objects: booleans, integers, floats, strings,
+:class:`~repro.metamodel.instances.MObject` instances, Python lists for
+collections, and the :data:`UNDEFINED` singleton for OCL's undefined value
+(the result of navigating from null, or ``any()`` with no match).
+
+Deliberate simplifications relative to OCL 1.x, documented here:
+
+* ``Sequence``/``Bag`` are both Python lists; ``Set``/``OrderedSet`` are
+  lists with duplicates removed (insertion order kept) — determinism over
+  hash order.
+* Three-valued logic is limited: boolean connectives short-circuit, and a
+  non-shortcut ``UNDEFINED`` operand raises
+  :class:`~repro.errors.OclEvaluationError` rather than propagating.
+* ``x = null`` and ``x <> null`` treat ``UNDEFINED`` and ``None`` alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import (
+    OclEvaluationError,
+    OclNameError,
+    OclTypeError,
+)
+from repro.metamodel.instances import MList, MObject
+from repro.metamodel.kernel import MetaClass, MetaPackage
+from repro.ocl.astnodes import (
+    AllInstances,
+    Binary,
+    CollectionCall,
+    CollectionLiteral,
+    If,
+    IteratorCall,
+    Let,
+    Literal,
+    Navigate,
+    Node,
+    OperationCall,
+    Unary,
+    Variable,
+)
+from repro.ocl.parser import parse
+
+
+class Undefined:
+    """Singleton for OCL's undefined value; falsy, equal only to itself/None."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self):
+        return False
+
+    def __repr__(self):
+        return "OclUndefined"
+
+
+UNDEFINED = Undefined()
+
+
+def types_from_package(package: MetaPackage) -> Dict[str, MetaClass]:
+    """Build a type registry from every metaclass of a metamodel package.
+
+    Both the simple name (``Class``) and the ``::``-qualified name
+    (``uml::Class``) are registered.
+    """
+    registry: Dict[str, MetaClass] = {}
+    for metaclass in package.all_metaclasses():
+        registry[metaclass.name] = metaclass
+        registry[metaclass.qualified_name.replace(".", "::")] = metaclass
+    return registry
+
+
+class OclContext:
+    """Evaluation context: instance pool, type registry, variable bindings."""
+
+    def __init__(
+        self,
+        resource=None,
+        types: Optional[Dict[str, MetaClass]] = None,
+        variables: Optional[Dict[str, object]] = None,
+        self_object=None,
+    ):
+        self.resource = resource
+        self.types = dict(types or {})
+        self.variables = dict(variables or {})
+        self.self_object = self_object
+
+    def with_variables(self, **more) -> "OclContext":
+        merged = dict(self.variables)
+        merged.update(more)
+        ctx = OclContext(self.resource, self.types, merged, self.self_object)
+        return ctx
+
+    def resolve_type(self, name: str) -> Optional[MetaClass]:
+        if name in self.types:
+            return self.types[name]
+        if "::" in name:
+            simple = name.rsplit("::", 1)[1]
+            return self.types.get(simple)
+        return None
+
+
+def evaluate(expression, context: Optional[OclContext] = None, self_object=None, **variables):
+    """Evaluate an OCL expression (text or pre-parsed AST).
+
+    ``self_object`` and keyword arguments extend/override the context's
+    bindings for this evaluation only.
+    """
+    node = parse(expression) if isinstance(expression, str) else expression
+    context = context or OclContext()
+    if variables or self_object is not None:
+        context = context.with_variables(**variables)
+        if self_object is not None:
+            context = OclContext(
+                context.resource, context.types, context.variables, self_object
+            )
+    return _Evaluator(context).eval(node, dict(context.variables))
+
+
+def _is_collection(value) -> bool:
+    return isinstance(value, (list, tuple, MList))
+
+
+def _as_list(value) -> List:
+    if isinstance(value, MList):
+        return list(value)
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    if value is UNDEFINED or value is None:
+        return []
+    return [value]
+
+
+def _unique(items: Iterable) -> List:
+    out: List = []
+    for item in items:
+        if not any(_ocl_equal(item, seen) for seen in out):
+            out.append(item)
+    return out
+
+
+def _ocl_equal(a, b) -> bool:
+    if a is UNDEFINED:
+        a = None
+    if b is UNDEFINED:
+        b = None
+    if isinstance(a, MObject) or isinstance(b, MObject):
+        return a is b
+    if _is_collection(a) and _is_collection(b):
+        la, lb = _as_list(a), _as_list(b)
+        return len(la) == len(lb) and all(_ocl_equal(x, y) for x, y in zip(la, lb))
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    return a == b
+
+
+class _Evaluator:
+    def __init__(self, context: OclContext):
+        self.context = context
+
+    # ------------------------------------------------------------------ core
+
+    def eval(self, node: Node, env: Dict[str, object]):
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            raise OclEvaluationError(f"no evaluator for node {type(node).__name__}")
+        return method(node, env)
+
+    def _eval_Literal(self, node: Literal, env):
+        return node.value
+
+    def _eval_Variable(self, node: Variable, env):
+        name = node.name
+        if name == "self":
+            if self.context.self_object is None:
+                raise OclNameError("'self' is not bound in this context")
+            return self.context.self_object
+        if name in env:
+            return env[name]
+        metaclass = self.context.resolve_type(name)
+        if metaclass is not None:
+            return metaclass
+        # implicit self-feature access, as OCL allows inside invariants
+        self_obj = self.context.self_object
+        if isinstance(self_obj, MObject) and self_obj.meta_class.has_feature(name):
+            return self._navigate_object(self_obj, name)
+        raise OclNameError(f"unknown name {name!r}")
+
+    def _eval_CollectionLiteral(self, node: CollectionLiteral, env):
+        items = [self.eval(item, env) for item in node.items]
+        if node.kind in ("Set", "OrderedSet"):
+            return _unique(items)
+        return items
+
+    def _eval_If(self, node: If, env):
+        condition = self._boolean(self.eval(node.condition, env), "if condition")
+        branch = node.then if condition else node.otherwise
+        return self.eval(branch, env)
+
+    def _eval_Let(self, node: Let, env):
+        value = self.eval(node.value, env)
+        inner = dict(env)
+        inner[node.name] = value
+        return self.eval(node.body, inner)
+
+    def _eval_Unary(self, node: Unary, env):
+        value = self.eval(node.operand, env)
+        if node.op == "not":
+            return not self._boolean(value, "'not' operand")
+        if node.op == "-":
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise OclTypeError(f"unary '-' needs a number, got {value!r}")
+            return -value
+        raise OclEvaluationError(f"unknown unary operator {node.op!r}")
+
+    def _eval_Binary(self, node: Binary, env):
+        op = node.op
+        if op in ("and", "or", "implies", "xor"):
+            return self._logical(op, node, env)
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        if op == "=":
+            return _ocl_equal(left, right)
+        if op == "<>":
+            return not _ocl_equal(left, right)
+        if op in ("<", ">", "<=", ">="):
+            return self._compare(op, left, right)
+        if op in ("+", "-", "*", "/", "div", "mod"):
+            return self._arith(op, left, right)
+        raise OclEvaluationError(f"unknown binary operator {op!r}")
+
+    def _logical(self, op: str, node: Binary, env):
+        left = self._boolean(self.eval(node.left, env), f"'{op}' left operand")
+        if op == "and" and not left:
+            return False
+        if op == "or" and left:
+            return True
+        if op == "implies" and not left:
+            return True
+        right = self._boolean(self.eval(node.right, env), f"'{op}' right operand")
+        if op == "xor":
+            return left != right
+        return right
+
+    @staticmethod
+    def _boolean(value, what: str) -> bool:
+        if isinstance(value, bool):
+            return value
+        raise OclTypeError(f"{what} must be Boolean, got {value!r}")
+
+    @staticmethod
+    def _compare(op: str, left, right) -> bool:
+        numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+        if not (
+            (numeric(left) and numeric(right))
+            or (isinstance(left, str) and isinstance(right, str))
+        ):
+            raise OclTypeError(f"cannot order {left!r} and {right!r}")
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        return left >= right
+
+    @staticmethod
+    def _arith(op: str, left, right):
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+        if not (numeric(left) and numeric(right)):
+            raise OclTypeError(f"arithmetic {op!r} needs numbers, got {left!r}, {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise OclEvaluationError("division by zero")
+            return left / right
+        if right == 0:
+            raise OclEvaluationError("division by zero")
+        if op == "div":
+            return int(left // right)
+        return left % right
+
+    # -------------------------------------------------------------- navigation
+
+    def _eval_Navigate(self, node: Navigate, env):
+        source = self.eval(node.source, env)
+        return self._navigate(source, node.name)
+
+    def _navigate(self, source, name: str):
+        if source is UNDEFINED or source is None:
+            return UNDEFINED
+        if _is_collection(source):
+            out: List = []
+            for item in _as_list(source):
+                value = self._navigate(item, name)
+                if _is_collection(value):
+                    out.extend(_as_list(value))  # implicit collect flattens
+                elif value is not UNDEFINED:
+                    out.append(value)
+            return out
+        if isinstance(source, MObject):
+            return self._navigate_object(source, name)
+        raise OclTypeError(f"cannot navigate {name!r} on {source!r}")
+
+    def _navigate_object(self, obj: MObject, name: str):
+        if not obj.meta_class.has_feature(name):
+            raise OclNameError(
+                f"{obj.meta_class.qualified_name} has no feature {name!r}"
+            )
+        value = obj.get(name)
+        if isinstance(value, MList):
+            return list(value)
+        return UNDEFINED if value is None else value
+
+    # ---------------------------------------------------------------- calls
+
+    def _eval_AllInstances(self, node: AllInstances, env):
+        metaclass = self.context.resolve_type(node.type_name)
+        if metaclass is None:
+            # maybe a variable holding a metaclass
+            value = env.get(node.type_name)
+            if isinstance(value, MetaClass):
+                metaclass = value
+        if metaclass is None:
+            raise OclNameError(f"unknown type {node.type_name!r} for allInstances()")
+        if self.context.resource is None:
+            raise OclEvaluationError("allInstances() needs a resource in the context")
+        return list(self.context.resource.objects_of(metaclass))
+
+    def _type_argument(self, node: Node, env) -> MetaClass:
+        if isinstance(node, Variable):
+            metaclass = self.context.resolve_type(node.name)
+            if metaclass is not None:
+                return metaclass
+            value = env.get(node.name)
+            if isinstance(value, MetaClass):
+                return value
+            raise OclNameError(f"unknown type {node.name!r}")
+        value = self.eval(node, env)
+        if isinstance(value, MetaClass):
+            return value
+        raise OclTypeError(f"expected a type argument, got {value!r}")
+
+    def _eval_OperationCall(self, node: OperationCall, env):
+        name = node.name
+        if node.source is None:
+            raise OclNameError(f"unknown function {name!r}")
+        # type-reflection operations receive their argument unevaluated
+        if name in ("oclIsKindOf", "oclIsTypeOf", "oclAsType") and len(node.args) == 1:
+            source = self.eval(node.source, env)
+            metaclass = self._type_argument(node.args[0], env)
+            return self._type_operation(name, source, metaclass)
+        source = self.eval(node.source, env)
+        args = [self.eval(arg, env) for arg in node.args]
+        if isinstance(source, MetaClass) and name == "allInstances" and not args:
+            return self._eval_AllInstances(AllInstances(node.position, source.name), env)
+        return self._object_operation(source, name, args)
+
+    @staticmethod
+    def _type_operation(name: str, source, metaclass: MetaClass):
+        if name == "oclAsType":
+            if isinstance(source, MObject) and source.meta_class.conforms_to(metaclass):
+                return source
+            raise OclTypeError(f"{source!r} cannot be cast to {metaclass.name}")
+        if not isinstance(source, MObject):
+            return False
+        if name == "oclIsKindOf":
+            return source.meta_class.conforms_to(metaclass)
+        return source.meta_class is metaclass
+
+    def _object_operation(self, source, name: str, args: List):
+        if name == "oclIsUndefined":
+            return source is UNDEFINED or source is None
+        if name == "oclContainer":
+            if isinstance(source, MObject):
+                container = source.container
+                return UNDEFINED if container is None else container
+            return UNDEFINED
+        if isinstance(source, str):
+            return self._string_operation(source, name, args)
+        if isinstance(source, (int, float)) and not isinstance(source, bool):
+            return self._number_operation(source, name, args)
+        if source is UNDEFINED:
+            raise OclEvaluationError(f"operation {name!r} on undefined value")
+        raise OclNameError(f"unknown operation {name!r} on {source!r}")
+
+    @staticmethod
+    def _string_operation(source: str, name: str, args: List):
+        if name == "concat" and len(args) == 1:
+            return source + str(args[0])
+        if name == "size" and not args:
+            return len(source)
+        if name == "toUpper" and not args:
+            return source.upper()
+        if name == "toLower" and not args:
+            return source.lower()
+        if name == "substring" and len(args) == 2:
+            start, end = args
+            if not (1 <= start <= end <= len(source)):
+                raise OclEvaluationError(
+                    f"substring({start}, {end}) out of bounds for {source!r}"
+                )
+            return source[start - 1 : end]
+        if name == "indexOf" and len(args) == 1:
+            return source.find(str(args[0])) + 1  # 0 when absent, 1-based otherwise
+        if name == "startsWith" and len(args) == 1:
+            return source.startswith(str(args[0]))
+        if name == "endsWith" and len(args) == 1:
+            return source.endswith(str(args[0]))
+        if name == "contains" and len(args) == 1:
+            return str(args[0]) in source
+        if name == "toInteger" and not args:
+            try:
+                return int(source)
+            except ValueError:
+                raise OclEvaluationError(f"{source!r} is not an Integer") from None
+        if name == "toReal" and not args:
+            try:
+                return float(source)
+            except ValueError:
+                raise OclEvaluationError(f"{source!r} is not a Real") from None
+        raise OclNameError(f"unknown String operation {name!r}/{len(args)}")
+
+    @staticmethod
+    def _number_operation(source, name: str, args: List):
+        import math
+
+        if name == "abs" and not args:
+            return abs(source)
+        if name == "floor" and not args:
+            return math.floor(source)
+        if name == "round" and not args:
+            return math.floor(source + 0.5)
+        if name == "max" and len(args) == 1:
+            return max(source, args[0])
+        if name == "min" and len(args) == 1:
+            return min(source, args[0])
+        if name == "toString" and not args:
+            return str(source)
+        raise OclNameError(f"unknown numeric operation {name!r}/{len(args)}")
+
+    # ------------------------------------------------------- collection calls
+
+    def _eval_CollectionCall(self, node: CollectionCall, env):
+        source = _as_list(self.eval(node.source, env))
+        args = [self.eval(arg, env) for arg in node.args]
+        name = node.name
+        handler = _COLLECTION_OPS.get((name, len(args)))
+        if handler is None:
+            raise OclNameError(f"unknown collection operation {name!r}/{len(args)}")
+        return handler(source, *args)
+
+    def _eval_IterateCall(self, node, env):
+        source = _as_list(self.eval(node.source, env))
+        accumulator = self.eval(node.init, env)
+        for item in source:
+            inner = dict(env)
+            inner[node.variable] = item
+            inner[node.accumulator] = accumulator
+            accumulator = self.eval(node.body, inner)
+        return accumulator
+
+    def _eval_IteratorCall(self, node: IteratorCall, env):
+        source = _as_list(self.eval(node.source, env))
+        name = node.name
+        variables = node.variables
+
+        def body(*values):
+            inner = dict(env)
+            for var, val in zip(variables, values):
+                inner[var] = val
+            return self.eval(node.body, inner)
+
+        if len(variables) == 2:
+            if name not in ("forAll", "exists"):
+                raise OclEvaluationError(
+                    f"two iterator variables only supported for forAll/exists, not {name!r}"
+                )
+            pairs = [(a, b) for a in source for b in source]
+            if name == "forAll":
+                return all(self._boolean(body(a, b), "forAll body") for a, b in pairs)
+            return any(self._boolean(body(a, b), "exists body") for a, b in pairs)
+
+        if name == "forAll":
+            return all(self._boolean(body(x), "forAll body") for x in source)
+        if name == "exists":
+            return any(self._boolean(body(x), "exists body") for x in source)
+        if name == "select":
+            return [x for x in source if self._boolean(body(x), "select body")]
+        if name == "reject":
+            return [x for x in source if not self._boolean(body(x), "reject body")]
+        if name == "collect":
+            out: List = []
+            for x in source:
+                value = body(x)
+                if _is_collection(value):
+                    out.extend(_as_list(value))
+                elif value is not UNDEFINED:
+                    out.append(value)
+            return out
+        if name == "one":
+            matches = sum(1 for x in source if self._boolean(body(x), "one body"))
+            return matches == 1
+        if name == "any":
+            for x in source:
+                if self._boolean(body(x), "any body"):
+                    return x
+            return UNDEFINED
+        if name == "isUnique":
+            keys = [body(x) for x in source]
+            return len(keys) == len(_unique(keys))
+        if name == "sortedBy":
+            keyed = [(body(x), i, x) for i, x in enumerate(source)]
+            try:
+                keyed.sort(key=lambda t: (t[0], t[1]))
+            except TypeError:
+                raise OclTypeError("sortedBy keys are not comparable") from None
+            return [x for _, _, x in keyed]
+        if name == "closure":
+            # per OCL, the result includes the source elements themselves
+            seen: List = list(source)
+            frontier = list(source)
+            while frontier:
+                current = frontier.pop(0)
+                for nxt in _as_list(body(current)):
+                    if not any(nxt is s for s in seen):
+                        seen.append(nxt)
+                        frontier.append(nxt)
+            return seen
+        raise OclNameError(f"unknown iterator operation {name!r}")
+
+
+def _op_sum(items):
+    total = 0
+    for item in items:
+        if not isinstance(item, (int, float)) or isinstance(item, bool):
+            raise OclTypeError(f"sum() over non-numeric value {item!r}")
+        total += item
+    return total
+
+
+def _op_at(items, index):
+    if not isinstance(index, int) or isinstance(index, bool):
+        raise OclTypeError("at() needs an Integer index")
+    if not 1 <= index <= len(items):
+        raise OclEvaluationError(f"at({index}) out of bounds (size {len(items)})")
+    return items[index - 1]
+
+
+def _op_first(items):
+    return items[0] if items else UNDEFINED
+
+
+def _op_last(items):
+    return items[-1] if items else UNDEFINED
+
+
+_COLLECTION_OPS: Dict[tuple, Callable] = {
+    ("size", 0): lambda items: len(items),
+    ("isEmpty", 0): lambda items: not items,
+    ("notEmpty", 0): lambda items: bool(items),
+    ("sum", 0): _op_sum,
+    ("first", 0): _op_first,
+    ("last", 0): _op_last,
+    ("reverse", 0): lambda items: list(reversed(items)),
+    ("flatten", 0): lambda items: [
+        y for x in items for y in (_as_list(x) if _is_collection(x) else [x])
+    ],
+    ("asSet", 0): _unique,
+    ("asOrderedSet", 0): _unique,
+    ("asSequence", 0): lambda items: list(items),
+    ("asBag", 0): lambda items: list(items),
+    ("at", 1): _op_at,
+    ("includes", 1): lambda items, x: any(_ocl_equal(i, x) for i in items),
+    ("excludes", 1): lambda items, x: not any(_ocl_equal(i, x) for i in items),
+    ("count", 1): lambda items, x: sum(1 for i in items if _ocl_equal(i, x)),
+    ("indexOf", 1): lambda items, x: next(
+        (i + 1 for i, v in enumerate(items) if _ocl_equal(v, x)), 0
+    ),
+    ("includesAll", 1): lambda items, other: all(
+        any(_ocl_equal(i, x) for i in items) for x in _as_list(other)
+    ),
+    ("excludesAll", 1): lambda items, other: all(
+        not any(_ocl_equal(i, x) for i in items) for x in _as_list(other)
+    ),
+    ("union", 1): lambda items, other: list(items) + _as_list(other),
+    ("intersection", 1): lambda items, other: [
+        i for i in _unique(items) if any(_ocl_equal(i, x) for x in _as_list(other))
+    ],
+    ("including", 1): lambda items, x: list(items) + [x],
+    ("excluding", 1): lambda items, x: [i for i in items if not _ocl_equal(i, x)],
+    ("append", 1): lambda items, x: list(items) + [x],
+    ("prepend", 1): lambda items, x: [x] + list(items),
+}

@@ -1,0 +1,124 @@
+"""Tokenizer for the OCL expression subset.
+
+Token kinds: ``NUMBER``, ``STRING``, ``NAME``, ``KEYWORD``, ``OP``, ``EOF``.
+Keywords carry their text in :attr:`Token.value` just like names; the parser
+distinguishes them by kind so identifiers may not shadow keywords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import OclSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "and",
+        "or",
+        "xor",
+        "not",
+        "implies",
+        "if",
+        "then",
+        "else",
+        "endif",
+        "let",
+        "in",
+        "true",
+        "false",
+        "null",
+        "div",
+        "mod",
+        "self",
+        "Set",
+        "Sequence",
+        "Bag",
+        "OrderedSet",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_MULTI_OPS = ("->", "<=", ">=", "<>", "::")
+_SINGLE_OPS = "()[]{},.|=<>+-*/:;"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn ``text`` into a token list ending with an ``EOF`` token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # line comment
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            yield Token("NUMBER", text[start:i], start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks = []
+            while i < n:
+                if text[i] == "\\" and i + 1 < n:
+                    chunks.append(text[i + 1])
+                    i += 2
+                    continue
+                if text[i] == "'":
+                    break
+                chunks.append(text[i])
+                i += 1
+            if i >= n:
+                raise OclSyntaxError("unterminated string literal", start, text)
+            i += 1  # closing quote
+            yield Token("STRING", "".join(chunks), start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = "KEYWORD" if word in KEYWORDS else "NAME"
+            yield Token(kind, word, start)
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                yield Token("OP", op, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            yield Token("OP", ch, i)
+            i += 1
+            continue
+        raise OclSyntaxError(f"unexpected character {ch!r}", i, text)
+    yield Token("EOF", "", n)

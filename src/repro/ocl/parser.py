@@ -1,0 +1,368 @@
+"""Recursive-descent parser for the OCL expression subset.
+
+Grammar (informal, highest line binds loosest)::
+
+    expr        := letExpr | implies
+    letExpr     := "let" NAME "=" expr "in" expr
+    implies     := orExpr ("implies" orExpr)*
+    orExpr      := andExpr (("or" | "xor") andExpr)*
+    andExpr     := notExpr ("and" notExpr)*
+    notExpr     := "not" notExpr | comparison
+    comparison  := additive (("=" | "<>" | "<" | ">" | "<=" | ">=") additive)?
+    additive    := multiplicative (("+" | "-") multiplicative)*
+    multiplicative := unary (("*" | "/" | "div" | "mod") unary)*
+    unary       := "-" unary | postfix
+    postfix     := primary (("." NAME callArgs?) | ("->" NAME iterOrArgs))*
+    primary     := NUMBER | STRING | "true" | "false" | "null" | "self"
+                 | "(" expr ")" | ifExpr | collectionLit | NAME ("::" NAME)* callArgs?
+    ifExpr      := "if" expr "then" expr "else" expr "endif"
+    collectionLit := ("Set" | "Sequence" | "Bag" | "OrderedSet") "{" [expr ("," expr)*] "}"
+    iterOrArgs  := "(" [NAME ("," NAME)? "|"] expr? ("," expr)* ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import OclSyntaxError
+from repro.ocl.astnodes import (
+    AllInstances,
+    Binary,
+    CollectionCall,
+    CollectionLiteral,
+    If,
+    IterateCall,
+    IteratorCall,
+    Let,
+    Literal,
+    Navigate,
+    Node,
+    OperationCall,
+    Unary,
+    Variable,
+)
+from repro.ocl.lexer import Token, tokenize
+
+#: Collection operations that iterate a body over elements.
+ITERATOR_OPERATIONS = frozenset(
+    {
+        "forAll",
+        "exists",
+        "select",
+        "reject",
+        "collect",
+        "one",
+        "any",
+        "isUnique",
+        "sortedBy",
+        "closure",
+    }
+)
+
+_COLLECTION_KINDS = ("Set", "Sequence", "Bag", "OrderedSet")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: List[Token] = tokenize(text)
+        self.index = 0
+
+    # -- token utilities ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.at(kind, value):
+            want = value or kind
+            raise OclSyntaxError(
+                f"expected {want!r}, found {self.current.value!r}",
+                self.current.position,
+                self.text,
+            )
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self.expression()
+        if self.current.kind != "EOF":
+            raise OclSyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+                self.text,
+            )
+        return node
+
+    def expression(self) -> Node:
+        if self.at("KEYWORD", "let"):
+            return self.let_expression()
+        return self.implies_expression()
+
+    def let_expression(self) -> Node:
+        start = self.expect("KEYWORD", "let").position
+        name = self.expect("NAME").value
+        # optional type annotation  let x : Integer = ...
+        if self.accept("OP", ":"):
+            self.expect("NAME")
+        self.expect("OP", "=")
+        value = self.expression()
+        self.expect("KEYWORD", "in")
+        body = self.expression()
+        return Let(start, name, value, body)
+
+    def implies_expression(self) -> Node:
+        node = self.or_expression()
+        while self.at("KEYWORD", "implies"):
+            pos = self.advance().position
+            node = Binary(pos, "implies", node, self.or_expression())
+        return node
+
+    def or_expression(self) -> Node:
+        node = self.and_expression()
+        while self.at("KEYWORD", "or") or self.at("KEYWORD", "xor"):
+            token = self.advance()
+            node = Binary(token.position, token.value, node, self.and_expression())
+        return node
+
+    def and_expression(self) -> Node:
+        node = self.not_expression()
+        while self.at("KEYWORD", "and"):
+            pos = self.advance().position
+            node = Binary(pos, "and", node, self.not_expression())
+        return node
+
+    def not_expression(self) -> Node:
+        if self.at("KEYWORD", "not"):
+            pos = self.advance().position
+            return Unary(pos, "not", self.not_expression())
+        return self.comparison()
+
+    def comparison(self) -> Node:
+        node = self.additive()
+        for op in ("=", "<>", "<=", ">=", "<", ">"):
+            if self.at("OP", op):
+                pos = self.advance().position
+                return Binary(pos, op, node, self.additive())
+        return node
+
+    def additive(self) -> Node:
+        node = self.multiplicative()
+        while self.at("OP", "+") or self.at("OP", "-"):
+            token = self.advance()
+            node = Binary(token.position, token.value, node, self.multiplicative())
+        return node
+
+    def multiplicative(self) -> Node:
+        node = self.unary()
+        while (
+            self.at("OP", "*")
+            or self.at("OP", "/")
+            or self.at("KEYWORD", "div")
+            or self.at("KEYWORD", "mod")
+        ):
+            token = self.advance()
+            node = Binary(token.position, token.value, node, self.unary())
+        return node
+
+    def unary(self) -> Node:
+        if self.at("OP", "-"):
+            pos = self.advance().position
+            return Unary(pos, "-", self.unary())
+        return self.postfix()
+
+    def postfix(self) -> Node:
+        node = self.primary()
+        while True:
+            if self.accept("OP", "."):
+                name = self.expect("NAME").value
+                if self.at("OP", "("):
+                    args = self.call_arguments()
+                    if (
+                        name == "allInstances"
+                        and not args
+                        and isinstance(node, Variable)
+                    ):
+                        node = AllInstances(node.position, node.name)
+                    else:
+                        node = OperationCall(node.position, node, name, tuple(args))
+                else:
+                    node = Navigate(node.position, node, name)
+                continue
+            if self.accept("OP", "->"):
+                name = self.expect("NAME").value
+                node = self.arrow_call(node, name)
+                continue
+            break
+        return node
+
+    def arrow_call(self, source: Node, name: str) -> Node:
+        if name == "iterate":
+            return self.iterate_call(source)
+        self.expect("OP", "(")
+        if self.accept("OP", ")"):
+            if name in ITERATOR_OPERATIONS:
+                raise OclSyntaxError(
+                    f"iterator operation {name!r} needs a body", self.current.position
+                )
+            return CollectionCall(source.position, source, name, ())
+        variables = self.maybe_iterator_variables()
+        if name in ITERATOR_OPERATIONS:
+            body = self.expression()
+            self.expect("OP", ")")
+            if not variables:
+                variables = ("__implicit__",)
+            return IteratorCall(source.position, source, name, variables, body)
+        if variables:
+            raise OclSyntaxError(
+                f"collection operation {name!r} does not take iterator variables",
+                self.current.position,
+            )
+        args = [self.expression()]
+        while self.accept("OP", ","):
+            args.append(self.expression())
+        self.expect("OP", ")")
+        return CollectionCall(source.position, source, name, tuple(args))
+
+    def iterate_call(self, source: Node) -> Node:
+        """``->iterate(v; acc = init | body)`` (type annotations allowed)."""
+        self.expect("OP", "(")
+        variable = self.expect("NAME").value
+        if self.accept("OP", ":"):
+            self.expect("NAME")
+        self.expect("OP", ";")
+        accumulator = self.expect("NAME").value
+        if self.accept("OP", ":"):
+            self.expect("NAME")
+        self.expect("OP", "=")
+        init = self.expression()
+        self.expect("OP", "|")
+        body = self.expression()
+        self.expect("OP", ")")
+        return IterateCall(source.position, source, variable, accumulator, init, body)
+
+    def maybe_iterator_variables(self) -> Tuple[str, ...]:
+        """Detect ``v |`` or ``v1, v2 |`` prefixes via backtracking."""
+        checkpoint = self.index
+        names = []
+        if self.at("NAME"):
+            names.append(self.advance().value)
+            # optional type annotation
+            if self.accept("OP", ":"):
+                if not self.accept("NAME"):
+                    self.index = checkpoint
+                    return ()
+            if self.accept("OP", ","):
+                if self.at("NAME"):
+                    names.append(self.advance().value)
+                    if self.accept("OP", ":"):
+                        if not self.accept("NAME"):
+                            self.index = checkpoint
+                            return ()
+                else:
+                    self.index = checkpoint
+                    return ()
+            if self.accept("OP", "|"):
+                return tuple(names)
+        self.index = checkpoint
+        return ()
+
+    def call_arguments(self) -> List[Node]:
+        self.expect("OP", "(")
+        args: List[Node] = []
+        if not self.at("OP", ")"):
+            args.append(self.expression())
+            while self.accept("OP", ","):
+                args.append(self.expression())
+        self.expect("OP", ")")
+        return args
+
+    def primary(self) -> Node:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(token.position, value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.position, token.value)
+        if token.kind == "KEYWORD":
+            if token.value == "true":
+                self.advance()
+                return Literal(token.position, True)
+            if token.value == "false":
+                self.advance()
+                return Literal(token.position, False)
+            if token.value == "null":
+                self.advance()
+                return Literal(token.position, None)
+            if token.value == "self":
+                self.advance()
+                return Variable(token.position, "self")
+            if token.value == "if":
+                return self.if_expression()
+            if token.value in _COLLECTION_KINDS:
+                return self.collection_literal()
+        if self.accept("OP", "("):
+            node = self.expression()
+            self.expect("OP", ")")
+            return node
+        if token.kind == "NAME":
+            self.advance()
+            name = token.value
+            while self.at("OP", "::"):
+                self.advance()
+                name += "::" + self.expect("NAME").value
+            if self.at("OP", "("):
+                args = self.call_arguments()
+                return OperationCall(token.position, None, name, tuple(args))
+            return Variable(token.position, name)
+        raise OclSyntaxError(
+            f"unexpected token {token.value!r}", token.position, self.text
+        )
+
+    def if_expression(self) -> Node:
+        start = self.expect("KEYWORD", "if").position
+        condition = self.expression()
+        self.expect("KEYWORD", "then")
+        then = self.expression()
+        self.expect("KEYWORD", "else")
+        otherwise = self.expression()
+        self.expect("KEYWORD", "endif")
+        return If(start, condition, then, otherwise)
+
+    def collection_literal(self) -> Node:
+        token = self.advance()  # Set / Sequence / Bag / OrderedSet
+        if not self.at("OP", "{"):
+            # e.g. `Set` used as plain name (unlikely); treat as variable
+            return Variable(token.position, token.value)
+        self.advance()
+        items: List[Node] = []
+        if not self.at("OP", "}"):
+            items.append(self.expression())
+            while self.accept("OP", ","):
+                items.append(self.expression())
+        self.expect("OP", "}")
+        return CollectionLiteral(token.position, token.value, tuple(items))
+
+
+def parse(text: str) -> Node:
+    """Parse OCL expression ``text`` into an AST."""
+    return _Parser(text).parse()

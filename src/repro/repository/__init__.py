@@ -1,0 +1,36 @@
+"""S5 — Versioned model repository (Section 3 requirement).
+
+The paper asks for "version management capabilities for the model
+repository" and "an Undo/Redo facility for model transformations", plus a
+visual-demarcation facility attributing model elements to the concern whose
+transformation introduced them.  This package provides:
+
+* :class:`~repro.repository.undo.ChangeRecorder` /
+  :class:`~repro.repository.undo.UndoStack` — replayable change log built
+  on the S1 notification stream, grouped into named, undoable units;
+* :class:`~repro.repository.versioning.VersionHistory` — snapshot-based
+  commits with checkout;
+* :func:`~repro.repository.diff.diff_resources` — structural model diff;
+* :class:`~repro.repository.demarcation.DemarcationTable` — the "colors":
+  per-concern attribution of added/modified elements;
+* :class:`~repro.repository.repository.ModelRepository` — the facade tying
+  these together around one :class:`~repro.metamodel.instances.ModelResource`.
+"""
+
+from repro.repository.undo import ChangeRecorder, UndoStack
+from repro.repository.versioning import Version, VersionHistory
+from repro.repository.diff import DiffEntry, diff_resources, diff_snapshots
+from repro.repository.demarcation import DemarcationTable
+from repro.repository.repository import ModelRepository
+
+__all__ = [
+    "ChangeRecorder",
+    "UndoStack",
+    "Version",
+    "VersionHistory",
+    "DiffEntry",
+    "diff_resources",
+    "diff_snapshots",
+    "DemarcationTable",
+    "ModelRepository",
+]

@@ -1,0 +1,136 @@
+"""Concern demarcation — the paper's "colors" (Section 3).
+
+    "Visual tools capable of demarcating model parts that have been added
+    to the model through different specialized/concrete transformations by
+    using different colors. An association list between these colors and
+    the concerns that have already been covered would be helpful [...]"
+
+The :class:`DemarcationTable` listens to a resource while a concern's
+transformation runs (``with table.painting("transactions"): ...``) and
+attributes every element that *enters the resource tree* during that window
+to the concern; elements merely modified are recorded as *touched*.  The
+table renders the association list (concern → color → elements) and the
+covered/remaining concern lists the paper asks for.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.metamodel.instances import MObject, ModelResource
+from repro.metamodel.kernel import MetaReference
+from repro.metamodel.notifications import Notification, NotificationKind
+
+#: Deterministic color cycle assigned to concerns in first-painted order.
+COLOR_CYCLE = (
+    "red", "blue", "green", "orange", "purple", "teal", "magenta", "olive",
+)
+
+
+class DemarcationTable:
+    """Attribution of model elements to the concern that introduced them."""
+
+    def __init__(self, resource: ModelResource):
+        self.resource = resource
+        #: element origin-uuid → concern name that added it
+        self._added_by: Dict[str, str] = {}
+        #: concern name → set of origin-uuids it modified (but did not add)
+        self._touched_by: Dict[str, Set[str]] = {}
+        self._colors: Dict[str, str] = {}
+        self._active: Optional[str] = None
+        self._identity = lambda obj: obj.uuid
+        resource.subscribe(self._on_change)
+
+    def set_identity_function(self, fn) -> None:
+        """Key elements by a stable identity (e.g. version-origin uuid)."""
+        self._identity = fn
+
+    def remap_keys(self, origin_map: Dict[str, str]) -> None:
+        """No-op placeholder kept for API symmetry: tables keyed by origin
+        uuid survive checkouts when the identity function resolves through
+        :meth:`~repro.repository.versioning.VersionHistory.origin_uuid`."""
+
+    # -- painting -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def painting(self, concern: str):
+        """Attribute changes inside the ``with`` block to ``concern``."""
+        if concern not in self._colors:
+            self._colors[concern] = COLOR_CYCLE[len(self._colors) % len(COLOR_CYCLE)]
+        self._touched_by.setdefault(concern, set())
+        previous, self._active = self._active, concern
+        try:
+            yield self
+        finally:
+            self._active = previous
+
+    def _on_change(self, notification: Notification) -> None:
+        if self._active is None:
+            return
+        concern = self._active
+        kind = notification.kind
+        feature = notification.feature
+        containment = getattr(feature, "containment", False)
+        if containment and kind in (NotificationKind.ADD, NotificationKind.SET):
+            added = notification.new
+            if isinstance(added, MObject):
+                self._mark_added(added, concern)
+                for child in added.all_contents():
+                    self._mark_added(child, concern)
+            return
+        obj = notification.obj
+        if isinstance(obj, MObject):
+            key = self._identity(obj)
+            if self._added_by.get(key) != concern:
+                self._touched_by[concern].add(key)
+
+    def _mark_added(self, obj: MObject, concern: str) -> None:
+        key = self._identity(obj)
+        if key not in self._added_by:
+            self._added_by[key] = concern
+
+    # -- queries -------------------------------------------------------------
+
+    def concern_of(self, obj: MObject) -> Optional[str]:
+        """The concern that introduced ``obj``, or None (functional model)."""
+        return self._added_by.get(self._identity(obj))
+
+    def color_of(self, obj: MObject) -> Optional[str]:
+        concern = self.concern_of(obj)
+        return self._colors.get(concern) if concern is not None else None
+
+    def elements_of(self, concern: str) -> List[MObject]:
+        """Live elements attributed to ``concern`` (added by it)."""
+        keys = {k for k, c in self._added_by.items() if c == concern}
+        return [o for o in self.resource.all_contents() if self._identity(o) in keys]
+
+    def touched_elements_of(self, concern: str) -> List[MObject]:
+        keys = self._touched_by.get(concern, set())
+        return [o for o in self.resource.all_contents() if self._identity(o) in keys]
+
+    def covered_concerns(self) -> List[str]:
+        """Concerns that have painted at least once, in first-painted order."""
+        return list(self._colors)
+
+    def remaining_concerns(self, planned: Iterable[str]) -> List[str]:
+        covered = set(self._colors)
+        return [c for c in planned if c not in covered]
+
+    def legend(self) -> Dict[str, str]:
+        """Concern → color association list."""
+        return dict(self._colors)
+
+    def report(self) -> str:
+        """Plain-text rendering of the association list with element counts."""
+        lines = ["concern demarcation:"]
+        live_keys = {self._identity(o) for o in self.resource.all_contents()}
+        for concern, color in self._colors.items():
+            added = sum(
+                1 for k, c in self._added_by.items() if c == concern and k in live_keys
+            )
+            touched = len(self._touched_by.get(concern, set()) & live_keys)
+            lines.append(
+                f"  [{color:>7}] {concern}: {added} element(s) added, {touched} touched"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Structural model diff between two resources or version snapshots.
+
+Objects on the two sides are matched by a caller-supplied identity key
+(origin uuid for version snapshots); the diff reports objects added,
+removed, and per-feature modifications.  Reference values are compared by
+the identity keys of their targets, so a pointer to "the same" object in
+both versions compares equal even though the Python identities differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.metamodel.instances import MList, MObject
+from repro.metamodel.kernel import MetaReference
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One difference: ``kind`` is ``added``, ``removed`` or ``modified``."""
+
+    kind: str
+    key: str
+    label: str
+    feature: Optional[str] = None
+    old: object = None
+    new: object = None
+
+    def __str__(self):
+        if self.kind == "modified":
+            return f"modified {self.label}.{self.feature}: {self.old!r} -> {self.new!r}"
+        return f"{self.kind} {self.label}"
+
+
+def _label(obj: MObject) -> str:
+    name = obj._slots.get("name")
+    suffix = name if isinstance(name, str) else obj.uuid
+    return f"{obj.meta_class.name}({suffix})"
+
+
+def _index(
+    objects: Iterable[MObject], key: Callable[[MObject], str]
+) -> Dict[str, MObject]:
+    out: Dict[str, MObject] = {}
+    for obj in objects:
+        out[key(obj)] = obj
+    return out
+
+
+def _feature_value(obj: MObject, feature, key: Callable[[MObject], str]):
+    value = obj._slots.get(feature.name)
+    if isinstance(feature, MetaReference):
+        if value is None:
+            return None
+        if isinstance(value, MList):
+            return tuple(key(t) for t in value)
+        return key(value)
+    if isinstance(value, MList):
+        return tuple(value)
+    return value
+
+
+def diff_object_sets(
+    left: Iterable[MObject],
+    right: Iterable[MObject],
+    key_left: Callable[[MObject], str],
+    key_right: Callable[[MObject], str],
+) -> List[DiffEntry]:
+    """Diff two object populations matched by identity keys."""
+    left_index = _index(left, key_left)
+    right_index = _index(right, key_right)
+    entries: List[DiffEntry] = []
+
+    for key, obj in left_index.items():
+        if key not in right_index:
+            entries.append(DiffEntry("removed", key, _label(obj)))
+    for key, obj in right_index.items():
+        if key not in left_index:
+            entries.append(DiffEntry("added", key, _label(obj)))
+
+    for key in left_index.keys() & right_index.keys():
+        old_obj, new_obj = left_index[key], right_index[key]
+        if old_obj.meta_class is not new_obj.meta_class:
+            entries.append(
+                DiffEntry(
+                    "modified", key, _label(new_obj), "<metaclass>",
+                    old_obj.meta_class.name, new_obj.meta_class.name,
+                )
+            )
+            continue
+        for feature in old_obj.meta_class.all_features().values():
+            old_value = _feature_value(old_obj, feature, key_left)
+            new_value = _feature_value(new_obj, feature, key_right)
+            if old_value != new_value:
+                entries.append(
+                    DiffEntry(
+                        "modified", key, _label(new_obj), feature.name,
+                        old_value, new_value,
+                    )
+                )
+    entries.sort(key=lambda e: (e.kind, e.key, e.feature or ""))
+    return entries
+
+
+def diff_resources(left, right, key_left=None, key_right=None) -> List[DiffEntry]:
+    """Diff two resources; defaults to uuid identity (same-lineage objects)."""
+    key_left = key_left or (lambda o: o.uuid)
+    key_right = key_right or (lambda o: o.uuid)
+    return diff_object_sets(
+        left.all_contents(), right.all_contents(), key_left, key_right
+    )
+
+
+def diff_snapshots(version_a, version_b) -> List[DiffEntry]:
+    """Diff two :class:`~repro.repository.versioning.Version` snapshots.
+
+    Objects are matched by their recorded *origin* uuids, so a model element
+    that survived from one commit to the next compares as the same object.
+    """
+
+    def key_a(obj):
+        return version_a.origin_of.get(obj.uuid, obj.uuid)
+
+    def key_b(obj):
+        return version_b.origin_of.get(obj.uuid, obj.uuid)
+
+    def contents(version):
+        for root in version.roots:
+            yield root
+            yield from root.all_contents()
+
+    return diff_object_sets(contents(version_a), contents(version_b), key_a, key_b)

@@ -1,0 +1,110 @@
+"""The repository facade: one resource + undo/redo + versions + demarcation.
+
+:class:`ModelRepository` is what the transformation engine (S6) and the
+MDA lifecycle driver (S12) talk to.  Typical use::
+
+    repo = ModelRepository(resource)
+    with repo.transaction("apply distribution CMT"):
+        ...mutate the model...
+    repo.undo()           # the whole transformation is one undoable unit
+    repo.redo()
+    v1 = repo.commit("after distribution")
+    repo.checkout(v1.id)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional
+
+from repro.errors import RepositoryError
+from repro.metamodel.instances import ModelResource
+from repro.repository.demarcation import DemarcationTable
+from repro.repository.diff import DiffEntry, diff_snapshots
+from repro.repository.undo import ChangeRecorder, UndoStack
+from repro.repository.versioning import Version, VersionHistory
+
+
+class ModelRepository:
+    """Versioned, undoable, concern-demarcated store around one resource."""
+
+    def __init__(self, resource: ModelResource, undo_limit: int = 1000):
+        self.resource = resource
+        self.recorder = ChangeRecorder(resource)
+        self.undo_stack = UndoStack(self.recorder, limit=undo_limit)
+        self.history = VersionHistory(resource)
+        self.demarcation = DemarcationTable(resource)
+        # key demarcation by origin uuid so it survives checkouts
+        self.demarcation.set_identity_function(
+            lambda obj: self.history.origin_uuid(obj)
+        )
+        self._in_transaction = False
+
+    # -- transactions (undo units) -----------------------------------------------
+
+    @contextlib.contextmanager
+    def transaction(self, label: str, concern: Optional[str] = None):
+        """Group all changes in the block into one undoable unit.
+
+        When ``concern`` is given, added/modified elements are painted in
+        the demarcation table under that concern.
+        """
+        if self._in_transaction:
+            raise RepositoryError("repository transactions do not nest")
+        self._in_transaction = True
+        self.recorder.take()  # drop unattributed changes made outside transactions
+        paint = (
+            self.demarcation.painting(concern)
+            if concern is not None
+            else contextlib.nullcontext()
+        )
+        try:
+            with paint:
+                yield self
+        except Exception:
+            # roll the partial unit back so the model is untouched
+            partial = self.recorder.take()
+            with self.recorder.paused():
+                from repro.repository.undo import _apply_inverse
+
+                for notification in reversed(partial):
+                    _apply_inverse(notification)
+            raise
+        finally:
+            self._in_transaction = False
+        self.undo_stack.push_group(label, self.recorder.take())
+
+    def undo(self):
+        """Undo the most recent transaction; returns its label."""
+        return self.undo_stack.undo().label
+
+    def redo(self):
+        """Redo the most recently undone transaction; returns its label."""
+        return self.undo_stack.redo().label
+
+    # -- versions ------------------------------------------------------------------
+
+    def commit(self, label: str) -> Version:
+        """Commit the current state as a new version."""
+        return self.history.commit(label)
+
+    def checkout(self, version_id: str) -> Dict[str, str]:
+        """Restore a committed version (clears the undo/redo stacks).
+
+        Object identities change; the returned map links new live uuids to
+        origin uuids.
+        """
+        with self.recorder.paused():
+            origin_map = self.history.checkout(version_id)
+        self.recorder.take()
+        self.undo_stack._undo.clear()
+        self.undo_stack._redo.clear()
+        return origin_map
+
+    def diff(self, version_a: str, version_b: str) -> List[DiffEntry]:
+        """Structural diff between two committed versions."""
+        return diff_snapshots(self.history.get(version_a), self.history.get(version_b))
+
+    def log(self) -> List[str]:
+        """Commit labels, oldest first."""
+        return [f"{v.id}: {v.label}" for v in self.history.versions]

@@ -1,0 +1,172 @@
+"""Undo/redo built on the replayable S1 notification stream.
+
+Every raw change is invertible (see
+:mod:`repro.metamodel.notifications`); a :class:`ChangeRecorder`
+subscribed to a resource captures the stream, and an :class:`UndoStack`
+groups contiguous changes into named units that can be undone and redone.
+
+Replays are performed with the recorder *paused* and use the raw mutation
+layer directly, so opposite-maintenance side effects (which were recorded
+as their own notifications) are not re-derived a second time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import NothingToRedoError, NothingToUndoError, RepositoryError
+from repro.metamodel.instances import ROOTS_FEATURE, MList, ModelResource
+from repro.metamodel.notifications import Notification, NotificationKind
+
+
+def _apply_forward(notification: Notification) -> None:
+    obj, feature = notification.obj, notification.feature
+    kind = notification.kind
+    if feature is ROOTS_FEATURE:
+        if kind is NotificationKind.ADD:
+            obj.add_root(notification.new)
+        else:
+            obj.remove_root(notification.old)
+        return
+    if kind is NotificationKind.SET:
+        obj._slot_set(feature, notification.new)
+    elif kind is NotificationKind.UNSET:
+        obj._slot_unset(feature)
+    elif kind is NotificationKind.ADD:
+        collection: MList = obj.get(feature.name)
+        collection._raw_insert(notification.index, notification.new)
+    elif kind is NotificationKind.REMOVE:
+        collection = obj.get(feature.name)
+        collection._raw_remove(notification.index)
+    else:  # pragma: no cover - exhaustive enum
+        raise RepositoryError(f"unknown notification kind {kind}")
+
+
+def _apply_inverse(notification: Notification) -> None:
+    obj, feature = notification.obj, notification.feature
+    kind = notification.kind
+    if feature is ROOTS_FEATURE:
+        if kind is NotificationKind.ADD:
+            obj.remove_root(notification.new)
+        else:
+            obj.add_root(notification.old)
+        return
+    if kind is NotificationKind.SET:
+        if notification.old is None:
+            obj._slot_unset(feature)
+        else:
+            obj._slot_set(feature, notification.old)
+    elif kind is NotificationKind.UNSET:
+        obj._slot_set(feature, notification.old)
+    elif kind is NotificationKind.ADD:
+        collection: MList = obj.get(feature.name)
+        collection._raw_remove(notification.index)
+    elif kind is NotificationKind.REMOVE:
+        collection = obj.get(feature.name)
+        collection._raw_insert(notification.index, notification.old)
+    else:  # pragma: no cover - exhaustive enum
+        raise RepositoryError(f"unknown notification kind {kind}")
+
+
+class ChangeRecorder:
+    """Captures the notification stream of a resource; pausable."""
+
+    def __init__(self, resource: ModelResource):
+        self.resource = resource
+        self.changes: List[Notification] = []
+        self._paused = 0
+        resource.subscribe(self._on_change)
+
+    def _on_change(self, notification: Notification) -> None:
+        if not self._paused:
+            self.changes.append(notification)
+
+    @contextlib.contextmanager
+    def paused(self):
+        """Suspend recording (used during undo/redo replay)."""
+        self._paused += 1
+        try:
+            yield
+        finally:
+            self._paused -= 1
+
+    def take(self) -> List[Notification]:
+        """Return the captured changes and reset the buffer."""
+        captured, self.changes = self.changes, []
+        return captured
+
+    def detach(self) -> None:
+        self.resource.unsubscribe(self._on_change)
+
+
+@dataclass
+class ChangeGroup:
+    """A named, contiguous sequence of changes — one undoable unit."""
+
+    label: str
+    changes: List[Notification] = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.changes)
+
+
+class UndoStack:
+    """Classic undo/redo stacks over :class:`ChangeGroup` units.
+
+    ``push_group`` is called with the changes captured since the previous
+    group boundary; pushing clears the redo stack.
+    """
+
+    def __init__(self, recorder: ChangeRecorder, limit: int = 1000):
+        if limit < 1:
+            raise RepositoryError("undo limit must be >= 1")
+        self.recorder = recorder
+        self.limit = limit
+        self._undo: List[ChangeGroup] = []
+        self._redo: List[ChangeGroup] = []
+
+    @property
+    def undo_labels(self) -> List[str]:
+        return [g.label for g in self._undo]
+
+    @property
+    def redo_labels(self) -> List[str]:
+        return [g.label for g in self._redo]
+
+    def can_undo(self) -> bool:
+        return bool(self._undo)
+
+    def can_redo(self) -> bool:
+        return bool(self._redo)
+
+    def push_group(self, label: str, changes: List[Notification]) -> ChangeGroup:
+        group = ChangeGroup(label, list(changes))
+        self._undo.append(group)
+        if len(self._undo) > self.limit:
+            self._undo.pop(0)
+        self._redo.clear()
+        return group
+
+    def undo(self) -> ChangeGroup:
+        """Revert the most recent group; returns it."""
+        if not self._undo:
+            raise NothingToUndoError("undo stack is empty")
+        group = self._undo.pop()
+        with self.recorder.paused():
+            for notification in reversed(group.changes):
+                _apply_inverse(notification)
+        self._redo.append(group)
+        return group
+
+    def redo(self) -> ChangeGroup:
+        """Re-apply the most recently undone group; returns it."""
+        if not self._redo:
+            raise NothingToRedoError("redo stack is empty")
+        group = self._redo.pop()
+        with self.recorder.paused():
+            for notification in group.changes:
+                _apply_forward(notification)
+        self._undo.append(group)
+        return group

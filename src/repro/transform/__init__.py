@@ -1,0 +1,26 @@
+"""S6 — Model transformation engine.
+
+Executes specialized (concrete) transformations against a model held in a
+repository: OCL preconditions gate application, rules run inside one
+repository transaction (undoable, demarcated by concern), OCL
+postconditions verify the result — a failing postcondition rolls the whole
+application back — and trace links record which elements each rule
+created from which sources.
+"""
+
+from repro.transform.conditions import Condition, ConditionSet
+from repro.transform.trace import TraceLink, TraceLog
+from repro.transform.rules import Rule, RuleSequence, TransformationContext
+from repro.transform.engine import ApplicationResult, TransformationEngine
+
+__all__ = [
+    "Condition",
+    "ConditionSet",
+    "TraceLink",
+    "TraceLog",
+    "Rule",
+    "RuleSequence",
+    "TransformationContext",
+    "TransformationEngine",
+    "ApplicationResult",
+]

@@ -1,0 +1,88 @@
+"""OCL-backed pre/postconditions of transformations.
+
+The paper: *"Each generic transformation may define a set of pre- and
+postconditions.  A configuration of a generic transformation not only
+specializes the transformation, but also specializes these conditions."*
+
+Specialization here is by *binding*: a condition is written once against
+the generic parameter names, and the concrete transformation's parameter
+set ``Si`` is injected as OCL variables at evaluation time.  A condition
+over ``server_classes`` (a parameter) therefore checks exactly the
+application-specific classes the developer configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import OclError, TransformationError
+from repro.metamodel.instances import ModelResource
+from repro.metamodel.kernel import MetaClass
+from repro.ocl import OclContext, evaluate, parse
+
+
+@dataclass
+class Condition:
+    """One named OCL constraint evaluated against the whole model."""
+
+    name: str
+    expression: str
+    description: str = ""
+    _ast: object = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        # Parse eagerly: a syntactically broken condition is a definition
+        # error, found when the generic transformation is authored.
+        self._ast = parse(self.expression)
+
+    def evaluate(
+        self,
+        resource: ModelResource,
+        types: Dict[str, MetaClass],
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        context = OclContext(
+            resource=resource, types=types, variables=dict(parameters or {})
+        )
+        try:
+            result = evaluate(self._ast, context)
+        except OclError as exc:
+            raise TransformationError(
+                f"condition {self.name!r} failed to evaluate: {exc}"
+            ) from exc
+        if not isinstance(result, bool):
+            raise TransformationError(
+                f"condition {self.name!r} must yield Boolean, got {result!r}"
+            )
+        return result
+
+
+class ConditionSet:
+    """An ordered set of conditions; reports every violation, not just the first."""
+
+    def __init__(self, conditions: Optional[List[Condition]] = None):
+        self.conditions: List[Condition] = list(conditions or [])
+
+    def add(self, name: str, expression: str, description: str = "") -> Condition:
+        condition = Condition(name, expression, description)
+        self.conditions.append(condition)
+        return condition
+
+    def violations(
+        self,
+        resource: ModelResource,
+        types: Dict[str, MetaClass],
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> List[Condition]:
+        return [
+            condition
+            for condition in self.conditions
+            if not condition.evaluate(resource, types, parameters)
+        ]
+
+    def __iter__(self):
+        return iter(self.conditions)
+
+    def __len__(self):
+        return len(self.conditions)

@@ -1,0 +1,148 @@
+"""The transformation engine: gate, apply, verify, trace, demarcate.
+
+The engine consumes any object satisfying the *transformation spec*
+protocol (duck-typed; :class:`repro.core.ConcreteTransformation` is the
+canonical implementation):
+
+* ``name`` — display name,
+* ``concern`` — concern name (used for demarcation painting),
+* ``parameters`` — the concrete parameter values (``Si``),
+* ``preconditions`` / ``postconditions`` — :class:`ConditionSet`,
+* ``rules`` — :class:`RuleSequence`.
+
+Application is atomic: precondition violations leave the model untouched;
+rule exceptions and postcondition violations roll the repository
+transaction back before the error propagates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    PostconditionViolation,
+    PreconditionViolation,
+)
+from repro.metamodel.kernel import MetaClass
+from repro.ocl.evaluator import types_from_package
+from repro.repository import ModelRepository
+from repro.transform.trace import TraceLog
+from repro.transform.rules import TransformationContext
+from repro.uml.metamodel import UML
+
+
+@dataclass
+class ApplicationResult:
+    """Outcome of one transformation application."""
+
+    transformation: str
+    concern: str
+    parameters: Dict[str, object]
+    created_elements: int
+    trace_links: int
+    duration_s: float
+    preconditions_checked: int
+    postconditions_checked: int
+
+
+class TransformationEngine:
+    """Applies concrete transformations to the repository's model."""
+
+    def __init__(
+        self,
+        repository: ModelRepository,
+        types: Optional[Dict[str, MetaClass]] = None,
+        check_preconditions: bool = True,
+        check_postconditions: bool = True,
+        record_trace: bool = True,
+    ):
+        self.repository = repository
+        self.types = types if types is not None else types_from_package(UML.package)
+        self.check_preconditions = check_preconditions
+        self.check_postconditions = check_postconditions
+        self.record_trace = record_trace
+        self.trace = TraceLog()
+        self.applications: List[ApplicationResult] = []
+
+    def apply(self, transformation) -> ApplicationResult:
+        """Apply one concrete transformation atomically."""
+        resource = self.repository.resource
+        parameters = dict(transformation.parameters)
+        started = time.perf_counter()
+
+        mapping_kind = getattr(transformation, "mapping_kind", None)
+        if mapping_kind is not None and resource.roots:
+            from repro.transform.mappings import check_mapping_applicable
+
+            check_mapping_applicable(mapping_kind, resource.roots[0])
+
+        if self.check_preconditions:
+            violated = transformation.preconditions.violations(
+                resource, self.types, parameters
+            )
+            if violated:
+                first = violated[0]
+                raise PreconditionViolation(
+                    first.name,
+                    f"precondition(s) of {transformation.name!r} violated: "
+                    + "; ".join(
+                        f"{c.name}: {c.description or c.expression}" for c in violated
+                    ),
+                )
+
+        trace = self.trace if self.record_trace else TraceLog()
+        ctx = TransformationContext(
+            resource,
+            parameters,
+            self.types,
+            trace=trace,
+            transformation_name=transformation.name,
+        )
+        links_before = len(trace)
+
+        with self.repository.transaction(
+            f"apply {transformation.name}", concern=transformation.concern
+        ):
+            transformation.rules.apply_all(ctx)
+            if self.check_postconditions:
+                violated = transformation.postconditions.violations(
+                    resource, self.types, parameters
+                )
+                if violated:
+                    first = violated[0]
+                    # raising aborts the repository transaction -> full rollback
+                    raise PostconditionViolation(
+                        first.name,
+                        f"postcondition(s) of {transformation.name!r} violated: "
+                        + "; ".join(
+                            f"{c.name}: {c.description or c.expression}"
+                            for c in violated
+                        ),
+                    )
+
+        created = len(
+            self.repository.demarcation.elements_of(transformation.concern)
+        )
+        result = ApplicationResult(
+            transformation=transformation.name,
+            concern=transformation.concern,
+            parameters=parameters,
+            created_elements=created,
+            trace_links=len(trace) - links_before,
+            duration_s=time.perf_counter() - started,
+            preconditions_checked=len(transformation.preconditions)
+            if self.check_preconditions
+            else 0,
+            postconditions_checked=len(transformation.postconditions)
+            if self.check_postconditions
+            else 0,
+        )
+        self.applications.append(result)
+        return result
+
+    @property
+    def application_order(self) -> List[str]:
+        """Names of applied transformations, in order (drives precedence)."""
+        return [result.transformation for result in self.applications]

@@ -1,0 +1,66 @@
+"""The four MDA mapping kinds (§2, after [2]).
+
+    "MDA identifies four types of model-to-model transformations (mappings)
+    within the software development life-cycle: PIM-to-PIM transformations
+    relate to platform-independent model refinement [...]; PIM-to-PSM
+    transformations are used to project a PIM to the selected execution
+    infrastructure; PSM-to-PSM transformations relate to platform-dependent
+    model refinement; PSM-to-PIM transformations abstract models of
+    existing implementations into platform-independent models."
+
+Transformations carry a :class:`MappingKind`; the model itself records its
+abstraction level through the ``<<PlatformSpecific>>`` stereotype on the
+model root (set by a PIM→PSM projection, removed by a PSM→PIM
+abstraction).  :func:`check_mapping_applicable` enforces the obvious
+level discipline — e.g. a PSM-to-PSM refinement may not run on a PIM.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import TransformationError
+from repro.metamodel.instances import MObject
+from repro.uml.profiles import apply_stereotype, get_tag, has_stereotype, remove_stereotype
+
+PLATFORM_MARK = "PlatformSpecific"
+
+
+class MappingKind(enum.Enum):
+    PIM_TO_PIM = "pim-to-pim"
+    PIM_TO_PSM = "pim-to-psm"
+    PSM_TO_PSM = "psm-to-psm"
+    PSM_TO_PIM = "psm-to-pim"
+
+
+def is_platform_specific(model: MObject) -> bool:
+    """Whether the model root is marked as a PSM."""
+    return has_stereotype(model, PLATFORM_MARK)
+
+
+def platform_of(model: MObject):
+    """The platform name recorded on a PSM root, or None for a PIM."""
+    return get_tag(model, PLATFORM_MARK, "platform")
+
+
+def mark_platform_specific(model: MObject, platform: str) -> None:
+    apply_stereotype(model, PLATFORM_MARK, platform=platform)
+
+
+def unmark_platform_specific(model: MObject) -> None:
+    remove_stereotype(model, PLATFORM_MARK)
+
+
+def check_mapping_applicable(kind: MappingKind, model: MObject) -> None:
+    """Enforce abstraction-level discipline; raises on a mismatch."""
+    psm = is_platform_specific(model)
+    if kind in (MappingKind.PIM_TO_PIM, MappingKind.PIM_TO_PSM) and psm:
+        raise TransformationError(
+            f"{kind.value} mapping cannot be applied to a platform-specific "
+            f"model (platform {platform_of(model)!r}); abstract it first"
+        )
+    if kind in (MappingKind.PSM_TO_PSM, MappingKind.PSM_TO_PIM) and not psm:
+        raise TransformationError(
+            f"{kind.value} mapping needs a platform-specific model; "
+            "project the PIM to a platform first"
+        )

@@ -1,0 +1,136 @@
+"""Transformation rules and their execution context.
+
+A rule is a named unit of model refinement.  Rule bodies are Python
+callables receiving a :class:`TransformationContext` — the idiom of
+imperative model-transformation languages (Kermeta, EOL): declarative OCL
+for *querying* and gating, imperative bodies for *building*.
+
+The context gives rules the model, the concrete parameter values (``Si``),
+an OCL query helper bound to the model, and trace recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import TransformationError
+from repro.metamodel.instances import MObject, ModelResource
+from repro.metamodel.kernel import MetaClass
+from repro.ocl import OclContext, evaluate
+from repro.transform.trace import TraceLog
+
+
+class TransformationContext:
+    """Everything a rule body needs while refining the model."""
+
+    def __init__(
+        self,
+        resource: ModelResource,
+        parameters: Dict[str, object],
+        types: Dict[str, MetaClass],
+        trace: Optional[TraceLog] = None,
+        transformation_name: str = "<anonymous>",
+    ):
+        self.resource = resource
+        self.parameters = dict(parameters)
+        self.types = types
+        self.trace = trace if trace is not None else TraceLog()
+        self.transformation_name = transformation_name
+        self._current_rule = "<setup>"
+
+    @property
+    def model(self) -> MObject:
+        """The first root of the resource (the UML Model in practice)."""
+        roots = self.resource.roots
+        if not roots:
+            raise TransformationError("resource has no roots")
+        return roots[0]
+
+    def param(self, name: str, default=None):
+        return self.parameters.get(name, default)
+
+    def require_param(self, name: str):
+        if name not in self.parameters:
+            raise TransformationError(
+                f"transformation {self.transformation_name!r} needs parameter {name!r}"
+            )
+        return self.parameters[name]
+
+    # -- OCL helpers ---------------------------------------------------------
+
+    def ocl(self, expression: str, self_object=None, **variables):
+        """Evaluate an OCL expression against the model, with ``Si`` bound."""
+        merged = dict(self.parameters)
+        merged.update(variables)
+        context = OclContext(
+            resource=self.resource,
+            types=self.types,
+            variables=merged,
+            self_object=self_object,
+        )
+        return evaluate(expression, context)
+
+    def select(self, expression: str, **variables) -> List[MObject]:
+        """Evaluate an OCL expression expected to yield a collection."""
+        result = self.ocl(expression, **variables)
+        if not isinstance(result, list):
+            raise TransformationError(
+                f"expected a collection from {expression!r}, got {result!r}"
+            )
+        return result
+
+    # -- tracing ----------------------------------------------------------------
+
+    def record(self, sources: Iterable = (), targets: Iterable = (), note: str = ""):
+        return self.trace.record(
+            self.transformation_name, self._current_rule, sources, targets, note
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named refinement step."""
+
+    name: str
+    body: Callable[[TransformationContext], None]
+    description: str = ""
+
+    def apply(self, ctx: TransformationContext) -> None:
+        previous = ctx._current_rule
+        ctx._current_rule = self.name
+        try:
+            self.body(ctx)
+        finally:
+            ctx._current_rule = previous
+
+
+class RuleSequence:
+    """An ordered list of rules executed as one transformation body."""
+
+    def __init__(self, rules: Optional[List[Rule]] = None):
+        self.rules: List[Rule] = list(rules or [])
+
+    def add(self, name: str, body: Callable, description: str = "") -> Rule:
+        rule = Rule(name, body, description)
+        self.rules.append(rule)
+        return rule
+
+    def rule(self, name: str, description: str = ""):
+        """Decorator form: ``@rules.rule("create-proxies")``."""
+
+        def register(fn: Callable) -> Callable:
+            self.add(name, fn, description)
+            return fn
+
+        return register
+
+    def apply_all(self, ctx: TransformationContext) -> None:
+        for rule in self.rules:
+            rule.apply(ctx)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self):
+        return len(self.rules)

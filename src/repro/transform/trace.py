@@ -1,0 +1,73 @@
+"""Traceability links: which rule created/modified what, from what.
+
+Trace links answer the shipping/reuse questions the paper raises in its
+closing discussion (which intermediate elements came from which
+transformation) and feed the aspect generators, which need to know the
+concrete model elements a transformation produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.metamodel.instances import MObject
+
+
+@dataclass(frozen=True)
+class TraceLink:
+    """One provenance record."""
+
+    transformation: str
+    rule: str
+    sources: Tuple[MObject, ...]
+    targets: Tuple[MObject, ...]
+    note: str = ""
+
+
+class TraceLog:
+    """Append-only store of trace links with simple queries."""
+
+    def __init__(self):
+        self.links: List[TraceLink] = []
+
+    def record(
+        self,
+        transformation: str,
+        rule: str,
+        sources=(),
+        targets=(),
+        note: str = "",
+    ) -> TraceLink:
+        link = TraceLink(
+            transformation, rule, tuple(sources), tuple(targets), note
+        )
+        self.links.append(link)
+        return link
+
+    def by_transformation(self, name: str) -> List[TraceLink]:
+        return [l for l in self.links if l.transformation == name]
+
+    def targets_of(self, source: MObject) -> List[MObject]:
+        """Everything recorded as created/derived from ``source``."""
+        out: List[MObject] = []
+        for link in self.links:
+            if any(s is source for s in link.sources):
+                out.extend(link.targets)
+        return out
+
+    def sources_of(self, target: MObject) -> List[MObject]:
+        out: List[MObject] = []
+        for link in self.links:
+            if any(t is target for t in link.targets):
+                out.extend(link.sources)
+        return out
+
+    def created_by(self, transformation: str) -> List[MObject]:
+        out: List[MObject] = []
+        for link in self.by_transformation(transformation):
+            out.extend(link.targets)
+        return out
+
+    def __len__(self):
+        return len(self.links)

@@ -1,0 +1,64 @@
+"""S2 — A UML 1.4 subset metamodel and convenience model API.
+
+The paper's transformations operate on UML models (class diagrams with
+stereotypes and tagged values, per common MDA practice of the era).  This
+package defines that modeling language *as a metamodel* on top of the S1
+kernel — packages, classes, attributes, operations, parameters,
+associations, interfaces, enumerations — plus lightweight profile support
+(stereotype applications with tagged values) and a factory/query API.
+"""
+
+from repro.uml.metamodel import UML, VISIBILITY, PARAMETER_DIRECTION, AGGREGATION
+from repro.uml.model import (
+    add_association,
+    add_attribute,
+    add_class,
+    add_interface,
+    add_operation,
+    add_package,
+    add_parameter,
+    classes_of,
+    ensure_primitives,
+    find_element,
+    new_model,
+    operations_of,
+    owned_elements,
+    qualified_name,
+)
+from repro.uml.profiles import (
+    apply_stereotype,
+    get_stereotype,
+    get_tag,
+    has_stereotype,
+    remove_stereotype,
+    set_tag,
+    stereotype_names,
+)
+
+__all__ = [
+    "UML",
+    "VISIBILITY",
+    "PARAMETER_DIRECTION",
+    "AGGREGATION",
+    "new_model",
+    "add_package",
+    "add_class",
+    "add_interface",
+    "add_attribute",
+    "add_operation",
+    "add_parameter",
+    "add_association",
+    "ensure_primitives",
+    "find_element",
+    "qualified_name",
+    "classes_of",
+    "operations_of",
+    "owned_elements",
+    "apply_stereotype",
+    "remove_stereotype",
+    "has_stereotype",
+    "get_stereotype",
+    "stereotype_names",
+    "set_tag",
+    "get_tag",
+]

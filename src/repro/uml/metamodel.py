@@ -1,0 +1,153 @@
+"""Definition of the UML subset metamodel used throughout the library.
+
+The metamodel is built once at import time with the S1 kernel and exposed
+through the :data:`UML` namespace, e.g. ``UML.Class``, ``UML.Operation``.
+It covers the structural core of UML 1.4 class models plus the profile
+mechanism (stereotype applications carrying tagged values), which is what
+MDA-era concern-oriented transformations mark models up with.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    STRING,
+    UNBOUNDED,
+    MetamodelBuilder,
+)
+
+#: Visibility literals (UML ``VisibilityKind``).
+VISIBILITY = ("public", "private", "protected", "package")
+
+#: Parameter direction literals (UML ``ParameterDirectionKind``).
+PARAMETER_DIRECTION = ("in", "out", "inout", "return")
+
+#: Aggregation literals (UML ``AggregationKind``).
+AGGREGATION = ("none", "shared", "composite")
+
+
+class _UmlNamespace:
+    """Holds the built UML metamodel package and its metaclasses."""
+
+
+def _build() -> _UmlNamespace:
+    b = MetamodelBuilder("uml")
+    ns = _UmlNamespace()
+
+    visibility_kind = b.enum("VisibilityKind", VISIBILITY)
+    direction_kind = b.enum("ParameterDirectionKind", PARAMETER_DIRECTION)
+    aggregation_kind = b.enum("AggregationKind", AGGREGATION)
+
+    element = b.metaclass("Element", abstract=True)
+
+    tagged_value = b.metaclass("TaggedValue", superclasses=[element])
+    b.attribute(tagged_value, "tag", STRING, lower=1)
+    b.attribute(tagged_value, "value", ANY)
+
+    stereotype_app = b.metaclass("StereotypeApplication", superclasses=[element])
+    b.attribute(stereotype_app, "name", STRING, lower=1)
+    b.reference(
+        stereotype_app, "taggedValues", tagged_value, upper=UNBOUNDED, containment=True
+    )
+
+    named = b.metaclass("NamedElement", superclasses=[element], abstract=True)
+    b.attribute(named, "name", STRING, lower=1)
+    b.attribute(named, "visibility", visibility_kind, default="public")
+    b.attribute(named, "documentation", STRING)
+    b.reference(named, "stereotypes", stereotype_app, upper=UNBOUNDED, containment=True)
+
+    packageable = b.metaclass("PackageableElement", superclasses=[named], abstract=True)
+
+    package = b.metaclass("Package", superclasses=[packageable])
+    b.reference(
+        package, "ownedElements", packageable, upper=UNBOUNDED, containment=True
+    )
+
+    model = b.metaclass("Model", superclasses=[package])
+
+    classifier = b.metaclass("Classifier", superclasses=[packageable], abstract=True)
+    b.attribute(classifier, "isAbstract", BOOLEAN, default=False)
+
+    datatype = b.metaclass("DataType", superclasses=[classifier])
+
+    enum_literal = b.metaclass("EnumerationLiteral", superclasses=[named])
+    enumeration = b.metaclass("Enumeration", superclasses=[datatype])
+    b.reference(
+        enumeration, "literals", enum_literal, upper=UNBOUNDED, containment=True
+    )
+
+    parameter = b.metaclass("Parameter", superclasses=[named])
+    b.reference(parameter, "type", classifier)
+    b.attribute(parameter, "direction", direction_kind, default="in")
+    b.attribute(parameter, "defaultValue", STRING)
+
+    operation = b.metaclass("Operation", superclasses=[named])
+    b.reference(operation, "parameters", parameter, upper=UNBOUNDED, containment=True)
+    b.attribute(operation, "isAbstract", BOOLEAN, default=False)
+    b.attribute(operation, "isQuery", BOOLEAN, default=False)
+    b.attribute(operation, "isStatic", BOOLEAN, default=False)
+
+    prop = b.metaclass("Property", superclasses=[named])
+    b.reference(prop, "type", classifier)
+    b.attribute(prop, "lower", INTEGER, default=1)
+    b.attribute(prop, "upper", INTEGER, default=1)  # UNBOUNDED (-1) means '*'
+    b.attribute(prop, "isComposite", BOOLEAN, default=False)
+    b.attribute(prop, "isStatic", BOOLEAN, default=False)
+    b.attribute(prop, "defaultValue", STRING)
+
+    interface = b.metaclass("Interface", superclasses=[classifier])
+    b.reference(interface, "operations", operation, upper=UNBOUNDED, containment=True)
+
+    clazz = b.metaclass("Class", superclasses=[classifier])
+    b.reference(clazz, "superclasses", clazz, upper=UNBOUNDED)
+    b.reference(clazz, "interfaces", interface, upper=UNBOUNDED)
+    b.reference(clazz, "attributes", prop, upper=UNBOUNDED, containment=True)
+    b.reference(clazz, "operations", operation, upper=UNBOUNDED, containment=True)
+
+    association_end = b.metaclass("AssociationEnd", superclasses=[named])
+    b.reference(association_end, "type", classifier, lower=1)
+    b.attribute(association_end, "lower", INTEGER, default=0)
+    b.attribute(association_end, "upper", INTEGER, default=UNBOUNDED)
+    b.attribute(association_end, "navigable", BOOLEAN, default=True)
+    b.attribute(association_end, "aggregation", aggregation_kind, default="none")
+
+    association = b.metaclass("Association", superclasses=[packageable])
+    b.reference(
+        association, "ends", association_end, lower=2, upper=2, containment=True
+    )
+
+    dependency = b.metaclass("Dependency", superclasses=[packageable])
+    b.reference(dependency, "client", named, lower=1)
+    b.reference(dependency, "supplier", named, lower=1)
+    b.attribute(dependency, "kind", STRING)
+
+    ns.package = b.build()
+    ns.VisibilityKind = visibility_kind
+    ns.ParameterDirectionKind = direction_kind
+    ns.AggregationKind = aggregation_kind
+    ns.Element = element
+    ns.NamedElement = named
+    ns.PackageableElement = packageable
+    ns.Package = package
+    ns.Model = model
+    ns.Classifier = classifier
+    ns.DataType = datatype
+    ns.Enumeration = enumeration
+    ns.EnumerationLiteral = enum_literal
+    ns.Class = clazz
+    ns.Interface = interface
+    ns.Property = prop
+    ns.Operation = operation
+    ns.Parameter = parameter
+    ns.Association = association
+    ns.AssociationEnd = association_end
+    ns.Dependency = dependency
+    ns.TaggedValue = tagged_value
+    ns.StereotypeApplication = stereotype_app
+    return ns
+
+
+#: The UML metamodel namespace; import this everywhere.
+UML = _build()

@@ -1,0 +1,239 @@
+"""Factory and query helpers for building and navigating UML models.
+
+These helpers wrap the reflective S1 API into the vocabulary a modeler
+expects (``add_class``, ``add_operation``...).  All of them return the
+created :class:`~repro.metamodel.instances.MObject` so calls compose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.errors import ModelError
+from repro.metamodel import UNBOUNDED, MObject, ModelResource
+from repro.uml.metamodel import UML
+
+#: The UML primitive datatype names installed by :func:`ensure_primitives`.
+PRIMITIVE_TYPE_NAMES = ("String", "Integer", "Boolean", "Real")
+
+
+def new_model(name: str) -> Tuple[ModelResource, MObject]:
+    """Create a fresh resource holding an empty UML ``Model`` root."""
+    resource = ModelResource(name)
+    model = UML.Model(name=name)
+    resource.add_root(model)
+    return resource, model
+
+
+def ensure_primitives(model: MObject) -> dict:
+    """Make sure the model owns the standard primitive datatypes.
+
+    Returns a name → ``DataType`` element map.  Idempotent: existing
+    datatypes (wherever they live inside the model) are reused.
+    """
+    existing = {
+        el.name: el
+        for el in model.all_contents()
+        if el.isinstance_of(UML.DataType) and not el.isinstance_of(UML.Enumeration)
+    }
+    out = {}
+    for type_name in PRIMITIVE_TYPE_NAMES:
+        if type_name in existing:
+            out[type_name] = existing[type_name]
+        else:
+            dt = UML.DataType(name=type_name)
+            model.ownedElements.append(dt)
+            out[type_name] = dt
+    return out
+
+
+def add_package(parent: MObject, name: str) -> MObject:
+    """Create a ``Package`` inside ``parent`` (a Package or Model)."""
+    pkg = UML.Package(name=name)
+    parent.ownedElements.append(pkg)
+    return pkg
+
+
+def add_class(
+    parent: MObject,
+    name: str,
+    abstract: bool = False,
+    superclasses: Iterable[MObject] = (),
+    interfaces: Iterable[MObject] = (),
+) -> MObject:
+    """Create a ``Class`` inside a package."""
+    cls = UML.Class(name=name, isAbstract=abstract)
+    parent.ownedElements.append(cls)
+    for sup in superclasses:
+        cls.superclasses.append(sup)
+    for itf in interfaces:
+        cls.interfaces.append(itf)
+    return cls
+
+
+def add_interface(parent: MObject, name: str) -> MObject:
+    itf = UML.Interface(name=name)
+    parent.ownedElements.append(itf)
+    return itf
+
+
+def add_attribute(
+    cls: MObject,
+    name: str,
+    type_: Optional[MObject] = None,
+    lower: int = 1,
+    upper: int = 1,
+    visibility: str = "private",
+    default: Optional[str] = None,
+    composite: bool = False,
+) -> MObject:
+    """Create a ``Property`` on a class."""
+    prop = UML.Property(
+        name=name, lower=lower, upper=upper, visibility=visibility, isComposite=composite
+    )
+    if type_ is not None:
+        prop.type = type_
+    if default is not None:
+        prop.defaultValue = default
+    cls.attributes.append(prop)
+    return prop
+
+
+ParamSpec = Union[Tuple[str, MObject], Tuple[str, MObject, str]]
+
+
+def add_operation(
+    owner: MObject,
+    name: str,
+    parameters: Sequence[ParamSpec] = (),
+    return_type: Optional[MObject] = None,
+    visibility: str = "public",
+    abstract: bool = False,
+    query: bool = False,
+) -> MObject:
+    """Create an ``Operation`` on a class or interface.
+
+    ``parameters`` is a sequence of ``(name, type)`` or
+    ``(name, type, direction)`` tuples; a return parameter is added when
+    ``return_type`` is given.
+    """
+    op = UML.Operation(name=name, visibility=visibility, isAbstract=abstract, isQuery=query)
+    owner.operations.append(op)
+    for spec in parameters:
+        if len(spec) == 2:
+            pname, ptype = spec
+            direction = "in"
+        else:
+            pname, ptype, direction = spec
+        add_parameter(op, pname, ptype, direction)
+    if return_type is not None:
+        add_parameter(op, "result", return_type, "return")
+    return op
+
+
+def add_parameter(op: MObject, name: str, type_: Optional[MObject], direction: str = "in") -> MObject:
+    param = UML.Parameter(name=name, direction=direction)
+    if type_ is not None:
+        param.type = type_
+    op.parameters.append(param)
+    return param
+
+
+def add_association(
+    parent: MObject,
+    name: str,
+    end1: Tuple[str, MObject],
+    end2: Tuple[str, MObject],
+    end1_multiplicity: Tuple[int, int] = (0, UNBOUNDED),
+    end2_multiplicity: Tuple[int, int] = (0, UNBOUNDED),
+) -> MObject:
+    """Create a binary ``Association``; each end is ``(role_name, classifier)``."""
+    assoc = UML.Association(name=name)
+    parent.ownedElements.append(assoc)
+    for (role, classifier), (lower, upper) in (
+        (end1, end1_multiplicity),
+        (end2, end2_multiplicity),
+    ):
+        end = UML.AssociationEnd(name=role, lower=lower, upper=upper)
+        end.type = classifier
+        assoc.ends.append(end)
+    return assoc
+
+
+# ---------------------------------------------------------------------------
+# navigation / query helpers
+# ---------------------------------------------------------------------------
+
+
+def qualified_name(element: MObject) -> str:
+    """Dot-separated path of ``name`` attributes up to the model root."""
+    parts = []
+    cur: Optional[MObject] = element
+    while cur is not None:
+        if cur.meta_class.has_feature("name") and cur.is_set("name"):
+            parts.append(cur.get("name"))
+        cur = cur.container
+    return ".".join(reversed(parts))
+
+
+def owned_elements(scope: MObject) -> Iterator[MObject]:
+    """All packageable elements transitively owned by a package/model."""
+    for el in scope.get("ownedElements"):
+        yield el
+        if el.isinstance_of(UML.Package):
+            yield from owned_elements(el)
+
+
+def classes_of(scope: MObject) -> Iterator[MObject]:
+    """All ``Class`` elements under a package/model."""
+    for el in owned_elements(scope):
+        if el.isinstance_of(UML.Class):
+            yield el
+
+
+def operations_of(cls: MObject, inherited: bool = True) -> Iterator[MObject]:
+    """Operations of a class, optionally including inherited ones.
+
+    Operations overridden by subclass declarations (same name) are reported
+    once, from the nearest class.
+    """
+    seen = set()
+    stack = [cls]
+    while stack:
+        cur = stack.pop(0)
+        for op in cur.operations:
+            if op.name not in seen:
+                seen.add(op.name)
+                yield op
+        if inherited:
+            stack.extend(cur.superclasses)
+
+
+def find_element(scope: MObject, qualified: str) -> MObject:
+    """Resolve a dot-separated qualified name relative to ``scope``.
+
+    ``scope`` is typically a Model; the path does not repeat the scope's own
+    name.  Raises :class:`~repro.errors.ModelError` when not found.
+    """
+    cur = scope
+    for part in qualified.split("."):
+        nxt = None
+        children: Iterable[MObject]
+        if cur.meta_class.has_feature("ownedElements"):
+            children = list(cur.get("ownedElements"))
+        elif cur.isinstance_of(UML.Class):
+            children = list(cur.attributes) + list(cur.operations)
+        elif cur.isinstance_of(UML.Interface):
+            children = list(cur.operations)
+        elif cur.isinstance_of(UML.Enumeration):
+            children = list(cur.literals)
+        else:
+            children = []
+        for child in children:
+            if child.meta_class.has_feature("name") and child.get("name") == part:
+                nxt = child
+                break
+        if nxt is None:
+            raise ModelError(f"no element {part!r} under {qualified_name(cur) or cur!r}")
+        cur = nxt
+    return cur

@@ -1,0 +1,95 @@
+"""Lightweight UML profile support: stereotypes and tagged values.
+
+Concern-oriented transformations mark model elements with stereotypes such
+as ``<<Transactional>>`` or ``<<Secured>>`` and attach parameters as tagged
+values; the demarcation facility of the repository (S5) and the aspect
+generators (S9) read these marks back.  Stereotype applications are plain
+model elements (``UML.StereotypeApplication`` contained by the
+``stereotypes`` feature of every named element) so they version, diff and
+serialize like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ModelError
+from repro.metamodel import MObject
+from repro.uml.metamodel import UML
+
+
+def apply_stereotype(element: MObject, name: str, **tags) -> MObject:
+    """Apply stereotype ``name`` to ``element`` with optional tagged values.
+
+    Re-applying an existing stereotype merges the tagged values into the
+    existing application instead of duplicating it.
+    """
+    app = get_stereotype(element, name)
+    if app is None:
+        app = UML.StereotypeApplication(name=name)
+        element.stereotypes.append(app)
+    for tag, value in tags.items():
+        set_tag(app, tag, value)
+    return app
+
+
+def remove_stereotype(element: MObject, name: str) -> bool:
+    """Remove a stereotype application; returns whether one was present."""
+    app = get_stereotype(element, name)
+    if app is None:
+        return False
+    element.stereotypes.remove(app)
+    return True
+
+
+def get_stereotype(element: MObject, name: str) -> Optional[MObject]:
+    """The application of stereotype ``name`` on ``element``, if any."""
+    if not element.meta_class.has_feature("stereotypes"):
+        return None
+    for app in element.stereotypes:
+        if app.name == name:
+            return app
+    return None
+
+
+def has_stereotype(element: MObject, name: str) -> bool:
+    return get_stereotype(element, name) is not None
+
+
+def stereotype_names(element: MObject) -> Iterator[str]:
+    if element.meta_class.has_feature("stereotypes"):
+        for app in element.stereotypes:
+            yield app.name
+
+
+def set_tag(app: MObject, tag: str, value) -> MObject:
+    """Set a tagged value on a stereotype application (overwrites)."""
+    for tv in app.taggedValues:
+        if tv.tag == tag:
+            tv.value = value
+            return tv
+    tv = UML.TaggedValue(tag=tag, value=value)
+    app.taggedValues.append(tv)
+    return tv
+
+
+def get_tag(element: MObject, stereotype: str, tag: str, default=None):
+    """Read a tagged value through ``element``'s stereotype application."""
+    app = get_stereotype(element, stereotype)
+    if app is None:
+        return default
+    for tv in app.taggedValues:
+        if tv.tag == tag:
+            return tv.value
+    return default
+
+
+def require_tag(element: MObject, stereotype: str, tag: str):
+    """Like :func:`get_tag` but raises when the tag is absent."""
+    sentinel = object()
+    value = get_tag(element, stereotype, tag, sentinel)
+    if value is sentinel:
+        raise ModelError(
+            f"element {element!r} lacks tagged value {tag!r} of stereotype {stereotype!r}"
+        )
+    return value

@@ -1,0 +1,28 @@
+"""S7 — Workflow-guided refinement (Section 3 requirement).
+
+    "A workflow model could track the refinement of a PIM or PSM through
+    transformations. The workflow model could define which generic
+    transformations can be applied at a certain refinement step, and
+    therefore could determine the allowed sequence of transformations."
+
+* :class:`~repro.workflow.model.WorkflowModel` — precedence-constrained
+  steps over concern names; validates and enumerates allowed sequences;
+* :class:`~repro.workflow.guidance.RefinementGuide` — combines the
+  workflow with the demarcation table into the covered/next/remaining
+  report the paper sketches;
+* :class:`~repro.workflow.wizard.ConcernWizard` — the "concern-oriented
+  wizard": question list derived from a GMT's parameter signature, answer
+  validation into a ``ParameterSet``.
+"""
+
+from repro.workflow.model import WorkflowModel, WorkflowStep
+from repro.workflow.guidance import RefinementGuide
+from repro.workflow.wizard import ConcernWizard, WizardQuestion
+
+__all__ = [
+    "WorkflowModel",
+    "WorkflowStep",
+    "RefinementGuide",
+    "ConcernWizard",
+    "WizardQuestion",
+]

@@ -1,0 +1,54 @@
+"""Developer guidance: covered concerns, allowed next steps, remaining work.
+
+Renders the association list the paper asks for — which color/concern
+introduced which elements, what has been covered, and "a list of the
+remaining concerns [to] give the developer an idea of what further
+refinements s/he needs to perform".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.repository.demarcation import DemarcationTable
+from repro.workflow.model import WorkflowModel
+
+
+class RefinementGuide:
+    """Combines the workflow model with the demarcation table."""
+
+    def __init__(self, workflow: WorkflowModel, demarcation: DemarcationTable):
+        self.workflow = workflow
+        self.demarcation = demarcation
+
+    def covered(self) -> List[str]:
+        return self.demarcation.covered_concerns()
+
+    def allowed_next(self, history: Sequence[str]) -> List[str]:
+        return self.workflow.allowed_next(history)
+
+    def remaining(self, history: Sequence[str]) -> List[str]:
+        return self.workflow.remaining(history)
+
+    def report(self, history: Sequence[str]) -> str:
+        """The paper's guidance panel as plain text."""
+        legend = self.demarcation.legend()
+        lines = ["refinement guidance:"]
+        lines.append("  covered concerns:")
+        if legend:
+            for concern, color in legend.items():
+                count = len(self.demarcation.elements_of(concern))
+                lines.append(f"    [{color:>7}] {concern} ({count} element(s))")
+        else:
+            lines.append("    (none yet)")
+        allowed = self.allowed_next(history)
+        lines.append(
+            "  allowed next: " + (", ".join(allowed) if allowed else "(none)")
+        )
+        remaining = self.remaining(history)
+        lines.append(
+            "  remaining:    " + (", ".join(remaining) if remaining else "(none)")
+        )
+        if self.workflow.is_complete(history):
+            lines.append("  refinement complete — ready for code generation")
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""The workflow model: which concern may refine the model when.
+
+A workflow is a set of steps, one per concern, each with a set of
+prerequisite concerns.  The model answers "is this transformation allowed
+now?", enumerates what may come next, and can exhaustively list every
+legal complete sequence (used by tests and the workflow benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import IllegalStepError, WorkflowError
+
+
+@dataclass(frozen=True)
+class WorkflowStep:
+    """One refinement step: a concern plus its prerequisites."""
+
+    concern: str
+    requires: FrozenSet[str] = frozenset()
+    optional: bool = False
+
+
+class WorkflowModel:
+    """Precedence-constrained refinement steps over concern names."""
+
+    def __init__(self):
+        self._steps: Dict[str, WorkflowStep] = {}
+
+    def add_step(
+        self, concern: str, requires: Iterable[str] = (), optional: bool = False
+    ) -> WorkflowStep:
+        if concern in self._steps:
+            raise WorkflowError(f"workflow already has a step for {concern!r}")
+        step = WorkflowStep(concern, frozenset(requires), optional)
+        self._steps[concern] = step
+        return step
+
+    def validate(self) -> None:
+        """Check that prerequisites refer to known steps and are acyclic."""
+        for step in self._steps.values():
+            unknown = step.requires - set(self._steps)
+            if unknown:
+                raise WorkflowError(
+                    f"step {step.concern!r} requires unknown step(s) {sorted(unknown)}"
+                )
+        if not self.complete_sequences(limit=1):
+            raise WorkflowError("workflow has no legal complete sequence (cycle?)")
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def concerns(self) -> List[str]:
+        return list(self._steps)
+
+    def is_allowed(self, concern: str, history: Sequence[str]) -> bool:
+        """May ``concern`` be applied after the given application history?"""
+        step = self._steps.get(concern)
+        if step is None:
+            return False
+        if concern in history:
+            return False  # each concern-dimension is refined once
+        return step.requires <= set(history)
+
+    def check_allowed(self, concern: str, history: Sequence[str]) -> None:
+        if not self.is_allowed(concern, history):
+            step = self._steps.get(concern)
+            if step is None:
+                raise IllegalStepError(f"workflow has no step for {concern!r}")
+            if concern in history:
+                raise IllegalStepError(f"concern {concern!r} was already applied")
+            missing = sorted(step.requires - set(history))
+            raise IllegalStepError(
+                f"concern {concern!r} requires {missing} to be applied first"
+            )
+
+    def allowed_next(self, history: Sequence[str]) -> List[str]:
+        return [c for c in self._steps if self.is_allowed(c, history)]
+
+    def remaining(self, history: Sequence[str]) -> List[str]:
+        return [c for c in self._steps if c not in history]
+
+    def is_complete(self, history: Sequence[str]) -> bool:
+        done = set(history)
+        return all(
+            step.optional or step.concern in done for step in self._steps.values()
+        )
+
+    def complete_sequences(self, limit: int = 1000) -> List[Tuple[str, ...]]:
+        """Every legal order covering all mandatory steps (bounded)."""
+        results: List[Tuple[str, ...]] = []
+
+        def extend(history: Tuple[str, ...]):
+            if len(results) >= limit:
+                return
+            if self.is_complete(history):
+                results.append(history)
+                return
+            for concern in self.allowed_next(history):
+                extend(history + (concern,))
+
+        extend(())
+        return results

@@ -1,0 +1,95 @@
+"""Concern-oriented wizards (Section 3 requirement).
+
+    "Concern-oriented wizards for configuring the generic model
+    transformations along a concern-dimension."
+
+A :class:`ConcernWizard` derives its question list from a generic
+transformation's parameter signature, so tool UIs (or tests) drive
+configuration without knowing the concern; answers are validated into the
+``ParameterSet`` handed to ``specialize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.core.parameters import ParameterSet
+from repro.core.transformation import GenericTransformation
+
+
+@dataclass(frozen=True)
+class WizardQuestion:
+    """One question the wizard asks the developer."""
+
+    name: str
+    prompt: str
+    required: bool
+    many: bool
+    default: object
+    choices: Optional[Tuple]
+
+    def render(self) -> str:
+        bits = [self.prompt]
+        if self.choices:
+            bits.append(f"one of {list(self.choices)}")
+        if self.default is not None:
+            bits.append(f"default: {self.default!r}")
+        if not self.required or self.default is not None:
+            bits.append("optional")
+        return f"{self.name}: " + "; ".join(bits)
+
+
+class ConcernWizard:
+    """Question/answer configuration of one generic transformation."""
+
+    def __init__(self, gmt: GenericTransformation):
+        self.gmt = gmt
+
+    @property
+    def concern_name(self) -> str:
+        return self.gmt.concern.name
+
+    def questions(self) -> List[WizardQuestion]:
+        out = []
+        for parameter in self.gmt.signature:
+            prompt = parameter.description or f"value for {parameter.name}"
+            out.append(
+                WizardQuestion(
+                    name=parameter.name,
+                    prompt=prompt,
+                    required=parameter.required and parameter.default is None,
+                    many=parameter.many,
+                    default=parameter.default,
+                    choices=parameter.choices,
+                )
+            )
+        return out
+
+    def missing(self, answers: Dict[str, object]) -> List[str]:
+        """Required questions not answered yet."""
+        return [
+            q.name
+            for q in self.questions()
+            if q.required and q.name not in answers
+        ]
+
+    def collect(self, answers: Dict[str, object]) -> ParameterSet:
+        """Validate the answers into the parameter set ``Si``."""
+        missing = self.missing(answers)
+        if missing:
+            raise ParameterError(
+                f"wizard for {self.concern_name!r} still needs answers for {missing}"
+            )
+        return self.gmt.signature.bind(**answers)
+
+    def specialize(self, answers: Dict[str, object]):
+        """Collect answers and return the concrete transformation."""
+        return self.gmt.specialize(self.collect(answers))
+
+    def transcript(self) -> str:
+        """The full question list as text (what a UI would display)."""
+        lines = [f"configuring concern {self.concern_name!r}:"]
+        lines.extend(f"  - {q.render()}" for q in self.questions())
+        return "\n".join(lines)

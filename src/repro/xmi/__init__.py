@@ -1,0 +1,14 @@
+"""S4 — XMI-style XML serialization of models (Section 3 requirement).
+
+The writer serializes a :class:`~repro.metamodel.instances.ModelResource`
+into an XMI-1.2-flavored document; the reader reconstructs a resource given
+the metamodel package(s) the document's elements are typed by.  The dialect
+is self-consistent and round-trip safe (``read(write(m))`` reproduces the
+model up to object identity); byte-compatibility with 2003-era commercial
+tools is a documented non-goal (see DESIGN.md substitutions).
+"""
+
+from repro.xmi.writer import write_xmi, xmi_string
+from repro.xmi.reader import read_xmi, parse_xmi
+
+__all__ = ["write_xmi", "xmi_string", "read_xmi", "parse_xmi"]

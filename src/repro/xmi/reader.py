@@ -1,0 +1,167 @@
+"""XMI reader: XML document → ModelResource.
+
+The reader is metamodel-driven: callers pass the
+:class:`~repro.metamodel.kernel.MetaPackage` (or several) whose metaclasses
+the document's element tags refer to.  Reconstruction happens in two
+passes: first all objects are created with their primitive attributes and
+containment structure, then ``xmi.idref`` reference attributes are
+resolved.  Bidirectional features were written single-sided; the high-level
+mutation API restores the opposite side automatically.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, IO, Iterable, Union
+
+from repro.errors import XmiReadError
+from repro.metamodel.instances import MObject, ModelResource
+from repro.metamodel.kernel import (
+    MetaAttribute,
+    MetaClass,
+    MetaPackage,
+    MetaReference,
+)
+
+
+def decode_any(text: str):
+    """Decode a type-marker-prefixed value written by the XMI writer."""
+    kind, _, payload = text.partition(":")
+    if kind == "str":
+        return payload
+    if kind == "int":
+        return int(payload)
+    if kind == "real":
+        return float(payload)
+    if kind == "bool":
+        return payload == "true"
+    raise XmiReadError(f"unknown Any-type marker in {text!r}")
+
+
+def _decode_plain(feature: MetaAttribute, text: str):
+    type_name = feature.type.name
+    if type_name == "Any":
+        return decode_any(text)
+    if type_name == "Integer":
+        return int(text)
+    if type_name == "Real":
+        return float(text)
+    if type_name == "Boolean":
+        return text == "true"
+    return text  # String and enum literals
+
+
+class _Reader:
+    def __init__(self, packages: Iterable[MetaPackage]):
+        self.classes: Dict[str, MetaClass] = {}
+        for package in packages:
+            for metaclass in package.all_metaclasses():
+                self.classes[metaclass.qualified_name] = metaclass
+        self.by_id: Dict[str, MObject] = {}
+        self.pending_refs = []  # (obj, feature, idref-list)
+
+    def read(self, root: ET.Element) -> ModelResource:
+        if root.tag != "XMI":
+            raise XmiReadError(f"not an XMI document (root tag {root.tag!r})")
+        content = root.find("XMI.content")
+        if content is None:
+            raise XmiReadError("XMI document has no XMI.content element")
+        resource = ModelResource(content.get("name", "model"))
+        for child in content:
+            resource.add_root(self._build_object(child))
+        self._resolve_references()
+        return resource
+
+    def _metaclass_for(self, tag: str) -> MetaClass:
+        try:
+            return self.classes[tag]
+        except KeyError:
+            raise XmiReadError(f"no metaclass {tag!r} in the supplied metamodels") from None
+
+    def _build_object(self, element: ET.Element) -> MObject:
+        metaclass = self._metaclass_for(element.tag)
+        obj = MObject(metaclass)
+        xmi_id = element.get("xmi.id")
+        if xmi_id is None:
+            raise XmiReadError(f"element {element.tag} lacks xmi.id")
+        if xmi_id in self.by_id:
+            raise XmiReadError(f"duplicate xmi.id {xmi_id!r}")
+        self.by_id[xmi_id] = obj
+
+        features = metaclass.all_features()
+        for key, raw in element.attrib.items():
+            if key.startswith("xmi."):
+                continue
+            feature = features.get(key)
+            if feature is None:
+                raise XmiReadError(f"{element.tag} has no feature {key!r}")
+            if isinstance(feature, MetaAttribute):
+                obj.set(key, _decode_plain(feature, raw))
+            else:
+                self.pending_refs.append((obj, feature, raw.split()))
+
+        for child in element:
+            feature = features.get(child.tag)
+            if feature is None:
+                raise XmiReadError(f"{element.tag} has no feature {child.tag!r}")
+            if isinstance(feature, MetaAttribute):
+                raw = child.get("xmi.value")
+                if raw is None:
+                    raise XmiReadError(
+                        f"many-valued attribute element {child.tag} lacks xmi.value"
+                    )
+                value = decode_any(raw) if feature.type.name == "Any" else _decode_plain(feature, raw)
+                if feature.many:
+                    obj.get(feature.name).append(value)
+                else:
+                    obj.set(feature.name, value)
+            elif isinstance(feature, MetaReference) and feature.containment:
+                for grandchild in child:
+                    built = self._build_object(grandchild)
+                    if feature.many:
+                        obj.get(feature.name).append(built)
+                    else:
+                        obj.set(feature.name, built)
+            else:
+                raise XmiReadError(
+                    f"unexpected child element {child.tag!r} under {element.tag}"
+                )
+        return obj
+
+    def _resolve_references(self) -> None:
+        for obj, feature, idrefs in self.pending_refs:
+            for idref in idrefs:
+                target = self.by_id.get(idref)
+                if target is None:
+                    raise XmiReadError(
+                        f"unresolved xmi.idref {idref!r} for "
+                        f"{obj.meta_class.name}.{feature.name}"
+                    )
+                if feature.many:
+                    obj.get(feature.name).append(target)
+                else:
+                    obj.set(feature.name, target)
+
+
+def parse_xmi(text: str, packages) -> ModelResource:
+    """Parse an XMI document string against metamodel ``packages``.
+
+    ``packages`` may be a single :class:`MetaPackage` or an iterable.
+    """
+    if isinstance(packages, MetaPackage):
+        packages = [packages]
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmiReadError(f"malformed XML: {exc}") from exc
+    return _Reader(packages).read(root)
+
+
+def read_xmi(source: Union[str, IO], packages) -> ModelResource:
+    """Read an XMI document from a file path or readable text stream."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source.read()
+    return parse_xmi(text, packages)

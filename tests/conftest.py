@@ -1,0 +1,146 @@
+"""Shared fixtures: a banking PIM (the paper's running-example domain),
+a library metamodel for kernel tests, and wired middleware services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MdaLifecycle, MiddlewareServices
+from repro.metamodel import (
+    STRING,
+    UNBOUNDED,
+    MetamodelBuilder,
+    ModelResource,
+)
+from repro.uml import (
+    add_attribute,
+    add_class,
+    add_operation,
+    add_package,
+    apply_stereotype,
+    ensure_primitives,
+    new_model,
+)
+
+
+@pytest.fixture()
+def library_metamodel():
+    """A small non-UML metamodel exercising every kernel feature."""
+    b = MetamodelBuilder("library")
+    book = b.metaclass("Book")
+    author = b.metaclass("Author")
+    shelf = b.metaclass("Shelf")
+    novel = b.metaclass("Novel", superclasses=[book])
+    b.attribute(book, "title", STRING, lower=1)
+    b.attribute(book, "tags", STRING, upper=UNBOUNDED)
+    b.attribute(author, "name", STRING)
+    b.reference(book, "authors", author, upper=UNBOUNDED, opposite="books")
+    b.reference(author, "books", book, upper=UNBOUNDED)
+    b.reference(shelf, "books", book, upper=UNBOUNDED, containment=True)
+    b.reference(book, "sequel", book)
+    genre = b.enum("Genre", ["fiction", "science", "history"])
+    b.attribute(book, "genre", genre, default="fiction")
+    pkg = b.build()
+    return {
+        "package": pkg,
+        "Book": book,
+        "Author": author,
+        "Shelf": shelf,
+        "Novel": novel,
+        "Genre": genre,
+    }
+
+
+def build_bank_model():
+    """The functional banking PIM with executable operation bodies."""
+    resource, model = new_model("bank")
+    prims = ensure_primitives(model)
+    pkg = add_package(model, "accounts")
+
+    account = add_class(pkg, "Account")
+    add_attribute(account, "number", prims["String"])
+    add_attribute(account, "balance", prims["Real"])
+    deposit = add_operation(
+        account, "deposit", [("amount", prims["Real"])], return_type=prims["Real"]
+    )
+    apply_stereotype(
+        deposit, "PythonBody", body="self.balance += amount\nreturn self.balance"
+    )
+    withdraw = add_operation(
+        account, "withdraw", [("amount", prims["Real"])], return_type=prims["Real"]
+    )
+    apply_stereotype(
+        withdraw,
+        "PythonBody",
+        body=(
+            "if amount > self.balance:\n"
+            "    raise ValueError('insufficient funds')\n"
+            "self.balance -= amount\n"
+            "return self.balance"
+        ),
+    )
+    get_balance = add_operation(account, "getBalance", return_type=prims["Real"])
+    apply_stereotype(get_balance, "PythonBody", body="return self.balance")
+
+    bank = add_class(pkg, "Bank")
+    transfer = add_operation(
+        bank,
+        "transfer",
+        [("source", None), ("target", None), ("amount", prims["Real"])],
+        return_type=prims["Boolean"],
+    )
+    apply_stereotype(
+        transfer,
+        "PythonBody",
+        body="source.withdraw(amount)\ntarget.deposit(amount)\nreturn True",
+    )
+    return resource, model
+
+
+@pytest.fixture()
+def bank_model():
+    return build_bank_model()
+
+
+@pytest.fixture()
+def bank_resource(bank_model):
+    return bank_model[0]
+
+
+@pytest.fixture()
+def services():
+    return MiddlewareServices.create(seed=42)
+
+
+@pytest.fixture()
+def lifecycle(bank_resource, services):
+    return MdaLifecycle(bank_resource, services=services)
+
+
+FULL_BANK_PARAMS = {
+    "distribution": dict(server_classes=["Account"], registry_prefix="bank"),
+    "transactions": dict(
+        transactional_ops=["Bank.transfer", "Account.withdraw", "Account.deposit"],
+        state_classes=["Account"],
+    ),
+    "security": dict(
+        protected_ops=["Bank.transfer"], role_grants={"teller": ["Bank.*"]}
+    ),
+}
+
+
+@pytest.fixture()
+def woven_bank(lifecycle):
+    """The fully refined, generated, and woven banking application."""
+    for concern, params in FULL_BANK_PARAMS.items():
+        lifecycle.apply_concern(concern, **params)
+    module = lifecycle.build_application("bank_app_test")
+    services = lifecycle.services
+    services.credentials.add_user("alice", "pw", roles=["teller"])
+    credential = services.auth.login("alice", "pw")
+    return {
+        "lifecycle": lifecycle,
+        "module": module,
+        "services": services,
+        "credential": credential,
+    }

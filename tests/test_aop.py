@@ -1,0 +1,376 @@
+"""AOP substrate tests: pointcuts, weaving, advice order, precedence (S8/E4)."""
+
+import pytest
+
+from repro.errors import AopError, PointcutSyntaxError, WeavingError
+from repro.aop import (
+    Advice,
+    AdviceKind,
+    Aspect,
+    JoinPoint,
+    JoinPointKind,
+    PrecedenceTable,
+    Weaver,
+    parse_pointcut,
+)
+
+
+def jp(cls="Account", member="withdraw", kind=JoinPointKind.EXECUTION):
+    return JoinPoint(kind, None, cls, member)
+
+
+class TestPointcutLanguage:
+    def test_exact_match(self):
+        assert parse_pointcut("call(Account.withdraw)").matches(jp())
+        assert not parse_pointcut("call(Account.deposit)").matches(jp())
+
+    def test_wildcards(self):
+        assert parse_pointcut("call(Account.*)").matches(jp())
+        assert parse_pointcut("call(*.withdraw)").matches(jp())
+        assert parse_pointcut("call(Acc*.with*)").matches(jp())
+        assert not parse_pointcut("call(Sav*.*)").matches(jp())
+
+    def test_member_only_pattern(self):
+        assert parse_pointcut("call(withdraw)").matches(jp())
+
+    def test_call_and_execution_interchangeable(self):
+        assert parse_pointcut("execution(Account.withdraw)").matches(
+            jp(kind=JoinPointKind.CALL)
+        )
+        assert parse_pointcut("call(Account.withdraw)").matches(
+            jp(kind=JoinPointKind.EXECUTION)
+        )
+
+    def test_get_set_kinds_distinct(self):
+        get_jp = jp(member="balance", kind=JoinPointKind.GET)
+        assert parse_pointcut("get(Account.balance)").matches(get_jp)
+        assert not parse_pointcut("set(Account.balance)").matches(get_jp)
+        assert not parse_pointcut("call(Account.balance)").matches(get_jp)
+
+    def test_within(self):
+        assert parse_pointcut("within(Account)").matches(jp())
+        assert parse_pointcut("within(Acc*)").matches(jp())
+        assert not parse_pointcut("within(Bank)").matches(jp())
+
+    def test_boolean_composition(self):
+        pc = parse_pointcut("call(Account.*) && !call(*.deposit)")
+        assert pc.matches(jp())
+        assert not pc.matches(jp(member="deposit"))
+        pc2 = parse_pointcut("call(A.x) || call(B.y)")
+        assert pc2.matches(jp("A", "x")) and pc2.matches(jp("B", "y"))
+        assert not pc2.matches(jp("A", "y"))
+
+    def test_parentheses(self):
+        pc = parse_pointcut("(call(A.x) || call(B.y)) && within(A)")
+        assert pc.matches(jp("A", "x"))
+        assert not pc.matches(jp("B", "y"))
+
+    def test_operator_overloads(self):
+        a = parse_pointcut("call(A.x)")
+        b = parse_pointcut("call(B.y)")
+        assert (a | b).matches(jp("B", "y"))
+        assert not (a & b).matches(jp("A", "x"))
+        assert (~a).matches(jp("B", "y"))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "call()",
+            "call(A.x",
+            "frobnicate(A.x)",
+            "within(A.x)",
+            "call(A.x) &&",
+            "call(A.x) ^^ call(B.y)",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(PointcutSyntaxError):
+            parse_pointcut(bad)
+
+    def test_pointcut_passthrough(self):
+        pc = parse_pointcut("call(A.x)")
+        assert parse_pointcut(pc) is pc
+
+
+class FakeAccount:
+    def __init__(self, balance=100.0):
+        self.balance = balance
+
+    def deposit(self, amount):
+        self.balance += amount
+        return self.balance
+
+    def withdraw(self, amount):
+        if amount > self.balance:
+            raise ValueError("insufficient")
+        self.balance -= amount
+        return self.balance
+
+
+@pytest.fixture()
+def woven():
+    weaver = Weaver()
+
+    class Account(FakeAccount):
+        pass
+
+    weaver.weave_class(Account, members=["deposit", "withdraw"])
+    return weaver, Account
+
+
+class TestWeaving:
+    def test_no_advice_passthrough(self, woven):
+        _, Account = woven
+        assert Account(10).deposit(5) == 15
+
+    def test_before_after_order(self, woven):
+        weaver, Account = woven
+        log = []
+        aspect = Aspect("t")
+        aspect.add_advice(AdviceKind.BEFORE, "call(Account.*)", lambda j: log.append("before"))
+        aspect.add_advice(AdviceKind.AFTER, "call(Account.*)", lambda j: log.append("after"))
+        weaver.deploy(aspect)
+        Account().deposit(1)
+        assert log == ["before", "after"]
+
+    def test_after_returning_sees_result(self, woven):
+        weaver, Account = woven
+        seen = []
+        aspect = Aspect("t")
+        aspect.add_advice(
+            AdviceKind.AFTER_RETURNING, "call(Account.deposit)", lambda j: seen.append(j.result)
+        )
+        weaver.deploy(aspect)
+        Account(0).deposit(7)
+        assert seen == [7.0]
+
+    def test_after_throwing_sees_exception(self, woven):
+        weaver, Account = woven
+        seen = []
+        aspect = Aspect("t")
+        aspect.add_advice(
+            AdviceKind.AFTER_THROWING,
+            "call(Account.withdraw)",
+            lambda j: seen.append(type(j.exception)),
+        )
+        weaver.deploy(aspect)
+        with pytest.raises(ValueError):
+            Account(0).withdraw(1)
+        assert seen == [ValueError]
+
+    def test_after_runs_on_both_paths(self, woven):
+        weaver, Account = woven
+        count = []
+        aspect = Aspect("t")
+        aspect.add_advice(AdviceKind.AFTER, "call(Account.withdraw)", lambda j: count.append(1))
+        weaver.deploy(aspect)
+        Account(10).withdraw(1)
+        with pytest.raises(ValueError):
+            Account(0).withdraw(1)
+        assert len(count) == 2
+
+    def test_around_can_replace_result(self, woven):
+        weaver, Account = woven
+        aspect = Aspect("t")
+        aspect.add_advice(AdviceKind.AROUND, "call(Account.deposit)", lambda inv: 42)
+        weaver.deploy(aspect)
+        account = Account(0)
+        assert account.deposit(5) == 42
+        assert account.balance == 0  # proceed was never called
+
+    def test_around_can_modify_and_proceed(self, woven):
+        weaver, Account = woven
+        aspect = Aspect("t")
+
+        def double(inv):
+            return inv.proceed() * 2
+
+        aspect.add_advice(AdviceKind.AROUND, "call(Account.deposit)", double)
+        weaver.deploy(aspect)
+        assert Account(0).deposit(5) == 10.0
+
+    def test_proceed_twice_rejected(self, woven):
+        weaver, Account = woven
+        aspect = Aspect("t")
+
+        def bad(inv):
+            inv.proceed()
+            return inv.proceed()
+
+        aspect.add_advice(AdviceKind.AROUND, "call(Account.deposit)", bad)
+        weaver.deploy(aspect)
+        with pytest.raises(AopError):
+            Account(0).deposit(1)
+
+    def test_undeploy_restores_behavior(self, woven):
+        weaver, Account = woven
+        aspect = Aspect("t")
+        aspect.add_advice(AdviceKind.AROUND, "call(Account.deposit)", lambda inv: -1)
+        weaver.deploy(aspect)
+        assert Account(0).deposit(5) == -1
+        weaver.undeploy(aspect)
+        assert Account(0).deposit(5) == 5
+
+    def test_unweave_restores_original(self, woven):
+        weaver, Account = woven
+        weaver.unweave_class(Account)
+        assert not hasattr(Account.deposit, "__repro_woven__")
+        assert Account(0).deposit(5) == 5
+
+    def test_weave_selected_members(self):
+        weaver = Weaver()
+
+        class T:
+            def a(self):
+                return 1
+
+            def b(self):
+                return 2
+
+        weaver.weave_class(T, members=["a"])
+        assert hasattr(T.a, "__repro_woven__")
+        assert not hasattr(T.b, "__repro_woven__")
+
+    def test_weave_unknown_member_rejected(self):
+        weaver = Weaver()
+
+        class T:
+            pass
+
+        with pytest.raises(WeavingError):
+            weaver.weave_class(T, members=["missing"])
+
+    def test_double_weave_is_idempotent(self, woven):
+        weaver, Account = woven
+        count = []
+        aspect = Aspect("t")
+        aspect.add_advice(AdviceKind.BEFORE, "call(Account.deposit)", lambda j: count.append(1))
+        weaver.deploy(aspect)
+        weaver.weave_class(Account)  # second weave must not double-wrap
+        Account(0).deposit(1)
+        assert len(count) == 1
+
+    def test_field_weaving_get_set(self):
+        weaver = Weaver()
+
+        class P:
+            pass
+
+        weaver.weave_field(P, "x")
+        events = []
+        aspect = Aspect("f")
+        aspect.add_advice(AdviceKind.BEFORE, "set(P.x)", lambda j: events.append(("set", j.args[0])))
+        aspect.add_advice(AdviceKind.BEFORE, "get(P.x)", lambda j: events.append(("get",)))
+        weaver.deploy(aspect)
+        p = P()
+        p.x = 3
+        assert p.x == 3
+        assert events == [("set", 3), ("get",)]
+
+    def test_field_set_advice_can_veto(self):
+        weaver = Weaver()
+
+        class P:
+            pass
+
+        weaver.weave_field(P, "x")
+        aspect = Aspect("f")
+
+        def veto(inv):
+            if inv.join_point.args[0] < 0:
+                raise ValueError("negative")
+            return inv.proceed()
+
+        aspect.add_advice(AdviceKind.AROUND, "set(P.x)", veto)
+        weaver.deploy(aspect)
+        p = P()
+        p.x = 1
+        with pytest.raises(ValueError):
+            p.x = -1
+        assert p.x == 1
+
+
+class TestPrecedence:
+    def _make_around(self, name, order):
+        aspect = Aspect(name)
+
+        def around(inv):
+            order.append(f"{name}-in")
+            result = inv.proceed()
+            order.append(f"{name}-out")
+            return result
+
+        aspect.add_advice(AdviceKind.AROUND, "call(T.m)", around)
+        return aspect
+
+    def test_deploy_order_is_nesting_order(self):
+        weaver = Weaver()
+
+        class T:
+            def m(self):
+                return 0
+
+        weaver.weave_class(T)
+        order = []
+        weaver.deploy(self._make_around("A", order))
+        weaver.deploy(self._make_around("B", order))
+        T().m()
+        assert order == ["A-in", "B-in", "B-out", "A-out"]
+
+    def test_explicit_ranks_override_arrival(self):
+        weaver = Weaver()
+
+        class T:
+            def m(self):
+                return 0
+
+        weaver.weave_class(T)
+        order = []
+        weaver.deploy(self._make_around("A", order), rank=5)
+        weaver.deploy(self._make_around("B", order), rank=1)
+        T().m()
+        assert order == ["B-in", "A-in", "A-out", "B-out"]
+
+    def test_before_order_and_after_reversed(self):
+        weaver = Weaver()
+
+        class T:
+            def m(self):
+                return 0
+
+        weaver.weave_class(T)
+        log = []
+        for name in ("first", "second"):
+            aspect = Aspect(name)
+            aspect.add_advice(
+                AdviceKind.BEFORE, "call(T.m)", lambda j, n=name: log.append(f"{n}-before")
+            )
+            aspect.add_advice(
+                AdviceKind.AFTER, "call(T.m)", lambda j, n=name: log.append(f"{n}-after")
+            )
+            weaver.deploy(aspect)
+        T().m()
+        assert log == ["first-before", "second-before", "second-after", "first-after"]
+
+    def test_precedence_table_bookkeeping(self):
+        table = PrecedenceTable()
+        a, b = Aspect("a"), Aspect("b")
+        assert table.deploy(a) == 0
+        assert table.deploy(b) == 1
+        assert table.rank_of(b) == 1
+        assert [name.name for _, name in table.ordered()] == ["a", "b"]
+        assert a in table and len(table) == 2
+        table.undeploy(a)
+        assert a not in table
+        with pytest.raises(WeavingError):
+            table.undeploy(a)
+        with pytest.raises(WeavingError):
+            table.rank_of(a)
+
+    def test_double_deploy_rejected(self):
+        table = PrecedenceTable()
+        a = Aspect("a")
+        table.deploy(a)
+        with pytest.raises(WeavingError):
+            table.deploy(a)

@@ -1,0 +1,125 @@
+"""cflow / cflowbelow pointcut tests (control-flow-sensitive advice)."""
+
+import pytest
+
+from repro.aop import Aspect, Weaver, parse_pointcut
+from repro.aop.pointcut import CflowPointcut
+
+
+class Outer:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def entry(self):
+        return self.inner.work()
+
+    def other(self):
+        return self.inner.work()
+
+
+class Inner:
+    def work(self):
+        return "done"
+
+
+@pytest.fixture()
+def stack():
+    weaver = Weaver()
+
+    class O(Outer):
+        pass
+
+    class I(Inner):
+        pass
+
+    weaver.weave_class(O, members=["entry", "other"])
+    weaver.weave_class(I, members=["work"])
+    return weaver, O, I
+
+
+class TestCflowParsing:
+    def test_parse_cflow(self):
+        pc = parse_pointcut("cflow(Bank.transfer)")
+        assert isinstance(pc, CflowPointcut) and not pc.below
+
+    def test_parse_cflowbelow(self):
+        pc = parse_pointcut("cflowbelow(transfer)")
+        assert isinstance(pc, CflowPointcut) and pc.below
+        assert pc.class_pattern == "*"
+
+
+class TestCflowMatching:
+    def test_advice_only_inside_flow(self, stack):
+        weaver, O, I = stack
+        hits = []
+        aspect = Aspect("flow")
+
+        @aspect.before("call(I.work) && cflow(O.entry)")
+        def inside(jp):
+            hits.append("inside")
+
+        weaver.deploy(aspect)
+        target = O(I())
+        target.entry()
+        assert hits == ["inside"]
+        target.other()  # same call, different flow: no match
+        assert hits == ["inside"]
+        I().work()  # outside any O flow
+        assert hits == ["inside"]
+
+    def test_cflow_includes_matching_frame_itself(self, stack):
+        weaver, O, I = stack
+        hits = []
+        aspect = Aspect("self-flow")
+
+        @aspect.before("cflow(O.entry)")
+        def any_in_flow(jp):
+            hits.append(jp.member_name)
+
+        weaver.deploy(aspect)
+        O(I()).entry()
+        assert hits == ["entry", "work"]
+
+    def test_cflowbelow_excludes_matching_frame(self, stack):
+        weaver, O, I = stack
+        hits = []
+        aspect = Aspect("below")
+
+        @aspect.before("cflowbelow(O.entry)")
+        def below_only(jp):
+            hits.append(jp.member_name)
+
+        weaver.deploy(aspect)
+        O(I()).entry()
+        assert hits == ["work"]
+
+    def test_stack_unwinds_after_exception(self, stack):
+        weaver, O, I = stack
+        from repro.aop.weaver import call_stack
+
+        aspect = Aspect("boom")
+
+        @aspect.before("call(I.work)")
+        def explode(jp):
+            raise RuntimeError("boom")
+
+        weaver.deploy(aspect)
+        with pytest.raises(RuntimeError):
+            O(I()).entry()
+        assert call_stack() == []
+
+    def test_negated_cflow(self, stack):
+        weaver, O, I = stack
+        hits = []
+        aspect = Aspect("not-flow")
+
+        @aspect.before("call(I.work) && !cflow(O.entry)")
+        def outside(jp):
+            hits.append("outside")
+
+        weaver.deploy(aspect)
+        target = O(I())
+        target.entry()
+        assert hits == []
+        target.other()
+        assert hits == ["outside"]

@@ -1,0 +1,128 @@
+"""API-stability tests: exports resolve, errors share one root, misc edges."""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.errors as errors_module
+from repro.errors import ReproError
+
+PACKAGES = [
+    "repro",
+    "repro.metamodel",
+    "repro.uml",
+    "repro.ocl",
+    "repro.xmi",
+    "repro.repository",
+    "repro.transform",
+    "repro.workflow",
+    "repro.aop",
+    "repro.codegen",
+    "repro.middleware",
+    "repro.concerns",
+    "repro.core",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_exports_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_top_level_convenience(self):
+        assert repro.MdaLifecycle and repro.new_model
+
+
+class TestErrorHierarchy:
+    def test_every_library_exception_is_a_repro_error(self):
+        exception_types = [
+            value
+            for value in vars(errors_module).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        assert len(exception_types) > 25
+        for exc_type in exception_types:
+            assert issubclass(exc_type, ReproError), exc_type
+
+    def test_catching_the_root_catches_everything(self):
+        from repro.errors import (
+            AccessDeniedError,
+            DeadlockError,
+            OclSyntaxError,
+            PreconditionViolation,
+            XmiReadError,
+        )
+
+        for exc in (
+            AccessDeniedError("x"),
+            DeadlockError("x"),
+            OclSyntaxError("x"),
+            PreconditionViolation("cond"),
+            XmiReadError("x"),
+        ):
+            with pytest.raises(ReproError):
+                raise exc
+
+    def test_shipping_error_is_repro_error(self):
+        from repro.core import ShippingError
+
+        assert issubclass(ShippingError, ReproError)
+
+
+class TestSmallEdges:
+    def test_mlist_insert_clamps_indices(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        book = Book()
+        book.tags.insert(99, "end")
+        book.tags.insert(-5, "start")
+        assert list(book.tags) == ["start", "end"]
+
+    def test_repository_log_empty(self, bank_resource):
+        from repro.repository import ModelRepository
+
+        assert ModelRepository(bank_resource).log() == []
+
+    def test_parameterset_long_values_truncated_in_name(self):
+        from repro.core import Parameter, ParameterSignature
+
+        signature = ParameterSignature([Parameter("names", str, many=True)])
+        bound = signature.bind(names=[f"VeryLongClassName{i}" for i in range(9)])
+        assert len(bound.render()) < 60
+        assert "..." in bound.render()
+
+    def test_notification_describe_for_roots(self, library_metamodel):
+        from repro.metamodel import ModelResource
+        from repro.metamodel.notifications import NotificationKind
+
+        Shelf = library_metamodel["Shelf"]
+        resource = ModelResource("r")
+        events = []
+        resource.subscribe(events.append)
+        resource.add_root(Shelf())
+        assert events[0].kind is NotificationKind.ADD
+        assert events[0].feature.name == "<roots>"
+
+    def test_weaver_field_unweave_restores_class_attr(self):
+        from repro.aop import Weaver
+
+        class Config:
+            flag = "default"
+
+        weaver = Weaver()
+        weaver.weave_field(Config, "flag")
+        instance = Config()
+        instance.flag = "set"
+        weaver.unweave_class(Config)
+        assert Config.flag == "default"
+
+    def test_wire_size_unknown_type_fallback(self):
+        from repro.middleware.bus import wire_size
+
+        assert wire_size(object()) == 8

@@ -1,0 +1,138 @@
+"""CLI tests: every subcommand end-to-end on real XMI files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.uml import UML, find_element, has_stereotype
+from repro.xmi import read_xmi, write_xmi
+
+from conftest import build_bank_model
+
+
+@pytest.fixture()
+def model_path(tmp_path):
+    resource, _ = build_bank_model()
+    path = str(tmp_path / "bank.xmi")
+    write_xmi(resource, path)
+    return path
+
+
+class TestConcerns:
+    def test_lists_all_builtin_concerns(self, capsys):
+        assert main(["concerns"]) == 0
+        out = capsys.readouterr().out
+        for concern in ("distribution", "transactions", "security", "logging"):
+            assert concern in out
+        assert "server_classes" in out
+
+
+class TestInfo:
+    def test_summary(self, model_path, capsys):
+        assert main(["info", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "model 'bank'" in out
+        assert "classes:    2" in out
+        assert "class Account" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nope/missing.xmi"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid_model(self, model_path, capsys):
+        assert main(["validate", model_path]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+    def test_invalid_model(self, tmp_path, capsys):
+        # a Property requires a name (lower=1); hand-craft a violating doc
+        doc = (
+            '<?xml version="1.0"?><XMI xmi.version="1.2">'
+            '<XMI.content name="bad"><uml.Model xmi.id="m" name="bad">'
+            '<ownedElements><uml.Class xmi.id="c" name="C">'
+            '<attributes><uml.Property xmi.id="p"/></attributes>'
+            "</uml.Class></ownedElements></uml.Model></XMI.content></XMI>"
+        )
+        path = tmp_path / "bad.xmi"
+        path.write_text(doc)
+        assert main(["validate", str(path)]) == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestApply:
+    def test_apply_and_write(self, model_path, tmp_path, capsys):
+        out_path = str(tmp_path / "refined.xmi")
+        params = json.dumps(
+            {"transactional_ops": ["Account.withdraw"], "state_classes": ["Account"]}
+        )
+        code = main(
+            [
+                "apply",
+                model_path,
+                "--concern",
+                "transactions",
+                "--params",
+                params,
+                "--out",
+                out_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied T_transactions" in out
+        assert "transactions" in out
+        refined = read_xmi(out_path, UML.package)
+        withdraw = find_element(refined.roots[0], "accounts.Account.withdraw")
+        assert has_stereotype(withdraw, "Transactional")
+
+    def test_bad_params_json(self, model_path, capsys):
+        assert (
+            main(["apply", model_path, "--concern", "logging", "--params", "{bad"])
+            == 2
+        )
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_precondition_failure_reported(self, model_path, capsys):
+        params = json.dumps(
+            {"transactional_ops": ["Ghost.op"], "state_classes": ["Account"]}
+        )
+        code = main(
+            ["apply", model_path, "--concern", "transactions", "--params", params]
+        )
+        assert code == 1
+        assert "precondition" in capsys.readouterr().err.lower()
+
+    def test_unknown_concern(self, model_path, capsys):
+        assert main(["apply", model_path, "--concern", "ghost"]) == 1
+        assert "no generic transformation" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_source_to_stdout(self, model_path, capsys):
+        assert main(["generate", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "class Account" in out and "def withdraw" in out
+
+    def test_source_to_file_is_executable(self, model_path, tmp_path):
+        out_path = tmp_path / "app.py"
+        assert main(["generate", model_path, "--out", str(out_path)]) == 0
+        namespace = {}
+        exec(compile(out_path.read_text(), "app.py", "exec"), namespace)
+        account = namespace["Account"](balance=5.0)
+        assert account.deposit(1.0) == 6.0
+
+
+class TestFingerprint:
+    def test_stable_across_export(self, model_path, tmp_path, capsys):
+        assert main(["fingerprint", model_path]) == 0
+        first = capsys.readouterr().out
+        # re-export the same model; uuids change, fingerprint must not
+        resource = read_xmi(model_path, UML.package)
+        second_path = str(tmp_path / "again.xmi")
+        write_xmi(resource, second_path)
+        assert main(["fingerprint", second_path]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "Account" in first

@@ -1,0 +1,221 @@
+"""Code generation tests: functional backend and aspect backend (S9 / E14)."""
+
+import enum
+
+import pytest
+
+from repro.codegen import (
+    CodeWriter,
+    compile_aspect,
+    compile_model,
+    generate_aspect_module,
+    generate_module,
+)
+from repro.core.registry import default_registry
+from repro.errors import CodegenError
+from repro.uml import (
+    add_attribute,
+    add_class,
+    add_operation,
+    add_package,
+    apply_stereotype,
+    ensure_primitives,
+    new_model,
+)
+
+
+class TestCodeWriter:
+    def test_indentation_blocks(self):
+        w = CodeWriter()
+        with w.block("class A:"):
+            w.line("x = 1")
+            with w.block("def m(self):"):
+                w.line("return self.x")
+        text = w.render()
+        assert "class A:\n    x = 1\n    def m(self):\n        return self.x\n" == text
+
+    def test_lines_reindents(self):
+        w = CodeWriter()
+        with w.block("def f():"):
+            w.lines("a = 1\nreturn a")
+        assert w.render() == "def f():\n    a = 1\n    return a\n"
+
+    def test_blank_lines_stay_blank(self):
+        w = CodeWriter()
+        with w.block("def f():"):
+            w.line()
+            w.line("pass")
+        assert "\n\n    pass" in w.render()
+
+
+class TestFunctionalBackend:
+    def test_bank_module_compiles_and_runs(self, bank_model):
+        _, model = bank_model
+        module = compile_model(model, "codegen_bank")
+        account = module.Account(balance=10.0)
+        assert account.deposit(5.0) == 15.0
+        assert account.withdraw(3.0) == 12.0
+        with pytest.raises(ValueError):
+            account.withdraw(99.0)
+
+    def test_defaults_by_type(self, bank_model):
+        _, model = bank_model
+        module = compile_model(model, "codegen_defaults")
+        account = module.Account()
+        assert account.number == "" and account.balance == 0.0
+
+    def test_inheritance_order(self):
+        res, model = new_model("m")
+        prims = ensure_primitives(model)
+        pkg = add_package(model, "p")
+        # declare subclass before superclass to force topological sorting
+        base = add_class(pkg, "Base")
+        add_attribute(base, "x", prims["Integer"])
+        sub = add_class(pkg, "Sub", superclasses=[base])
+        add_attribute(sub, "y", prims["Integer"])
+        model.ownedElements  # keep order as-is
+        module = compile_model(model, "codegen_inherit")
+        obj = module.Sub(x=1, y=2)
+        assert (obj.x, obj.y) == (1, 2)
+        assert issubclass(module.Sub, module.Base)
+
+    def test_enumerations_generated(self):
+        from repro.uml.metamodel import UML
+
+        res, model = new_model("m")
+        pkg = add_package(model, "p")
+        enum_el = UML.Enumeration(name="Color")
+        for lit in ("RED", "GREEN"):
+            enum_el.literals.append(UML.EnumerationLiteral(name=lit))
+        pkg.ownedElements.append(enum_el)
+        cls = add_class(pkg, "Shape")
+        prop = UML.Property(name="color")
+        prop.type = enum_el
+        cls.attributes.append(prop)
+        module = compile_model(model, "codegen_enum")
+        assert issubclass(module.Color, enum.Enum)
+        assert module.Shape().color is module.Color.RED
+
+    def test_abstract_operation_raises(self):
+        res, model = new_model("m")
+        cls = add_class(add_package(model, "p"), "A")
+        add_operation(cls, "todo", abstract=True)
+        module = compile_model(model, "codegen_abs")
+        with pytest.raises(NotImplementedError):
+            module.A().todo()
+
+    def test_bodyless_operation_raises(self):
+        res, model = new_model("m")
+        cls = add_class(add_package(model, "p"), "A")
+        add_operation(cls, "mystery")
+        module = compile_model(model, "codegen_nobody")
+        with pytest.raises(NotImplementedError):
+            module.A().mystery()
+
+    def test_generated_stereotype_skipped(self):
+        res, model = new_model("m")
+        pkg = add_package(model, "p")
+        add_class(pkg, "Keep")
+        infra = add_class(pkg, "Broker")
+        apply_stereotype(infra, "Generated", by="distribution")
+        source = generate_module(model)
+        assert "class Keep" in source and "class Broker" not in source
+
+    def test_bad_identifier_rejected(self):
+        res, model = new_model("m")
+        add_class(add_package(model, "p"), "Not A Name")
+        with pytest.raises(CodegenError):
+            generate_module(model)
+
+    def test_keyword_rejected(self):
+        res, model = new_model("m")
+        add_class(add_package(model, "p"), "class")
+        with pytest.raises(CodegenError):
+            generate_module(model)
+
+    def test_inheritance_cycle_detected(self):
+        res, model = new_model("m")
+        pkg = add_package(model, "p")
+        a = add_class(pkg, "A")
+        b = add_class(pkg, "B")
+        # force a cycle at the UML level (kernel allows it; codegen must not)
+        a.superclasses.append(b)
+        b.superclasses.append(a)
+        with pytest.raises(CodegenError):
+            generate_module(model)
+
+    def test_source_attached_to_module(self, bank_model):
+        _, model = bank_model
+        module = compile_model(model, "codegen_src")
+        assert "class Account" in module.__source__
+
+    def test_multivalued_attribute_defaults_to_list(self):
+        from repro.metamodel import UNBOUNDED
+
+        res, model = new_model("m")
+        prims = ensure_primitives(model)
+        cls = add_class(add_package(model, "p"), "Box")
+        add_attribute(cls, "items", prims["String"], lower=0, upper=UNBOUNDED)
+        module = compile_model(model, "codegen_many")
+        assert module.Box().items == []
+
+
+class TestAspectBackend:
+    @pytest.fixture()
+    def concrete_aspect(self):
+        registry = default_registry()
+        gmt = registry.get("transactions")
+        cmt = gmt.specialize(
+            transactional_ops=["Account.withdraw"], state_classes=["Account"]
+        )
+        return cmt.derive_aspect()
+
+    def test_generated_source_shape(self, concrete_aspect):
+        source = generate_aspect_module(concrete_aspect)
+        assert "from repro.concerns.transactions.aspect import build" in source
+        assert "'transactional_ops': ['Account.withdraw']" in source
+        assert "def build_aspect(services):" in source
+        compile(source, "ca", "exec")
+
+    def test_compiled_aspect_builds_runtime_aspect(self, concrete_aspect, services):
+        module = compile_aspect(concrete_aspect, "gen_ca")
+        aspect = module.build_aspect(services)
+        assert aspect.name == module.ASPECT_NAME
+        assert aspect.advices  # the around advice exists
+
+    def test_parameters_are_literals(self, concrete_aspect):
+        import ast
+
+        source = generate_aspect_module(concrete_aspect)
+        tree = ast.parse(source)
+        assigns = {
+            t.targets[0].id: t.value
+            for t in tree.body
+            if isinstance(t, ast.Assign) and isinstance(t.targets[0], ast.Name)
+        }
+        params = ast.literal_eval(assigns["PARAMETERS"])
+        assert params["state_classes"] == ["Account"]
+
+    def test_missing_factory_ref_rejected(self, services):
+        from repro.aop import Aspect
+        from repro.core import Concern, GenericAspect, GenericTransformation, ParameterSignature
+
+        sig = ParameterSignature()
+        ga = GenericAspect("A_x", sig, lambda p, s: Aspect("x"))  # no factory_ref
+        gmt = GenericTransformation("T_x", Concern("x"), sig)
+        gmt.associate_aspect(ga)
+        ca = gmt.specialize().derive_aspect()
+        with pytest.raises(CodegenError):
+            generate_aspect_module(ca)
+
+    def test_unrepresentable_parameter_rejected(self):
+        from repro.aop import Aspect
+        from repro.core import Concern, GenericAspect, GenericTransformation, Parameter, ParameterSignature
+
+        sig = ParameterSignature([Parameter("fn", object)])
+        ga = GenericAspect("A_y", sig, lambda p, s: Aspect("y"), factory_ref="a.b:c")
+        gmt = GenericTransformation("T_y", Concern("y"), sig)
+        gmt.associate_aspect(ga)
+        ca = gmt.specialize(fn=lambda: None).derive_aspect()
+        with pytest.raises(CodegenError):
+            generate_aspect_module(ca)

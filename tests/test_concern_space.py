@@ -1,0 +1,55 @@
+"""Concern and ConcernSpace behaviour (the viewpoint side of Fig. 1)."""
+
+import pytest
+
+from repro.core import Concern
+from repro.errors import TransformationError
+from repro.ocl.evaluator import types_from_package
+from repro.uml import UML, find_element
+
+TYPES = types_from_package(UML.package)
+
+
+class TestConcernSpace:
+    def test_no_viewpoint_yields_empty_space(self, bank_resource):
+        concern = Concern("blank")
+        space = concern.concern_space(bank_resource, TYPES)
+        assert len(space) == 0
+        assert space.names() == []
+
+    def test_viewpoint_selects_elements(self, bank_resource):
+        concern = Concern(
+            "ops",
+            viewpoint="Class.allInstances()->collect(c | c.operations)",
+        )
+        space = concern.concern_space(bank_resource, TYPES)
+        assert "withdraw" in space.names()
+        assert len(space) == 4  # deposit, withdraw, getBalance, transfer
+
+    def test_viewpoint_with_parameters(self, bank_resource):
+        concern = Concern(
+            "subset",
+            viewpoint="Class.allInstances()->select(c | picks->includes(c.name))",
+        )
+        space = concern.concern_space(bank_resource, TYPES, {"picks": ["Bank"]})
+        bank = find_element(bank_resource.roots[0], "accounts.Bank")
+        assert bank in space
+        account = find_element(bank_resource.roots[0], "accounts.Account")
+        assert account not in space
+
+    def test_scalar_viewpoint_rejected(self, bank_resource):
+        concern = Concern("bad", viewpoint="1 + 1")
+        with pytest.raises(TransformationError):
+            concern.concern_space(bank_resource, TYPES)
+
+    def test_non_object_results_filtered(self, bank_resource):
+        concern = Concern(
+            "names", viewpoint="Class.allInstances()->collect(c | c.name)"
+        )
+        space = concern.concern_space(bank_resource, TYPES)
+        assert len(space) == 0  # strings are not model elements
+
+    def test_iteration_protocol(self, bank_resource):
+        concern = Concern("all", viewpoint="Class.allInstances()")
+        space = concern.concern_space(bank_resource, TYPES)
+        assert [e.name for e in space] == ["Account", "Bank"]

@@ -1,0 +1,326 @@
+"""Concern library tests (S11): each GMT's refinement + each GA's behaviour."""
+
+import pytest
+
+from repro.core.registry import default_registry
+from repro.errors import (
+    AccessDeniedError,
+    AuthenticationError,
+    PreconditionViolation,
+)
+from repro.metamodel import validate
+from repro.ocl.evaluator import types_from_package
+from repro.repository import ModelRepository
+from repro.transform import TransformationEngine
+from repro.uml import (
+    UML,
+    classes_of,
+    find_element,
+    get_tag,
+    has_stereotype,
+    owned_elements,
+)
+
+TYPES = types_from_package(UML.package)
+
+
+@pytest.fixture()
+def registry():
+    return default_registry()
+
+
+@pytest.fixture()
+def engine(bank_resource):
+    return TransformationEngine(ModelRepository(bank_resource))
+
+
+class TestDistributionTransformation:
+    def test_refinement_artifacts(self, registry, engine, bank_resource):
+        cmt = registry.get("distribution").specialize(
+            server_classes=["Account"], registry_prefix="bank"
+        )
+        engine.apply(cmt)
+        model = bank_resource.roots[0]
+        account = find_element(model, "accounts.Account")
+        assert has_stereotype(account, "Remote")
+        assert get_tag(account, "Remote", "registryName") == "bank/Account"
+        interface = find_element(model, "middleware.IAccount")
+        assert interface.isinstance_of(UML.Interface)
+        assert {o.name for o in interface.operations} == {
+            "deposit",
+            "withdraw",
+            "getBalance",
+        }
+        proxy = find_element(model, "middleware.Account_Proxy")
+        assert has_stereotype(proxy, "Proxy")
+        assert interface in account.interfaces
+        find_element(model, "middleware.NamingServiceBroker")
+        assert validate(bank_resource) == []
+
+    def test_concern_space_matches_parameters(self, registry, bank_resource):
+        cmt = registry.get("distribution").specialize(server_classes=["Account"])
+        space = cmt.concern_space(bank_resource, TYPES)
+        assert space.names() == ["Account"]
+
+    def test_unknown_class_precondition(self, registry, engine):
+        cmt = registry.get("distribution").specialize(server_classes=["Ghost"])
+        with pytest.raises(PreconditionViolation):
+            engine.apply(cmt)
+
+    def test_double_application_precondition(self, registry, engine):
+        gmt = registry.get("distribution")
+        engine.apply(gmt.specialize(server_classes=["Account"]))
+        with pytest.raises(PreconditionViolation):
+            engine.apply(gmt.specialize(server_classes=["Account"]))
+
+    def test_operationless_class_precondition(self, registry, engine, bank_resource):
+        from repro.uml import add_class
+
+        pkg = find_element(bank_resource.roots[0], "accounts")
+        add_class(pkg, "Marker")
+        cmt = registry.get("distribution").specialize(server_classes=["Marker"])
+        with pytest.raises(PreconditionViolation):
+            engine.apply(cmt)
+
+
+class TestDistributionAspect:
+    def test_calls_routed_through_orb(self, registry, services):
+        ca = registry.get("distribution").specialize(
+            server_classes=["Account"], registry_prefix="svc"
+        ).derive_aspect()
+
+        class Account:
+            def __init__(self, balance):
+                self.balance = balance
+
+            def deposit(self, amount):
+                self.balance += amount
+                return self.balance
+
+        services.weaver.weave_class(Account)
+        services.weaver.deploy(ca.build(services))
+        account = Account(0.0)
+        assert account.deposit(10.0) == 10.0
+        assert services.bus.messages_delivered == 1
+        assert services.naming.list("svc")  # bound in the naming service
+
+    def test_pass_by_value_through_weaving(self, registry, services):
+        ca = registry.get("distribution").specialize(
+            server_classes=["Inbox"]
+        ).derive_aspect()
+
+        class Inbox:
+            def __init__(self):
+                self.all = []
+
+            def push(self, items):
+                items.append("server-side")
+                self.all.extend(items)
+                return len(self.all)
+
+        services.weaver.weave_class(Inbox)
+        services.weaver.deploy(ca.build(services))
+        inbox = Inbox()
+        mine = ["a"]
+        inbox.push(mine)
+        assert mine == ["a"]  # caller's list untouched: marshalled copy
+
+    def test_empty_parameters_make_noop_aspect(self, registry, services):
+        ca = registry.get("distribution").specialize(server_classes=[]).derive_aspect()
+        aspect = ca.build(services)
+        assert aspect.advices == []
+
+
+class TestTransactionsTransformation:
+    def test_refinement_artifacts(self, registry, engine, bank_resource):
+        cmt = registry.get("transactions").specialize(
+            transactional_ops=["Account.withdraw", "Bank.transfer"],
+            state_classes=["Account"],
+            isolation="read-committed",
+        )
+        engine.apply(cmt)
+        model = bank_resource.roots[0]
+        withdraw = find_element(model, "accounts.Account.withdraw")
+        assert get_tag(withdraw, "Transactional", "isolation") == "read-committed"
+        account = find_element(model, "accounts.Account")
+        assert has_stereotype(account, "TransactionalState")
+        find_element(model, "middleware.TransactionManagerBroker")
+        deps = [
+            e
+            for e in owned_elements(model)
+            if e.isinstance_of(UML.Dependency) and e.kind == "uses"
+        ]
+        assert {d.client.name for d in deps} == {"Account", "Bank"}
+        assert validate(bank_resource) == []
+
+    def test_missing_operation_precondition(self, registry, engine):
+        cmt = registry.get("transactions").specialize(
+            transactional_ops=["Account.explode"], state_classes=["Account"]
+        )
+        with pytest.raises(PreconditionViolation):
+            engine.apply(cmt)
+
+    def test_unknown_state_class_precondition(self, registry, engine):
+        cmt = registry.get("transactions").specialize(
+            transactional_ops=["Account.withdraw"], state_classes=["Ghost"]
+        )
+        with pytest.raises(PreconditionViolation):
+            engine.apply(cmt)
+
+
+class TestTransactionsAspect:
+    @pytest.fixture()
+    def woven_counter(self, registry, services):
+        ca = registry.get("transactions").specialize(
+            transactional_ops=["Wallet.spend", "Wallet.transfer_all"],
+            state_classes=["Wallet"],
+        ).derive_aspect()
+
+        class Wallet:
+            def __init__(self, coins):
+                self.coins = coins
+
+            def spend(self, n):
+                if n > self.coins:
+                    raise ValueError("broke")
+                self.coins -= n
+                return self.coins
+
+            def transfer_all(self, other):
+                other.coins += self.coins
+                self.coins = 0
+                other.audit()  # does not exist -> raises AttributeError
+                return True
+
+        services.weaver.weave_class(Wallet)
+        services.weaver.deploy(ca.build(services))
+        return Wallet, services
+
+    def test_commit_on_success(self, woven_counter):
+        Wallet, services = woven_counter
+        wallet = Wallet(10)
+        assert wallet.spend(4) == 6
+        assert services.transactions.commits == 1
+
+    def test_rollback_restores_state(self, woven_counter):
+        Wallet, services = woven_counter
+        wallet = Wallet(3)
+        with pytest.raises(ValueError):
+            wallet.spend(5)
+        assert wallet.coins == 3
+        assert services.transactions.aborts == 1
+
+    def test_multi_object_atomicity(self, woven_counter):
+        Wallet, services = woven_counter
+        a, b = Wallet(7), Wallet(1)
+        with pytest.raises(AttributeError):
+            a.transfer_all(b)
+        # both wallets restored even though b was already credited
+        assert (a.coins, b.coins) == (7, 1)
+
+
+class TestSecurityTransformation:
+    def test_refinement_artifacts(self, registry, engine, bank_resource):
+        cmt = registry.get("security").specialize(
+            protected_ops=["Bank.transfer"],
+            role_grants={"teller": ["Bank.*"]},
+        )
+        engine.apply(cmt)
+        model = bank_resource.roots[0]
+        transfer = find_element(model, "accounts.Bank.transfer")
+        assert get_tag(transfer, "Secured", "resource") == "Bank.transfer"
+        bank = find_element(model, "accounts.Bank")
+        assert has_stereotype(bank, "AccessControlled")
+        find_element(model, "middleware.AccessControllerBroker")
+        assert validate(bank_resource) == []
+
+    def test_missing_operation_precondition(self, registry, engine):
+        cmt = registry.get("security").specialize(protected_ops=["Ghost.nothing"])
+        with pytest.raises(PreconditionViolation):
+            engine.apply(cmt)
+
+
+class TestSecurityAspect:
+    @pytest.fixture()
+    def guarded(self, registry, services):
+        ca = registry.get("security").specialize(
+            protected_ops=["Vault.open"],
+            role_grants={"manager": ["Vault.*"]},
+        ).derive_aspect()
+
+        class Vault:
+            def open(self):
+                return "gold"
+
+            def describe(self):
+                return "a vault"
+
+        services.weaver.weave_class(Vault)
+        services.weaver.deploy(ca.build(services))
+        services.credentials.add_user("boss", "pw", roles=["manager"])
+        services.credentials.add_user("intern", "pw", roles=["visitor"])
+        return Vault, services
+
+    def test_anonymous_denied(self, guarded):
+        Vault, _ = guarded
+        with pytest.raises(AuthenticationError):
+            Vault().open()
+
+    def test_authorized_role_allowed(self, guarded):
+        Vault, services = guarded
+        cred = services.auth.login("boss", "pw")
+        with services.orb.call_context(credentials=cred.token):
+            assert Vault().open() == "gold"
+
+    def test_wrong_role_denied_and_audited(self, guarded):
+        Vault, services = guarded
+        cred = services.auth.login("intern", "pw")
+        with services.orb.call_context(credentials=cred.token):
+            with pytest.raises(AccessDeniedError):
+                Vault().open()
+        assert services.audit.denials()
+
+    def test_unprotected_operation_open(self, guarded):
+        Vault, _ = guarded
+        assert Vault().describe() == "a vault"
+
+
+class TestLoggingConcern:
+    def test_transformation_marks_operations(self, registry, engine, bank_resource):
+        cmt = registry.get("logging").specialize(log_patterns=["Account.*"])
+        engine.apply(cmt)
+        withdraw = find_element(bank_resource.roots[0], "accounts.Account.withdraw")
+        assert get_tag(withdraw, "Logged", "level") == "info"
+
+    def test_no_match_postcondition_fails(self, registry, engine):
+        from repro.errors import PostconditionViolation
+
+        cmt = registry.get("logging").specialize(log_patterns=["Nothing.*"])
+        with pytest.raises(PostconditionViolation):
+            engine.apply(cmt)
+
+    def test_aspect_records_entry_exit(self, registry, services):
+        ca = registry.get("logging").specialize(
+            log_patterns=["Greeter.*"], level="debug"
+        ).derive_aspect()
+
+        class Greeter:
+            def hello(self):
+                return "hi"
+
+            def fail(self):
+                raise RuntimeError("x")
+
+        services.weaver.weave_class(Greeter)
+        aspect = ca.build(services)
+        services.weaver.deploy(aspect)
+        greeter = Greeter()
+        greeter.hello()
+        with pytest.raises(RuntimeError):
+            greeter.fail()
+        assert aspect.records == [
+            ("debug", "enter", "Greeter.hello"),
+            ("debug", "return", "Greeter.hello"),
+            ("debug", "enter", "Greeter.fail"),
+            ("debug", "raise", "Greeter.fail"),
+        ]

@@ -1,0 +1,247 @@
+"""Core tests: parameters (Si), GMT/CMT, GA/CA, shared specialization (Fig. 1)."""
+
+import pytest
+
+from repro.aop import Aspect
+from repro.core import (
+    Concern,
+    ConcernRegistry,
+    GenericAspect,
+    GenericTransformation,
+    Parameter,
+    ParameterSignature,
+)
+from repro.core.aspect_generator import generate_concrete_aspect
+from repro.core.precedence import AspectDeploymentPlan
+from repro.errors import (
+    ParameterError,
+    SpecializationError,
+    TransformationError,
+    WeavingError,
+)
+from repro.ocl.evaluator import types_from_package
+from repro.uml import UML
+
+TYPES = types_from_package(UML.package)
+
+
+class TestParameters:
+    def test_scalar_binding_and_defaults(self):
+        sig = ParameterSignature()
+        sig.declare("host", type=str)
+        sig.declare("port", type=int, required=False, default=80)
+        bound = sig.bind(host="x")
+        assert bound["host"] == "x" and bound["port"] == 80
+
+    def test_missing_required(self):
+        sig = ParameterSignature([Parameter("must", str)])
+        with pytest.raises(ParameterError):
+            sig.bind()
+
+    def test_unknown_parameter_rejected(self):
+        sig = ParameterSignature()
+        with pytest.raises(ParameterError):
+            sig.bind(ghost=1)
+
+    def test_type_checked(self):
+        sig = ParameterSignature([Parameter("n", int)])
+        with pytest.raises(ParameterError):
+            sig.bind(n="not-an-int")
+
+    def test_many_parameters(self):
+        sig = ParameterSignature([Parameter("names", str, many=True)])
+        assert sig.bind(names=["a", "b"])["names"] == ["a", "b"]
+        with pytest.raises(ParameterError):
+            sig.bind(names="a")
+        with pytest.raises(ParameterError):
+            sig.bind(names=[1])
+
+    def test_many_default_empty_list(self):
+        sig = ParameterSignature(
+            [Parameter("names", str, many=True, required=False)]
+        )
+        assert sig.bind()["names"] == []
+
+    def test_choices(self):
+        sig = ParameterSignature([Parameter("mode", str, choices=("a", "b"))])
+        assert sig.bind(mode="a")["mode"] == "a"
+        with pytest.raises(ParameterError):
+            sig.bind(mode="c")
+
+    def test_validator(self):
+        sig = ParameterSignature(
+            [Parameter("n", int, validator=lambda v: v > 0)]
+        )
+        assert sig.bind(n=3)["n"] == 3
+        with pytest.raises(ParameterError):
+            sig.bind(n=-1)
+
+    def test_duplicate_declaration_rejected(self):
+        sig = ParameterSignature()
+        sig.declare("x")
+        with pytest.raises(ParameterError):
+            sig.declare("x")
+
+    def test_render_and_equality(self):
+        sig = ParameterSignature([Parameter("a", int), Parameter("b", str)])
+        s1 = sig.bind(a=1, b="x")
+        s2 = sig.bind(a=1, b="x")
+        s3 = sig.bind(a=2, b="x")
+        assert s1 == s2 and s1 != s3
+        assert hash(s1) == hash(s2)
+        assert s1.render() == "<a=1, b=x>"
+
+    def test_getitem_and_get(self):
+        sig = ParameterSignature([Parameter("a", int)])
+        bound = sig.bind(a=1)
+        assert bound["a"] == 1
+        assert bound.get("nope", 9) == 9
+        with pytest.raises(ParameterError):
+            bound["nope"]
+
+
+def _square():
+    """A tiny GMT/GA pair sharing one signature."""
+    concern = Concern("observability", viewpoint="Class.allInstances()")
+    sig = ParameterSignature([Parameter("tag", str)])
+    gmt = GenericTransformation("T_obs", concern, sig)
+
+    @gmt.rule("noop")
+    def _noop(ctx):
+        pass
+
+    built = {}
+
+    def factory(params, services):
+        aspect = Aspect("A_obs")
+        built["params"] = params
+        return aspect
+
+    ga = GenericAspect("A_obs", sig, factory, factory_ref="x.y:factory")
+    gmt.associate_aspect(ga)
+    return gmt, ga, built
+
+
+class TestFig1Square:
+    def test_association_is_bidirectional(self):
+        gmt, ga, _ = _square()
+        assert gmt.generic_aspect is ga
+        assert ga.generic_transformation is gmt
+
+    def test_reassociation_rejected(self):
+        gmt, ga, _ = _square()
+        other = GenericAspect("other", gmt.signature, lambda p, s: Aspect("x"))
+        with pytest.raises(SpecializationError):
+            gmt.associate_aspect(other)
+
+    def test_specialize_names(self):
+        gmt, ga, _ = _square()
+        cmt = gmt.specialize(tag="audit")
+        assert cmt.name == "T_obs<tag=audit>"
+        assert cmt.concern == "observability"
+        assert cmt.parameters == {"tag": "audit"}
+
+    def test_same_si_specializes_both_sides(self):
+        gmt, ga, _ = _square()
+        cmt = gmt.specialize(tag="audit")
+        ca = generate_concrete_aspect(cmt)
+        assert ca.parameter_set is cmt.parameter_set
+        assert ca.name == "A_obs<tag=audit>"
+
+    def test_aspect_without_association_rejected(self):
+        concern = Concern("lonely")
+        gmt = GenericTransformation("T_l", concern, ParameterSignature())
+        with pytest.raises(SpecializationError):
+            gmt.specialize().derive_aspect()
+
+    def test_foreign_parameter_set_rejected(self):
+        gmt, ga, _ = _square()
+        other_sig = ParameterSignature([Parameter("tag", str)])
+        foreign = other_sig.bind(tag="x")
+        with pytest.raises(SpecializationError):
+            gmt.specialize(foreign)
+        with pytest.raises(SpecializationError):
+            ga.specialize(foreign)
+
+    def test_both_set_and_values_rejected(self):
+        gmt, _, _ = _square()
+        bound = gmt.signature.bind(tag="x")
+        with pytest.raises(SpecializationError):
+            gmt.specialize(bound, tag="y")
+
+    def test_ca_build_passes_si_and_caches(self, services):
+        gmt, ga, built = _square()
+        ca = gmt.specialize(tag="audit").derive_aspect()
+        aspect = ca.build(services)
+        assert built["params"] == {"tag": "audit"}
+        assert aspect.name == "A_obs<tag=audit>"
+        assert ca.build(services) is aspect
+
+    def test_concern_space_uses_si(self, bank_resource):
+        concern = Concern(
+            "picky",
+            viewpoint="Class.allInstances()->select(c | picks->includes(c.name))",
+        )
+        sig = ParameterSignature([Parameter("picks", str, many=True)])
+        gmt = GenericTransformation("T_p", concern, sig)
+        cmt = gmt.specialize(picks=["Bank"])
+        space = cmt.concern_space(bank_resource, TYPES)
+        assert space.names() == ["Bank"]
+        assert len(space) == 1
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ConcernRegistry()
+        gmt, _, _ = _square()
+        registry.register(gmt)
+        assert registry.get("observability") is gmt
+        assert "observability" in registry
+        assert registry.concerns() == ["observability"]
+
+    def test_duplicate_concern_rejected(self):
+        registry = ConcernRegistry()
+        gmt, _, _ = _square()
+        registry.register(gmt)
+        gmt2, _, _ = _square()
+        with pytest.raises(TransformationError):
+            registry.register(gmt2)
+
+    def test_unknown_concern(self):
+        with pytest.raises(TransformationError):
+            ConcernRegistry().get("ghost")
+
+    def test_default_registry_has_builtins(self):
+        from repro.core.registry import default_registry
+
+        registry = default_registry()
+        assert set(registry.concerns()) == {
+            "distribution",
+            "transactions",
+            "security",
+            "logging",
+            "platform",
+            "platform-abstraction",
+        }
+
+
+class TestDeploymentPlan:
+    def test_ranks_follow_addition_order(self, services):
+        gmt, _, _ = _square()
+        plan = AspectDeploymentPlan()
+        ca1 = gmt.specialize(tag="one").derive_aspect()
+        gmt2, _, _ = _square()
+        ca2 = gmt2.specialize(tag="two").derive_aspect()
+        assert plan.add(ca1) == 0
+        assert plan.add(ca2) == 1
+        plan.deploy(services.weaver, services)
+        assert (ca1.rank, ca2.rank) == (0, 1)
+        assert len(plan) == 2
+        assert plan.order() == ["A_obs<tag=one>", "A_obs<tag=two>"]
+
+    def test_plan_locked_after_deploy(self, services):
+        plan = AspectDeploymentPlan()
+        plan.deploy(services.weaver, services)
+        gmt, _, _ = _square()
+        with pytest.raises(WeavingError):
+            plan.add(gmt.specialize(tag="late").derive_aspect())

@@ -1,0 +1,94 @@
+"""Failure-injection integration tests: invariants under injected faults.
+
+The strongest whole-stack property: under randomized transport and
+prepare-phase faults, the woven bank never loses or creates money —
+every failed transfer leaves both accounts exactly as they were.
+"""
+
+import pytest
+
+from repro.errors import MiddlewareError, ReproError
+
+from conftest import FULL_BANK_PARAMS, build_bank_model
+
+
+def _build_app(seed):
+    from repro.core import MdaLifecycle, MiddlewareServices
+
+    resource, _ = build_bank_model()
+    services = MiddlewareServices.create(seed=seed)
+    lifecycle = MdaLifecycle(resource, services=services)
+    for concern, params in FULL_BANK_PARAMS.items():
+        lifecycle.apply_concern(concern, **params)
+    module = lifecycle.build_application(f"faulty_bank_{seed}")
+    services.credentials.add_user("alice", "pw", roles=["teller"])
+    credential = services.auth.login("alice", "pw")
+    return module, services, credential
+
+
+class TestMoneyConservation:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_transport_faults_never_lose_money(self, seed):
+        module, services, credential = _build_app(seed)
+        services.faults.configure("bus.deliver", 0.15)
+        bank = module.Bank()
+        a = module.Account(balance=500.0)
+        b = module.Account(balance=500.0)
+        failures = 0
+        for i in range(60):
+            total_before = a.balance + b.balance
+            try:
+                with services.orb.call_context(credentials=credential.token):
+                    bank.transfer(a, b, 1.0)
+            except ReproError:
+                failures += 1
+                # the failed transfer must be atomic
+                assert a.balance + b.balance == total_before
+        assert a.balance + b.balance == 1000.0
+        assert failures > 0, "fault injection never fired at 15% over 60 calls"
+        assert services.faults.injected.get("bus.deliver", 0) >= failures
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_prepare_faults_abort_cleanly(self, seed):
+        module, services, credential = _build_app(seed)
+        services.faults.configure("txn.prepare", 0.25)
+        bank = module.Bank()
+        a = module.Account(balance=300.0)
+        b = module.Account(balance=0.0)
+        aborted = 0
+        for _ in range(40):
+            try:
+                with services.orb.call_context(credentials=credential.token):
+                    bank.transfer(a, b, 1.0)
+            except ReproError:
+                aborted += 1
+        assert a.balance + b.balance == 300.0
+        assert aborted > 0
+        assert services.transactions.aborts >= aborted
+
+    def test_scripted_fault_exact_failure(self):
+        module, services, credential = _build_app(99)
+        bank = module.Bank()
+        a = module.Account(balance=100.0)
+        b = module.Account(balance=0.0)
+        with services.orb.call_context(credentials=credential.token):
+            bank.transfer(a, b, 10.0)  # warm-up, no fault
+            services.faults.fail_next("txn.prepare")
+            with pytest.raises(ReproError):
+                bank.transfer(a, b, 10.0)
+            bank.transfer(a, b, 10.0)  # recovered
+        assert (a.balance, b.balance) == (80.0, 20.0)
+
+    def test_fault_counters_observable(self):
+        module, services, credential = _build_app(7)
+        services.faults.fail_next("bus.deliver", 2)
+        a = module.Account(balance=10.0)
+        failures = 0
+        for _ in range(3):
+            try:
+                with services.orb.call_context(credentials=credential.token):
+                    a.getBalance()
+            except MiddlewareError:
+                failures += 1
+        assert failures == 2
+        assert services.faults.injected["bus.deliver"] == 2

@@ -1,0 +1,126 @@
+"""MDA mapping-kind taxonomy and the platform PIM↔PSM transformations."""
+
+import pytest
+
+from repro.core import MdaLifecycle
+from repro.core.registry import default_registry
+from repro.errors import TransformationError
+from repro.repository import ModelRepository
+from repro.transform import TransformationEngine
+from repro.transform.mappings import (
+    MappingKind,
+    check_mapping_applicable,
+    is_platform_specific,
+    mark_platform_specific,
+    platform_of,
+    unmark_platform_specific,
+)
+from repro.uml import find_element, get_tag, has_stereotype
+
+from conftest import FULL_BANK_PARAMS
+
+
+@pytest.fixture()
+def registry():
+    return default_registry()
+
+
+@pytest.fixture()
+def engine(bank_resource):
+    return TransformationEngine(ModelRepository(bank_resource))
+
+
+class TestLevelDiscipline:
+    def test_pim_marks(self, bank_model):
+        _, model = bank_model
+        assert not is_platform_specific(model)
+        assert platform_of(model) is None
+        mark_platform_specific(model, "python-inprocess")
+        assert is_platform_specific(model)
+        assert platform_of(model) == "python-inprocess"
+        unmark_platform_specific(model)
+        assert not is_platform_specific(model)
+
+    def test_pim_mappings_rejected_on_psm(self, bank_model):
+        _, model = bank_model
+        mark_platform_specific(model, "python-inprocess")
+        for kind in (MappingKind.PIM_TO_PIM, MappingKind.PIM_TO_PSM):
+            with pytest.raises(TransformationError):
+                check_mapping_applicable(kind, model)
+        check_mapping_applicable(MappingKind.PSM_TO_PSM, model)
+        check_mapping_applicable(MappingKind.PSM_TO_PIM, model)
+
+    def test_psm_mappings_rejected_on_pim(self, bank_model):
+        _, model = bank_model
+        for kind in (MappingKind.PSM_TO_PSM, MappingKind.PSM_TO_PIM):
+            with pytest.raises(TransformationError):
+                check_mapping_applicable(kind, model)
+        check_mapping_applicable(MappingKind.PIM_TO_PIM, model)
+
+    def test_builtin_concerns_are_pim_to_pim(self, registry):
+        for concern in ("distribution", "transactions", "security", "logging"):
+            assert registry.get(concern).mapping_kind is MappingKind.PIM_TO_PIM
+
+
+class TestProjection:
+    def test_projection_marks_everything(self, registry, engine, bank_resource):
+        cmt = registry.get("platform").specialize(module_name="bank_app")
+        engine.apply(cmt)
+        model = bank_resource.roots[0]
+        assert is_platform_specific(model)
+        account = find_element(model, "accounts.Account")
+        assert get_tag(account, "PythonClass", "module") == "bank_app"
+        string_type = find_element(model, "String")
+        assert get_tag(string_type, "PythonType", "maps_to") == "str"
+
+    def test_pim_refinement_blocked_after_projection(
+        self, registry, engine, bank_resource
+    ):
+        engine.apply(registry.get("platform").specialize())
+        with pytest.raises(TransformationError):
+            engine.apply(
+                registry.get("logging").specialize(log_patterns=["Account.*"])
+            )
+
+    def test_abstraction_recovers_pim(self, registry, engine, bank_resource):
+        engine.apply(registry.get("platform").specialize())
+        engine.apply(registry.get("platform-abstraction").specialize())
+        model = bank_resource.roots[0]
+        assert not is_platform_specific(model)
+        account = find_element(model, "accounts.Account")
+        assert not has_stereotype(account, "PythonClass")
+        # PIM refinements possible again
+        engine.apply(registry.get("logging").specialize(log_patterns=["Account.*"]))
+
+    def test_abstraction_requires_psm(self, registry, engine):
+        with pytest.raises(TransformationError):
+            engine.apply(registry.get("platform-abstraction").specialize())
+
+    def test_projection_undoable(self, registry, bank_resource):
+        repo = ModelRepository(bank_resource)
+        engine = TransformationEngine(repo)
+        engine.apply(registry.get("platform").specialize())
+        repo.undo()
+        assert not is_platform_specific(bank_resource.roots[0])
+
+
+class TestLifecycleIntegration:
+    def test_full_stack_then_projection(self, bank_resource, services):
+        lifecycle = MdaLifecycle(bank_resource, services=services)
+        for concern, params in FULL_BANK_PARAMS.items():
+            lifecycle.apply_concern(concern, **params)
+        lifecycle.apply_concern("platform", module_name="bank_psm")
+        assert is_platform_specific(bank_resource.roots[0])
+        # the platform CA is inert but present, keeping Fig. 1 total
+        ca = lifecycle.applied[-1][1]
+        aspect = ca.build(services)
+        assert aspect.advices == []
+        module = lifecycle.build_application("bank_psm")
+        account = module.Account(balance=1.0)
+        with services.orb.call_context(credentials=None):
+            assert account.getBalance() == 1.0
+
+    def test_remaining_concerns_includes_platform(self, lifecycle):
+        lifecycle.apply_concern("distribution", **FULL_BANK_PARAMS["distribution"])
+        remaining = lifecycle.remaining_concerns()
+        assert "platform" in remaining and "platform-abstraction" in remaining

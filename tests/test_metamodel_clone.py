@@ -1,0 +1,80 @@
+"""deep_clone semantics: internal remapping, external preservation."""
+
+from repro.metamodel import ModelResource, validate
+from repro.metamodel.instances import deep_clone
+
+
+class TestDeepClone:
+    def test_attributes_copied(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book(title="T")
+        b.tags.extend(["a", "b"])
+        (clone,), mapping = deep_clone([b])
+        assert clone is not b
+        assert clone.title == "T"
+        assert list(clone.tags) == ["a", "b"]
+        assert mapping[b.uuid] is clone
+
+    def test_containment_tree_cloned(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s = Shelf()
+        b1, b2 = Book(title="A"), Book(title="B")
+        s.books.extend([b1, b2])
+        (clone,), mapping = deep_clone([s])
+        assert [c.title for c in clone.books] == ["A", "B"]
+        assert all(c.container is clone for c in clone.books)
+
+    def test_internal_cross_references_remapped(self, library_metamodel):
+        Shelf, Book, Author = (
+            library_metamodel["Shelf"],
+            library_metamodel["Book"],
+            library_metamodel["Author"],
+        )
+        s, b, a = Shelf(), Book(title="T"), Author(name="N")
+        s.books.append(b)
+        b.authors.append(a)
+        clones, mapping = deep_clone([s, a])
+        s2, a2 = clones
+        b2 = s2.books[0]
+        assert list(b2.authors) == [a2]
+        assert list(a2.books) == [b2]
+        assert validate([s2, b2, a2]) == []
+
+    def test_external_references_preserved(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s1, s2 = Shelf(), Shelf()
+        inside, outside = Book(title="in"), Book(title="out")
+        s1.books.append(inside)
+        s2.books.append(outside)
+        inside.sequel = outside
+        (clone,), _ = deep_clone([s1])  # outside not part of the clone forest
+        assert clone.books[0].sequel is outside
+
+    def test_clone_is_independent(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s = Shelf()
+        b = Book(title="T")
+        s.books.append(b)
+        (clone,), _ = deep_clone([s])
+        b.title = "changed"
+        s.books.append(Book(title="extra"))
+        assert clone.books[0].title == "T"
+        assert len(clone.books) == 1
+
+    def test_clone_detached_from_resource(self, library_metamodel):
+        Shelf = library_metamodel["Shelf"]
+        s = Shelf()
+        res = ModelResource("r")
+        res.add_root(s)
+        (clone,), _ = deep_clone([s])
+        assert clone.resource is None
+
+    def test_self_reference_remapped(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s = Shelf()
+        b = Book(title="T")
+        s.books.append(b)
+        b.sequel = b
+        (clone,), _ = deep_clone([s])
+        b2 = clone.books[0]
+        assert b2.sequel is b2

@@ -1,0 +1,341 @@
+"""Unit tests for dynamic instances: slots, MList, resources, delete."""
+
+import pytest
+
+from repro.errors import (
+    ContainmentError,
+    ModelError,
+    MultiplicityError,
+    TypeConformanceError,
+)
+from repro.metamodel import (
+    INTEGER,
+    STRING,
+    UNBOUNDED,
+    MetaClass,
+    ModelResource,
+)
+from repro.metamodel.notifications import NotificationKind
+
+
+class TestScalarSlots:
+    def test_set_get_unset(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        assert not b.is_set("title")
+        b.set("title", "T")
+        assert b.get("title") == "T" and b.is_set("title")
+        b.unset("title")
+        assert b.get("title") is None
+
+    def test_attribute_style_access(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.title = "T"
+        assert b.title == "T"
+
+    def test_type_conformance_enforced(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        with pytest.raises(TypeConformanceError):
+            Book().set("title", 42)
+
+    def test_enum_values_validated(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book(title="T")
+        b.genre = "science"
+        with pytest.raises(TypeConformanceError):
+            b.genre = "cooking"
+
+    def test_enum_default_applied(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        assert Book(title="T").genre == "fiction"
+
+    def test_set_none_means_unset(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book(title="T")
+        b.set("title", None)
+        assert not b.is_set("title")
+
+    def test_unknown_feature_raises(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        with pytest.raises(AttributeError):
+            Book().nonexistent
+        with pytest.raises(AttributeError):
+            Book().nonexistent = 1
+
+    def test_set_on_many_feature_rejected(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        with pytest.raises(ModelError):
+            Book().set("tags", ["a"])
+
+    def test_uuid_unique_and_stable(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        a, b = Book(), Book()
+        assert a.uuid != b.uuid
+        assert a.uuid == a.uuid
+
+
+class TestMList:
+    def test_append_iter_len(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags.append("x")
+        b.tags.append("y")
+        assert list(b.tags) == ["x", "y"]
+        assert len(b.tags) == 2
+
+    def test_insert_and_index(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags.extend(["a", "c"])
+        b.tags.insert(1, "b")
+        assert list(b.tags) == ["a", "b", "c"]
+        assert b.tags.index("b") == 1
+
+    def test_remove_and_pop_and_clear(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags.extend(["a", "b", "c"])
+        b.tags.remove("b")
+        assert list(b.tags) == ["a", "c"]
+        assert b.tags.pop() == "c"
+        b.tags.clear()
+        assert len(b.tags) == 0
+
+    def test_remove_missing_raises(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        with pytest.raises(ModelError):
+            Book().tags.remove("nope")
+
+    def test_pop_empty_raises(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        with pytest.raises(ModelError):
+            Book().tags.pop()
+
+    def test_setitem_replaces(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags.extend(["a", "b"])
+        b.tags[1] = "z"
+        assert list(b.tags) == ["a", "z"]
+        b.tags[-1] = "w"
+        assert list(b.tags) == ["a", "w"]
+        with pytest.raises(ModelError):
+            b.tags[5] = "x"
+
+    def test_slice_read(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags.extend(["a", "b", "c"])
+        assert b.tags[0] == "a"
+        assert b.tags[1:] == ["b", "c"]
+
+    def test_attribute_assignment_replaces_content(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags = ["a", "b"]
+        b.tags = ["c"]
+        assert list(b.tags) == ["c"]
+
+    def test_type_checked_on_insert(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        with pytest.raises(TypeConformanceError):
+            Book().tags.append(42)
+
+    def test_reference_collections_unique(self, library_metamodel):
+        Book, Author = library_metamodel["Book"], library_metamodel["Author"]
+        b, a = Book(), Author()
+        b.authors.append(a)
+        with pytest.raises(ModelError):
+            b.authors.append(a)
+
+    def test_attribute_collections_allow_duplicates(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags.extend(["x", "x"])
+        assert list(b.tags) == ["x", "x"]
+
+    def test_upper_bound_enforced(self):
+        c = MetaClass("C")
+        c.add_attribute("pair", INTEGER, upper=2)
+        obj = c()
+        obj.pair.extend([1, 2])
+        with pytest.raises(MultiplicityError):
+            obj.pair.append(3)
+
+    def test_equality_with_plain_lists(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        b.tags.extend(["a"])
+        assert b.tags == ["a"]
+        assert b.tags != ["b"]
+
+
+class TestResource:
+    def test_roots_and_all_contents(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s, b = Shelf(), Book(title="T")
+        s.books.append(b)
+        res = ModelResource("r")
+        res.add_root(s)
+        assert res.roots == (s,)
+        assert list(res.all_contents()) == [s, b]
+        assert b.resource is res
+
+    def test_contained_object_cannot_be_root(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s, b = Shelf(), Book(title="T")
+        s.books.append(b)
+        res = ModelResource("r")
+        with pytest.raises(ContainmentError):
+            res.add_root(b)
+
+    def test_remove_root(self, library_metamodel):
+        Shelf = library_metamodel["Shelf"]
+        s = Shelf()
+        res = ModelResource("r")
+        res.add_root(s)
+        res.remove_root(s)
+        assert res.roots == ()
+        assert s.resource is None
+        with pytest.raises(ModelError):
+            res.remove_root(s)
+
+    def test_root_moves_between_resources(self, library_metamodel):
+        Shelf = library_metamodel["Shelf"]
+        s = Shelf()
+        r1, r2 = ModelResource("a"), ModelResource("b")
+        r1.add_root(s)
+        r2.add_root(s)
+        assert r1.roots == () and r2.roots == (s,)
+
+    def test_objects_of_and_find(self, library_metamodel):
+        Shelf, Book, Novel = (
+            library_metamodel["Shelf"],
+            library_metamodel["Book"],
+            library_metamodel["Novel"],
+        )
+        s = Shelf()
+        b1, b2 = Book(title="A"), Novel(title="B")
+        s.books.extend([b1, b2])
+        res = ModelResource("r")
+        res.add_root(s)
+        assert list(res.objects_of(Book)) == [b1, b2]  # Novel conforms to Book
+        assert list(res.objects_of(Novel)) == [b2]
+        assert res.find(Book, title="B") is b2
+        assert res.find(Book, title="Z") is None
+
+    def test_by_uuid(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s, b = Shelf(), Book(title="T")
+        s.books.append(b)
+        res = ModelResource("r")
+        res.add_root(s)
+        assert res.by_uuid(b.uuid) is b
+        assert res.by_uuid("nope") is None
+
+    def test_purge_scrubs_dangling_references(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s = Shelf()
+        b1, b2 = Book(title="A"), Book(title="B")
+        s.books.extend([b1, b2])
+        b1.sequel = b2  # unidirectional reference
+        res = ModelResource("r")
+        res.add_root(s)
+        res.purge(b2)
+        assert b1.sequel is None
+        assert list(s.books) == [b1]
+
+
+class TestDelete:
+    def test_delete_detaches_and_severs_opposites(self, library_metamodel):
+        Shelf, Book, Author = (
+            library_metamodel["Shelf"],
+            library_metamodel["Author"],
+            library_metamodel["Author"],
+        )
+        Shelf = library_metamodel["Shelf"]
+        Book = library_metamodel["Book"]
+        Author = library_metamodel["Author"]
+        s, b, a = Shelf(), Book(title="T"), Author(name="A")
+        s.books.append(b)
+        b.authors.append(a)
+        b.delete()
+        assert list(s.books) == []
+        assert list(a.books) == []
+        assert b.container is None
+
+    def test_delete_root_leaves_resource(self, library_metamodel):
+        Shelf = library_metamodel["Shelf"]
+        s = Shelf()
+        res = ModelResource("r")
+        res.add_root(s)
+        s.delete()
+        assert res.roots == ()
+
+    def test_delete_recurses_into_children(self, library_metamodel):
+        Shelf, Book, Author = (
+            library_metamodel["Shelf"],
+            library_metamodel["Book"],
+            library_metamodel["Author"],
+        )
+        s, b, a = Shelf(), Book(title="T"), Author(name="A")
+        s.books.append(b)
+        b.authors.append(a)
+        s.delete()
+        assert list(a.books) == []
+
+
+class TestNotifications:
+    def test_set_notification_payload(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book(title="old")
+        events = []
+        b.subscribe(events.append)
+        b.title = "new"
+        assert len(events) == 1
+        n = events[0]
+        assert n.kind is NotificationKind.SET
+        assert (n.old, n.new) == ("old", "new")
+        assert "old" in n.describe() and "new" in n.describe()
+
+    def test_add_remove_notifications_carry_index(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        events = []
+        b.subscribe(events.append)
+        b.tags.append("x")
+        b.tags.pop()
+        kinds = [e.kind for e in events]
+        assert kinds == [NotificationKind.ADD, NotificationKind.REMOVE]
+        assert events[0].index == 0 and events[1].index == 0
+
+    def test_resource_receives_nested_notifications(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s, b = Shelf(), Book(title="T")
+        s.books.append(b)
+        res = ModelResource("r")
+        res.add_root(s)
+        events = []
+        res.subscribe(events.append)
+        b.title = "U"
+        assert len(events) == 1 and events[0].obj is b
+
+    def test_unsubscribe_stops_delivery(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()
+        events = []
+        observer = b.subscribe(events.append)
+        b.unsubscribe(observer)
+        b.title = "T"
+        assert events == []
+
+    def test_opposite_maintenance_emits_both_sides(self, library_metamodel):
+        Book, Author = library_metamodel["Book"], library_metamodel["Author"]
+        b, a = Book(), Author()
+        events = []
+        b.subscribe(events.append)
+        a.subscribe(events.append)
+        b.authors.append(a)
+        touched = {id(e.obj) for e in events}
+        assert touched == {id(b), id(a)}

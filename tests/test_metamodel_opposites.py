@@ -1,0 +1,165 @@
+"""Bidirectional (opposite) reference consistency under every mutation."""
+
+import pytest
+
+from repro.errors import ContainmentError
+from repro.metamodel import UNBOUNDED, MetamodelBuilder, validate
+
+
+@pytest.fixture()
+def company():
+    b = MetamodelBuilder("company")
+    emp = b.metaclass("Emp")
+    dept = b.metaclass("Dept")
+    badge = b.metaclass("Badge")
+    b.reference(emp, "dept", dept, opposite="emps")
+    b.reference(dept, "emps", emp, upper=UNBOUNDED)
+    # one-to-one pair
+    b.reference(emp, "badge", badge, opposite="owner")
+    b.reference(badge, "owner", emp)
+    # many-to-many pair
+    proj = b.metaclass("Proj")
+    b.reference(emp, "projects", proj, upper=UNBOUNDED, opposite="members")
+    b.reference(proj, "members", emp, upper=UNBOUNDED)
+    b.build()
+    return {"Emp": emp, "Dept": dept, "Badge": badge, "Proj": proj}
+
+
+class TestManyToOne:
+    def test_set_links_both_sides(self, company):
+        e, d = company["Emp"](), company["Dept"]()
+        e.dept = d
+        assert e in d.emps
+
+    def test_append_links_back(self, company):
+        e, d = company["Emp"](), company["Dept"]()
+        d.emps.append(e)
+        assert e.dept is d
+
+    def test_reassignment_moves(self, company):
+        e = company["Emp"]()
+        d1, d2 = company["Dept"](), company["Dept"]()
+        e.dept = d1
+        e.dept = d2
+        assert e not in d1.emps and e in d2.emps
+
+    def test_append_displaces_previous_single_side(self, company):
+        e = company["Emp"]()
+        d1, d2 = company["Dept"](), company["Dept"]()
+        d1.emps.append(e)
+        d2.emps.append(e)
+        assert e.dept is d2 and e not in d1.emps
+
+    def test_unset_clears_both_sides(self, company):
+        e, d = company["Emp"](), company["Dept"]()
+        e.dept = d
+        e.unset("dept")
+        assert e.dept is None and e not in d.emps
+
+    def test_list_remove_clears_back_pointer(self, company):
+        e, d = company["Emp"](), company["Dept"]()
+        d.emps.append(e)
+        d.emps.remove(e)
+        assert e.dept is None
+
+    def test_clear_clears_all_back_pointers(self, company):
+        d = company["Dept"]()
+        emps = [company["Emp"]() for _ in range(3)]
+        for e in emps:
+            d.emps.append(e)
+        d.emps.clear()
+        assert all(e.dept is None for e in emps)
+
+    def test_self_reassignment_is_noop(self, company):
+        e, d = company["Emp"](), company["Dept"]()
+        e.dept = d
+        e.dept = d
+        assert list(d.emps) == [e]
+
+
+class TestOneToOne:
+    def test_set_links_both(self, company):
+        e, b = company["Emp"](), company["Badge"]()
+        e.badge = b
+        assert b.owner is e
+
+    def test_displacement_on_both_singles(self, company):
+        e1, e2, b = company["Emp"](), company["Emp"](), company["Badge"]()
+        e1.badge = b
+        e2.badge = b
+        assert b.owner is e2 and e1.badge is None
+
+    def test_reverse_side_set(self, company):
+        e, b = company["Emp"](), company["Badge"]()
+        b.owner = e
+        assert e.badge is b
+
+    def test_unset_symmetric(self, company):
+        e, b = company["Emp"](), company["Badge"]()
+        e.badge = b
+        b.unset("owner")
+        assert e.badge is None and b.owner is None
+
+
+class TestManyToMany:
+    def test_append_links_both(self, company):
+        e, p = company["Emp"](), company["Proj"]()
+        e.projects.append(p)
+        assert e in p.members
+
+    def test_remove_unlinks_both(self, company):
+        e, p = company["Emp"](), company["Proj"]()
+        p.members.append(e)
+        p.members.remove(e)
+        assert p not in e.projects
+
+    def test_multiple_links_validate(self, company):
+        emps = [company["Emp"]() for _ in range(3)]
+        projs = [company["Proj"]() for _ in range(2)]
+        for e in emps:
+            for p in projs:
+                e.projects.append(p)
+        for p in projs:
+            assert len(p.members) == 3
+        assert validate(emps + projs) == []
+
+
+@pytest.fixture()
+def tree():
+    b = MetamodelBuilder("tree")
+    node = b.metaclass("Node")
+    b.attribute(node, "label", b.STRING)
+    b.reference(node, "children", node, upper=UNBOUNDED, containment=True, opposite="parent")
+    b.reference(node, "parent", node)
+    b.build()
+    return node
+
+
+class TestContainmentWithOpposite:
+    def test_parent_pointer_maintained(self, tree):
+        root, child = tree(), tree()
+        root.children.append(child)
+        assert child.parent is root
+        assert child.container is root
+
+    def test_move_between_parents(self, tree):
+        a, b, c = tree(), tree(), tree()
+        a.children.append(c)
+        b.children.append(c)
+        assert c.parent is b and c.container is b
+        assert list(a.children) == []
+
+    def test_cycle_rejected(self, tree):
+        a, b = tree(), tree()
+        a.children.append(b)
+        with pytest.raises(ContainmentError):
+            b.children.append(a)
+        with pytest.raises(ContainmentError):
+            a.children.append(a)
+
+    def test_deep_cycle_rejected(self, tree):
+        a, b, c = tree(), tree(), tree()
+        a.children.append(b)
+        b.children.append(c)
+        with pytest.raises(ContainmentError):
+            c.children.append(a)

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for kernel invariants.
+
+Two core invariants are hammered with random operation sequences:
+
+1. **Opposite symmetry** — after any sequence of link mutations,
+   ``a.f contains b  <=>  b.g contains a``;
+2. **Undo round-trip** — replaying inverted notifications in reverse order
+   restores the exact prior state (the repository's foundation).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError, ReproError
+from repro.metamodel import UNBOUNDED, MetamodelBuilder, ModelResource, validate
+from repro.repository.undo import ChangeRecorder, _apply_inverse
+
+
+def _build_metamodel():
+    b = MetamodelBuilder("prop")
+    node = b.metaclass("Node")
+    b.attribute(node, "label", b.STRING)
+    b.reference(node, "friends", node, upper=UNBOUNDED, opposite="friendOf")
+    b.reference(node, "friendOf", node, upper=UNBOUNDED)
+    b.reference(node, "best", node)
+    b.build()
+    return node
+
+
+NODE = _build_metamodel()
+
+N_OBJECTS = 5
+
+link_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "set_best", "unset_best", "label"]),
+        st.integers(0, N_OBJECTS - 1),
+        st.integers(0, N_OBJECTS - 1),
+    ),
+    max_size=30,
+)
+
+
+def _apply(ops, nodes):
+    for op, i, j in ops:
+        a, b = nodes[i], nodes[j]
+        try:
+            if op == "add":
+                a.friends.append(b)
+            elif op == "remove":
+                a.friends.remove(b)
+            elif op == "set_best":
+                a.best = b
+            elif op == "unset_best":
+                a.unset("best")
+            else:
+                a.label = f"n{i}-{j}"
+        except ModelError:
+            pass  # duplicate insert / missing remove are legal no-ops here
+
+
+@given(link_ops)
+@settings(max_examples=60, deadline=None)
+def test_opposite_symmetry_invariant(ops):
+    nodes = [NODE() for _ in range(N_OBJECTS)]
+    _apply(ops, nodes)
+    for a in nodes:
+        for b in nodes:
+            forward = any(x is b for x in a.friends)
+            backward = any(x is a for x in b.friendOf)
+            assert forward == backward
+
+
+@given(link_ops)
+@settings(max_examples=60, deadline=None)
+def test_validation_clean_after_random_mutations(ops):
+    nodes = [NODE() for _ in range(N_OBJECTS)]
+    _apply(ops, nodes)
+    assert validate(nodes) == []
+
+
+def _state_fingerprint(nodes):
+    out = []
+    for n in nodes:
+        friends = tuple(x.uuid for x in n.friends)
+        friend_of = tuple(x.uuid for x in n.friendOf)
+        best = n.best.uuid if n.best is not None else None
+        out.append((n.get("label"), friends, friend_of, best))
+    return tuple(out)
+
+
+@given(link_ops, link_ops)
+@settings(max_examples=60, deadline=None)
+def test_undo_restores_exact_prior_state(setup_ops, mutation_ops):
+    resource = ModelResource("prop")
+    nodes = [NODE() for _ in range(N_OBJECTS)]
+    for n in nodes:
+        resource.add_root(n)
+    _apply(setup_ops, nodes)
+    before = _state_fingerprint(nodes)
+
+    recorder = ChangeRecorder(resource)
+    _apply(mutation_ops, nodes)
+    changes = recorder.take()
+    with recorder.paused():
+        for notification in reversed(changes):
+            _apply_inverse(notification)
+
+    assert _state_fingerprint(nodes) == before
+    assert validate(nodes) == []
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_mlist_mirrors_python_list_semantics(items):
+    shadow = []
+    # append/pop parity on a string attribute collection
+    b = MetamodelBuilder("m2")
+    c = b.metaclass("C")
+    b.attribute(c, "xs", b.STRING, upper=UNBOUNDED)
+    b.build()
+    obj = c()
+    for item in items:
+        obj.xs.append(item)
+        shadow.append(item)
+        assert list(obj.xs) == shadow
+    while shadow:
+        assert obj.xs.pop() == shadow.pop()
+        assert list(obj.xs) == shadow

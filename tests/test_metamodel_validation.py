@@ -1,0 +1,73 @@
+"""Validator behaviour: lower bounds, conformance, opposite symmetry."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metamodel import (
+    STRING,
+    UNBOUNDED,
+    MetaClass,
+    ModelResource,
+    Validator,
+    validate,
+)
+
+
+class TestLowerBounds:
+    def test_missing_required_attribute_reported(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        b = Book()  # title has lower=1
+        diagnostics = validate(b, raise_on_error=False)
+        assert any(d.feature_name == "title" for d in diagnostics)
+
+    def test_satisfied_lower_bound_passes(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        assert validate(Book(title="T")) == []
+
+    def test_required_many_feature(self):
+        c = MetaClass("C")
+        c.add_attribute("xs", STRING, lower=2, upper=UNBOUNDED)
+        obj = c()
+        obj.xs.append("one")
+        diagnostics = validate(obj, raise_on_error=False)
+        assert any("at least 2" in d.message for d in diagnostics)
+        obj.xs.append("two")
+        assert validate(obj) == []
+
+    def test_raise_on_error(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        with pytest.raises(ValidationError) as excinfo:
+            validate(Book())
+        assert excinfo.value.diagnostics
+
+
+class TestStructuralChecks:
+    def test_opposite_asymmetry_detected(self, library_metamodel):
+        Book, Author = library_metamodel["Book"], library_metamodel["Author"]
+        b, a = Book(title="T"), Author()
+        # create an asymmetric link through the raw layer
+        feature = Book.feature("authors")
+        b.get("authors")._raw_insert(0, a)
+        diagnostics = Validator().validate_object(b)
+        assert any("does not link back" in d.message for d in diagnostics)
+
+    def test_containment_mismatch_detected(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s, b = Shelf(), Book(title="T")
+        s.get("books")._items.append(b)  # bypass container maintenance
+        diagnostics = Validator().validate_object(s)
+        assert any("has container" in d.message for d in diagnostics)
+
+    def test_resource_validation_covers_tree(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        s, b = Shelf(), Book()  # b misses its title
+        s.books.append(b)
+        res = ModelResource("r")
+        res.add_root(s)
+        diagnostics = validate(res, raise_on_error=False)
+        assert any(d.obj is b for d in diagnostics)
+
+    def test_diagnostic_str_is_informative(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        diagnostics = validate(Book(), raise_on_error=False)
+        assert "title" in str(diagnostics[0])

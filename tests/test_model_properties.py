@@ -1,0 +1,139 @@
+"""Property-based whole-model tests: random UML models survive every
+structural pipeline (validation, XMI round-trip, cloning, undo) unchanged."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shipping import model_fingerprint
+from repro.metamodel import validate
+from repro.metamodel.instances import ModelResource, deep_clone
+from repro.repository import ModelRepository
+from repro.uml import (
+    UML,
+    add_attribute,
+    add_class,
+    add_operation,
+    add_package,
+    apply_stereotype,
+    ensure_primitives,
+    new_model,
+)
+from repro.xmi import parse_xmi, xmi_string
+
+_name = st.from_regex(r"[A-Z][a-z]{1,6}", fullmatch=True)
+
+
+@st.composite
+def random_models(draw):
+    """A random, well-formed UML model with classes, features, marks."""
+    resource, model = new_model("random")
+    prims = ensure_primitives(model)
+    prim_list = list(prims.values())
+    n_packages = draw(st.integers(1, 2))
+    classes = []
+    used_names = set()
+
+    def fresh(prefix):
+        base = draw(_name)
+        name = f"{prefix}{base}"
+        suffix = 0
+        while name in used_names:
+            suffix += 1
+            name = f"{prefix}{base}{suffix}"
+        used_names.add(name)
+        return name
+
+    for p in range(n_packages):
+        pkg = add_package(model, f"pkg{p}")
+        for _ in range(draw(st.integers(1, 4))):
+            cls = add_class(pkg, fresh("C"))
+            classes.append(cls)
+            for _ in range(draw(st.integers(0, 3))):
+                add_attribute(
+                    cls,
+                    fresh("attr").lower(),
+                    draw(st.sampled_from(prim_list)),
+                    lower=draw(st.integers(0, 1)),
+                )
+            for _ in range(draw(st.integers(0, 2))):
+                op = add_operation(
+                    cls,
+                    fresh("op").lower(),
+                    return_type=draw(st.sampled_from(prim_list)),
+                )
+                if draw(st.booleans()):
+                    apply_stereotype(
+                        op, "Marked", weight=draw(st.integers(0, 100))
+                    )
+    # random single inheritance among earlier classes (acyclic by order)
+    for i, cls in enumerate(classes[1:], start=1):
+        if draw(st.booleans()):
+            parent = classes[draw(st.integers(0, i - 1))]
+            cls.superclasses.append(parent)
+    return resource
+
+
+@given(random_models())
+@settings(max_examples=25, deadline=None)
+def test_random_models_are_well_formed(resource):
+    assert validate(resource) == []
+
+
+@given(random_models())
+@settings(max_examples=25, deadline=None)
+def test_xmi_roundtrip_preserves_fingerprint(resource):
+    restored = parse_xmi(xmi_string(resource), UML.package)
+    assert validate(restored) == []
+    assert model_fingerprint(restored) == model_fingerprint(resource)
+
+
+@given(random_models())
+@settings(max_examples=25, deadline=None)
+def test_double_roundtrip_is_stable(resource):
+    once = parse_xmi(xmi_string(resource), UML.package)
+    twice = parse_xmi(xmi_string(once), UML.package)
+    assert model_fingerprint(once) == model_fingerprint(twice)
+
+
+@given(random_models())
+@settings(max_examples=25, deadline=None)
+def test_deep_clone_preserves_fingerprint(resource):
+    clones, _ = deep_clone(resource.roots)
+    clone_resource = ModelResource(resource.name)
+    for clone in clones:
+        clone_resource.add_root(clone)
+    assert model_fingerprint(clone_resource) == model_fingerprint(resource)
+    assert validate(clone_resource) == []
+
+
+@given(random_models())
+@settings(max_examples=20, deadline=None)
+def test_commit_checkout_preserves_fingerprint(resource):
+    before = model_fingerprint(resource)
+    repo = ModelRepository(resource)
+    version = repo.commit("state")
+    # mutate arbitrarily, then restore
+    model = resource.roots[0]
+    pkg = add_package(model, "scratch")
+    add_class(pkg, "Scratch")
+    repo.checkout(version.id)
+    assert model_fingerprint(resource) == before
+
+
+@given(random_models())
+@settings(max_examples=20, deadline=None)
+def test_transformation_undo_preserves_fingerprint(resource):
+    from hypothesis import assume
+
+    from repro.core.registry import default_registry
+    from repro.transform import TransformationEngine
+    from repro.uml import classes_of
+
+    # logging's postcondition needs at least one operation to mark
+    assume(any(list(c.operations) for c in classes_of(resource.roots[0])))
+    before = model_fingerprint(resource)
+    repo = ModelRepository(resource)
+    engine = TransformationEngine(repo)
+    engine.apply(default_registry().get("logging").specialize(log_patterns=["*.*"]))
+    assert model_fingerprint(resource) != before
+    repo.undo()
+    assert model_fingerprint(resource) == before

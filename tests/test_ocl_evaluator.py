@@ -1,0 +1,326 @@
+"""Evaluator tests: scalar semantics, collections, and model navigation."""
+
+import pytest
+
+from repro.errors import (
+    OclEvaluationError,
+    OclNameError,
+    OclTypeError,
+)
+from repro.ocl import OclContext, UNDEFINED, evaluate
+from repro.ocl.evaluator import types_from_package
+from repro.uml import (
+    UML,
+    add_attribute,
+    add_class,
+    add_operation,
+    add_package,
+    ensure_primitives,
+    new_model,
+)
+
+
+class TestArithmeticAndLogic:
+    def test_basic_arithmetic(self):
+        assert evaluate("1 + 2 * 3 - 4") == 3
+        assert evaluate("10 / 4") == 2.5
+        assert evaluate("7 div 2") == 3
+        assert evaluate("7 mod 2") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("1 / 0")
+        with pytest.raises(OclEvaluationError):
+            evaluate("1 div 0")
+
+    def test_comparisons(self):
+        assert evaluate("1 < 2") and evaluate("2 <= 2")
+        assert evaluate("3 > 2") and evaluate("3 >= 3")
+        assert evaluate("'a' < 'b'")
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(OclTypeError):
+            evaluate("1 < 'a'")
+
+    def test_equality_semantics(self):
+        assert evaluate("1 = 1") and evaluate("1 <> 2")
+        assert evaluate("'a' = 'a'")
+        assert not evaluate("1 = true")
+        assert evaluate("Sequence{1,2} = Sequence{1,2}")
+        assert not evaluate("Sequence{1,2} = Sequence{2,1}")
+
+    def test_boolean_connectives(self):
+        assert evaluate("true and true")
+        assert not evaluate("true and false")
+        assert evaluate("false or true")
+        assert evaluate("false implies false")
+        assert evaluate("true xor false")
+        assert not evaluate("true xor true")
+        assert evaluate("not false")
+
+    def test_short_circuit(self):
+        # right side would fail if evaluated
+        assert evaluate("false and (1 / 0 = 1)") is False
+        assert evaluate("true or (1 / 0 = 1)") is True
+        assert evaluate("false implies (1 / 0 = 1)") is True
+
+    def test_non_boolean_condition_rejected(self):
+        with pytest.raises(OclTypeError):
+            evaluate("1 and true")
+        with pytest.raises(OclTypeError):
+            evaluate("if 3 then 1 else 2 endif")
+
+    def test_if_and_let(self):
+        assert evaluate("if 2 > 1 then 'y' else 'n' endif") == "y"
+        assert evaluate("let x = 5 in x * x") == 25
+        assert evaluate("let x = 2 in let y = 3 in x * y") == 6
+
+    def test_unary_minus(self):
+        assert evaluate("-3 + 5") == 2
+        with pytest.raises(OclTypeError):
+            evaluate("-'a'")
+
+
+class TestStringsAndNumbers:
+    def test_string_operations(self):
+        assert evaluate("'ab'.concat('cd')") == "abcd"
+        assert evaluate("'ab' + 'cd'") == "abcd"
+        assert evaluate("'Hello'.toUpper()") == "HELLO"
+        assert evaluate("'Hello'.toLower()") == "hello"
+        assert evaluate("'hello'.size()") == 5
+        assert evaluate("'hello'.substring(2, 4)") == "ell"
+        assert evaluate("'hello'.indexOf('ll')") == 3
+        assert evaluate("'hello'.indexOf('z')") == 0
+        assert evaluate("'hello'.startsWith('he')")
+        assert evaluate("'hello'.endsWith('lo')")
+        assert evaluate("'hello'.contains('ell')")
+        assert evaluate("'42'.toInteger()") == 42
+        assert evaluate("'2.5'.toReal()") == 2.5
+
+    def test_substring_bounds(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("'abc'.substring(0, 2)")
+        with pytest.raises(OclEvaluationError):
+            evaluate("'abc'.substring(2, 9)")
+
+    def test_to_integer_failure(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("'xx'.toInteger()")
+
+    def test_number_operations(self):
+        assert evaluate("(-3).abs()") == 3
+        assert evaluate("(2.7).floor()") == 2
+        assert evaluate("(2.5).round()") == 3
+        assert evaluate("(2).max(5)") == 5
+        assert evaluate("(2).min(5)") == 2
+        assert evaluate("(2).toString()") == "2"
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(OclNameError):
+            evaluate("'x'.frobnicate()")
+
+
+class TestCollections:
+    def test_size_and_emptiness(self):
+        assert evaluate("Sequence{1,2,3}->size()") == 3
+        assert evaluate("Sequence{}->isEmpty()")
+        assert evaluate("Sequence{1}->notEmpty()")
+
+    def test_membership(self):
+        assert evaluate("Sequence{1,2}->includes(2)")
+        assert evaluate("Sequence{1,2}->excludes(3)")
+        assert evaluate("Sequence{1,2,3}->includesAll(Sequence{1,3})")
+        assert evaluate("Sequence{1,2}->excludesAll(Sequence{3,4})")
+        assert evaluate("Sequence{1,2,2}->count(2)") == 2
+
+    def test_positional(self):
+        assert evaluate("Sequence{'a','b'}->first()") == "a"
+        assert evaluate("Sequence{'a','b'}->last()") == "b"
+        assert evaluate("Sequence{'a','b'}->at(2)") == "b"
+        assert evaluate("Sequence{'a','b'}->indexOf('b')") == 2
+        assert evaluate("Sequence{}->first()") is UNDEFINED
+
+    def test_at_out_of_bounds(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("Sequence{1}->at(0)")
+        with pytest.raises(OclEvaluationError):
+            evaluate("Sequence{1}->at(2)")
+
+    def test_set_semantics(self):
+        assert evaluate("Set{1,1,2}->size()") == 2
+        assert evaluate("Sequence{1,1,2}->asSet()->size()") == 2
+        assert evaluate("Set{2,1}->asSequence()") == [2, 1]
+
+    def test_construction_operations(self):
+        assert evaluate("Sequence{1}->including(2)") == [1, 2]
+        assert evaluate("Sequence{1,2,1}->excluding(1)") == [2]
+        assert evaluate("Sequence{1}->union(Sequence{2})") == [1, 2]
+        assert evaluate("Sequence{1,2,3}->intersection(Sequence{2,3,4})") == [2, 3]
+        assert evaluate("Sequence{1,2}->reverse()") == [2, 1]
+        assert evaluate("Sequence{2}->prepend(1)") == [1, 2]
+        assert evaluate("Sequence{1}->append(2)") == [1, 2]
+
+    def test_flatten(self):
+        assert evaluate("Sequence{Sequence{1,2}, Sequence{3}}->flatten()") == [1, 2, 3]
+
+    def test_sum(self):
+        assert evaluate("Sequence{1,2,3}->sum()") == 6
+        assert evaluate("Sequence{}->sum()") == 0
+        with pytest.raises(OclTypeError):
+            evaluate("Sequence{'a'}->sum()")
+
+    def test_singleton_wrapping(self):
+        assert evaluate("5->size()") == 1
+        assert evaluate("null->size()") == 0
+
+    def test_unknown_collection_op(self):
+        with pytest.raises(OclNameError):
+            evaluate("Sequence{1}->transmogrify()")
+
+
+class TestIterators:
+    def test_select_reject_collect(self):
+        assert evaluate("Sequence{1,2,3,4}->select(x | x > 2)") == [3, 4]
+        assert evaluate("Sequence{1,2,3,4}->reject(x | x > 2)") == [1, 2]
+        assert evaluate("Sequence{1,2}->collect(x | x * 10)") == [10, 20]
+
+    def test_collect_flattens(self):
+        assert evaluate(
+            "Sequence{1,2}->collect(x | Sequence{x, x})"
+        ) == [1, 1, 2, 2]
+
+    def test_quantifiers(self):
+        assert evaluate("Sequence{1,2}->forAll(x | x > 0)")
+        assert not evaluate("Sequence{1,-1}->forAll(x | x > 0)")
+        assert evaluate("Sequence{1,2}->exists(x | x = 2)")
+        assert not evaluate("Sequence{}->exists(x | true)")
+        assert evaluate("Sequence{}->forAll(x | false)")
+
+    def test_one_and_any(self):
+        assert evaluate("Sequence{1,2,3}->one(x | x = 2)")
+        assert not evaluate("Sequence{2,2}->one(x | x = 2)")
+        assert evaluate("Sequence{1,2,3}->any(x | x > 1)") == 2
+        assert evaluate("Sequence{1}->any(x | x > 9)") is UNDEFINED
+
+    def test_is_unique(self):
+        assert evaluate("Sequence{1,2,3}->isUnique(x | x)")
+        assert not evaluate("Sequence{1,2,1}->isUnique(x | x)")
+
+    def test_sorted_by(self):
+        assert evaluate("Sequence{3,1,2}->sortedBy(x | x)") == [1, 2, 3]
+        assert evaluate("Sequence{'bb','a'}->sortedBy(s | s.size())") == ["a", "bb"]
+
+    def test_sorted_by_incomparable(self):
+        with pytest.raises(OclTypeError):
+            evaluate("Sequence{1,'a'}->sortedBy(x | x)")
+
+    def test_two_variable_forall(self):
+        assert evaluate("Sequence{1,2,3}->forAll(a, b | a + b > 1)")
+        assert not evaluate("Sequence{1,2}->forAll(a, b | a <> b)")
+
+    def test_nested_iterators(self):
+        result = evaluate(
+            "Sequence{1,2}->collect(x | Sequence{10,20}->select(y | y > 10 * x))"
+        )
+        assert result == [20]
+
+    def test_non_boolean_body_rejected(self):
+        with pytest.raises(OclTypeError):
+            evaluate("Sequence{1}->select(x | x)")
+
+
+@pytest.fixture()
+def zoo():
+    res, model = new_model("zoo")
+    prims = ensure_primitives(model)
+    pkg = add_package(model, "animals")
+    animal = add_class(pkg, "Animal", abstract=True)
+    add_attribute(animal, "legs", prims["Integer"])
+    lion = add_class(pkg, "Lion", superclasses=[animal])
+    add_operation(lion, "roar")
+    snake = add_class(pkg, "Snake", superclasses=[animal])
+    ctx = OclContext(resource=res, types=types_from_package(UML.package))
+    return {"res": res, "ctx": ctx, "lion": lion, "snake": snake, "animal": animal}
+
+
+class TestModelNavigation:
+    def test_all_instances(self, zoo):
+        assert evaluate("Class.allInstances()->size()", zoo["ctx"]) == 3
+
+    def test_all_instances_unknown_type(self, zoo):
+        with pytest.raises(OclNameError):
+            evaluate("Nothing.allInstances()", zoo["ctx"])
+
+    def test_all_instances_without_resource(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("Class.allInstances()", OclContext(types=types_from_package(UML.package)))
+
+    def test_navigation_and_implicit_collect(self, zoo):
+        names = evaluate(
+            "Class.allInstances()->collect(c | c.superclasses)->collect(s | s.name)",
+            zoo["ctx"],
+        )
+        assert names == ["Animal", "Animal"]
+        # implicit collect through navigation on a collection
+        names2 = evaluate("Class.allInstances().superclasses.name", zoo["ctx"])
+        assert names2 == ["Animal", "Animal"]
+
+    def test_self_binding(self, zoo):
+        assert evaluate("self.name", zoo["ctx"], self_object=zoo["lion"]) == "Lion"
+
+    def test_self_unbound_raises(self, zoo):
+        with pytest.raises(OclNameError):
+            evaluate("self.name", zoo["ctx"])
+
+    def test_implicit_self_feature(self, zoo):
+        assert evaluate("name", zoo["ctx"], self_object=zoo["lion"]) == "Lion"
+
+    def test_unknown_feature_raises(self, zoo):
+        with pytest.raises(OclNameError):
+            evaluate("self.wings", zoo["ctx"], self_object=zoo["lion"])
+
+    def test_undefined_navigation(self, zoo):
+        # lion has no documentation -> undefined; navigating further stays undefined
+        assert evaluate(
+            "self.documentation.oclIsUndefined()", zoo["ctx"], self_object=zoo["lion"]
+        )
+
+    def test_equality_with_null(self, zoo):
+        assert evaluate("self.documentation = null", zoo["ctx"], self_object=zoo["lion"])
+
+    def test_type_reflection(self, zoo):
+        ctx, lion = zoo["ctx"], zoo["lion"]
+        assert evaluate("self.oclIsKindOf(Classifier)", ctx, self_object=lion)
+        assert evaluate("self.oclIsTypeOf(Class)", ctx, self_object=lion)
+        assert not evaluate("self.oclIsTypeOf(Classifier)", ctx, self_object=lion)
+        assert evaluate("self.oclAsType(Classifier).name", ctx, self_object=lion) == "Lion"
+
+    def test_ocl_as_type_invalid_cast(self, zoo):
+        with pytest.raises(OclTypeError):
+            evaluate("self.oclAsType(Operation)", zoo["ctx"], self_object=zoo["lion"])
+
+    def test_ocl_container(self, zoo):
+        assert (
+            evaluate("self.oclContainer().name", zoo["ctx"], self_object=zoo["lion"])
+            == "animals"
+        )
+
+    def test_variables_injected(self, zoo):
+        result = evaluate(
+            "Class.allInstances()->select(c | wanted->includes(c.name))->size()",
+            zoo["ctx"],
+            wanted=["Lion", "Snake"],
+        )
+        assert result == 2
+
+    def test_unknown_variable(self, zoo):
+        with pytest.raises(OclNameError):
+            evaluate("mystery + 1", zoo["ctx"])
+
+    def test_condition_shaped_query(self, zoo):
+        ok = evaluate(
+            "Class.allInstances()->forAll(c | c.isAbstract or "
+            "c.superclasses->notEmpty())",
+            zoo["ctx"],
+        )
+        assert ok

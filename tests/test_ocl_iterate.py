@@ -1,0 +1,87 @@
+"""Tests for OCL ``iterate`` (the general fold) and ``closure``."""
+
+import pytest
+
+from repro.errors import OclSyntaxError
+from repro.ocl import evaluate, parse
+from repro.ocl.astnodes import IterateCall
+
+
+class TestIterateParsing:
+    def test_shape(self):
+        ast = parse("Sequence{1,2}->iterate(x; acc = 0 | acc + x)")
+        assert isinstance(ast, IterateCall)
+        assert ast.variable == "x" and ast.accumulator == "acc"
+
+    def test_type_annotations_accepted(self):
+        ast = parse("Sequence{1}->iterate(x : Integer; acc : Integer = 0 | acc + x)")
+        assert isinstance(ast, IterateCall)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Sequence{1}->iterate(x | x)",
+            "Sequence{1}->iterate(x; acc | acc)",
+            "Sequence{1}->iterate(x; acc = 0, y | acc)",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(OclSyntaxError):
+            parse(bad)
+
+
+class TestIterateEvaluation:
+    def test_sum_via_iterate(self):
+        assert evaluate("Sequence{1,2,3,4}->iterate(x; acc = 0 | acc + x)") == 10
+
+    def test_product(self):
+        assert evaluate("Sequence{2,3,4}->iterate(x; acc = 1 | acc * x)") == 24
+
+    def test_string_fold(self):
+        result = evaluate("Sequence{'a','b','c'}->iterate(s; out = '' | out.concat(s))")
+        assert result == "abc"
+
+    def test_max_via_iterate(self):
+        result = evaluate(
+            "Sequence{3,9,5}->iterate(x; best = 0 | if x > best then x else best endif)"
+        )
+        assert result == 9
+
+    def test_collection_accumulator(self):
+        result = evaluate(
+            "Sequence{1,2,3}->iterate(x; out = Sequence{} | out->including(x * x))"
+        )
+        assert result == [1, 4, 9]
+
+    def test_empty_source_yields_init(self):
+        assert evaluate("Sequence{}->iterate(x; acc = 42 | acc + x)") == 42
+
+    def test_accumulator_shadows_outer(self):
+        result = evaluate(
+            "let acc = 100 in Sequence{1}->iterate(x; acc = 0 | acc + x)"
+        )
+        assert result == 1
+
+    def test_iterate_equals_builtin_sum(self):
+        values = "Sequence{5,7,11}"
+        assert evaluate(values + "->iterate(x; a = 0 | a + x)") == evaluate(
+            values + "->sum()"
+        )
+
+
+class TestClosure:
+    def test_transitive_navigation(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        a, b, c = Book(title="a"), Book(title="b"), Book(title="c")
+        a.sequel = b
+        b.sequel = c
+        result = evaluate("self.sequel->closure(x | x.sequel)", self_object=a)
+        assert result == [b, c]
+
+    def test_closure_handles_cycles(self, library_metamodel):
+        Book = library_metamodel["Book"]
+        a, b = Book(title="a"), Book(title="b")
+        a.sequel = b
+        b.sequel = a
+        result = evaluate("self.sequel->closure(x | x.sequel)", self_object=a)
+        assert result == [b, a]

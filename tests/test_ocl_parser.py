@@ -1,0 +1,164 @@
+"""Lexer and parser tests for the OCL subset (S3)."""
+
+import pytest
+
+from repro.errors import OclSyntaxError
+from repro.ocl import parse
+from repro.ocl.astnodes import (
+    AllInstances,
+    Binary,
+    CollectionCall,
+    CollectionLiteral,
+    If,
+    IteratorCall,
+    Let,
+    Literal,
+    Navigate,
+    OperationCall,
+    Unary,
+    Variable,
+)
+from repro.ocl.lexer import tokenize
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("1 2.5")
+        assert [(t.kind, t.value) for t in tokens[:2]] == [
+            ("NUMBER", "1"),
+            ("NUMBER", "2.5"),
+        ]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r"'a\'b'")
+        assert tokens[0].value == "a'b"
+
+    def test_unterminated_string(self):
+        with pytest.raises(OclSyntaxError):
+            tokenize("'abc")
+
+    def test_keywords_vs_names(self):
+        tokens = tokenize("and andy")
+        assert tokens[0].kind == "KEYWORD"
+        assert tokens[1].kind == "NAME"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 -- a comment\n+ 2")
+        values = [t.value for t in tokens if t.kind != "EOF"]
+        assert values == ["1", "+", "2"]
+
+    def test_multi_char_operators(self):
+        values = [t.value for t in tokenize("-> <= >= <> ::") if t.kind == "OP"]
+        assert values == ["->", "<=", ">=", "<>", "::"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(OclSyntaxError):
+            tokenize("a @ b")
+
+
+class TestParserShapes:
+    def test_precedence_arithmetic(self):
+        ast = parse("1 + 2 * 3")
+        assert isinstance(ast, Binary) and ast.op == "+"
+        assert isinstance(ast.right, Binary) and ast.right.op == "*"
+
+    def test_precedence_logic(self):
+        ast = parse("a or b and c implies d")
+        assert ast.op == "implies"
+        assert ast.left.op == "or"
+        assert ast.left.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        ast = parse("not a and b")
+        assert ast.op == "and"
+        assert isinstance(ast.left, Unary) and ast.left.op == "not"
+
+    def test_unary_minus(self):
+        ast = parse("-x + 1")
+        assert ast.op == "+"
+        assert isinstance(ast.left, Unary)
+
+    def test_navigation_chain(self):
+        ast = parse("self.a.b")
+        assert isinstance(ast, Navigate) and ast.name == "b"
+        assert isinstance(ast.source, Navigate) and ast.source.name == "a"
+
+    def test_operation_call(self):
+        ast = parse("s.concat('x')")
+        assert isinstance(ast, OperationCall)
+        assert ast.name == "concat" and len(ast.args) == 1
+
+    def test_all_instances_special_form(self):
+        ast = parse("Class.allInstances()")
+        assert isinstance(ast, AllInstances) and ast.type_name == "Class"
+
+    def test_collection_call(self):
+        ast = parse("xs->size()")
+        assert isinstance(ast, CollectionCall) and ast.name == "size"
+
+    def test_iterator_call_with_variable(self):
+        ast = parse("xs->select(x | x > 1)")
+        assert isinstance(ast, IteratorCall)
+        assert ast.variables == ("x",)
+
+    def test_iterator_call_two_variables(self):
+        ast = parse("xs->forAll(a, b | a = b)")
+        assert ast.variables == ("a", "b")
+
+    def test_iterator_call_implicit_variable(self):
+        ast = parse("xs->collect(y + 1)") if False else parse("xs->exists(true)")
+        assert isinstance(ast, IteratorCall)
+        assert ast.variables == ("__implicit__",)
+
+    def test_iterator_with_type_annotation(self):
+        ast = parse("xs->select(x : Integer | x > 1)")
+        assert ast.variables == ("x",)
+
+    def test_iterator_requires_body(self):
+        with pytest.raises(OclSyntaxError):
+            parse("xs->forAll()")
+
+    def test_collection_literal_kinds(self):
+        for kind in ("Set", "Sequence", "Bag", "OrderedSet"):
+            ast = parse(kind + "{1, 2}")
+            assert isinstance(ast, CollectionLiteral)
+            assert ast.kind == kind and len(ast.items) == 2
+
+    def test_empty_collection_literal(self):
+        assert parse("Sequence{}").items == ()
+
+    def test_if_expression(self):
+        ast = parse("if a then 1 else 2 endif")
+        assert isinstance(ast, If)
+
+    def test_let_expression(self):
+        ast = parse("let x = 1 in x + 1")
+        assert isinstance(ast, Let) and ast.name == "x"
+
+    def test_let_with_type_annotation(self):
+        ast = parse("let x : Integer = 1 in x")
+        assert isinstance(ast, Let)
+
+    def test_qualified_type_name(self):
+        ast = parse("uml::Class")
+        assert isinstance(ast, Variable) and ast.name == "uml::Class"
+
+    def test_literals(self):
+        assert parse("true").value is True
+        assert parse("false").value is False
+        assert parse("null").value is None
+        assert parse("'s'").value == "s"
+        assert parse("3.5").value == 3.5
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(OclSyntaxError):
+            parse("1 + 2 extra")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(OclSyntaxError):
+            parse("(1 + 2")
+
+    def test_error_carries_position(self):
+        with pytest.raises(OclSyntaxError) as excinfo:
+            parse("1 + ")
+        assert excinfo.value.position is not None

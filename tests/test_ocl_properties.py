@@ -1,0 +1,101 @@
+"""Property-based tests for the OCL evaluator (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ocl import evaluate
+
+ints = st.integers(-50, 50)
+int_lists = st.lists(ints, max_size=12)
+
+
+def _seq(values):
+    return "Sequence{" + ",".join(str(v) for v in values) + "}"
+
+
+@given(int_lists)
+@settings(max_examples=80, deadline=None)
+def test_size_matches_python(values):
+    assert evaluate(_seq(values) + "->size()") == len(values)
+
+
+@given(int_lists)
+@settings(max_examples=80, deadline=None)
+def test_sum_matches_python(values):
+    assert evaluate(_seq(values) + "->sum()") == sum(values)
+
+
+@given(int_lists, ints)
+@settings(max_examples=80, deadline=None)
+def test_select_reject_partition(values, pivot):
+    selected = evaluate(_seq(values) + f"->select(x | x > {pivot})")
+    rejected = evaluate(_seq(values) + f"->reject(x | x > {pivot})")
+    assert sorted(selected + rejected) == sorted(values)
+    assert all(v > pivot for v in selected)
+    assert all(v <= pivot for v in rejected)
+
+
+@given(int_lists)
+@settings(max_examples=80, deadline=None)
+def test_sorted_by_sorts(values):
+    result = evaluate(_seq(values) + "->sortedBy(x | x)")
+    assert result == sorted(values)
+
+
+@given(int_lists)
+@settings(max_examples=80, deadline=None)
+def test_as_set_removes_duplicates_keeps_order(values):
+    result = evaluate(_seq(values) + "->asSet()")
+    expected = list(dict.fromkeys(values))
+    assert result == expected
+
+
+@given(int_lists, ints)
+@settings(max_examples=80, deadline=None)
+def test_includes_matches_python(values, needle):
+    assert evaluate(_seq(values) + f"->includes({needle})") == (needle in values)
+
+
+@given(int_lists)
+@settings(max_examples=80, deadline=None)
+def test_reverse_involution(values):
+    assert evaluate(_seq(values) + "->reverse()->reverse()") == values
+
+
+@given(int_lists, int_lists)
+@settings(max_examples=80, deadline=None)
+def test_union_concatenates(xs, ys):
+    assert evaluate(_seq(xs) + "->union(" + _seq(ys) + ")") == xs + ys
+
+
+@given(ints, ints)
+@settings(max_examples=80, deadline=None)
+def test_arithmetic_matches_python(a, b):
+    assert evaluate(f"{a} + {b}") == a + b
+    assert evaluate(f"{a} * {b}") == a * b
+    assert evaluate(f"{a} - {b}") == a - b
+    assert evaluate(f"({a}).max({b})") == max(a, b)
+    assert evaluate(f"({a}).min({b})") == min(a, b)
+
+
+@given(ints, ints)
+@settings(max_examples=80, deadline=None)
+def test_comparison_trichotomy(a, b):
+    lt = evaluate(f"{a} < {b}")
+    gt = evaluate(f"{a} > {b}")
+    eq = evaluate(f"{a} = {b}")
+    assert [lt, gt, eq].count(True) == 1
+
+
+@given(st.booleans(), st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_implies_truth_table(p, q):
+    text = f"{str(p).lower()} implies {str(q).lower()}"
+    assert evaluate(text) == ((not p) or q)
+
+
+@given(int_lists)
+@settings(max_examples=80, deadline=None)
+def test_forall_exists_duality(values):
+    all_pos = evaluate(_seq(values) + "->forAll(x | x > 0)")
+    neg_exists = evaluate("not " + _seq(values) + "->exists(x | not (x > 0))")
+    assert all_pos == neg_exists

@@ -1,0 +1,277 @@
+"""Repository tests: undo/redo, versioning, diff, demarcation (S5 / E5 / E6)."""
+
+import pytest
+
+from repro.errors import (
+    NoSuchVersionError,
+    NothingToRedoError,
+    NothingToUndoError,
+    RepositoryError,
+)
+from repro.metamodel import validate
+from repro.repository import ModelRepository, diff_snapshots
+from repro.uml import (
+    add_attribute,
+    add_class,
+    add_operation,
+    apply_stereotype,
+    classes_of,
+    find_element,
+    has_stereotype,
+)
+
+
+@pytest.fixture()
+def repo(bank_resource):
+    return ModelRepository(bank_resource)
+
+
+def _class_names(resource):
+    return [c.name for c in classes_of(resource.roots[0])]
+
+
+class TestTransactionsAndUndo:
+    def test_transaction_is_one_undo_unit(self, repo):
+        model = repo.resource.roots[0]
+        pkg = find_element(model, "accounts")
+        with repo.transaction("add two classes"):
+            add_class(pkg, "Ledger")
+            add_class(pkg, "Journal")
+        assert {"Ledger", "Journal"} <= set(_class_names(repo.resource))
+        assert repo.undo() == "add two classes"
+        assert {"Ledger", "Journal"}.isdisjoint(_class_names(repo.resource))
+        assert validate(repo.resource) == []
+
+    def test_redo_restores(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        with repo.transaction("add"):
+            add_class(pkg, "Ledger")
+        repo.undo()
+        assert repo.redo() == "add"
+        assert "Ledger" in _class_names(repo.resource)
+        assert validate(repo.resource) == []
+
+    def test_undo_redo_chain(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        for name in ("A1", "A2", "A3"):
+            with repo.transaction(name):
+                add_class(pkg, name)
+        repo.undo()
+        repo.undo()
+        assert _class_names(repo.resource)[-1] == "A1"
+        repo.redo()
+        assert _class_names(repo.resource)[-1] == "A2"
+
+    def test_new_transaction_clears_redo(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        with repo.transaction("one"):
+            add_class(pkg, "One")
+        repo.undo()
+        with repo.transaction("two"):
+            add_class(pkg, "Two")
+        with pytest.raises(NothingToRedoError):
+            repo.redo()
+
+    def test_empty_stacks_raise(self, repo):
+        with pytest.raises(NothingToUndoError):
+            repo.undo()
+        with pytest.raises(NothingToRedoError):
+            repo.redo()
+
+    def test_nested_transactions_rejected(self, repo):
+        with pytest.raises(RepositoryError):
+            with repo.transaction("outer"):
+                with repo.transaction("inner"):
+                    pass
+
+    def test_failed_transaction_rolls_back(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        with pytest.raises(RuntimeError):
+            with repo.transaction("bad"):
+                add_class(pkg, "Junk")
+                raise RuntimeError("boom")
+        assert "Junk" not in _class_names(repo.resource)
+        assert validate(repo.resource) == []
+        with pytest.raises(NothingToUndoError):
+            repo.undo()
+
+    def test_undo_attribute_mutation(self, repo):
+        acc = find_element(repo.resource.roots[0], "accounts.Account")
+        with repo.transaction("rename"):
+            acc.name = "Konto"
+        repo.undo()
+        assert acc.name == "Account"
+
+    def test_undo_stereotype_application(self, repo):
+        acc = find_element(repo.resource.roots[0], "accounts.Account")
+        with repo.transaction("mark"):
+            apply_stereotype(acc, "Remote", registryName="x")
+        repo.undo()
+        assert not has_stereotype(acc, "Remote")
+
+    def test_undo_limit_evicts_oldest(self, bank_resource):
+        repo = ModelRepository(bank_resource, undo_limit=2)
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        for name in ("B1", "B2", "B3"):
+            with repo.transaction(name):
+                add_class(pkg, name)
+        assert repo.undo_stack.undo_labels == ["B2", "B3"]
+
+
+class TestVersioning:
+    def test_commit_log(self, repo):
+        v1 = repo.commit("first")
+        v2 = repo.commit("second")
+        assert repo.log() == [f"{v1.id}: first", f"{v2.id}: second"]
+        assert v2.parent is v1
+
+    def test_checkout_restores_state(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        v0 = repo.commit("before")
+        with repo.transaction("grow"):
+            add_class(pkg, "Extra")
+        repo.commit("after")
+        repo.checkout(v0.id)
+        assert "Extra" not in _class_names(repo.resource)
+        assert validate(repo.resource) == []
+
+    def test_checkout_forward_again(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        v0 = repo.commit("before")
+        with repo.transaction("grow"):
+            add_class(pkg, "Extra")
+        v1 = repo.commit("after")
+        repo.checkout(v0.id)
+        repo.checkout(v1.id)
+        assert "Extra" in _class_names(repo.resource)
+
+    def test_checkout_clears_undo(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        v0 = repo.commit("v0")
+        with repo.transaction("t"):
+            add_class(pkg, "X")
+        repo.checkout(v0.id)
+        with pytest.raises(NothingToUndoError):
+            repo.undo()
+
+    def test_unknown_version_raises(self, repo):
+        with pytest.raises(NoSuchVersionError):
+            repo.checkout("v999999")
+
+    def test_snapshot_immune_to_later_edits(self, repo):
+        acc = find_element(repo.resource.roots[0], "accounts.Account")
+        v0 = repo.commit("clean")
+        acc.name = "Changed"
+        snapshot_names = [
+            o.get("name")
+            for o in v0.roots[0].all_contents()
+            if o.meta_class.has_feature("name") and o.is_set("name")
+        ]
+        assert "Account" in snapshot_names and "Changed" not in snapshot_names
+
+
+class TestDiff:
+    def test_added_and_removed(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        v0 = repo.commit("v0")
+        with repo.transaction("change"):
+            add_class(pkg, "New")
+            find_element(repo.resource.roots[0], "accounts.Bank").delete()
+        v1 = repo.commit("v1")
+        entries = repo.diff(v0.id, v1.id)
+        kinds = {(e.kind, e.label) for e in entries}
+        assert ("added", "Class(New)") in kinds
+        assert any(k == "removed" and "Bank" in label for k, label in kinds)
+
+    def test_modified_feature_reported(self, repo):
+        acc = find_element(repo.resource.roots[0], "accounts.Account")
+        v0 = repo.commit("v0")
+        acc.name = "Konto"
+        v1 = repo.commit("v1")
+        entries = repo.diff(v0.id, v1.id)
+        modified = [e for e in entries if e.kind == "modified" and e.feature == "name"]
+        assert modified and modified[0].old == "Account" and modified[0].new == "Konto"
+
+    def test_identical_versions_empty_diff(self, repo):
+        v0 = repo.commit("a")
+        v1 = repo.commit("b")
+        assert repo.diff(v0.id, v1.id) == []
+
+    def test_reference_retarget_reported(self, repo):
+        model = repo.resource.roots[0]
+        acc = find_element(model, "accounts.Account")
+        bank = find_element(model, "accounts.Bank")
+        v0 = repo.commit("v0")
+        bank.superclasses.append(acc)
+        v1 = repo.commit("v1")
+        entries = diff_snapshots(repo.history.get(v0.id), repo.history.get(v1.id))
+        assert any(e.feature == "superclasses" for e in entries)
+
+
+class TestDemarcation:
+    def test_painting_attributes_elements(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        with repo.transaction("txn concern", concern="transactions"):
+            cls = add_class(pkg, "TxManager")
+            add_operation(cls, "begin")
+        table = repo.demarcation
+        assert table.concern_of(cls) == "transactions"
+        assert table.color_of(cls) == "red"
+        names = {
+            e.get("name")
+            for e in table.elements_of("transactions")
+            if e.meta_class.has_feature("name") and e.is_set("name")
+        }
+        assert {"TxManager", "begin"} <= names
+
+    def test_functional_elements_unattributed(self, repo):
+        acc = find_element(repo.resource.roots[0], "accounts.Account")
+        assert repo.demarcation.concern_of(acc) is None
+        assert repo.demarcation.color_of(acc) is None
+
+    def test_touched_vs_added(self, repo):
+        acc = find_element(repo.resource.roots[0], "accounts.Account")
+        with repo.transaction("t", concern="security"):
+            acc.documentation = "secured"
+        table = repo.demarcation
+        assert table.concern_of(acc) is None
+        touched = table.touched_elements_of("security")
+        assert acc in touched
+
+    def test_covered_and_remaining(self, repo):
+        with repo.transaction("a", concern="distribution"):
+            pass
+        with repo.transaction("b", concern="security"):
+            pass
+        table = repo.demarcation
+        assert table.covered_concerns() == ["distribution", "security"]
+        assert table.remaining_concerns(
+            ["distribution", "transactions", "security"]
+        ) == ["transactions"]
+
+    def test_legend_colors_distinct(self, repo):
+        for concern in ("c1", "c2", "c3"):
+            with repo.transaction(concern, concern=concern):
+                pass
+        legend = repo.demarcation.legend()
+        assert len(set(legend.values())) == 3
+
+    def test_report_mentions_counts(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        with repo.transaction("t", concern="logging"):
+            add_class(pkg, "Logger")
+        report = repo.demarcation.report()
+        assert "logging" in report and "added" in report
+
+    def test_demarcation_survives_checkout(self, repo):
+        pkg = find_element(repo.resource.roots[0], "accounts")
+        with repo.transaction("t", concern="transactions"):
+            add_class(pkg, "TxManager")
+        v1 = repo.commit("with concern")
+        repo.checkout(v1.id)
+        elements = repo.demarcation.elements_of("transactions")
+        names = {
+            e.get("name") for e in elements
+            if e.meta_class.has_feature("name") and e.is_set("name")
+        }
+        assert "TxManager" in names

@@ -1,0 +1,120 @@
+"""E9 — the semantic-coupling experiment.
+
+Kienzle & Guerraoui (ECOOP 2002, cited as [8]) argue that a *generic*
+transactional aspect cannot make previously non-transactional code behave
+transactionally, because the aspect lacks application semantics.  The
+paper's answer: derive the concrete aspect from the concrete model
+transformation's parameter set ``Si``.
+
+This test builds the same bank application three ways and compares the
+observable outcome of a failing ``transfer``:
+
+* **no aspect** — money is lost (withdraw happened, deposit failed);
+* **naively generic aspect** — wraps every method but, knowing no state
+  classes, enlists nothing: money is still lost;
+* **Si-specialized aspect (the paper's proposal)** — the failing transfer
+  is rolled back atomically.
+"""
+
+import pytest
+
+from repro.aop import Aspect, Weaver
+from repro.codegen import compile_model
+from repro.core import MiddlewareServices
+from repro.core.registry import default_registry
+
+from conftest import build_bank_model
+
+
+def _fresh_app(module_name):
+    resource, model = build_bank_model()
+    module = compile_model(model, module_name)
+    return module
+
+
+def _failing_transfer(module, services=None):
+    """Run a transfer that fails at the deposit step; return final balances."""
+    bank = module.Bank()
+    source = module.Account(balance=100.0)
+    target = module.Account(balance=0.0)
+    # make the deposit step fail after withdraw already succeeded
+    original_deposit = module.Account.deposit
+
+    def poisoned_deposit(self, amount):
+        raise RuntimeError("deposit crashed")
+
+    module.Account.deposit = poisoned_deposit
+    try:
+        with pytest.raises(Exception):
+            bank.transfer(source, target, 40.0)
+    finally:
+        module.Account.deposit = original_deposit
+    return source.balance, target.balance
+
+
+class TestSemanticCoupling:
+    def test_without_aspect_money_is_lost(self):
+        module = _fresh_app("coupling_plain")
+        source_balance, target_balance = _failing_transfer(module)
+        assert source_balance == 60.0  # withdraw went through; 40 vanished
+        assert target_balance == 0.0
+
+    def test_naive_generic_aspect_still_loses_money(self):
+        """A transactional aspect with no application knowledge: it wraps
+        every call in a transaction but cannot know which objects carry
+        transactional state, so nothing is enlisted and nothing rolls back."""
+        module = _fresh_app("coupling_naive")
+        services = MiddlewareServices.create()
+        weaver = services.weaver
+        weaver.weave_class(module.Account)
+        weaver.weave_class(module.Bank)
+        naive = Aspect("naive_generic_tx")
+
+        @naive.around("call(*.*)")
+        def wrap(inv):
+            with services.transactions.transaction():
+                # generic aspect: no Si, no state_classes -> no enlistment
+                return inv.proceed()
+
+        weaver.deploy(naive)
+        source_balance, target_balance = _failing_transfer(module)
+        assert source_balance == 60.0  # still lost
+        assert target_balance == 0.0
+        assert services.transactions.aborts >= 1  # it even aborted — uselessly
+
+    def test_si_specialized_aspect_preserves_atomicity(self):
+        """The paper's proposal: CA derived from the CMT's Si knows both the
+        transactional operations and the state classes."""
+        module = _fresh_app("coupling_si")
+        services = MiddlewareServices.create()
+        registry = default_registry()
+        cmt = registry.get("transactions").specialize(
+            transactional_ops=["Bank.transfer", "Account.withdraw", "Account.deposit"],
+            state_classes=["Account"],
+        )
+        ca = cmt.derive_aspect()
+        weaver = services.weaver
+        weaver.weave_class(module.Account)
+        weaver.weave_class(module.Bank)
+        weaver.deploy(ca.build(services))
+        source_balance, target_balance = _failing_transfer(module)
+        assert source_balance == 100.0  # rolled back: no money lost
+        assert target_balance == 0.0
+        assert services.transactions.aborts == 1
+
+    def test_si_aspect_commits_successful_transfers(self):
+        module = _fresh_app("coupling_ok")
+        services = MiddlewareServices.create()
+        registry = default_registry()
+        ca = registry.get("transactions").specialize(
+            transactional_ops=["Bank.transfer", "Account.withdraw", "Account.deposit"],
+            state_classes=["Account"],
+        ).derive_aspect()
+        services.weaver.weave_class(module.Account)
+        services.weaver.weave_class(module.Bank)
+        services.weaver.deploy(ca.build(services))
+        bank = module.Bank()
+        a, b = module.Account(balance=10.0), module.Account(balance=0.0)
+        assert bank.transfer(a, b, 4.0) is True
+        assert (a.balance, b.balance) == (6.0, 4.0)
+        assert services.transactions.commits == 1

@@ -1,0 +1,199 @@
+"""Transformation engine tests: conditions, rules, atomic application (S6/E3)."""
+
+import pytest
+
+from repro.errors import (
+    PostconditionViolation,
+    PreconditionViolation,
+    TransformationError,
+)
+from repro.core import Concern, GenericTransformation, ParameterSignature
+from repro.metamodel import validate
+from repro.ocl.evaluator import types_from_package
+from repro.repository import ModelRepository
+from repro.transform import (
+    Condition,
+    ConditionSet,
+    TraceLog,
+    TransformationContext,
+    TransformationEngine,
+)
+from repro.uml import UML, add_class, classes_of, find_element
+
+TYPES = types_from_package(UML.package)
+
+
+class TestConditions:
+    def test_condition_evaluates_with_parameters(self, bank_resource):
+        condition = Condition(
+            "exists",
+            "names->forAll(n | Class.allInstances()->exists(c | c.name = n))",
+        )
+        assert condition.evaluate(bank_resource, TYPES, {"names": ["Account"]})
+        assert not condition.evaluate(bank_resource, TYPES, {"names": ["Ghost"]})
+
+    def test_syntactically_broken_condition_fails_at_definition(self):
+        with pytest.raises(Exception):
+            Condition("bad", "1 +")
+
+    def test_non_boolean_condition_rejected(self, bank_resource):
+        condition = Condition("weird", "1 + 1")
+        with pytest.raises(TransformationError):
+            condition.evaluate(bank_resource, TYPES)
+
+    def test_evaluation_error_wrapped(self, bank_resource):
+        condition = Condition("broken", "unknown_name > 1")
+        with pytest.raises(TransformationError):
+            condition.evaluate(bank_resource, TYPES)
+
+    def test_condition_set_reports_all_violations(self, bank_resource):
+        conditions = ConditionSet()
+        conditions.add("ok", "true")
+        conditions.add("bad1", "false")
+        conditions.add("bad2", "1 > 2")
+        violated = conditions.violations(bank_resource, TYPES)
+        assert [c.name for c in violated] == ["bad1", "bad2"]
+        assert len(conditions) == 3
+
+
+class TestContext:
+    def test_param_accessors(self, bank_resource):
+        ctx = TransformationContext(bank_resource, {"x": 1}, TYPES)
+        assert ctx.param("x") == 1
+        assert ctx.param("y", "d") == "d"
+        assert ctx.require_param("x") == 1
+        with pytest.raises(TransformationError):
+            ctx.require_param("missing")
+
+    def test_ocl_binds_parameters(self, bank_resource):
+        ctx = TransformationContext(bank_resource, {"wanted": ["Bank"]}, TYPES)
+        result = ctx.select("Class.allInstances()->select(c | wanted->includes(c.name))")
+        assert [c.name for c in result] == ["Bank"]
+
+    def test_select_requires_collection(self, bank_resource):
+        ctx = TransformationContext(bank_resource, {}, TYPES)
+        with pytest.raises(TransformationError):
+            ctx.select("1 + 1")
+
+    def test_trace_records_with_rule_name(self, bank_resource):
+        trace = TraceLog()
+        ctx = TransformationContext(
+            bank_resource, {}, TYPES, trace=trace, transformation_name="T"
+        )
+        ctx.record(note="setup-level")
+        assert trace.links[0].rule == "<setup>"
+
+
+def _make_gmt(name="T_test", concern_name="testing"):
+    gmt = GenericTransformation(
+        name, Concern(concern_name), ParameterSignature()
+    )
+    gmt.parameter("class_name", type=str)
+    gmt.precondition(
+        "absent",
+        "Class.allInstances()->forAll(c | c.name <> class_name)",
+        "class must not exist yet",
+    )
+    gmt.postcondition(
+        "present",
+        "Class.allInstances()->exists(c | c.name = class_name)",
+    )
+
+    @gmt.rule("create-class")
+    def _create(ctx):
+        pkg = find_element(ctx.model, "accounts")
+        cls = add_class(pkg, ctx.require_param("class_name"))
+        ctx.record(sources=[pkg], targets=[cls], note="created")
+
+    return gmt
+
+
+class TestEngine:
+    def test_successful_application(self, bank_resource):
+        engine = TransformationEngine(ModelRepository(bank_resource))
+        result = engine.apply(_make_gmt().specialize(class_name="Audit"))
+        assert result.concern == "testing"
+        assert result.created_elements >= 1
+        assert result.trace_links == 1
+        assert "Audit" in [c.name for c in classes_of(bank_resource.roots[0])]
+        assert validate(bank_resource) == []
+
+    def test_precondition_violation_leaves_model_untouched(self, bank_resource):
+        engine = TransformationEngine(ModelRepository(bank_resource))
+        cmt = _make_gmt().specialize(class_name="Account")  # already exists
+        before = [c.name for c in classes_of(bank_resource.roots[0])]
+        with pytest.raises(PreconditionViolation) as excinfo:
+            engine.apply(cmt)
+        assert "absent" in str(excinfo.value)
+        assert [c.name for c in classes_of(bank_resource.roots[0])] == before
+
+    def test_postcondition_violation_rolls_back(self, bank_resource):
+        gmt = GenericTransformation("T_bad", Concern("bad"), ParameterSignature())
+        gmt.postcondition("impossible", "false")
+
+        @gmt.rule("grow")
+        def _grow(ctx):
+            add_class(find_element(ctx.model, "accounts"), "Orphan")
+
+        engine = TransformationEngine(ModelRepository(bank_resource))
+        with pytest.raises(PostconditionViolation):
+            engine.apply(gmt.specialize())
+        assert "Orphan" not in [c.name for c in classes_of(bank_resource.roots[0])]
+        assert validate(bank_resource) == []
+
+    def test_rule_exception_rolls_back(self, bank_resource):
+        gmt = GenericTransformation("T_boom", Concern("boom"), ParameterSignature())
+
+        @gmt.rule("grow-then-fail")
+        def _fail(ctx):
+            add_class(find_element(ctx.model, "accounts"), "Partial")
+            raise RuntimeError("rule crashed")
+
+        engine = TransformationEngine(ModelRepository(bank_resource))
+        with pytest.raises(RuntimeError):
+            engine.apply(gmt.specialize())
+        assert "Partial" not in [c.name for c in classes_of(bank_resource.roots[0])]
+
+    def test_checks_can_be_disabled(self, bank_resource):
+        engine = TransformationEngine(
+            ModelRepository(bank_resource),
+            check_preconditions=False,
+            check_postconditions=False,
+        )
+        cmt = _make_gmt().specialize(class_name="Account")
+        result = engine.apply(cmt)  # duplicate name allowed without checks
+        assert result.preconditions_checked == 0
+        assert result.postconditions_checked == 0
+
+    def test_application_is_undoable(self, bank_resource):
+        repo = ModelRepository(bank_resource)
+        engine = TransformationEngine(repo)
+        engine.apply(_make_gmt().specialize(class_name="Audit"))
+        repo.undo()
+        assert "Audit" not in [c.name for c in classes_of(bank_resource.roots[0])]
+
+    def test_demarcation_painted_with_concern(self, bank_resource):
+        repo = ModelRepository(bank_resource)
+        engine = TransformationEngine(repo)
+        engine.apply(_make_gmt().specialize(class_name="Audit"))
+        audit = find_element(bank_resource.roots[0], "accounts.Audit")
+        assert repo.demarcation.concern_of(audit) == "testing"
+
+    def test_application_order_recorded(self, bank_resource):
+        engine = TransformationEngine(ModelRepository(bank_resource))
+        engine.apply(_make_gmt("T_a", "ca").specialize(class_name="A1"))
+        engine.apply(_make_gmt("T_b", "cb").specialize(class_name="B1"))
+        assert engine.application_order == [
+            "T_a<class_name=A1>",
+            "T_b<class_name=B1>",
+        ]
+
+    def test_trace_queries(self, bank_resource):
+        engine = TransformationEngine(ModelRepository(bank_resource))
+        cmt = _make_gmt().specialize(class_name="Audit")
+        engine.apply(cmt)
+        created = engine.trace.created_by(cmt.name)
+        assert [c.name for c in created] == ["Audit"]
+        pkg = find_element(bank_resource.roots[0], "accounts")
+        assert engine.trace.targets_of(pkg) == created
+        assert engine.trace.sources_of(created[0]) == [pkg]

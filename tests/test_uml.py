@@ -1,0 +1,186 @@
+"""Tests for the UML subset metamodel, model API, and profiles (S2)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.metamodel import UNBOUNDED, validate
+from repro.uml import (
+    UML,
+    add_association,
+    add_attribute,
+    add_class,
+    add_interface,
+    add_operation,
+    add_package,
+    apply_stereotype,
+    classes_of,
+    ensure_primitives,
+    find_element,
+    get_stereotype,
+    get_tag,
+    has_stereotype,
+    new_model,
+    operations_of,
+    owned_elements,
+    qualified_name,
+    remove_stereotype,
+    set_tag,
+    stereotype_names,
+)
+from repro.uml.profiles import require_tag
+
+
+@pytest.fixture()
+def shop():
+    res, model = new_model("shop")
+    prims = ensure_primitives(model)
+    pkg = add_package(model, "sales")
+    product = add_class(pkg, "Product")
+    add_attribute(product, "price", prims["Real"])
+    order = add_class(pkg, "Order")
+    add_operation(order, "total", return_type=prims["Real"])
+    special = add_class(pkg, "SpecialOrder", superclasses=[order])
+    return {
+        "res": res,
+        "model": model,
+        "prims": prims,
+        "pkg": pkg,
+        "Product": product,
+        "Order": order,
+        "SpecialOrder": special,
+    }
+
+
+class TestModelFactory:
+    def test_new_model_roots(self, shop):
+        assert shop["res"].roots == (shop["model"],)
+        assert shop["model"].isinstance_of(UML.Model)
+
+    def test_ensure_primitives_idempotent(self, shop):
+        first = ensure_primitives(shop["model"])
+        second = ensure_primitives(shop["model"])
+        assert first == second
+        assert set(first) == {"String", "Integer", "Boolean", "Real"}
+
+    def test_model_is_valid(self, shop):
+        assert validate(shop["res"]) == []
+
+    def test_qualified_name(self, shop):
+        assert qualified_name(shop["Product"]) == "shop.sales.Product"
+
+    def test_find_element_roundtrip(self, shop):
+        assert find_element(shop["model"], "sales.Product") is shop["Product"]
+        total = find_element(shop["model"], "sales.Order.total")
+        assert total.name == "total"
+
+    def test_find_element_missing_raises(self, shop):
+        with pytest.raises(ModelError):
+            find_element(shop["model"], "sales.Nothing")
+
+    def test_classes_of_recurses_packages(self, shop):
+        inner = add_package(shop["pkg"], "inner")
+        deep = add_class(inner, "Deep")
+        names = [c.name for c in classes_of(shop["model"])]
+        assert names == ["Product", "Order", "SpecialOrder", "Deep"]
+
+    def test_owned_elements_covers_everything(self, shop):
+        names = {e.name for e in owned_elements(shop["model"]) if e.is_set("name")}
+        assert {"sales", "Product", "Order"} <= names
+
+
+class TestOperations:
+    def test_return_parameter_created(self, shop):
+        total = find_element(shop["model"], "sales.Order.total")
+        directions = [p.direction for p in total.parameters]
+        assert directions == ["return"]
+
+    def test_parameters_with_directions(self, shop):
+        op = add_operation(
+            shop["Product"],
+            "reprice",
+            [("factor", shop["prims"]["Real"], "inout")],
+        )
+        assert op.parameters[0].direction == "inout"
+
+    def test_operations_of_includes_inherited(self, shop):
+        ops = [o.name for o in operations_of(shop["SpecialOrder"])]
+        assert "total" in ops
+
+    def test_override_shadows_inherited(self, shop):
+        add_operation(shop["SpecialOrder"], "total")
+        ops = list(operations_of(shop["SpecialOrder"]))
+        assert len([o for o in ops if o.name == "total"]) == 1
+        assert ops[0].container is shop["SpecialOrder"]
+
+    def test_operations_of_without_inherited(self, shop):
+        ops = list(operations_of(shop["SpecialOrder"], inherited=False))
+        assert ops == []
+
+
+class TestAssociations:
+    def test_association_ends(self, shop):
+        assoc = add_association(
+            shop["pkg"],
+            "contains",
+            ("order", shop["Order"]),
+            ("items", shop["Product"]),
+            end1_multiplicity=(1, 1),
+            end2_multiplicity=(0, UNBOUNDED),
+        )
+        ends = list(assoc.ends)
+        assert [e.name for e in ends] == ["order", "items"]
+        assert ends[0].type is shop["Order"]
+        assert (ends[1].lower, ends[1].upper) == (0, UNBOUNDED)
+        assert validate(shop["res"]) == []
+
+    def test_interface_realization(self, shop):
+        iface = add_interface(shop["pkg"], "Sellable")
+        add_operation(iface, "sell")
+        shop["Product"].interfaces.append(iface)
+        assert iface in shop["Product"].interfaces
+
+
+class TestProfiles:
+    def test_apply_and_query(self, shop):
+        apply_stereotype(shop["Product"], "Entity", table="products")
+        assert has_stereotype(shop["Product"], "Entity")
+        assert get_tag(shop["Product"], "Entity", "table") == "products"
+        assert list(stereotype_names(shop["Product"])) == ["Entity"]
+
+    def test_reapply_merges_tags(self, shop):
+        apply_stereotype(shop["Product"], "Entity", table="a")
+        apply_stereotype(shop["Product"], "Entity", schema="s")
+        assert len(list(shop["Product"].stereotypes)) == 1
+        assert get_tag(shop["Product"], "Entity", "table") == "a"
+        assert get_tag(shop["Product"], "Entity", "schema") == "s"
+
+    def test_set_tag_overwrites(self, shop):
+        app = apply_stereotype(shop["Product"], "Entity", table="a")
+        set_tag(app, "table", "b")
+        assert get_tag(shop["Product"], "Entity", "table") == "b"
+
+    def test_remove_stereotype(self, shop):
+        apply_stereotype(shop["Product"], "Entity")
+        assert remove_stereotype(shop["Product"], "Entity")
+        assert not has_stereotype(shop["Product"], "Entity")
+        assert not remove_stereotype(shop["Product"], "Entity")
+
+    def test_get_tag_default(self, shop):
+        assert get_tag(shop["Product"], "Nope", "tag", default=7) == 7
+        apply_stereotype(shop["Product"], "Entity")
+        assert get_tag(shop["Product"], "Entity", "missing", default="d") == "d"
+
+    def test_require_tag_raises(self, shop):
+        apply_stereotype(shop["Product"], "Entity")
+        with pytest.raises(ModelError):
+            require_tag(shop["Product"], "Entity", "missing")
+
+    def test_stereotypes_on_operations(self, shop):
+        total = find_element(shop["model"], "sales.Order.total")
+        apply_stereotype(total, "Transactional", isolation="serializable")
+        assert get_tag(total, "Transactional", "isolation") == "serializable"
+
+    def test_get_stereotype_returns_application(self, shop):
+        app = apply_stereotype(shop["Product"], "Entity")
+        assert get_stereotype(shop["Product"], "Entity") is app
+        assert get_stereotype(shop["Product"], "Other") is None

@@ -1,0 +1,150 @@
+"""Workflow model, guidance, and wizard tests (S7 / E8)."""
+
+import pytest
+
+from repro.errors import IllegalStepError, ParameterError, WorkflowError
+from repro.core.registry import default_registry
+from repro.repository import ModelRepository
+from repro.workflow import ConcernWizard, RefinementGuide, WorkflowModel
+
+
+@pytest.fixture()
+def workflow():
+    wf = WorkflowModel()
+    wf.add_step("distribution")
+    wf.add_step("transactions", requires=["distribution"])
+    wf.add_step("security", requires=["distribution"])
+    wf.add_step("logging", optional=True)
+    wf.validate()
+    return wf
+
+
+class TestWorkflowModel:
+    def test_initial_steps(self, workflow):
+        assert set(workflow.allowed_next([])) == {"distribution", "logging"}
+
+    def test_prerequisites_enforced(self, workflow):
+        assert not workflow.is_allowed("transactions", [])
+        assert workflow.is_allowed("transactions", ["distribution"])
+
+    def test_no_repeat(self, workflow):
+        assert not workflow.is_allowed("distribution", ["distribution"])
+
+    def test_unknown_concern_not_allowed(self, workflow):
+        assert not workflow.is_allowed("ghost", [])
+
+    def test_check_allowed_messages(self, workflow):
+        with pytest.raises(IllegalStepError) as e1:
+            workflow.check_allowed("transactions", [])
+        assert "distribution" in str(e1.value)
+        with pytest.raises(IllegalStepError):
+            workflow.check_allowed("ghost", [])
+        with pytest.raises(IllegalStepError):
+            workflow.check_allowed("distribution", ["distribution"])
+
+    def test_remaining_and_complete(self, workflow):
+        history = ["distribution", "transactions"]
+        assert workflow.remaining(history) == ["security", "logging"]
+        assert not workflow.is_complete(history)
+        assert workflow.is_complete(["distribution", "transactions", "security"])
+
+    def test_complete_sequences_enumeration(self, workflow):
+        sequences = workflow.complete_sequences()
+        assert all(s[0] in ("distribution", "logging") for s in sequences)
+        mandatory = {"distribution", "transactions", "security"}
+        assert all(mandatory <= set(s) for s in sequences)
+        # distribution always precedes transactions
+        for seq in sequences:
+            assert seq.index("distribution") < seq.index("transactions")
+
+    def test_duplicate_step_rejected(self, workflow):
+        with pytest.raises(WorkflowError):
+            workflow.add_step("distribution")
+
+    def test_validate_unknown_requirement(self):
+        wf = WorkflowModel()
+        wf.add_step("a", requires=["ghost"])
+        with pytest.raises(WorkflowError):
+            wf.validate()
+
+    def test_validate_cycle(self):
+        wf = WorkflowModel()
+        wf.add_step("a", requires=["b"])
+        wf.add_step("b", requires=["a"])
+        with pytest.raises(WorkflowError):
+            wf.validate()
+
+
+class TestGuidance:
+    def test_report_contents(self, workflow, bank_resource):
+        repo = ModelRepository(bank_resource)
+        with repo.transaction("d", concern="distribution"):
+            pass
+        guide = RefinementGuide(workflow, repo.demarcation)
+        report = guide.report(["distribution"])
+        assert "distribution" in report
+        assert "transactions" in report
+        assert "remaining" in report
+
+    def test_complete_report(self, workflow, bank_resource):
+        repo = ModelRepository(bank_resource)
+        guide = RefinementGuide(workflow, repo.demarcation)
+        history = ["distribution", "transactions", "security"]
+        assert "complete" in guide.report(history)
+
+    def test_covered_tracks_demarcation(self, workflow, bank_resource):
+        repo = ModelRepository(bank_resource)
+        guide = RefinementGuide(workflow, repo.demarcation)
+        assert guide.covered() == []
+        with repo.transaction("s", concern="security"):
+            pass
+        assert guide.covered() == ["security"]
+
+
+class TestWizard:
+    @pytest.fixture()
+    def wizard(self):
+        registry = default_registry()
+        return ConcernWizard(registry.get("transactions"))
+
+    def test_questions_reflect_signature(self, wizard):
+        questions = {q.name: q for q in wizard.questions()}
+        assert set(questions) == {"transactional_ops", "state_classes", "isolation"}
+        assert questions["transactional_ops"].required
+        assert questions["isolation"].choices == ("serializable", "read-committed")
+        assert not questions["isolation"].required
+
+    def test_missing_answers_reported(self, wizard):
+        assert wizard.missing({}) == ["transactional_ops", "state_classes"]
+        assert wizard.missing(
+            {"transactional_ops": ["A.b"], "state_classes": []}
+        ) == []
+
+    def test_collect_validates(self, wizard):
+        si = wizard.collect(
+            {"transactional_ops": ["Account.withdraw"], "state_classes": ["Account"]}
+        )
+        assert si["isolation"] == "serializable"
+        with pytest.raises(ParameterError):
+            wizard.collect({})
+        with pytest.raises(ParameterError):
+            wizard.collect(
+                {
+                    "transactional_ops": ["A.b"],
+                    "state_classes": [],
+                    "isolation": "chaotic",
+                }
+            )
+
+    def test_specialize_produces_cmt(self, wizard):
+        cmt = wizard.specialize(
+            {"transactional_ops": ["Account.withdraw"], "state_classes": ["Account"]}
+        )
+        assert cmt.concern == "transactions"
+        assert "Account.withdraw" in cmt.name
+
+    def test_transcript_lists_questions(self, wizard):
+        text = wizard.transcript()
+        assert "transactions" in text
+        assert "transactional_ops" in text
+        assert "isolation" in text

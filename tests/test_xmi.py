@@ -1,0 +1,198 @@
+"""XMI round-trip and error-handling tests (S4)."""
+
+import io
+
+import pytest
+
+from repro.errors import XmiReadError, XmiWriteError
+from repro.metamodel import ModelResource, validate
+from repro.uml import (
+    UML,
+    add_association,
+    add_attribute,
+    add_class,
+    add_operation,
+    add_package,
+    apply_stereotype,
+    ensure_primitives,
+    find_element,
+    get_tag,
+    new_model,
+)
+from repro.xmi import parse_xmi, read_xmi, write_xmi, xmi_string
+from repro.xmi.writer import encode_any
+from repro.xmi.reader import decode_any
+
+
+def _roundtrip(resource):
+    return parse_xmi(xmi_string(resource), UML.package)
+
+
+class TestRoundTrip:
+    def test_empty_model(self):
+        res, _ = new_model("empty")
+        res2 = _roundtrip(res)
+        assert res2.roots[0].name == "empty"
+        assert res2.name == res.name
+
+    def test_structure_preserved(self, bank_model):
+        res, model = bank_model
+        res2 = _roundtrip(res)
+        model2 = res2.roots[0]
+        acc2 = find_element(model2, "accounts.Account")
+        assert [a.name for a in acc2.attributes] == ["number", "balance"]
+        assert [o.name for o in acc2.operations] == [
+            "deposit",
+            "withdraw",
+            "getBalance",
+        ]
+        assert validate(res2) == []
+
+    def test_cross_references_resolved(self, bank_model):
+        res, model = bank_model
+        res2 = _roundtrip(res)
+        model2 = res2.roots[0]
+        acc2 = find_element(model2, "accounts.Account")
+        balance = acc2.attributes[1]
+        assert balance.type.name == "Real"
+        assert balance.type is find_element(model2, "Real")
+
+    def test_superclass_references(self):
+        res, model = new_model("m")
+        pkg = add_package(model, "p")
+        base = add_class(pkg, "Base")
+        add_operation(base, "op")
+        sub = add_class(pkg, "Sub", superclasses=[base])
+        res2 = _roundtrip(res)
+        sub2 = find_element(res2.roots[0], "p.Sub")
+        assert sub2.superclasses[0].name == "Base"
+
+    def test_stereotypes_and_typed_tags(self):
+        res, model = new_model("m")
+        cls = add_class(add_package(model, "p"), "C")
+        add_operation(cls, "op")
+        apply_stereotype(cls, "Marked", text="hello", count=3, ratio=0.5, flag=True)
+        res2 = _roundtrip(res)
+        cls2 = find_element(res2.roots[0], "p.C")
+        assert get_tag(cls2, "Marked", "text") == "hello"
+        assert get_tag(cls2, "Marked", "count") == 3
+        assert get_tag(cls2, "Marked", "ratio") == 0.5
+        assert get_tag(cls2, "Marked", "flag") is True
+
+    def test_associations(self):
+        res, model = new_model("m")
+        pkg = add_package(model, "p")
+        a = add_class(pkg, "A")
+        b = add_class(pkg, "B")
+        add_association(pkg, "ab", ("left", a), ("right", b))
+        res2 = _roundtrip(res)
+        assoc = find_element(res2.roots[0], "p.ab")
+        assert [e.type.name for e in assoc.ends] == ["A", "B"]
+
+    def test_multiple_roots(self, library_metamodel):
+        Shelf, Book = library_metamodel["Shelf"], library_metamodel["Book"]
+        res = ModelResource("multi")
+        s1, s2 = Shelf(), Shelf()
+        s1.books.append(Book(title="A"))
+        res.add_root(s1)
+        res.add_root(s2)
+        res2 = parse_xmi(xmi_string(res), library_metamodel["package"])
+        assert len(res2.roots) == 2
+        assert res2.roots[0].books[0].title == "A"
+
+    def test_stability_modulo_ids(self, bank_model):
+        import re
+
+        res, _ = bank_model
+        strip = lambda text: re.sub(r'"o\d+( o\d+)*"', '""', text)
+        first = xmi_string(res)
+        second = xmi_string(_roundtrip(res))
+        assert strip(first) == strip(second)
+
+    def test_file_io(self, tmp_path, bank_model):
+        res, _ = bank_model
+        path = str(tmp_path / "model.xmi")
+        write_xmi(res, path)
+        res2 = read_xmi(path, UML.package)
+        assert res2.roots[0].name == "bank"
+
+    def test_stream_io(self, bank_model):
+        res, _ = bank_model
+        buffer = io.StringIO()
+        write_xmi(res, buffer)
+        buffer.seek(0)
+        res2 = read_xmi(buffer, UML.package)
+        assert res2.roots[0].name == "bank"
+
+
+class TestAnyEncoding:
+    @pytest.mark.parametrize(
+        "value", ["text", "", 0, -17, 3.5, True, False]
+    )
+    def test_roundtrip(self, value):
+        decoded = decode_any(encode_any(value))
+        assert decoded == value and type(decoded) is type(value)
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(XmiWriteError):
+            encode_any(object())
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(XmiReadError):
+            decode_any("weird:stuff")
+
+
+class TestReaderErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(XmiReadError):
+            parse_xmi("<not-closed", UML.package)
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(XmiReadError):
+            parse_xmi("<Other/>", UML.package)
+
+    def test_missing_content(self):
+        with pytest.raises(XmiReadError):
+            parse_xmi('<XMI xmi.version="1.2"/>', UML.package)
+
+    def test_unknown_metaclass(self):
+        doc = (
+            '<XMI xmi.version="1.2"><XMI.content>'
+            '<nope.Thing xmi.id="o1"/></XMI.content></XMI>'
+        )
+        with pytest.raises(XmiReadError):
+            parse_xmi(doc, UML.package)
+
+    def test_missing_id(self):
+        doc = (
+            '<XMI xmi.version="1.2"><XMI.content>'
+            '<uml.Model name="m"/></XMI.content></XMI>'
+        )
+        with pytest.raises(XmiReadError):
+            parse_xmi(doc, UML.package)
+
+    def test_duplicate_id(self):
+        doc = (
+            '<XMI xmi.version="1.2"><XMI.content>'
+            '<uml.Model xmi.id="x" name="a"/><uml.Model xmi.id="x" name="b"/>'
+            "</XMI.content></XMI>"
+        )
+        with pytest.raises(XmiReadError):
+            parse_xmi(doc, UML.package)
+
+    def test_unknown_feature(self):
+        doc = (
+            '<XMI xmi.version="1.2"><XMI.content>'
+            '<uml.Model xmi.id="o1" name="m" bogus="1"/></XMI.content></XMI>'
+        )
+        with pytest.raises(XmiReadError):
+            parse_xmi(doc, UML.package)
+
+    def test_unresolved_idref(self):
+        doc = (
+            '<XMI xmi.version="1.2"><XMI.content>'
+            '<uml.Class xmi.id="o1" name="C" superclasses="missing"/>'
+            "</XMI.content></XMI>"
+        )
+        with pytest.raises(XmiReadError):
+            parse_xmi(doc, UML.package)
