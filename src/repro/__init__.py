@@ -19,6 +19,7 @@ codegen     functional code generator + aspect generators (S9)
 middleware  simulated ORB, transactions, security substrate (S10)
 concerns    distribution / transactions / security / logging (S11)
 core        GMT/CMT/GA/CA, shared Si, precedence, lifecycle (S12)
+pipeline    configuration pass-manager: plan/schedule/execute (S13)
 ==========  ====================================================
 
 Quickstart::
@@ -48,9 +49,10 @@ from repro.core import (
     ParameterSet,
     ParameterSignature,
 )
+from repro.pipeline import ConfigurationPlan, PipelineExecutor, Scheduler
 from repro.uml.model import new_model
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Concern",
@@ -64,6 +66,9 @@ __all__ = [
     "ParameterSet",
     "MiddlewareServices",
     "MdaLifecycle",
+    "ConfigurationPlan",
+    "Scheduler",
+    "PipelineExecutor",
     "new_model",
     "__version__",
 ]

@@ -26,6 +26,13 @@ from repro.aop.advice import Advice, AdviceKind, Invocation
 from repro.aop.aspect import Aspect
 from repro.aop.joinpoint import JoinPoint, JoinPointKind
 from repro.aop.ordering import PrecedenceTable
+from repro.aop.pointcut import (
+    AndPointcut,
+    CflowPointcut,
+    NotPointcut,
+    OrPointcut,
+    Pointcut,
+)
 
 _WOVEN_MARK = "__repro_woven__"
 _FIELD_PREFIX = "__repro_field_"
@@ -39,6 +46,20 @@ def call_stack() -> List[JoinPoint]:
     return list(_call_stack)
 
 
+def _pointcut_is_dynamic(pointcut: Pointcut) -> bool:
+    """True when matching depends on runtime state (cflow), so the match
+    result cannot be memoized by the join point's static signature."""
+    if isinstance(pointcut, CflowPointcut):
+        return True
+    if isinstance(pointcut, NotPointcut):
+        return _pointcut_is_dynamic(pointcut.inner)
+    if isinstance(pointcut, (AndPointcut, OrPointcut)):
+        return _pointcut_is_dynamic(pointcut.left) or _pointcut_is_dynamic(
+            pointcut.right
+        )
+    return False
+
+
 class Weaver:
     """Deploys aspects and instruments classes."""
 
@@ -48,15 +69,25 @@ class Weaver:
         self._woven_methods: Dict[type, Dict[str, Callable]] = {}
         #: class → {field name: previous class attribute or sentinel}
         self._woven_fields: Dict[type, Dict[str, object]] = {}
+        #: static-signature → (matched static advice by kind, dynamic advice)
+        self._match_memo: Dict[tuple, tuple] = {}
+        #: identity of every deployed advice when the memo was built;
+        #: catches advice added/removed on an already-deployed aspect
+        self._memo_fingerprint: tuple = ()
+        self.pointcut_memo_hits = 0
+        self.pointcut_memo_misses = 0
 
     # -- deployment ----------------------------------------------------------
 
     def deploy(self, aspect: Aspect, rank: Optional[int] = None) -> int:
         """Deploy an aspect; rank defaults to deployment order."""
-        return self.precedence.deploy(aspect, rank)
+        rank = self.precedence.deploy(aspect, rank)
+        self._match_memo.clear()
+        return rank
 
     def undeploy(self, aspect: Aspect) -> None:
         self.precedence.undeploy(aspect)
+        self._match_memo.clear()
 
     @property
     def deployed_aspects(self) -> List[Aspect]:
@@ -155,11 +186,57 @@ class Weaver:
     # -- dispatch ---------------------------------------------------------------
 
     def _collect(self, jp: JoinPoint) -> Dict[AdviceKind, List[Advice]]:
-        grouped: Dict[AdviceKind, List[Advice]] = {kind: [] for kind in AdviceKind}
-        for _, aspect in self.precedence.ordered():
-            for advice in aspect.advices:
-                if advice.matches(jp):
-                    grouped[advice.kind].append(advice)
+        """Advice matching ``jp``, grouped by kind, in precedence order.
+
+        Matching against *static* pointcuts depends only on the join
+        point's (kind, class, member) signature, so those results are
+        memoized per signature (invalidated on deploy/undeploy).  Advice
+        guarded by a cflow-containing pointcut is re-evaluated on every
+        dispatch — its match depends on the live call stack.
+        """
+        key = (jp.kind, jp.class_name, jp.member_name)
+        fingerprint = tuple(
+            id(advice)
+            for _, aspect in self.precedence.ordered()
+            for advice in aspect.advices
+        )
+        if fingerprint != self._memo_fingerprint:
+            self._match_memo.clear()
+            self._memo_fingerprint = fingerprint
+        memo = self._match_memo.get(key)
+        if memo is None:
+            self.pointcut_memo_misses += 1
+            static_matched: Dict[AdviceKind, List[tuple]] = {
+                kind: [] for kind in AdviceKind
+            }
+            dynamic: List[tuple] = []
+            seq = 0
+            for _, aspect in self.precedence.ordered():
+                for advice in aspect.advices:
+                    if _pointcut_is_dynamic(advice.pointcut):
+                        dynamic.append((seq, advice))
+                    elif advice.matches(jp):
+                        static_matched[advice.kind].append((seq, advice))
+                    seq += 1
+            memo = (static_matched, dynamic)
+            self._match_memo[key] = memo
+        else:
+            self.pointcut_memo_hits += 1
+        static_matched, dynamic = memo
+        if not dynamic:
+            return {
+                kind: [advice for _, advice in entries]
+                for kind, entries in static_matched.items()
+            }
+        grouped: Dict[AdviceKind, List[Advice]] = {}
+        dynamic_matched: Dict[AdviceKind, List[tuple]] = {}
+        for seq, advice in dynamic:
+            if advice.matches(jp):
+                dynamic_matched.setdefault(advice.kind, []).append((seq, advice))
+        for kind in AdviceKind:
+            entries = static_matched[kind] + dynamic_matched.get(kind, [])
+            entries.sort(key=lambda pair: pair[0])
+            grouped[kind] = [advice for _, advice in entries]
         return grouped
 
     def dispatch(self, jp: JoinPoint, terminal: Callable[[], object]):

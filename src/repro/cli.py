@@ -8,12 +8,25 @@ The §3 tool infrastructure, driveable from a shell::
     python -m repro.cli apply model.xmi --concern transactions \
         --params '{"transactional_ops": ["Account.withdraw"], "state_classes": ["Account"]}' \
         --out refined.xmi
+    python -m repro.cli pipeline model.xmi --plan plan.json --out refined.xmi
     python -m repro.cli generate refined.xmi --out generated_app.py
     python -m repro.cli fingerprint refined.xmi
 
 ``apply`` runs the full engine path (OCL preconditions → rules →
-postconditions) and reports the demarcation summary; ``generate`` emits
-the functional module source.
+postconditions) and reports the demarcation summary; ``pipeline`` runs a
+multi-concern configuration plan through the plan → schedule → execute
+pass-manager (batched, one savepoint per batch, cache stats reported);
+``generate`` emits the functional module source.
+
+A plan file is a JSON list of selections::
+
+    [
+      {"concern": "distribution",
+       "params": {"server_classes": ["Account"], "registry_prefix": "bank"}},
+      {"concern": "security",
+       "params": {...},
+       "after": ["distribution"]}
+    ]
 """
 
 from __future__ import annotations
@@ -104,6 +117,32 @@ def _cmd_apply(args) -> int:
     return 0
 
 
+def _cmd_pipeline(args) -> int:
+    from repro.pipeline import ConfigurationPlan, PipelineExecutor, Scheduler
+
+    resource = _load(args.model)
+    try:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+    except json.JSONDecodeError as exc:
+        print(f"error: plan file is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    plan = ConfigurationPlan.from_config(config)
+    steps = plan.bind(default_registry())
+    schedule = Scheduler().schedule(steps)
+    print(schedule.describe())
+    repository = ModelRepository(resource)
+    repository.commit("initial PIM")
+    executor = PipelineExecutor(repository)
+    result = executor.run(schedule)
+    print(result.report())
+    print(repository.demarcation.report())
+    if args.out:
+        write_xmi(resource, args.out)
+        print(f"refined model written to {args.out}")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     resource = _load(args.model)
     source = generate_module(resource.roots[0])
@@ -146,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     apply_cmd.add_argument("--out", default="", help="write the refined model here")
 
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="apply a multi-concern plan through the batched pipeline",
+    )
+    pipeline.add_argument("model")
+    pipeline.add_argument(
+        "--plan", required=True, help="JSON file with the concern selections"
+    )
+    pipeline.add_argument("--out", default="", help="write the refined model here")
+
     generate = sub.add_parser("generate", help="emit the functional Python module")
     generate.add_argument("model")
     generate.add_argument("--out", default="", help="write the source here")
@@ -162,6 +211,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "validate": _cmd_validate,
     "apply": _cmd_apply,
+    "pipeline": _cmd_pipeline,
     "generate": _cmd_generate,
     "fingerprint": _cmd_fingerprint,
 }

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import WorkflowError
+from repro.errors import BatchExecutionError, WorkflowError
 from repro.metamodel.instances import ModelResource
+from repro.pipeline import ConfigurationPlan, PipelineExecutor, PipelineResult, Scheduler
 from repro.repository import ModelRepository
 from repro.transform.engine import ApplicationResult, TransformationEngine
 from repro.codegen.aspect_backend import generate_aspect_module
@@ -53,6 +54,8 @@ class MdaLifecycle:
         self.workflow = workflow
         self.plan = AspectDeploymentPlan()
         self.applied: List[Tuple[ConcreteTransformation, ConcreteAspect]] = []
+        #: stats of the most recent pipeline run (None before the first)
+        self.last_pipeline_stats = None
         self._module = None
 
     # -- refinement ------------------------------------------------------------
@@ -64,27 +67,67 @@ class MdaLifecycle:
     def apply_concern(self, concern_name: str, **parameters) -> ApplicationResult:
         """Specialize and apply the concern's GMT; generate its CA.
 
-        Returns the engine's application result.  The concrete aspect is
-        queued on the deployment plan at the position corresponding to
-        this application (precedence = application order).
+        Single-concern convenience over :meth:`apply_plan`: a one-selection
+        plan runs through the pipeline (one batch, one savepoint).  The
+        concrete aspect is queued on the deployment plan at the position
+        corresponding to this application (precedence = application order).
         """
-        if self.workflow is not None and not self.workflow.is_allowed(
-            concern_name, self.applied_concerns
-        ):
+        plan = ConfigurationPlan().select(concern_name, **parameters)
+        result = self.apply_plan(plan)
+        return result.applications[-1]
+
+    def apply_plan(self, plan: ConfigurationPlan) -> PipelineResult:
+        """Drive a multi-concern configuration through the pipeline.
+
+        Plan → schedule (precedence DAG, batched) → execute (one
+        demarcated savepoint per batch) → concrete aspects queued in
+        schedule order.  Workflow prerequisites already satisfied by this
+        lifecycle's application history impose no edges.
+        """
+        history = self.applied_concerns
+        if self.workflow is not None:
+            for concern_name in plan.concerns:
+                if not self.workflow.is_allowed(
+                    concern_name, history + [c for c in plan.concerns if c != concern_name]
+                ):
+                    raise WorkflowError(
+                        f"workflow does not allow concern {concern_name!r} after "
+                        f"{history}"
+                    )
+        elif set(plan.concerns) & set(history):
+            duplicate = sorted(set(plan.concerns) & set(history))
             raise WorkflowError(
-                f"workflow does not allow concern {concern_name!r} after "
-                f"{self.applied_concerns}"
+                f"concern(s) {duplicate} were already applied to this lifecycle"
             )
+        steps = plan.bind(self.registry)
+        schedule = Scheduler(workflow=self.workflow, satisfied=history).schedule(
+            steps
+        )
         if not self.repository.history.versions:
             self.repository.commit("initial PIM")
-        gmt = self.registry.get(concern_name)
-        cmt = gmt.specialize(**parameters)
-        result = self.engine.apply(cmt)
-        ca = generate_concrete_aspect(cmt)
-        self.plan.add(ca)
-        self.applied.append((cmt, ca))
-        self.repository.commit(f"after {cmt.name}")
+        executor = PipelineExecutor(self.repository, engine=self.engine)
+        try:
+            result = executor.run(schedule)
+        except BatchExecutionError as exc:
+            # batches committed before the failure are permanently in the
+            # repository — mirror them in the lifecycle state so retries
+            # and build_application stay consistent with the model
+            if exc.partial_result is not None:
+                self._queue_aspects(schedule, exc.partial_result)
+            raise
+        self._queue_aspects(schedule, result)
+        self.last_pipeline_stats = result.stats
         return result
+
+    def _queue_aspects(self, schedule, result: PipelineResult) -> None:
+        """Queue the CA of every step the pipeline actually applied."""
+        applied_names = {r.transformation for r in result.applications}
+        for step in schedule.order():
+            if step.name not in applied_names:
+                continue
+            ca = generate_concrete_aspect(step.concrete)
+            self.plan.add(ca)
+            self.applied.append((step.concrete, ca))
 
     def remaining_concerns(self) -> List[str]:
         """Registered concerns not applied yet (the paper's to-do list)."""

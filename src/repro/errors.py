@@ -155,6 +155,43 @@ class SpecializationError(TransformationError):
 
 
 # ---------------------------------------------------------------------------
+# Configuration pipeline (S13)
+# ---------------------------------------------------------------------------
+
+
+class PipelineError(ReproError):
+    """Base class for configuration-pipeline failures (plan/schedule/execute)."""
+
+
+class PlanError(PipelineError):
+    """A configuration plan is malformed (duplicate/unknown concern, ...)."""
+
+
+class SchedulingError(PipelineError):
+    """The plan cannot be scheduled (precedence cycle, unknown dependency)."""
+
+
+class BatchExecutionError(PipelineError):
+    """A transformation failed mid-batch; the batch was rolled back.
+
+    ``step`` names the failing transformation, ``batch_index`` the batch,
+    and ``__cause__`` carries the original error.
+    """
+
+    def __init__(self, step, batch_index, cause=None):
+        self.step = step
+        self.batch_index = batch_index
+        #: set by the executor: the PipelineResult of the batches that
+        #: completed (and were committed) before this one failed
+        self.partial_result = None
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"transformation {step!r} failed in batch {batch_index}; "
+            f"the batch was rolled back to its savepoint{detail}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Workflow (S7)
 # ---------------------------------------------------------------------------
 

@@ -22,5 +22,23 @@ Quick use::
 
 from repro.ocl.parser import parse
 from repro.ocl.evaluator import OclContext, evaluate, Undefined, UNDEFINED
+from repro.ocl.cache import (
+    CacheStats,
+    ExtentCache,
+    OclCompileCache,
+    compile_expression,
+    default_compile_cache,
+)
 
-__all__ = ["parse", "evaluate", "OclContext", "Undefined", "UNDEFINED"]
+__all__ = [
+    "parse",
+    "evaluate",
+    "OclContext",
+    "Undefined",
+    "UNDEFINED",
+    "CacheStats",
+    "ExtentCache",
+    "OclCompileCache",
+    "compile_expression",
+    "default_compile_cache",
+]

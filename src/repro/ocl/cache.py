@@ -1,0 +1,120 @@
+"""Compiled-expression and type-extent caches for the OCL hot path.
+
+Two orthogonal caches back the configuration pipeline:
+
+* :class:`OclCompileCache` — memoizes :func:`repro.ocl.parser.parse` by
+  source text.  Conditions, viewpoints, and ad-hoc queries written with
+  identical text (common across concern libraries, where every GMT gates
+  on the same well-formedness idioms) are parsed once per process.  A
+  shared process-wide instance (:func:`default_compile_cache`) is used by
+  :func:`repro.ocl.evaluate` and by
+  :class:`repro.transform.conditions.Condition`; pipeline runs snapshot
+  its counters to report per-run hit counts.
+
+* :class:`ExtentCache` — memoizes ``Type.allInstances()`` extents per
+  metaclass for one *model state*.  ``allInstances`` walks the whole
+  containment tree on every evaluation; within one pipeline phase
+  (checking the preconditions of a batch of independent transformations,
+  or their postconditions after the batch's rules ran) the model does not
+  change, so the walk is paid once per type instead of once per
+  condition.  The cache is handed to :class:`repro.ocl.OclContext` and
+  must be dropped (or :meth:`ExtentCache.invalidate`-d) whenever the
+  model mutates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ocl.parser import parse
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier snapshot."""
+        return CacheStats(self.hits - earlier.hits, self.misses - earlier.misses)
+
+
+class OclCompileCache:
+    """Source text → parsed AST, with hit/miss accounting."""
+
+    def __init__(self):
+        self._asts: Dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def compile(self, text: str):
+        """Parse ``text`` (or return the AST compiled earlier)."""
+        node = self._asts.get(text)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = parse(text)
+        self._asts[text] = node
+        return node
+
+    def stats(self) -> CacheStats:
+        return CacheStats(self.hits, self.misses)
+
+    def clear(self) -> None:
+        self._asts.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._asts)
+
+
+_DEFAULT_COMPILE_CACHE = OclCompileCache()
+
+
+def default_compile_cache() -> OclCompileCache:
+    """The process-wide compile cache shared by the library."""
+    return _DEFAULT_COMPILE_CACHE
+
+
+def compile_expression(text: str, cache: Optional[OclCompileCache] = None):
+    """Compile ``text`` through ``cache`` (default: the shared cache)."""
+    return (cache or _DEFAULT_COMPILE_CACHE).compile(text)
+
+
+class ExtentCache:
+    """Metaclass → ``allInstances`` extent, valid for one model state."""
+
+    def __init__(self):
+        self._extents: Dict[object, List] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def extent(self, resource, metaclass) -> List:
+        cached = self._extents.get(metaclass)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = list(resource.objects_of(metaclass))
+        self._extents[metaclass] = value
+        return value
+
+    def invalidate(self) -> None:
+        """Drop the memoized extents (the model changed); keep counters."""
+        self._extents.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(self.hits, self.misses)

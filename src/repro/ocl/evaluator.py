@@ -87,16 +87,23 @@ class OclContext:
         types: Optional[Dict[str, MetaClass]] = None,
         variables: Optional[Dict[str, object]] = None,
         self_object=None,
+        extent_cache=None,
     ):
         self.resource = resource
         self.types = dict(types or {})
         self.variables = dict(variables or {})
         self.self_object = self_object
+        #: optional :class:`repro.ocl.cache.ExtentCache` memoizing
+        #: ``allInstances()`` extents; only valid while the model state
+        #: does not change between evaluations.
+        self.extent_cache = extent_cache
 
     def with_variables(self, **more) -> "OclContext":
         merged = dict(self.variables)
         merged.update(more)
-        ctx = OclContext(self.resource, self.types, merged, self.self_object)
+        ctx = OclContext(
+            self.resource, self.types, merged, self.self_object, self.extent_cache
+        )
         return ctx
 
     def resolve_type(self, name: str) -> Optional[MetaClass]:
@@ -114,13 +121,22 @@ def evaluate(expression, context: Optional[OclContext] = None, self_object=None,
     ``self_object`` and keyword arguments extend/override the context's
     bindings for this evaluation only.
     """
-    node = parse(expression) if isinstance(expression, str) else expression
+    if isinstance(expression, str):
+        from repro.ocl.cache import compile_expression
+
+        node = compile_expression(expression)
+    else:
+        node = expression
     context = context or OclContext()
     if variables or self_object is not None:
         context = context.with_variables(**variables)
         if self_object is not None:
             context = OclContext(
-                context.resource, context.types, context.variables, self_object
+                context.resource,
+                context.types,
+                context.variables,
+                self_object,
+                context.extent_cache,
             )
     return _Evaluator(context).eval(node, dict(context.variables))
 
@@ -340,6 +356,10 @@ class _Evaluator:
             raise OclNameError(f"unknown type {node.type_name!r} for allInstances()")
         if self.context.resource is None:
             raise OclEvaluationError("allInstances() needs a resource in the context")
+        cache = self.context.extent_cache
+        if cache is not None:
+            # copy: downstream collection ops may mutate their input list
+            return list(cache.extent(self.context.resource, metaclass))
         return list(self.context.resource.objects_of(metaclass))
 
     def _type_argument(self, node: Node, env) -> MetaClass:

@@ -1,0 +1,46 @@
+"""S13 — The configuration pipeline: plan → schedule → execute.
+
+The paper's core loop — select concerns, specialize the generic
+transformations with application parameters, apply them in precedence
+order, derive the concrete aspects — used to be driven one
+transformation at a time.  This package turns it into a staged
+pass-manager:
+
+* :class:`~repro.pipeline.plan.ConfigurationPlan` — the declarative IR:
+  concern selections plus bound parameter sets (``Si``), with optional
+  explicit precedence edges;
+* :class:`~repro.pipeline.scheduler.Scheduler` — resolves explicit and
+  workflow-derived precedence into a DAG, topologically orders it, and
+  groups independent transformations into batches
+  (:class:`~repro.pipeline.scheduler.Schedule`);
+* :class:`~repro.pipeline.executor.PipelineExecutor` — runs each batch in
+  one repository transaction with one demarcated savepoint, shares OCL
+  extent caches per phase, and aggregates everything into a
+  :class:`~repro.pipeline.executor.PipelineResult` whose
+  :class:`~repro.pipeline.executor.PipelineStats` exposes the run's
+  compiled-condition cache hit counts.
+
+:class:`~repro.core.lifecycle.MdaLifecycle`, the wizard layer, and the
+CLI all drive multi-transformation application through this pipeline.
+"""
+
+from repro.pipeline.plan import ConcernSelection, ConfigurationPlan, PlannedStep
+from repro.pipeline.scheduler import Schedule, Scheduler
+from repro.pipeline.executor import (
+    BatchResult,
+    PipelineExecutor,
+    PipelineResult,
+    PipelineStats,
+)
+
+__all__ = [
+    "ConcernSelection",
+    "ConfigurationPlan",
+    "PlannedStep",
+    "Schedule",
+    "Scheduler",
+    "BatchResult",
+    "PipelineExecutor",
+    "PipelineResult",
+    "PipelineStats",
+]

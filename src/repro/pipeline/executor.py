@@ -1,0 +1,254 @@
+"""Run a schedule against the repository, batch by batch.
+
+One batch = one repository transaction = one demarcated savepoint:
+
+* **gate** — every step's mapping applicability and OCL preconditions are
+  checked against the batch-start model state, sharing one
+  :class:`~repro.ocl.cache.ExtentCache` (the model does not change during
+  this phase, so each ``Type.allInstances()`` walk is paid once per type
+  instead of once per condition);
+* **refine** — all rule sequences run inside a single repository
+  transaction, each step painted into the demarcation table under its own
+  concern;
+* **verify** — every step's postconditions are checked against the
+  batch-end state with a fresh shared extent cache.  Any failure aborts
+  the transaction, rolling back *exactly this batch* (earlier batches
+  were committed as savepoints and survive);
+* **savepoint** — the batch is committed as one version.
+
+Results aggregate into a single :class:`PipelineResult` with one
+:class:`~repro.transform.engine.ApplicationResult` per step, all trace
+links in the engine's single :class:`~repro.transform.trace.TraceLog`,
+and a :class:`PipelineStats` exposing the OCL compile-cache and
+extent-cache hit counts for the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import BatchExecutionError
+from repro.ocl.cache import CacheStats, ExtentCache, default_compile_cache
+from repro.transform.engine import ApplicationResult, TransformationEngine
+from repro.pipeline.plan import PlannedStep
+from repro.pipeline.scheduler import Schedule
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Cache and phase accounting for one pipeline run."""
+
+    steps: int
+    batches: int
+    duration_s: float
+    #: compile-cache counter deltas for the run (shared process cache)
+    ocl_compile: CacheStats
+    #: allInstances-extent cache counters across all batch phases
+    ocl_extents: CacheStats
+    savepoints: int
+
+    @property
+    def ocl_compile_hits(self) -> int:
+        return self.ocl_compile.hits
+
+    @property
+    def ocl_extent_hits(self) -> int:
+        return self.ocl_extents.hits
+
+    def report(self) -> str:
+        lines = [
+            "pipeline stats:",
+            f"  steps / batches:   {self.steps} / {self.batches}",
+            f"  duration:          {self.duration_s * 1000:.1f} ms",
+            f"  savepoints:        {self.savepoints}",
+            f"  OCL compile cache: {self.ocl_compile.hits} hits, "
+            f"{self.ocl_compile.misses} misses",
+            f"  OCL extent cache:  {self.ocl_extents.hits} hits, "
+            f"{self.ocl_extents.misses} misses",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one executed batch."""
+
+    index: int
+    label: str
+    results: List[ApplicationResult] = field(default_factory=list)
+    savepoint: Optional[str] = None  #: version id of the batch's savepoint
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated outcome of a full pipeline run."""
+
+    batch_results: List[BatchResult] = field(default_factory=list)
+    stats: Optional[PipelineStats] = None
+
+    @property
+    def applications(self) -> List[ApplicationResult]:
+        return [r for batch in self.batch_results for r in batch.results]
+
+    @property
+    def application_order(self) -> List[str]:
+        return [r.transformation for r in self.applications]
+
+    def report(self) -> str:
+        lines = ["pipeline run:"]
+        for batch in self.batch_results:
+            lines.append(f"  batch {batch.index} [{batch.label}]:")
+            for result in batch.results:
+                lines.append(
+                    f"    {result.transformation}: "
+                    f"+{result.created_elements} elements, "
+                    f"{result.trace_links} trace links"
+                )
+        if self.stats is not None:
+            lines.append(self.stats.report())
+        return "\n".join(lines)
+
+
+class PipelineExecutor:
+    """Applies a :class:`Schedule` through a shared engine, batch-wise."""
+
+    def __init__(
+        self,
+        repository,
+        engine: Optional[TransformationEngine] = None,
+        savepoints: bool = True,
+    ):
+        self.repository = repository
+        self.engine = engine if engine is not None else TransformationEngine(repository)
+        if self.engine.repository is not repository:
+            raise ValueError("engine and executor must share one repository")
+        #: commit one version per successful batch (the savepoint chain);
+        #: disable for throwaway runs where versioning is not wanted
+        self.savepoints = savepoints
+
+    def run(self, schedule: Schedule) -> PipelineResult:
+        started = time.perf_counter()
+        compile_before = default_compile_cache().stats()
+        self._compile_conditions(schedule)
+        extents = ExtentCache()
+        result = PipelineResult()
+
+        for batch_index, batch in enumerate(schedule.batches):
+            try:
+                result.batch_results.append(
+                    self._run_batch(batch_index, batch, extents)
+                )
+            except BatchExecutionError as exc:
+                # callers (the lifecycle) use the completed batches to
+                # keep their own state consistent with the repository
+                exc.partial_result = result
+                raise
+
+        result.stats = PipelineStats(
+            steps=schedule.step_count,
+            batches=len(schedule.batches),
+            duration_s=time.perf_counter() - started,
+            ocl_compile=default_compile_cache().stats().since(compile_before),
+            ocl_extents=extents.stats(),
+            savepoints=sum(
+                1 for b in result.batch_results if b.savepoint is not None
+            ),
+        )
+        return result
+
+    def _compile_conditions(self, schedule: Schedule) -> None:
+        """Compile every condition (and viewpoint) of the run, once.
+
+        Expressions authored earlier in the process are cache hits here —
+        the run's stats record that every condition evaluation below used
+        a cached AST instead of a fresh parse.
+        """
+        from repro.ocl.cache import compile_expression
+
+        for step in schedule.order():
+            for condition_set in (
+                step.concrete.preconditions,
+                step.concrete.postconditions,
+            ):
+                for condition in condition_set:
+                    compile_expression(condition.expression)
+            viewpoint = getattr(step.generic.concern, "viewpoint", None)
+            if viewpoint:
+                compile_expression(viewpoint)
+
+    # -- one batch -------------------------------------------------------------
+
+    def _run_batch(
+        self, batch_index: int, batch: List[PlannedStep], extents: ExtentCache
+    ) -> BatchResult:
+        engine = self.engine
+        label = "after " + ", ".join(step.name for step in batch)
+        batch_result = BatchResult(index=batch_index, label=label)
+        parameters = {step.index: dict(step.concrete.parameters) for step in batch}
+        #: per-step time actually spent in that step's phases (a single
+        #: batch-start stamp would charge every step the whole batch)
+        durations = {step.index: 0.0 for step in batch}
+
+        def timed(step, fn, *args):
+            phase_start = time.perf_counter()
+            try:
+                return fn(*args)
+            finally:
+                durations[step.index] += time.perf_counter() - phase_start
+
+        # gate: batch-start state, shared extents (precondition failures
+        # leave the model untouched — nothing to roll back yet)
+        extents.invalidate()
+        for step in batch:
+            try:
+                timed(step, engine.gate, step.concrete, parameters[step.index], extents)
+            except Exception as exc:
+                raise BatchExecutionError(step.name, batch_index, exc) from exc
+
+        trace_links = {}
+        failing = [None]
+
+        try:
+            with self.repository.transaction(label):
+                for step in batch:
+                    failing[0] = step
+                    with self.repository.demarcation.painting(step.concern):
+                        trace_links[step.index] = timed(
+                            step, engine.run_rules, step.concrete, parameters[step.index]
+                        )
+                # verify: batch-end state, fresh shared extents
+                extents.invalidate()
+                for step in batch:
+                    failing[0] = step
+                    timed(
+                        step, engine.verify, step.concrete, parameters[step.index], extents
+                    )
+        except Exception as exc:
+            # the transaction context already rolled this batch back
+            # (KeyboardInterrupt and friends propagate untouched — the
+            # repository does not roll back on BaseException either);
+            # extents memoized during refine/verify are stale now
+            extents.invalidate()
+            step = failing[0]
+            raise BatchExecutionError(
+                step.name if step is not None else "<unknown>", batch_index, exc
+            ) from exc
+
+        # the rules mutated the model: verify-phase extents are only valid
+        # within this batch
+        extents.invalidate()
+        for step in batch:
+            batch_result.results.append(
+                engine.record(
+                    step.concrete,
+                    parameters[step.index],
+                    trace_links[step.index],
+                    duration_s=durations[step.index],
+                )
+            )
+        if self.savepoints:
+            version = self.repository.commit(label)
+            batch_result.savepoint = version.id
+        return batch_result

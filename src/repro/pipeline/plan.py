@@ -1,0 +1,157 @@
+"""The ConfigurationPlan IR: which concerns, with which ``Si``, when.
+
+A plan is the declarative input of the pipeline — the developer's (or
+wizard's) selection of concern dimensions plus the bound parameter sets,
+decoupled from *how* the transformations are ordered and batched (the
+scheduler's job) and from *running* them (the executor's job).
+
+A selection may name explicit predecessors (``after=...``); dependencies
+may also come from a :class:`~repro.workflow.model.WorkflowModel` at
+scheduling time.  Binding a plan against a
+:class:`~repro.core.registry.ConcernRegistry` specializes every GMT with
+its ``Si`` up front, so configuration errors surface before anything
+touches the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class ConcernSelection:
+    """One selected concern dimension with its application parameters."""
+
+    concern: str
+    parameters: Tuple[Tuple[str, object], ...]
+    after: Tuple[str, ...] = ()
+
+    @property
+    def parameter_dict(self) -> Dict[str, object]:
+        return dict(self.parameters)
+
+
+@dataclass
+class PlannedStep:
+    """A selection bound to its GMT and specialized CMT."""
+
+    index: int
+    selection: ConcernSelection
+    generic: object
+    concrete: object
+
+    @property
+    def concern(self) -> str:
+        return self.selection.concern
+
+    @property
+    def name(self) -> str:
+        return self.concrete.name
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<PlannedStep {self.index}: {self.name}>"
+
+
+class ConfigurationPlan:
+    """An ordered set of concern selections; the pipeline's input IR."""
+
+    def __init__(self, selections: Optional[Iterable[ConcernSelection]] = None):
+        self.selections: List[ConcernSelection] = []
+        for selection in selections or ():
+            self._add(selection)
+
+    def _add(self, selection: ConcernSelection) -> None:
+        if any(s.concern == selection.concern for s in self.selections):
+            raise PlanError(
+                f"plan already selects concern {selection.concern!r} "
+                "(each concern dimension is refined once)"
+            )
+        self.selections.append(selection)
+
+    def select(
+        self, concern: str, after: Iterable[str] = (), **parameters
+    ) -> "ConfigurationPlan":
+        """Add a selection; chainable.  ``after`` names explicit predecessors
+        (a single concern name or an iterable of them)."""
+        if isinstance(after, str):
+            after = (after,)
+        self._add(
+            ConcernSelection(
+                concern=concern,
+                parameters=tuple(sorted(parameters.items(), key=lambda kv: kv[0])),
+                after=tuple(after),
+            )
+        )
+        return self
+
+    @property
+    def concerns(self) -> List[str]:
+        return [s.concern for s in self.selections]
+
+    def validate(self) -> None:
+        """Referential integrity of the explicit ``after`` edges."""
+        known = set(self.concerns)
+        for selection in self.selections:
+            unknown = [dep for dep in selection.after if dep not in known]
+            if unknown:
+                raise PlanError(
+                    f"selection {selection.concern!r} depends on concern(s) "
+                    f"{unknown} not present in the plan"
+                )
+
+    def bind(self, registry) -> List[PlannedStep]:
+        """Specialize every selection's GMT with its ``Si``.
+
+        Raises the registry's :class:`~repro.errors.TransformationError`
+        for unknown concerns and the signature's
+        :class:`~repro.errors.ParameterError` for bad parameter sets —
+        all before any model mutation.
+        """
+        self.validate()
+        steps: List[PlannedStep] = []
+        for index, selection in enumerate(self.selections):
+            gmt = registry.get(selection.concern)
+            cmt = gmt.specialize(**selection.parameter_dict)
+            steps.append(PlannedStep(index, selection, gmt, cmt))
+        return steps
+
+    @classmethod
+    def from_config(cls, config) -> "ConfigurationPlan":
+        """Build a plan from JSON-shaped data.
+
+        Accepts either a list of ``{"concern": ..., "params": {...},
+        "after": [...]}`` entries or a ``{"concerns": [...]}`` wrapper.
+        """
+        if isinstance(config, dict):
+            config = config.get("concerns", config.get("plan"))
+        if not isinstance(config, list):
+            raise PlanError(
+                "plan config must be a list of selections or a "
+                "{'concerns': [...]} object"
+            )
+        plan = cls()
+        for entry in config:
+            if not isinstance(entry, dict) or "concern" not in entry:
+                raise PlanError(f"malformed plan entry: {entry!r}")
+            plan.select(
+                entry["concern"],
+                after=entry.get("after", ()),
+                **entry.get("params", {}),
+            )
+        return plan
+
+    def describe(self) -> str:
+        lines = ["configuration plan:"]
+        for selection in self.selections:
+            suffix = f"  (after {list(selection.after)})" if selection.after else ""
+            lines.append(f"  - {selection.concern}{suffix}")
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.selections)
+
+    def __iter__(self):
+        return iter(self.selections)

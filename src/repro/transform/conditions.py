@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.errors import OclError, TransformationError
 from repro.metamodel.instances import ModelResource
 from repro.metamodel.kernel import MetaClass
-from repro.ocl import OclContext, evaluate, parse
+from repro.ocl import OclContext, compile_expression, evaluate
 
 
 @dataclass
@@ -32,18 +32,24 @@ class Condition:
     _ast: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
-        # Parse eagerly: a syntactically broken condition is a definition
-        # error, found when the generic transformation is authored.
-        self._ast = parse(self.expression)
+        # Compile eagerly: a syntactically broken condition is a definition
+        # error, found when the generic transformation is authored.  The
+        # shared compile cache deduplicates identical expression text
+        # across conditions (and across pipeline runs).
+        self._ast = compile_expression(self.expression)
 
     def evaluate(
         self,
         resource: ModelResource,
         types: Dict[str, MetaClass],
         parameters: Optional[Dict[str, object]] = None,
+        extent_cache=None,
     ) -> bool:
         context = OclContext(
-            resource=resource, types=types, variables=dict(parameters or {})
+            resource=resource,
+            types=types,
+            variables=dict(parameters or {}),
+            extent_cache=extent_cache,
         )
         try:
             result = evaluate(self._ast, context)
@@ -74,11 +80,12 @@ class ConditionSet:
         resource: ModelResource,
         types: Dict[str, MetaClass],
         parameters: Optional[Dict[str, object]] = None,
+        extent_cache=None,
     ) -> List[Condition]:
         return [
             condition
             for condition in self.conditions
-            if not condition.evaluate(resource, types, parameters)
+            if not condition.evaluate(resource, types, parameters, extent_cache)
         ]
 
     def __iter__(self):

@@ -66,12 +66,24 @@ class TransformationEngine:
         self.trace = TraceLog()
         self.applications: List[ApplicationResult] = []
 
-    def apply(self, transformation) -> ApplicationResult:
-        """Apply one concrete transformation atomically."""
-        resource = self.repository.resource
-        parameters = dict(transformation.parameters)
-        started = time.perf_counter()
+    # -- phases ----------------------------------------------------------------
+    #
+    # ``apply`` composes the four phases below inside one repository
+    # transaction.  The pipeline executor (:mod:`repro.pipeline.executor`)
+    # calls them directly so a *batch* of independent transformations can
+    # share one transaction, one demarcated savepoint, and one OCL extent
+    # cache per phase.
 
+    def gate(self, transformation, parameters=None, extent_cache=None) -> None:
+        """Phase 1: mapping applicability + preconditions (model untouched).
+
+        Raises :class:`PreconditionViolation` on the first violated set;
+        ``extent_cache`` may share ``allInstances`` extents across checks
+        evaluated against the same model state.
+        """
+        resource = self.repository.resource
+        if parameters is None:
+            parameters = dict(transformation.parameters)
         mapping_kind = getattr(transformation, "mapping_kind", None)
         if mapping_kind is not None and resource.roots:
             from repro.transform.mappings import check_mapping_applicable
@@ -80,7 +92,7 @@ class TransformationEngine:
 
         if self.check_preconditions:
             violated = transformation.preconditions.violations(
-                resource, self.types, parameters
+                resource, self.types, parameters, extent_cache
             )
             if violated:
                 first = violated[0]
@@ -92,36 +104,49 @@ class TransformationEngine:
                     ),
                 )
 
+    def run_rules(self, transformation, parameters=None) -> int:
+        """Phase 2: execute the rule sequence (caller owns the transaction).
+
+        Returns the number of trace links recorded by the rules.
+        """
+        if parameters is None:
+            parameters = dict(transformation.parameters)
         trace = self.trace if self.record_trace else TraceLog()
         ctx = TransformationContext(
-            resource,
+            self.repository.resource,
             parameters,
             self.types,
             trace=trace,
             transformation_name=transformation.name,
         )
         links_before = len(trace)
+        transformation.rules.apply_all(ctx)
+        return len(trace) - links_before
 
-        with self.repository.transaction(
-            f"apply {transformation.name}", concern=transformation.concern
-        ):
-            transformation.rules.apply_all(ctx)
-            if self.check_postconditions:
-                violated = transformation.postconditions.violations(
-                    resource, self.types, parameters
-                )
-                if violated:
-                    first = violated[0]
-                    # raising aborts the repository transaction -> full rollback
-                    raise PostconditionViolation(
-                        first.name,
-                        f"postcondition(s) of {transformation.name!r} violated: "
-                        + "; ".join(
-                            f"{c.name}: {c.description or c.expression}"
-                            for c in violated
-                        ),
-                    )
+    def verify(self, transformation, parameters=None, extent_cache=None) -> None:
+        """Phase 3: postconditions.  Raising inside a repository
+        transaction aborts it, rolling the application back."""
+        if not self.check_postconditions:
+            return
+        if parameters is None:
+            parameters = dict(transformation.parameters)
+        violated = transformation.postconditions.violations(
+            self.repository.resource, self.types, parameters, extent_cache
+        )
+        if violated:
+            first = violated[0]
+            raise PostconditionViolation(
+                first.name,
+                f"postcondition(s) of {transformation.name!r} violated: "
+                + "; ".join(
+                    f"{c.name}: {c.description or c.expression}" for c in violated
+                ),
+            )
 
+    def record(
+        self, transformation, parameters, trace_links: int, duration_s: float
+    ) -> ApplicationResult:
+        """Phase 4: build and append the aggregated application result."""
         created = len(
             self.repository.demarcation.elements_of(transformation.concern)
         )
@@ -130,8 +155,8 @@ class TransformationEngine:
             concern=transformation.concern,
             parameters=parameters,
             created_elements=created,
-            trace_links=len(trace) - links_before,
-            duration_s=time.perf_counter() - started,
+            trace_links=trace_links,
+            duration_s=duration_s,
             preconditions_checked=len(transformation.preconditions)
             if self.check_preconditions
             else 0,
@@ -141,6 +166,24 @@ class TransformationEngine:
         )
         self.applications.append(result)
         return result
+
+    def apply(self, transformation) -> ApplicationResult:
+        """Apply one concrete transformation atomically."""
+        parameters = dict(transformation.parameters)
+        started = time.perf_counter()
+
+        self.gate(transformation, parameters)
+
+        with self.repository.transaction(
+            f"apply {transformation.name}", concern=transformation.concern
+        ):
+            trace_links = self.run_rules(transformation, parameters)
+            # raising aborts the repository transaction -> full rollback
+            self.verify(transformation, parameters)
+
+        return self.record(
+            transformation, parameters, trace_links, time.perf_counter() - started
+        )
 
     @property
     def application_order(self) -> List[str]:

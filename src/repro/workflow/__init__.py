@@ -17,12 +17,13 @@
 
 from repro.workflow.model import WorkflowModel, WorkflowStep
 from repro.workflow.guidance import RefinementGuide
-from repro.workflow.wizard import ConcernWizard, WizardQuestion
+from repro.workflow.wizard import ConcernWizard, PlanWizard, WizardQuestion
 
 __all__ = [
     "WorkflowModel",
     "WorkflowStep",
     "RefinementGuide",
     "ConcernWizard",
+    "PlanWizard",
     "WizardQuestion",
 ]

@@ -55,6 +55,10 @@ class WorkflowModel:
     def concerns(self) -> List[str]:
         return list(self._steps)
 
+    def step(self, concern: str) -> "WorkflowStep | None":
+        """The step for ``concern``, or None if the workflow has none."""
+        return self._steps.get(concern)
+
     def is_allowed(self, concern: str, history: Sequence[str]) -> bool:
         """May ``concern`` be applied after the given application history?"""
         step = self._steps.get(concern)

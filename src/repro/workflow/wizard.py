@@ -7,6 +7,11 @@ A :class:`ConcernWizard` derives its question list from a generic
 transformation's parameter signature, so tool UIs (or tests) drive
 configuration without knowing the concern; answers are validated into the
 ``ParameterSet`` handed to ``specialize``.
+
+A :class:`PlanWizard` chains concern wizards across several concern
+dimensions and emits the resulting
+:class:`~repro.pipeline.plan.ConfigurationPlan` — the wizard UI's exit
+into the plan → schedule → execute pipeline.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, PlanError
 from repro.core.parameters import ParameterSet
 from repro.core.transformation import GenericTransformation
 
@@ -93,3 +98,76 @@ class ConcernWizard:
         lines = [f"configuring concern {self.concern_name!r}:"]
         lines.extend(f"  - {q.render()}" for q in self.questions())
         return "\n".join(lines)
+
+
+class PlanWizard:
+    """Configure several concern dimensions into a ConfigurationPlan.
+
+    The multi-concern analogue of :class:`ConcernWizard`: each
+    :meth:`answer` call validates one concern's answers through its
+    wizard (so bad parameter sets fail at configuration time, not at
+    application time) and records the selection; :meth:`build_plan`
+    emits the pipeline's :class:`~repro.pipeline.plan.ConfigurationPlan`
+    in answer order.
+    """
+
+    def __init__(self, registry, workflow=None):
+        self.registry = registry
+        self.workflow = workflow
+        self._answers: List[Tuple[str, Dict[str, object], Tuple[str, ...]]] = []
+
+    def wizard_for(self, concern_name: str) -> ConcernWizard:
+        return ConcernWizard(self.registry.get(concern_name))
+
+    def questions_for(self, concern_name: str) -> List[WizardQuestion]:
+        return self.wizard_for(concern_name).questions()
+
+    @property
+    def configured_concerns(self) -> List[str]:
+        return [concern for concern, _, _ in self._answers]
+
+    def answer(
+        self, concern_name: str, after: Tuple[str, ...] = (), **answers
+    ) -> "PlanWizard":
+        """Validate one concern's answers and record the selection; chainable."""
+        if concern_name in self.configured_concerns:
+            raise PlanError(f"concern {concern_name!r} is already configured")
+        if self.workflow is not None and self.workflow.step(concern_name) is None:
+            raise PlanError(
+                f"the workflow has no step for concern {concern_name!r}"
+            )
+        # validation only: the plan re-binds at apply time
+        self.wizard_for(concern_name).collect(answers)
+        self._answers.append((concern_name, dict(answers), tuple(after)))
+        return self
+
+    def build_plan(self):
+        """The accumulated selections as a ConfigurationPlan.
+
+        With a workflow, every configured concern's prerequisites must
+        also be configured — caught here, at configuration time, rather
+        than when the plan is scheduled.
+        """
+        from repro.pipeline import ConfigurationPlan
+
+        if self.workflow is not None:
+            configured = set(self.configured_concerns)
+            for concern in self.configured_concerns:
+                missing = self.workflow.step(concern).requires - configured
+                if missing:
+                    raise PlanError(
+                        f"concern {concern!r} requires {sorted(missing)} "
+                        "which the wizard has not configured"
+                    )
+        plan = ConfigurationPlan()
+        for concern, answers, after in self._answers:
+            plan.select(concern, after=after, **answers)
+        return plan
+
+    def transcript(self) -> str:
+        """Question lists for every registered concern, in registry order."""
+        parts = [
+            self.wizard_for(concern).transcript()
+            for concern in self.registry.concerns()
+        ]
+        return "\n\n".join(parts)

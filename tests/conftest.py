@@ -1,9 +1,16 @@
 """Shared fixtures: a banking PIM (the paper's running-example domain),
-a library metamodel for kernel tests, and wired middleware services."""
+a library metamodel for kernel tests, and wired middleware services.
+
+The model builders live in :mod:`helpers`; test modules import them
+explicitly (``from helpers import build_bank_model``) instead of
+reaching into ``conftest``.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+from helpers import FULL_BANK_PARAMS, build_bank_model
 
 from repro.core import MdaLifecycle, MiddlewareServices
 from repro.metamodel import (
@@ -11,15 +18,6 @@ from repro.metamodel import (
     UNBOUNDED,
     MetamodelBuilder,
     ModelResource,
-)
-from repro.uml import (
-    add_attribute,
-    add_class,
-    add_operation,
-    add_package,
-    apply_stereotype,
-    ensure_primitives,
-    new_model,
 )
 
 
@@ -51,52 +49,6 @@ def library_metamodel():
     }
 
 
-def build_bank_model():
-    """The functional banking PIM with executable operation bodies."""
-    resource, model = new_model("bank")
-    prims = ensure_primitives(model)
-    pkg = add_package(model, "accounts")
-
-    account = add_class(pkg, "Account")
-    add_attribute(account, "number", prims["String"])
-    add_attribute(account, "balance", prims["Real"])
-    deposit = add_operation(
-        account, "deposit", [("amount", prims["Real"])], return_type=prims["Real"]
-    )
-    apply_stereotype(
-        deposit, "PythonBody", body="self.balance += amount\nreturn self.balance"
-    )
-    withdraw = add_operation(
-        account, "withdraw", [("amount", prims["Real"])], return_type=prims["Real"]
-    )
-    apply_stereotype(
-        withdraw,
-        "PythonBody",
-        body=(
-            "if amount > self.balance:\n"
-            "    raise ValueError('insufficient funds')\n"
-            "self.balance -= amount\n"
-            "return self.balance"
-        ),
-    )
-    get_balance = add_operation(account, "getBalance", return_type=prims["Real"])
-    apply_stereotype(get_balance, "PythonBody", body="return self.balance")
-
-    bank = add_class(pkg, "Bank")
-    transfer = add_operation(
-        bank,
-        "transfer",
-        [("source", None), ("target", None), ("amount", prims["Real"])],
-        return_type=prims["Boolean"],
-    )
-    apply_stereotype(
-        transfer,
-        "PythonBody",
-        body="source.withdraw(amount)\ntarget.deposit(amount)\nreturn True",
-    )
-    return resource, model
-
-
 @pytest.fixture()
 def bank_model():
     return build_bank_model()
@@ -115,18 +67,6 @@ def services():
 @pytest.fixture()
 def lifecycle(bank_resource, services):
     return MdaLifecycle(bank_resource, services=services)
-
-
-FULL_BANK_PARAMS = {
-    "distribution": dict(server_classes=["Account"], registry_prefix="bank"),
-    "transactions": dict(
-        transactional_ops=["Bank.transfer", "Account.withdraw", "Account.deposit"],
-        state_classes=["Account"],
-    ),
-    "security": dict(
-        protected_ops=["Bank.transfer"], role_grants={"teller": ["Bank.*"]}
-    ),
-}
 
 
 @pytest.fixture()

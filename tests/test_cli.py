@@ -8,7 +8,7 @@ from repro.cli import main
 from repro.uml import UML, find_element, has_stereotype
 from repro.xmi import read_xmi, write_xmi
 
-from conftest import build_bank_model
+from helpers import build_bank_model
 
 
 @pytest.fixture()

@@ -9,7 +9,7 @@ import pytest
 
 from repro.errors import MiddlewareError, ReproError
 
-from conftest import FULL_BANK_PARAMS, build_bank_model
+from helpers import FULL_BANK_PARAMS, build_bank_model
 
 
 def _build_app(seed):

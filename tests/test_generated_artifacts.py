@@ -14,7 +14,7 @@ from repro.codegen import compile_aspect, compile_model
 from repro.core import MdaLifecycle, MiddlewareServices
 from repro.errors import AccessDeniedError, AuthenticationError
 
-from conftest import FULL_BANK_PARAMS, build_bank_model
+from helpers import FULL_BANK_PARAMS, build_bank_model
 
 
 @pytest.fixture()

@@ -14,7 +14,7 @@ from repro.metamodel import validate
 from repro.uml import find_element, has_stereotype
 from repro.workflow import WorkflowModel
 
-from conftest import FULL_BANK_PARAMS
+from helpers import FULL_BANK_PARAMS
 
 
 class TestRefinementPhase:
@@ -162,7 +162,7 @@ class TestPrecedenceExperiment:
 
     @staticmethod
     def _run(order):
-        from conftest import build_bank_model
+        from helpers import build_bank_model
         from repro.core import MiddlewareServices
 
         resource, _ = build_bank_model()

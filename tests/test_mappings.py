@@ -17,7 +17,7 @@ from repro.transform.mappings import (
 )
 from repro.uml import find_element, get_tag, has_stereotype
 
-from conftest import FULL_BANK_PARAMS
+from helpers import FULL_BANK_PARAMS
 
 
 @pytest.fixture()

@@ -1,0 +1,529 @@
+"""The configuration pipeline: plan IR, DAG scheduler, batch executor."""
+
+import pytest
+
+from helpers import FULL_BANK_PARAMS, build_bank_model
+
+from repro.core import Concern, GenericTransformation, MdaLifecycle
+from repro.core.registry import default_registry
+from repro.errors import (
+    BatchExecutionError,
+    ParameterError,
+    PipelineError,
+    PlanError,
+    SchedulingError,
+    TransformationError,
+    WorkflowError,
+)
+from repro.pipeline import (
+    ConfigurationPlan,
+    PipelineExecutor,
+    Scheduler,
+)
+from repro.repository import ModelRepository
+from repro.transform import TransformationEngine
+from repro.uml import UML, find_element, has_stereotype
+from repro.workflow import PlanWizard, WorkflowModel
+
+
+def bank_plan():
+    plan = ConfigurationPlan()
+    for concern, params in FULL_BANK_PARAMS.items():
+        plan.select(concern, **params)
+    return plan
+
+
+def bank_workflow():
+    workflow = WorkflowModel()
+    workflow.add_step("distribution")
+    workflow.add_step("transactions")
+    workflow.add_step("security", requires=["distribution"])
+    return workflow
+
+
+class TestConfigurationPlan:
+    def test_duplicate_concern_rejected(self):
+        plan = ConfigurationPlan().select("logging", log_patterns=["*"])
+        with pytest.raises(PlanError, match="already selects"):
+            plan.select("logging", log_patterns=["*.deposit"])
+
+    def test_after_must_reference_plan_members(self):
+        plan = ConfigurationPlan().select(
+            "logging", after=["distribution"], log_patterns=["*"]
+        )
+        with pytest.raises(PlanError, match="not present in the plan"):
+            plan.validate()
+
+    def test_bind_specializes_each_selection(self):
+        steps = bank_plan().bind(default_registry())
+        assert [s.concern for s in steps] == list(FULL_BANK_PARAMS)
+        assert steps[0].concrete.name.startswith("T_distribution")
+
+    def test_bind_surfaces_unknown_concern(self):
+        plan = ConfigurationPlan().select("ghost")
+        with pytest.raises(TransformationError, match="no generic transformation"):
+            plan.bind(default_registry())
+
+    def test_bind_surfaces_bad_parameters_before_any_mutation(self):
+        plan = ConfigurationPlan().select("logging")  # log_patterns missing
+        with pytest.raises(ParameterError):
+            plan.bind(default_registry())
+
+    def test_from_config_round_trip(self):
+        config = [
+            {"concern": "distribution", "params": FULL_BANK_PARAMS["distribution"]},
+            {
+                "concern": "security",
+                "params": FULL_BANK_PARAMS["security"],
+                "after": ["distribution"],
+            },
+        ]
+        plan = ConfigurationPlan.from_config(config)
+        assert plan.concerns == ["distribution", "security"]
+        assert plan.selections[1].after == ("distribution",)
+
+    def test_from_config_rejects_garbage(self):
+        with pytest.raises(PlanError):
+            ConfigurationPlan.from_config({"not": "a plan"})
+
+    def test_after_accepts_a_bare_string(self):
+        plan = ConfigurationPlan.from_config(
+            [
+                {"concern": "distribution", "params": FULL_BANK_PARAMS["distribution"]},
+                {
+                    "concern": "security",
+                    "params": FULL_BANK_PARAMS["security"],
+                    "after": "distribution",
+                },
+            ]
+        )
+        assert plan.selections[1].after == ("distribution",)
+        plan.validate()
+
+
+class TestScheduler:
+    def test_independent_concerns_share_one_batch(self):
+        steps = bank_plan().bind(default_registry())
+        schedule = Scheduler().schedule(steps)
+        assert len(schedule.batches) == 1
+        assert [s.concern for s in schedule.batches[0]] == list(FULL_BANK_PARAMS)
+
+    def test_explicit_after_splits_batches(self):
+        plan = ConfigurationPlan()
+        plan.select("distribution", **FULL_BANK_PARAMS["distribution"])
+        plan.select("transactions", **FULL_BANK_PARAMS["transactions"])
+        plan.select(
+            "security", after=["distribution"], **FULL_BANK_PARAMS["security"]
+        )
+        schedule = Scheduler().schedule(plan.bind(default_registry()))
+        assert [[s.concern for s in b] for b in schedule.batches] == [
+            ["distribution", "transactions"],
+            ["security"],
+        ]
+
+    def test_workflow_requires_become_edges(self):
+        steps = bank_plan().bind(default_registry())
+        schedule = Scheduler(workflow=bank_workflow()).schedule(steps)
+        assert [[s.concern for s in b] for b in schedule.batches] == [
+            ["distribution", "transactions"],
+            ["security"],
+        ]
+        assert schedule.dependencies["security"] == ["distribution"]
+
+    def test_precedence_cycle_raises_pipeline_error(self):
+        plan = ConfigurationPlan()
+        plan.select(
+            "distribution", after=["security"], **FULL_BANK_PARAMS["distribution"]
+        )
+        plan.select(
+            "security", after=["distribution"], **FULL_BANK_PARAMS["security"]
+        )
+        with pytest.raises(SchedulingError, match="cycle") as excinfo:
+            Scheduler().schedule(plan.bind(default_registry()))
+        assert isinstance(excinfo.value, PipelineError)
+        assert "distribution" in str(excinfo.value)
+        assert "security" in str(excinfo.value)
+
+    def test_workflow_prereq_missing_from_plan_rejected(self):
+        plan = ConfigurationPlan().select(
+            "security", **FULL_BANK_PARAMS["security"]
+        )
+        with pytest.raises(SchedulingError, match="does not select"):
+            Scheduler(workflow=bank_workflow()).schedule(
+                plan.bind(default_registry())
+            )
+
+    def test_satisfied_history_waives_workflow_prereq(self):
+        plan = ConfigurationPlan().select(
+            "security", **FULL_BANK_PARAMS["security"]
+        )
+        schedule = Scheduler(
+            workflow=bank_workflow(), satisfied={"distribution"}
+        ).schedule(plan.bind(default_registry()))
+        assert len(schedule.batches) == 1
+
+    def test_flattened_order_is_aspect_precedence_order(self):
+        steps = bank_plan().bind(default_registry())
+        schedule = Scheduler(workflow=bank_workflow()).schedule(steps)
+        assert [s.concern for s in schedule.order()] == [
+            "distribution",
+            "transactions",
+            "security",
+        ]
+
+
+def failing_rule_transformation(when="rules"):
+    """A minimal GMT whose application fails in the requested phase."""
+    gmt = GenericTransformation("T_broken", Concern("broken"))
+    if when == "postcondition":
+        gmt.postcondition(
+            "never-true", "Class.allInstances()->exists(c | c.name = 'Nope')"
+        )
+
+        @gmt.rule("noop")
+        def _noop(ctx):
+            pass
+
+    else:
+
+        @gmt.rule("explode")
+        def _explode(ctx):
+            from repro.uml.model import add_class, find_element
+
+            pkg = find_element(ctx.model, "accounts")
+            add_class(pkg, "Partial")
+            raise RuntimeError("boom")
+
+    return gmt
+
+
+class TestExecutor:
+    def run_bank(self, plan, workflow=None):
+        resource, _ = build_bank_model()
+        repository = ModelRepository(resource)
+        repository.commit("initial PIM")
+        steps = plan.bind(default_registry())
+        schedule = Scheduler(workflow=workflow).schedule(steps)
+        executor = PipelineExecutor(repository)
+        return repository, executor.run(schedule)
+
+    def test_batched_run_produces_refined_model(self):
+        repository, result = self.run_bank(bank_plan())
+        withdraw = find_element(
+            repository.resource.roots[0], "accounts.Account.withdraw"
+        )
+        assert has_stereotype(withdraw, "Transactional")
+        assert len(result.applications) == 3
+        assert result.stats.batches == 1
+
+    def test_one_savepoint_per_batch(self):
+        plan = ConfigurationPlan()
+        plan.select("distribution", **FULL_BANK_PARAMS["distribution"])
+        plan.select(
+            "security", after=["distribution"], **FULL_BANK_PARAMS["security"]
+        )
+        repository, result = self.run_bank(plan)
+        assert result.stats.savepoints == 2
+        # initial PIM + one version per batch
+        assert len(repository.history.versions) == 3
+
+    def test_stats_expose_cache_hit_counts(self):
+        _, result = self.run_bank(bank_plan())
+        stats = result.stats
+        assert stats.steps == 3
+        assert stats.ocl_extents.hits > 0  # shared allInstances extents
+        assert stats.ocl_compile.hits >= 0  # counters wired through
+        assert "OCL compile cache" in stats.report()
+
+    def test_trace_aggregates_in_one_log(self):
+        resource, _ = build_bank_model()
+        repository = ModelRepository(resource)
+        repository.commit("initial PIM")
+        engine = TransformationEngine(repository)
+        executor = PipelineExecutor(repository, engine=engine)
+        schedule = Scheduler().schedule(bank_plan().bind(default_registry()))
+        result = executor.run(schedule)
+        assert len(engine.trace) == sum(r.trace_links for r in result.applications)
+
+    def test_failing_rule_rolls_back_only_its_batch(self):
+        resource, _ = build_bank_model()
+        repository = ModelRepository(resource)
+        repository.commit("initial PIM")
+        registry = default_registry()
+        registry.register(failing_rule_transformation("rules"))
+
+        plan = ConfigurationPlan()
+        plan.select("distribution", **FULL_BANK_PARAMS["distribution"])
+        plan.select("broken", after=["distribution"])
+        plan.select("transactions", after=["distribution"], **FULL_BANK_PARAMS["transactions"])
+        schedule = Scheduler().schedule(plan.bind(registry))
+        assert [[s.concern for s in b] for b in schedule.batches] == [
+            ["distribution"],
+            ["broken", "transactions"],
+        ]
+
+        executor = PipelineExecutor(repository)
+        with pytest.raises(BatchExecutionError, match="batch 1") as excinfo:
+            executor.run(schedule)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+        model = repository.resource.roots[0]
+        # batch 0 survived: the distribution refinement is still there
+        assert find_element(model, "accounts.Account") is not None
+        assert len(repository.demarcation.elements_of("distribution")) > 0
+        # batch 1 rolled back: neither the partial class nor the
+        # transactions refinement made it into the model
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            find_element(model, "accounts.Partial")
+        withdraw = find_element(model, "accounts.Account.withdraw")
+        assert not has_stereotype(withdraw, "Transactional")
+        # the savepoint chain stops after batch 0
+        assert len(repository.history.versions) == 2
+
+    def test_postcondition_violation_rolls_back_batch(self):
+        resource, _ = build_bank_model()
+        repository = ModelRepository(resource)
+        repository.commit("initial PIM")
+        registry = default_registry()
+        registry.register(failing_rule_transformation("postcondition"))
+
+        plan = ConfigurationPlan().select("broken")
+        schedule = Scheduler().schedule(plan.bind(registry))
+        before = sum(1 for _ in repository.resource.all_contents())
+        with pytest.raises(BatchExecutionError):
+            PipelineExecutor(repository).run(schedule)
+        assert sum(1 for _ in repository.resource.all_contents()) == before
+
+    def test_precondition_violation_reports_failing_step(self):
+        resource, _ = build_bank_model()
+        repository = ModelRepository(resource)
+        repository.commit("initial PIM")
+        plan = ConfigurationPlan().select(
+            "transactions",
+            transactional_ops=["Ghost.op"],
+            state_classes=["Account"],
+        )
+        schedule = Scheduler().schedule(plan.bind(default_registry()))
+        with pytest.raises(BatchExecutionError, match="T_transactions"):
+            PipelineExecutor(repository).run(schedule)
+
+
+class TestLifecycleIntegration:
+    def test_apply_plan_queues_aspects_in_schedule_order(self, bank_resource, services):
+        lifecycle = MdaLifecycle(bank_resource, services=services)
+        result = lifecycle.apply_plan(bank_plan())
+        assert len(result.applications) == 3
+        names = lifecycle.plan.order()
+        assert names[0].startswith("A_distribution")
+        assert names[1].startswith("A_transactions")
+        assert names[2].startswith("A_security")
+        assert lifecycle.last_pipeline_stats is result.stats
+
+    def test_apply_plan_then_build_application_works(self, bank_resource, services):
+        lifecycle = MdaLifecycle(bank_resource, services=services)
+        lifecycle.apply_plan(bank_plan())
+        module = lifecycle.build_application("pipeline_bank_app")
+        services.credentials.add_user("alice", "pw", roles=["teller"])
+        credential = services.auth.login("alice", "pw")
+        source = module.Account(balance=10.0)
+        target = module.Account(balance=0.0)
+        with services.orb.call_context(credentials=credential.token):
+            assert module.Bank().transfer(source, target, 4.0) is True
+        assert target.balance == 4.0
+
+    def test_apply_plan_respects_workflow_gate(self, bank_resource, services):
+        workflow = WorkflowModel()
+        workflow.add_step("distribution")
+        workflow.add_step("transactions", requires=["distribution"])
+        lifecycle = MdaLifecycle(
+            bank_resource, services=services, workflow=workflow
+        )
+        plan = ConfigurationPlan().select(
+            "security", **FULL_BANK_PARAMS["security"]
+        )
+        with pytest.raises(WorkflowError):
+            lifecycle.apply_plan(plan)
+
+    def test_apply_plan_rejects_already_applied_concern(self, lifecycle):
+        lifecycle.apply_concern("distribution", **FULL_BANK_PARAMS["distribution"])
+        plan = ConfigurationPlan().select(
+            "distribution", **FULL_BANK_PARAMS["distribution"]
+        )
+        with pytest.raises(WorkflowError, match="already applied"):
+            lifecycle.apply_plan(plan)
+
+    def test_partial_failure_keeps_lifecycle_consistent_with_model(
+        self, bank_resource, services
+    ):
+        lifecycle = MdaLifecycle(bank_resource, services=services)
+        lifecycle.registry.register(failing_rule_transformation("rules"))
+        plan = ConfigurationPlan()
+        plan.select("distribution", **FULL_BANK_PARAMS["distribution"])
+        plan.select("broken", after=["distribution"])
+        with pytest.raises(BatchExecutionError):
+            lifecycle.apply_plan(plan)
+        # batch 0 (distribution) was committed: lifecycle state mirrors it
+        assert lifecycle.applied_concerns == ["distribution"]
+        assert lifecycle.plan.order()[0].startswith("A_distribution")
+        # a retry of the failed concern alone is not blocked by stale state
+        assert "broken" in lifecycle.remaining_concerns()
+
+    def test_step_durations_sum_within_batch_duration(self, bank_resource, services):
+        lifecycle = MdaLifecycle(bank_resource, services=services)
+        result = lifecycle.apply_plan(bank_plan())
+        total = result.stats.duration_s
+        assert sum(r.duration_s for r in result.applications) <= total
+
+    def test_apply_concern_still_commits_per_application(self, lifecycle):
+        lifecycle.apply_concern("distribution", **FULL_BANK_PARAMS["distribution"])
+        log = lifecycle.repository.log()
+        assert len(log) == 2
+        assert "T_distribution" in log[1]
+
+
+class TestPlanWizard:
+    def test_answers_validated_through_concern_wizard(self):
+        wizard = PlanWizard(default_registry())
+        with pytest.raises(ParameterError):
+            wizard.answer("logging")  # log_patterns is required
+
+    def test_build_plan_preserves_answer_order(self):
+        wizard = PlanWizard(default_registry())
+        wizard.answer("distribution", **FULL_BANK_PARAMS["distribution"])
+        wizard.answer(
+            "security", after=("distribution",), **FULL_BANK_PARAMS["security"]
+        )
+        plan = wizard.build_plan()
+        assert plan.concerns == ["distribution", "security"]
+        assert plan.selections[1].after == ("distribution",)
+
+    def test_duplicate_answer_rejected(self):
+        wizard = PlanWizard(default_registry())
+        wizard.answer("distribution", **FULL_BANK_PARAMS["distribution"])
+        with pytest.raises(PlanError, match="already configured"):
+            wizard.answer("distribution", **FULL_BANK_PARAMS["distribution"])
+
+    def test_workflow_enforced_at_configuration_time(self):
+        workflow = bank_workflow()
+        wizard = PlanWizard(default_registry(), workflow=workflow)
+        with pytest.raises(PlanError, match="no step"):
+            wizard.answer("logging", log_patterns=["*"])
+        wizard.answer("security", **FULL_BANK_PARAMS["security"])
+        with pytest.raises(PlanError, match="requires"):
+            wizard.build_plan()  # distribution prerequisite not configured
+        wizard.answer("distribution", **FULL_BANK_PARAMS["distribution"])
+        assert wizard.build_plan().concerns == ["security", "distribution"]
+
+    def test_wizard_plan_drives_lifecycle(self, bank_resource, services):
+        wizard = PlanWizard(default_registry())
+        for concern, params in FULL_BANK_PARAMS.items():
+            wizard.answer(concern, **params)
+        lifecycle = MdaLifecycle(bank_resource, services=services)
+        result = lifecycle.apply_plan(wizard.build_plan())
+        assert result.application_order[0].startswith("T_distribution")
+
+
+class TestWeaverPointcutMemo:
+    def build_weaver(self):
+        from repro.aop import Aspect, Weaver
+
+        class Target:
+            def ping(self):
+                return "pong"
+
+            def helper(self):
+                return self.ping()
+
+        weaver = Weaver()
+        weaver.weave_class(Target)
+        return weaver, Target
+
+    def test_repeat_dispatch_hits_memo(self):
+        from repro.aop import Aspect
+
+        weaver, Target = self.build_weaver()
+        calls = []
+        aspect = Aspect("obs")
+
+        @aspect.before("execution(Target.ping)")
+        def _observe(jp):
+            calls.append("b")
+
+        weaver.deploy(aspect)
+
+        t = Target()
+        t.ping()
+        assert weaver.pointcut_memo_misses == 1
+        t.ping()
+        t.ping()
+        assert weaver.pointcut_memo_hits == 2
+        assert calls == ["b", "b", "b"]
+
+    def test_deploy_invalidates_memo(self):
+        from repro.aop import Aspect
+
+        weaver, Target = self.build_weaver()
+        first = Aspect("first")
+
+        @first.before("execution(Target.ping)")
+        def _noop(jp):
+            pass
+
+        weaver.deploy(first)
+        t = Target()
+        t.ping()
+
+        calls = []
+        second = Aspect("second")
+
+        @second.before("execution(Target.ping)")
+        def _mark(jp):
+            calls.append("x")
+
+        weaver.deploy(second)
+        t.ping()
+        assert calls == ["x"]  # memo did not serve the stale entry
+
+    def test_advice_added_after_deploy_is_seen(self):
+        from repro.aop import Aspect, AdviceKind
+
+        weaver, Target = self.build_weaver()
+        aspect = Aspect("grows")
+
+        @aspect.before("execution(Target.ping)")
+        def _first(jp):
+            pass
+
+        weaver.deploy(aspect)
+        t = Target()
+        t.ping()  # memo populated for this signature
+
+        calls = []
+        aspect.add_advice(
+            AdviceKind.BEFORE, "execution(Target.ping)", lambda jp: calls.append("late")
+        )
+        t.ping()
+        assert calls == ["late"]
+
+    def test_cflow_advice_stays_dynamic(self):
+        from repro.aop import Aspect
+
+        weaver, Target = self.build_weaver()
+        calls = []
+        aspect = Aspect("cf")
+
+        @aspect.before("execution(Target.ping) && cflow(Target.helper)")
+        def _in_flow(jp):
+            calls.append("in-flow")
+
+        weaver.deploy(aspect)
+
+        t = Target()
+        t.ping()  # outside the helper flow: must not fire
+        assert calls == []
+        t.helper()  # ping inside helper's control flow: must fire
+        assert calls == ["in-flow"]
+        t.ping()  # memoized signature, but still outside the flow
+        assert calls == ["in-flow"]

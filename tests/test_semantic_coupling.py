@@ -23,7 +23,7 @@ from repro.codegen import compile_model
 from repro.core import MiddlewareServices
 from repro.core.registry import default_registry
 
-from conftest import build_bank_model
+from helpers import build_bank_model
 
 
 def _fresh_app(module_name):

@@ -14,7 +14,7 @@ from repro.core import (
 from repro.uml import UML, classes_of, find_element, has_stereotype
 from repro.xmi import parse_xmi
 
-from conftest import FULL_BANK_PARAMS, build_bank_model
+from helpers import FULL_BANK_PARAMS, build_bank_model
 
 
 @pytest.fixture()
