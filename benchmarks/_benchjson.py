@@ -1,0 +1,32 @@
+"""Machine-readable benchmark results: BENCH_<name>.json emission.
+
+Benchmarks call :func:`write_bench_json` with a payload dict; the file
+lands next to the benchmarks as ``BENCH_<name>.json`` with environment
+metadata attached, so the perf trajectory can be tracked across PRs (CI
+uploads them as artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def write_bench_json(name: str, payload: dict, directory: Path = BENCH_DIR) -> Path:
+    """Write ``BENCH_<name>.json``; returns the path."""
+    document = {
+        "bench": name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **payload,
+    }
+    path = Path(directory) / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    return path

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from _benchjson import write_bench_json
 from repro.core import MdaLifecycle, MiddlewareServices
 from repro.uml import (
     add_attribute,
@@ -117,3 +118,28 @@ def build_full_bank_app():
 @pytest.fixture(scope="module")
 def bank_app():
     return build_full_bank_app()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump pytest-benchmark stats as BENCH_pytest.json (cross-PR tracking).
+
+    Every bench run under pytest-benchmark gets the machine-readable hook
+    for free; runs with ``--benchmark-disable`` collect no stats and write
+    nothing.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    results = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None or not getattr(stats, "data", None):
+            continue
+        results[bench.fullname] = {
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "stddev_s": stats.stddev,
+            "rounds": stats.rounds,
+        }
+    if results:
+        write_bench_json("pytest", {"results": results})

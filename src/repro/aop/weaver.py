@@ -19,6 +19,7 @@ into properties (:meth:`Weaver.weave_field`).
 from __future__ import annotations
 
 import functools
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import WeavingError
@@ -37,13 +38,22 @@ from repro.aop.pointcut import (
 _WOVEN_MARK = "__repro_woven__"
 _FIELD_PREFIX = "__repro_field_"
 
-#: active join-point stack (innermost last); read by cflow pointcuts
-_call_stack: List[JoinPoint] = []
+#: active join-point stack (innermost last); read by cflow pointcuts.
+#: Thread-local: each worker thread of the concurrent dispatcher has its
+#: own control flow, so cflow must never observe another thread's frames.
+_stack_local = threading.local()
+
+
+def _current_frames() -> List[JoinPoint]:
+    frames = getattr(_stack_local, "frames", None)
+    if frames is None:
+        frames = _stack_local.frames = []
+    return frames
 
 
 def call_stack() -> List[JoinPoint]:
     """A snapshot of the active woven join points, outermost first."""
-    return list(_call_stack)
+    return list(_current_frames())
 
 
 def _pointcut_is_dynamic(pointcut: Pointcut) -> bool:
@@ -74,6 +84,10 @@ class Weaver:
         #: identity of every deployed advice when the memo was built;
         #: catches advice added/removed on an already-deployed aspect
         self._memo_fingerprint: tuple = ()
+        #: guards memo + counters: dispatch runs on concurrent worker
+        #: threads, and a stale memo must never be re-published after a
+        #: concurrent deploy/undeploy
+        self._memo_lock = threading.RLock()
         self.pointcut_memo_hits = 0
         self.pointcut_memo_misses = 0
 
@@ -82,12 +96,14 @@ class Weaver:
     def deploy(self, aspect: Aspect, rank: Optional[int] = None) -> int:
         """Deploy an aspect; rank defaults to deployment order."""
         rank = self.precedence.deploy(aspect, rank)
-        self._match_memo.clear()
+        with self._memo_lock:
+            self._match_memo.clear()
         return rank
 
     def undeploy(self, aspect: Aspect) -> None:
         self.precedence.undeploy(aspect)
-        self._match_memo.clear()
+        with self._memo_lock:
+            self._match_memo.clear()
 
     @property
     def deployed_aspects(self) -> List[Aspect]:
@@ -195,34 +211,35 @@ class Weaver:
         dispatch — its match depends on the live call stack.
         """
         key = (jp.kind, jp.class_name, jp.member_name)
-        fingerprint = tuple(
-            id(advice)
-            for _, aspect in self.precedence.ordered()
-            for advice in aspect.advices
-        )
-        if fingerprint != self._memo_fingerprint:
-            self._match_memo.clear()
-            self._memo_fingerprint = fingerprint
-        memo = self._match_memo.get(key)
-        if memo is None:
-            self.pointcut_memo_misses += 1
-            static_matched: Dict[AdviceKind, List[tuple]] = {
-                kind: [] for kind in AdviceKind
-            }
-            dynamic: List[tuple] = []
-            seq = 0
-            for _, aspect in self.precedence.ordered():
-                for advice in aspect.advices:
-                    if _pointcut_is_dynamic(advice.pointcut):
-                        dynamic.append((seq, advice))
-                    elif advice.matches(jp):
-                        static_matched[advice.kind].append((seq, advice))
-                    seq += 1
-            memo = (static_matched, dynamic)
-            self._match_memo[key] = memo
-        else:
-            self.pointcut_memo_hits += 1
-        static_matched, dynamic = memo
+        with self._memo_lock:
+            fingerprint = tuple(
+                id(advice)
+                for _, aspect in self.precedence.ordered()
+                for advice in aspect.advices
+            )
+            if fingerprint != self._memo_fingerprint:
+                self._match_memo.clear()
+                self._memo_fingerprint = fingerprint
+            memo = self._match_memo.get(key)
+            if memo is None:
+                self.pointcut_memo_misses += 1
+                static_matched: Dict[AdviceKind, List[tuple]] = {
+                    kind: [] for kind in AdviceKind
+                }
+                dynamic: List[tuple] = []
+                seq = 0
+                for _, aspect in self.precedence.ordered():
+                    for advice in aspect.advices:
+                        if _pointcut_is_dynamic(advice.pointcut):
+                            dynamic.append((seq, advice))
+                        elif advice.matches(jp):
+                            static_matched[advice.kind].append((seq, advice))
+                        seq += 1
+                memo = (static_matched, dynamic)
+                self._match_memo[key] = memo
+            else:
+                self.pointcut_memo_hits += 1
+            static_matched, dynamic = memo
         if not dynamic:
             return {
                 kind: [advice for _, advice in entries]
@@ -246,11 +263,12 @@ class Weaver:
         the dispatch (advice chain *and* the underlying member), so cflow
         pointcuts evaluated in nested calls see it.
         """
-        _call_stack.append(jp)
+        frames = _current_frames()
+        frames.append(jp)
         try:
             return self._dispatch_inner(jp, terminal)
         finally:
-            _call_stack.pop()
+            frames.pop()
 
     def _dispatch_inner(self, jp: JoinPoint, terminal: Callable[[], object]):
         grouped = self._collect(jp)

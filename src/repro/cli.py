@@ -11,6 +11,7 @@ The §3 tool infrastructure, driveable from a shell::
     python -m repro.cli pipeline model.xmi --plan plan.json --out refined.xmi
     python -m repro.cli generate refined.xmi --out generated_app.py
     python -m repro.cli fingerprint refined.xmi
+    python -m repro.cli simulate --scenario banking --clients 8 --seed 1
 
 ``apply`` runs the full engine path (OCL preconditions → rules →
 postconditions) and reports the demarcation summary; ``pipeline`` runs a
@@ -162,6 +163,32 @@ def _cmd_fingerprint(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    from repro.runtime import RunConfig, ScenarioRunner
+
+    config = RunConfig(
+        scenario=args.scenario,
+        nodes=args.nodes,
+        clients=args.clients,
+        ops=args.ops,
+        seed=args.seed,
+        workers=args.workers,
+        concurrent=not args.serial,
+        sim_latency_ms=args.sim_latency_ms,
+        real_latency_ms=args.latency_ms,
+        faults=args.faults,
+        entities_per_node=args.entities_per_node,
+    )
+    result = ScenarioRunner(args.scenario, config).run()
+    print(result.report())
+    print(f"  digest:     {result.digest()}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"results written to {args.json}")
+    return 0 if result.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -203,6 +230,52 @@ def build_parser() -> argparse.ArgumentParser:
         "fingerprint", help="print the uuid-free structural fingerprint"
     )
     fingerprint.add_argument("model")
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run a built-in scenario on a multi-node federation under load",
+    )
+    simulate.add_argument(
+        "--scenario",
+        required=True,
+        help="scenario name (banking, auction, medical_records, "
+        "component_shipping)",
+    )
+    simulate.add_argument("--nodes", type=int, default=3)
+    simulate.add_argument("--clients", type=int, default=8)
+    simulate.add_argument("--ops", type=int, default=400)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--workers", type=int, default=4, help="dispatcher worker threads per node"
+    )
+    simulate.add_argument(
+        "--serial",
+        action="store_true",
+        help="sequential dispatch (deterministic baseline)",
+    )
+    simulate.add_argument(
+        "--faults",
+        action="store_true",
+        help="arm the scenario's fault campaign",
+    )
+    simulate.add_argument(
+        "--latency-ms",
+        type=float,
+        default=0.3,
+        dest="latency_ms",
+        help="real (slept) transport latency per federation hop",
+    )
+    simulate.add_argument(
+        "--sim-latency-ms",
+        type=float,
+        default=0.5,
+        dest="sim_latency_ms",
+        help="simulated-clock transport latency per federation hop",
+    )
+    simulate.add_argument(
+        "--entities-per-node", type=int, default=2, dest="entities_per_node"
+    )
+    simulate.add_argument("--json", default="", help="write the full results here")
     return parser
 
 
@@ -214,6 +287,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "generate": _cmd_generate,
     "fingerprint": _cmd_fingerprint,
+    "simulate": _cmd_simulate,
 }
 
 

@@ -276,6 +276,19 @@ class DeadlockError(TransactionError):
     """The lock manager detected a deadlock and chose this caller as victim."""
 
 
+# ---------------------------------------------------------------------------
+# Distributed runtime (S14)
+# ---------------------------------------------------------------------------
+
+
+class FederationError(MiddlewareError):
+    """Illegal federation topology or routing failure (no nodes, bad shard)."""
+
+
+class ScenarioError(ReproError):
+    """A scenario specification or run is malformed (unknown scenario, ...)."""
+
+
 class SecurityError(MiddlewareError):
     """Base class for security service failures."""
 

@@ -11,6 +11,7 @@ from local calls and that the distribution concern's tests rely on.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -135,6 +136,11 @@ class MessageBus:
         self.faults = faults or FaultInjector()
         self.latency_ms = latency_ms
         self._servants: Dict[str, Any] = {}
+        self._stats_lock = threading.Lock()
+        #: optional hook wrapping servant dispatch: ``guard(object_id, fn)``.
+        #: The runtime node installs its dispatcher's per-servant lock here
+        #: so nested in-process deliveries serialize like routed requests.
+        self.dispatch_guard: Optional[Callable[[str, Callable[[], Any]], Any]] = None
         #: delivery statistics for benchmarks
         self.messages_delivered = 0
         self.bytes_transferred = 0
@@ -170,14 +176,23 @@ class MessageBus:
         """
         self.faults.check("bus.deliver")
         self.clock.advance(self.latency_ms)
-        self.messages_delivered += 1
-        self.bytes_transferred += wire_size(request.args) + wire_size(request.kwargs)
+        with self._stats_lock:
+            self.messages_delivered += 1
+            self.bytes_transferred += wire_size(request.args) + wire_size(
+                request.kwargs
+            )
         try:
             servant = self.servant(request.object_id)
-            result = dispatch(request, servant)
+            if self.dispatch_guard is not None:
+                result = self.dispatch_guard(
+                    request.object_id, lambda: dispatch(request, servant)
+                )
+            else:
+                result = dispatch(request, servant)
             response = Response(request.message_id, result=result)
         except Exception as exc:  # noqa: BLE001 - converted to wire error
-            self.errors_returned += 1
+            with self._stats_lock:
+                self.errors_returned += 1
             response = Response(
                 request.message_id,
                 error_type=type(exc).__name__,
@@ -185,7 +200,8 @@ class MessageBus:
             )
         self.clock.advance(self.latency_ms)
         if not response.is_error:
-            self.bytes_transferred += wire_size(response.result)
+            with self._stats_lock:
+                self.bytes_transferred += wire_size(response.result)
         return response
 
     @staticmethod

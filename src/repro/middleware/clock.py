@@ -8,6 +8,8 @@ simulated time independently of wall-clock noise.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import MiddlewareError
 
 
@@ -16,6 +18,7 @@ class SimClock:
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         return self._now
@@ -24,8 +27,9 @@ class SimClock:
         """Move time forward; negative deltas are rejected."""
         if delta_ms < 0:
             raise MiddlewareError(f"clock cannot go backwards ({delta_ms} ms)")
-        self._now += delta_ms
-        return self._now
+        with self._lock:
+            self._now += delta_ms
+            return self._now
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return f"<SimClock t={self._now:.3f}ms>"

@@ -1,17 +1,21 @@
 """Strict two-phase lock manager with deadlock detection.
 
 Locks are held until the owning transaction releases them all (strict
-2PL — the transaction manager releases at commit/rollback).  The
-simulation is single-threaded, so a request that cannot be granted does
-not block: it either detects a deadlock through the wait-for graph
-(networkx cycle check) and raises :class:`~repro.errors.DeadlockError`,
-or raises :class:`~repro.errors.LockTimeoutError` to model a would-block
-conflict the caller may retry.
+2PL — the transaction manager releases at commit/rollback).  A request
+that cannot be granted never blocks: it either detects a deadlock through
+the wait-for graph (networkx cycle check) and raises
+:class:`~repro.errors.DeadlockError`, or raises
+:class:`~repro.errors.LockTimeoutError` to model a would-block conflict
+the caller may retry.  The table itself is guarded by a mutex so the
+concurrent dispatcher's worker threads see consistent state; because the
+protocol raises instead of waiting, the mutex cannot participate in a
+deadlock cycle.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Dict, Set
 
 import networkx as nx
@@ -39,6 +43,11 @@ class LockManager:
         self._table: Dict[str, _LockEntry] = {}
         self._held_by_tx: Dict[str, Set[str]] = {}
         self._waits_for = nx.DiGraph()
+        # one mutex guards the whole lock table: acquire/release from
+        # concurrent dispatcher workers must see a consistent table and
+        # wait-for graph (the 2PL protocol itself never blocks — it
+        # raises — so a plain mutex cannot deadlock here)
+        self._mutex = threading.RLock()
         #: statistics for the lock-contention benchmark
         self.grants = 0
         self.conflicts = 0
@@ -48,6 +57,10 @@ class LockManager:
 
     def acquire(self, txid: str, key: str, mode: LockMode) -> None:
         """Grant ``mode`` on ``key`` to ``txid`` or raise on conflict."""
+        with self._mutex:
+            self._acquire_locked(txid, key, mode)
+
+    def _acquire_locked(self, txid: str, key: str, mode: LockMode) -> None:
         entry = self._table.get(key)
         if entry is None:
             entry = _LockEntry(mode)
@@ -99,6 +112,10 @@ class LockManager:
 
     def release_all(self, txid: str) -> int:
         """Release every lock of ``txid`` (commit/rollback); returns the count."""
+        with self._mutex:
+            return self._release_all_locked(txid)
+
+    def _release_all_locked(self, txid: str) -> int:
         keys = self._held_by_tx.pop(txid, set())
         for key in keys:
             entry = self._table.get(key)
@@ -121,12 +138,15 @@ class LockManager:
     # -- queries ---------------------------------------------------------------------
 
     def holders_of(self, key: str) -> Set[str]:
-        entry = self._table.get(key)
-        return set(entry.holders) if entry else set()
+        with self._mutex:
+            entry = self._table.get(key)
+            return set(entry.holders) if entry else set()
 
     def mode_of(self, key: str):
-        entry = self._table.get(key)
-        return entry.mode if entry else None
+        with self._mutex:
+            entry = self._table.get(key)
+            return entry.mode if entry else None
 
     def locks_held(self, txid: str) -> Set[str]:
-        return set(self._held_by_tx.get(txid, set()))
+        with self._mutex:
+            return set(self._held_by_tx.get(txid, set()))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import threading
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import RemoteInvocationError
@@ -40,7 +41,17 @@ class Orb:
         self.client_interceptors: List[Callable[[Request], None]] = []
         self.server_interceptors: List[Callable[[Request, Any], None]] = []
         self._refs_by_identity: Dict[int, ObjectRef] = {}
-        self._context_stack: List[Dict[str, Any]] = []
+        # the implicit call context is thread-local: concurrent requests
+        # dispatched on worker threads must not see each other's
+        # credentials or transaction ids
+        self._ctx_local = threading.local()
+
+    @property
+    def _context_stack(self) -> List[Dict[str, Any]]:
+        stack = getattr(self._ctx_local, "frames", None)
+        if stack is None:
+            stack = self._ctx_local.frames = []
+        return stack
 
     # -- registration --------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import contextlib
 import enum
 import itertools
+import threading
 from typing import Any, Dict, List, Optional
 
 from repro.errors import (
@@ -91,7 +92,13 @@ class Transaction:
 
 
 class TransactionManager:
-    """Begin/commit/rollback with a current-transaction stack."""
+    """Begin/commit/rollback with a current-transaction stack.
+
+    The current-transaction stack is *thread-local*: under the concurrent
+    dispatcher each worker thread carries its own stack, so transactions
+    started by independent requests never observe each other as "current".
+    Single-threaded callers see exactly the old behaviour.
+    """
 
     def __init__(
         self,
@@ -102,10 +109,18 @@ class TransactionManager:
         self.clock = clock or SimClock()
         self.faults = faults or FaultInjector()
         self.locks = locks or LockManager()
-        self._stack: List[Transaction] = []
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
         #: statistics for benchmarks
         self.commits = 0
         self.aborts = 0
+
+    @property
+    def _stack(self) -> List[Transaction]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -153,7 +168,8 @@ class TransactionManager:
             resource.commit()
         tx.status = TransactionStatus.COMMITTED
         self._finish(tx)
-        self.commits += 1
+        with self._stats_lock:
+            self.commits += 1
 
     def rollback(self, tx: Transaction, reason: Optional[str] = None) -> None:
         """Roll back; nested joins mark the whole transaction rollback-only."""
@@ -167,7 +183,8 @@ class TransactionManager:
         tx.status = TransactionStatus.ABORTED
         tx.rollback_reason = reason or tx.rollback_reason
         self._finish(tx)
-        self.aborts += 1
+        with self._stats_lock:
+            self.aborts += 1
 
     def _check_current(self, tx: Transaction) -> None:
         if self.current() is not tx:

@@ -1,0 +1,56 @@
+"""S14 — Distributed runtime: federation, concurrent dispatch, scenarios.
+
+The middleware substrate (S10) simulates the services *one* application
+instance uses.  This package turns those services into a runtime fabric:
+
+* :mod:`repro.runtime.dispatch` — sequential and thread-pool request
+  dispatchers with per-servant serialization;
+* :mod:`repro.runtime.metrics` — thread-safe throughput/error/latency
+  (p50/p95/p99) statistics per operation and per node;
+* :mod:`repro.runtime.node` — a federation node: one ORB endpoint with
+  its own middleware services hosting a woven application;
+* :mod:`repro.runtime.federation` — consistent-hash ring, sharded naming
+  over per-node naming services, routed + metered inter-node invocation;
+* :mod:`repro.runtime.scenarios` — built-in load scenarios mirroring the
+  four examples (banking, auction, medical_records, component_shipping),
+  each with a seeded client mix, fault campaign, and invariants;
+* :mod:`repro.runtime.harness` — the runner driving seeded clients
+  against a federation and checking scenario invariants
+  (``repro.cli simulate`` is its command-line front end).
+"""
+
+from repro.runtime.dispatch import ConcurrentDispatcher, SerialDispatcher
+from repro.runtime.federation import (
+    Federation,
+    FederationClient,
+    HashRing,
+    ShardedNamingService,
+)
+from repro.runtime.harness import (
+    RunConfig,
+    ScenarioResult,
+    ScenarioRunner,
+    run_scenario,
+)
+from repro.runtime.metrics import MetricsRegistry, percentile
+from repro.runtime.node import Node
+from repro.runtime.scenarios import SCENARIOS, Scenario, get_scenario
+
+__all__ = [
+    "ConcurrentDispatcher",
+    "SerialDispatcher",
+    "Federation",
+    "FederationClient",
+    "HashRing",
+    "ShardedNamingService",
+    "RunConfig",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+    "MetricsRegistry",
+    "percentile",
+    "Node",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+]

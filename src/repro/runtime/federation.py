@@ -1,0 +1,347 @@
+"""Multi-node ORB federation: consistent-hash sharding and request routing.
+
+The federation is the inter-node fabric:
+
+* :class:`HashRing` — consistent hashing with virtual nodes; adding or
+  removing a node only remaps the keys that land on its ring segments.
+* :class:`ShardedNamingService` — the paper-level naming service scaled
+  out: names are partitioned by their first path segment over per-shard
+  :class:`~repro.middleware.naming.NamingService` instances (each node's
+  local naming service is its shard), so resolution is one hash plus one
+  local lookup, with no global table.
+* :class:`Federation` — node registry plus the routed invocation path:
+  resolve the owning node, charge transport latency (simulated clock time
+  plus an optional *real* sleep modelling network I/O — the component
+  concurrent dispatch overlaps), run fault-injection sites, execute on
+  the owner through its dispatcher, and record per-operation/per-node
+  metrics.
+* :class:`FederationClient` — a caller identity: resolves names anywhere
+  in the federation and attaches per-node credentials to each request.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FederationError, NamingError
+from repro.middleware.bus import ObjectRefData
+from repro.middleware.clock import SimClock
+from repro.middleware.faults import FaultInjector
+from repro.middleware.naming import NamingService
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.node import Node
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes."""
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise FederationError(f"ring needs >= 1 replica, got {replicas}")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+        self._members: List[str] = []
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.md5(value.encode("utf-8")).digest()[:8], "big"
+        )
+
+    @property
+    def members(self) -> List[str]:
+        return list(self._members)
+
+    def add(self, name: str) -> None:
+        if name in self._members:
+            raise FederationError(f"ring member {name!r} already present")
+        self._members.append(name)
+        for i in range(self.replicas):
+            point = self._hash(f"{name}#{i}")
+            # md5 collisions across member names are not expected; keep
+            # first owner on the astronomically unlikely tie
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = name
+        self._members.sort()
+
+    def remove(self, name: str) -> None:
+        if name not in self._members:
+            raise FederationError(f"ring member {name!r} not present")
+        self._members.remove(name)
+        for i in range(self.replicas):
+            point = self._hash(f"{name}#{i}")
+            if self._owners.get(point) == name:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    def owner(self, key: str) -> str:
+        """The member owning ``key`` (clockwise successor on the ring)."""
+        if not self._points:
+            raise FederationError("hash ring is empty")
+        point = self._hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+
+class ShardedNamingService:
+    """Consistent-hash shards over plain :class:`NamingService` stores.
+
+    The partition key of a name is its first path segment
+    (``branch-3/Account/7`` → ``branch-3``), so all names below one
+    partition co-locate on one shard — the property single-shard
+    transactions rely on.
+    """
+
+    def __init__(self, replicas: int = 64):
+        self.ring = HashRing(replicas)
+        self._shards: Dict[str, NamingService] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def add_shard(
+        self, shard_name: str, naming: Optional[NamingService] = None
+    ) -> NamingService:
+        if shard_name in self._shards:
+            raise FederationError(f"shard {shard_name!r} already exists")
+        store = naming or NamingService()
+        self.ring.add(shard_name)
+        self._shards[shard_name] = store
+        return store
+
+    @property
+    def shard_names(self) -> List[str]:
+        return sorted(self._shards)
+
+    @staticmethod
+    def partition_key(name: str) -> str:
+        if not name or not isinstance(name, str):
+            raise NamingError(f"invalid name {name!r}")
+        for part in name.split("/"):
+            if part:
+                return part
+        raise NamingError(f"invalid name {name!r}")
+
+    def owner_of(self, name: str) -> str:
+        return self.ring.owner(self.partition_key(name))
+
+    def shard_for(self, name: str) -> NamingService:
+        return self._shards[self.owner_of(name)]
+
+    def shard(self, shard_name: str) -> NamingService:
+        try:
+            return self._shards[shard_name]
+        except KeyError:
+            raise FederationError(f"unknown shard {shard_name!r}") from None
+
+    # -- naming operations -----------------------------------------------------
+
+    def bind(self, name: str, ref: ObjectRefData) -> None:
+        self.shard_for(name).bind(name, ref)
+
+    def rebind(self, name: str, ref: ObjectRefData) -> None:
+        self.shard_for(name).rebind(name, ref)
+
+    def resolve(self, name: str) -> ObjectRefData:
+        return self.shard_for(name).resolve(name)
+
+    def unbind(self, name: str) -> None:
+        self.shard_for(name).unbind(name)
+
+    def list(self, prefix: str = "") -> List[str]:
+        names: List[str] = []
+        for shard in self._shards.values():
+            names.extend(shard.list(prefix))
+        return sorted(names)
+
+    def stats(self) -> Dict[str, int]:
+        """Bindings per shard — the shard-balance view."""
+        return {name: len(shard.list()) for name, shard in sorted(self._shards.items())}
+
+
+class Federation:
+    """Named nodes + sharded naming + routed, metered invocation."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency_ms: float = 0.5,
+        real_latency_s: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+        replicas: int = 64,
+    ):
+        self.clock = SimClock()
+        self.faults = FaultInjector(seed)
+        self.metrics = metrics or MetricsRegistry()
+        self.naming = ShardedNamingService(replicas)
+        self.nodes: Dict[str, Node] = {}
+        self.latency_ms = latency_ms
+        self.real_latency_s = real_latency_s
+        self._route_lock = threading.Lock()
+        #: requests routed per target node (transport-level statistic)
+        self.routed: Dict[str, int] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        workers: int = 0,
+        seed: Optional[int] = None,
+        node: Optional[Node] = None,
+    ) -> Node:
+        if name in self.nodes:
+            raise FederationError(f"node {name!r} already exists")
+        node = node or Node(
+            name,
+            workers=workers,
+            seed=seed if seed is not None else len(self.nodes) + 1,
+        )
+        node.federation = self
+        self.naming.add_shard(name, node.services.naming)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise FederationError(f"unknown node {name!r}") from None
+
+    def node_for(self, key: str) -> Node:
+        """The node owning partition ``key`` (or any name below it)."""
+        return self.node(self.naming.ring.owner(self.naming.partition_key(key)))
+
+    def shutdown(self) -> None:
+        for node in self.nodes.values():
+            node.shutdown()
+
+    # -- users ------------------------------------------------------------------
+
+    def add_user(self, name: str, password: str, roles=()) -> None:
+        """Provision a user on every node's credential store."""
+        for node in self.nodes.values():
+            node.services.credentials.add_user(name, password, roles=roles)
+
+    # -- faults -------------------------------------------------------------------
+
+    def configure_fault(self, site: str, probability: float, **kwargs) -> None:
+        """Configure a fault site (pattern allowed) federation-wide."""
+        self.faults.configure(site, probability, **kwargs)
+        for node in self.nodes.values():
+            node.services.faults.configure(site, probability, **kwargs)
+
+    def faults_injected(self) -> Dict[str, int]:
+        """Injected-fault counters summed over the transport and all nodes."""
+        totals: Dict[str, int] = dict(self.faults.injected)
+        for node in self.nodes.values():
+            for site, count in node.services.faults.injected.items():
+                totals[site] = totals.get(site, 0) + count
+        return totals
+
+    # -- routing ------------------------------------------------------------------
+
+    def resolve(self, name: str) -> Tuple[Node, ObjectRefData]:
+        owner = self.naming.owner_of(name)
+        ref = self.naming.shard(owner).resolve(name)
+        return self.node(owner), ref
+
+    def ref(self, name: str) -> ObjectRefData:
+        """The wire reference of a bound name (usable as a call argument
+        for operations served by the same node)."""
+        return self.resolve(name)[1]
+
+    def _charge_transport(self) -> None:
+        self.faults.check("federation.route")
+        self.clock.advance(self.latency_ms)
+        if self.real_latency_s > 0:
+            time.sleep(self.real_latency_s)
+
+    def invoke(
+        self,
+        node: Node,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ):
+        """Route one request to ``node`` and execute it there, metered."""
+        label = f"{ref.type_name}.{operation}"
+        started = time.perf_counter()
+        try:
+            self._charge_transport()
+            with self._route_lock:
+                self.routed[node.name] = self.routed.get(node.name, 0) + 1
+            result = node.invoke(ref, operation, args, kwargs or {}, context)
+        except Exception:
+            self.metrics.record(
+                label, node.name, time.perf_counter() - started, error=True
+            )
+            raise
+        self.metrics.record(label, node.name, time.perf_counter() - started)
+        return result
+
+    def call(
+        self,
+        name: str,
+        operation: str,
+        *args,
+        context: Optional[Dict[str, Any]] = None,
+        **kwargs,
+    ):
+        """Resolve ``name`` and invoke ``operation`` on its owner node."""
+        node, ref = self.resolve(name)
+        return self.invoke(node, ref, operation, args, kwargs, context)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "nodes": [node.stats() for node in self.nodes.values()],
+            "shards": self.naming.stats(),
+            "routed": dict(sorted(self.routed.items())),
+            "sim_transport_ms": self.clock.now(),
+            "faults_injected": self.faults_injected(),
+        }
+
+
+class FederationClient:
+    """A client identity: routed calls with per-node credentials."""
+
+    def __init__(
+        self,
+        federation: Federation,
+        user: Optional[str] = None,
+        password: Optional[str] = None,
+    ):
+        self.federation = federation
+        self.user = user
+        self.password = password
+        self._tokens: Dict[str, str] = {}
+
+    def ref(self, name: str) -> ObjectRefData:
+        return self.federation.ref(name)
+
+    def _token_for(self, node: Node) -> str:
+        token = self._tokens.get(node.name)
+        if token is None:
+            credential = node.services.auth.login(self.user, self.password)
+            token = self._tokens[node.name] = credential.token
+        return token
+
+    def call(self, name: str, operation: str, *args, **kwargs):
+        node, ref = self.federation.resolve(name)
+        context: Dict[str, Any] = {}
+        if self.user is not None:
+            context["credentials"] = self._token_for(node)
+        return self.federation.invoke(node, ref, operation, args, kwargs, context)

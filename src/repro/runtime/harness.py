@@ -1,0 +1,358 @@
+"""Scenario harness: build a federation, drive seeded clients, verify.
+
+The harness turns a :class:`~repro.runtime.scenarios.Scenario` into a
+run:
+
+1. build an N-node federation (serial or concurrent dispatchers);
+2. deploy the scenario's configured application on every node and create
+   its entities on their home shards;
+3. optionally arm the scenario's fault campaign (pattern sites applied
+   to the transport and to every node);
+4. run M clients, each with its own seeded RNG, so every client's
+   operation stream is reproducible regardless of interleaving — in
+   sequential mode the whole run is deterministic and
+   :meth:`ScenarioResult.digest` is stable across repeats;
+5. join, snapshot metrics, and check the scenario's invariants against
+   the servants' actual state.
+
+Closed-loop clients: each client issues its next operation as soon as the
+previous one completes.  ``think_time_ms`` models user pacing (an open
+holdoff between operations).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError, ScenarioError
+from repro.runtime.federation import Federation, FederationClient
+from repro.runtime.metrics import MetricsRegistry, format_series_table
+from repro.runtime.scenarios import Scenario, get_scenario
+
+
+@dataclass
+class RunConfig:
+    """Everything that parameterizes one scenario run."""
+
+    scenario: str
+    nodes: int = 3
+    clients: int = 8
+    ops: int = 400
+    seed: int = 1
+    workers: int = 4
+    concurrent: bool = True
+    sim_latency_ms: float = 0.5
+    real_latency_ms: float = 0.0
+    think_time_ms: float = 0.0
+    faults: bool = False
+    entities_per_node: int = 2
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "nodes": self.nodes,
+            "clients": self.clients,
+            "ops": self.ops,
+            "seed": self.seed,
+            "workers": self.workers,
+            "concurrent": self.concurrent,
+            "sim_latency_ms": self.sim_latency_ms,
+            "real_latency_ms": self.real_latency_ms,
+            "think_time_ms": self.think_time_ms,
+            "faults": self.faults,
+            "entities_per_node": self.entities_per_node,
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one run: counts, metrics, invariants, fingerprint."""
+
+    scenario: str
+    config: Dict[str, Any]
+    duration_s: float
+    ops: int
+    succeeded: int
+    failed: int
+    outcomes: Dict[str, Dict[str, int]]
+    metrics: Dict[str, Any]
+    federation_stats: Dict[str, Any]
+    invariant_violations: List[str]
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    fingerprint: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.invariant_violations
+
+    @property
+    def throughput_ops_s(self) -> float:
+        return self.ops / self.duration_s if self.duration_s > 0 else 0.0
+
+    def digest(self) -> str:
+        """Stable hash of the run's observable outcome (not its timing).
+
+        Deterministic for sequential runs with a fixed seed; concurrent
+        runs may legitimately vary with thread interleaving.
+        """
+        canon = json.dumps(
+            {
+                "scenario": self.scenario,
+                "outcomes": self.outcomes,
+                "fingerprint": self.fingerprint,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "config": self.config,
+            "duration_s": self.duration_s,
+            "ops": self.ops,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "throughput_ops_s": self.throughput_ops_s,
+            "outcomes": self.outcomes,
+            "metrics": self.metrics,
+            "federation": self.federation_stats,
+            "invariant_violations": self.invariant_violations,
+            "faults_injected": self.faults_injected,
+            "fingerprint": self.fingerprint,
+            "digest": self.digest(),
+            "passed": self.passed,
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"scenario {self.scenario}: {self.ops} ops over "
+            f"{self.config['nodes']} node(s), {self.config['clients']} client(s) "
+            f"({'concurrent' if self.config['concurrent'] else 'sequential'})",
+            f"  duration:   {self.duration_s:.3f}s"
+            f"   throughput: {self.throughput_ops_s:.0f} ops/s",
+            f"  succeeded:  {self.succeeded}   failed: {self.failed}",
+        ]
+        ops = self.metrics.get("operations", {})
+        if ops:
+            lines.extend(format_series_table(ops, indent="  "))
+        routed = self.federation_stats.get("routed", {})
+        if routed:
+            share = ", ".join(f"{node}={count}" for node, count in routed.items())
+            lines.append(f"  routing:    {share}")
+        if self.faults_injected:
+            injected = ", ".join(
+                f"{site}={count}"
+                for site, count in sorted(self.faults_injected.items())
+            )
+            lines.append(f"  faults:     {injected}")
+        if self.invariant_violations:
+            lines.append("  INVARIANT VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.invariant_violations)
+        else:
+            lines.append("  invariants: OK")
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Builds the federation and drives one scenario run."""
+
+    def __init__(self, scenario, config: RunConfig):
+        self.spec: Scenario = (
+            get_scenario(scenario) if isinstance(scenario, str) else scenario
+        )
+        self.config = config
+        if config.clients < 1:
+            raise ScenarioError("need at least one client")
+        if config.nodes < 1:
+            raise ScenarioError("need at least one node")
+        if config.ops < 1:
+            raise ScenarioError("need at least one operation")
+        if config.concurrent and config.workers < 1:
+            raise ScenarioError(
+                "concurrent dispatch needs workers >= 1 (use --serial for "
+                "the sequential baseline)"
+            )
+
+    # -- construction -----------------------------------------------------------
+
+    def build(self) -> Federation:
+        config = self.config
+        federation = Federation(
+            seed=config.seed,
+            latency_ms=config.sim_latency_ms,
+            real_latency_s=config.real_latency_ms / 1000.0,
+            metrics=MetricsRegistry(),
+        )
+        for i in range(config.nodes):
+            federation.add_node(
+                f"node-{i}",
+                workers=config.workers if config.concurrent else 0,
+                seed=config.seed * 31 + i,
+            )
+        self.spec.deploy(federation, config)
+        for user, password, roles in self.spec.users:
+            federation.add_user(user, password, roles=roles)
+        return federation
+
+    def _client_rng(self, client_index: int) -> random.Random:
+        return random.Random(self.config.seed * 1_000_003 + 7_919 * client_index)
+
+    def _budgets(self) -> List[int]:
+        config = self.config
+        base, extra = divmod(config.ops, config.clients)
+        return [base + (1 if i < extra else 0) for i in range(config.clients)]
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        config = self.config
+        federation = self.build()
+        try:
+            state = self.spec.setup(federation, config)
+            if config.faults:
+                for site, probability in self.spec.fault_campaign:
+                    federation.configure_fault(site, probability)
+            clients = []
+            for i in range(config.clients):
+                user = self.spec.client_user(i)
+                clients.append(
+                    FederationClient(federation, *(user or (None, None)))
+                )
+            rngs = [self._client_rng(i) for i in range(config.clients)]
+            outcomes: List[Dict[str, Dict[str, int]]] = [
+                {} for _ in range(config.clients)
+            ]
+            budgets = self._budgets()
+
+            federation.metrics.start()
+            if config.concurrent:
+                self._run_concurrent(federation, state, clients, rngs, outcomes, budgets)
+            else:
+                self._run_sequential(federation, state, clients, rngs, outcomes, budgets)
+            federation.metrics.stop()
+
+            merged = self._merge_outcomes(outcomes)
+            succeeded = sum(r.get("ok", 0) for r in merged.values())
+            failed = sum(
+                count
+                for results in merged.values()
+                for key, count in results.items()
+                if key != "ok"
+            )
+            return ScenarioResult(
+                scenario=self.spec.name,
+                config=config.describe(),
+                duration_s=federation.metrics.elapsed_s(),
+                ops=succeeded + failed,
+                succeeded=succeeded,
+                failed=failed,
+                outcomes=merged,
+                metrics=federation.metrics.snapshot(),
+                federation_stats=federation.stats(),
+                invariant_violations=self.spec.invariants(federation, state),
+                faults_injected=federation.faults_injected(),
+                fingerprint=self.spec.fingerprint(federation, state),
+            )
+        finally:
+            federation.shutdown()
+
+    def _step(self, federation, state, client, rng, outcome, client_index) -> None:
+        label, thunk = self.spec.pick(rng, federation, state, client, client_index)
+        results = outcome.setdefault(label, {})
+        try:
+            thunk()
+        except ReproError as exc:
+            key = type(exc).__name__
+            results[key] = results.get(key, 0) + 1
+        else:
+            results["ok"] = results.get("ok", 0) + 1
+        if self.config.think_time_ms > 0:
+            import time
+
+            time.sleep(self.config.think_time_ms / 1000.0)
+
+    def _run_sequential(
+        self, federation, state, clients, rngs, outcomes, budgets
+    ) -> None:
+        """Round-robin the clients' scripts on one thread (deterministic)."""
+        remaining = list(budgets)
+        while any(remaining):
+            for i in range(self.config.clients):
+                if remaining[i] > 0:
+                    remaining[i] -= 1
+                    self._step(federation, state, clients[i], rngs[i], outcomes[i], i)
+
+    def _run_concurrent(
+        self, federation, state, clients, rngs, outcomes, budgets
+    ) -> None:
+        errors: List[BaseException] = []
+
+        def loop(i: int) -> None:
+            try:
+                for _ in range(budgets[i]):
+                    self._step(federation, state, clients[i], rngs[i], outcomes[i], i)
+            except BaseException as exc:  # noqa: BLE001 - surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=loop, args=(i,), name=f"client-{i}")
+            for i in range(self.config.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    @staticmethod
+    def _merge_outcomes(outcomes) -> Dict[str, Dict[str, int]]:
+        merged: Dict[str, Dict[str, int]] = {}
+        for outcome in outcomes:
+            for label, results in outcome.items():
+                into = merged.setdefault(label, {})
+                for key, count in results.items():
+                    into[key] = into.get(key, 0) + count
+        return {
+            label: dict(sorted(results.items()))
+            for label, results in sorted(merged.items())
+        }
+
+
+def run_scenario(
+    scenario,
+    nodes: int = 3,
+    clients: int = 8,
+    ops: int = 400,
+    seed: int = 1,
+    workers: int = 4,
+    concurrent: bool = True,
+    sim_latency_ms: float = 0.5,
+    real_latency_ms: float = 0.0,
+    think_time_ms: float = 0.0,
+    faults: bool = False,
+    entities_per_node: int = 2,
+) -> ScenarioResult:
+    """One-call convenience over :class:`ScenarioRunner`."""
+    name = scenario if isinstance(scenario, str) else scenario.name
+    config = RunConfig(
+        scenario=name,
+        nodes=nodes,
+        clients=clients,
+        ops=ops,
+        seed=seed,
+        workers=workers,
+        concurrent=concurrent,
+        sim_latency_ms=sim_latency_ms,
+        real_latency_ms=real_latency_ms,
+        think_time_ms=think_time_ms,
+        faults=faults,
+        entities_per_node=entities_per_node,
+    )
+    return ScenarioRunner(scenario, config).run()

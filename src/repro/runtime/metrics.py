@@ -1,0 +1,152 @@
+"""Runtime metrics: throughput, error counts, latency percentiles.
+
+One :class:`MetricsRegistry` serves a whole federation.  Every completed
+request is recorded under its operation label (``Class.operation``) and
+its serving node; latency percentiles (p50/p95/p99) are computed from the
+full per-operation sample set with the nearest-rank method.  All recording
+paths are thread-safe — client threads and dispatcher workers feed the
+same registry.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples``; 0.0 for an empty set."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class _Series:
+    __slots__ = ("count", "errors", "latencies")
+
+    def __init__(self):
+        self.count = 0
+        self.errors = 0
+        self.latencies: List[float] = []
+
+    def add(self, seconds: float, error: bool) -> None:
+        self.count += 1
+        if error:
+            self.errors += 1
+        self.latencies.append(seconds)
+
+    def summary(self) -> Dict[str, float]:
+        lat = self.latencies
+        total = sum(lat)
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "mean_ms": (total / len(lat)) * 1000.0 if lat else 0.0,
+            "p50_ms": percentile(lat, 0.50) * 1000.0,
+            "p95_ms": percentile(lat, 0.95) * 1000.0,
+            "p99_ms": percentile(lat, 0.99) * 1000.0,
+        }
+
+
+def format_series_table(series: Dict[str, Dict[str, float]], indent: str = "") -> List[str]:
+    """Render ``{name: summary}`` rows as a latency table (shared by the
+    registry report and the scenario report)."""
+    lines = [
+        f"{indent}{'operation':<28}{'count':>7}{'err':>6}"
+        f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}"
+    ]
+    for name, s in series.items():
+        lines.append(
+            f"{indent}{name:<28}{s['count']:>7}{s['errors']:>6}"
+            f"{s['p50_ms']:>9.3f}{s['p95_ms']:>9.3f}{s['p99_ms']:>9.3f}"
+        )
+    return lines
+
+
+class MetricsRegistry:
+    """Thread-safe per-operation and per-node request statistics."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._per_op: Dict[str, _Series] = {}
+        self._per_node: Dict[str, _Series] = {}
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # -- wall-clock window ---------------------------------------------------
+
+    def start(self) -> None:
+        self._started_at = time.perf_counter()
+        self._stopped_at = None
+
+    def stop(self) -> None:
+        self._stopped_at = time.perf_counter()
+
+    def elapsed_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at or time.perf_counter()
+        return end - self._started_at
+
+    # -- recording -----------------------------------------------------------
+
+    def record(
+        self, operation: str, node: str, seconds: float, error: bool = False
+    ) -> None:
+        with self._lock:
+            series = self._per_op.get(operation)
+            if series is None:
+                series = self._per_op[operation] = _Series()
+            series.add(seconds, error)
+            node_series = self._per_node.get(node)
+            if node_series is None:
+                node_series = self._per_node[node] = _Series()
+            node_series.add(seconds, error)
+
+    # -- reporting -------------------------------------------------------------
+
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(s.count for s in self._per_op.values())
+
+    def total_errors(self) -> int:
+        with self._lock:
+            return sum(s.errors for s in self._per_op.values())
+
+    def throughput_ops_s(self) -> float:
+        elapsed = self.elapsed_s()
+        return self.total_requests() / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            per_op = {name: s.summary() for name, s in sorted(self._per_op.items())}
+            per_node = {
+                name: s.summary() for name, s in sorted(self._per_node.items())
+            }
+        return {
+            "operations": per_op,
+            "nodes": per_node,
+            "total_requests": sum(v["count"] for v in per_op.values()),
+            "total_errors": sum(v["errors"] for v in per_op.values()),
+            "elapsed_s": self.elapsed_s(),
+            "throughput_ops_s": self.throughput_ops_s(),
+        }
+
+    def report(self) -> str:
+        """Human-readable latency/throughput table."""
+        snap = self.snapshot()
+        lines = [
+            f"requests: {snap['total_requests']}"
+            f"  errors: {snap['total_errors']}"
+            f"  elapsed: {snap['elapsed_s']:.3f}s"
+            f"  throughput: {snap['throughput_ops_s']:.0f} ops/s",
+        ]
+        lines.extend(format_series_table(snap["operations"]))
+        lines.append(f"{'node':<28}{'count':>7}{'err':>6}")
+        for name, s in snap["nodes"].items():
+            lines.append(f"{name:<28}{s['count']:>7}{s['errors']:>6}")
+        return "\n".join(lines)

@@ -1,0 +1,754 @@
+"""Built-in load scenarios: one per example application.
+
+A :class:`Scenario` packages everything the harness needs to run a
+configured application as a federation workload:
+
+* a PIM builder and an ordered concern plan (the same model-driven
+  configuration the examples demonstrate);
+* entity setup — instances are created on the node that owns their
+  partition key, so naming, routing, and transactions agree;
+* a seeded client mix (:meth:`Scenario.pick` draws one operation from a
+  per-client RNG, so each client's operation stream is reproducible
+  independently of thread interleaving);
+* an optional fault campaign (pattern sites — ``"bus.*"`` — applied
+  federation-wide);
+* invariants checked after the run against the servants' actual state —
+  the whole-stack correctness oracle (money conservation, bid
+  monotonicity, audit-denial accounting, at-most-once payment).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.uml import (
+    add_attribute,
+    add_class,
+    add_operation,
+    add_package,
+    apply_stereotype,
+    ensure_primitives,
+    new_model,
+)
+
+OpThunk = Callable[[], Any]
+
+
+class Tally:
+    """Thread-safe scratch counters shared by scenario clients."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.numbers: Dict[str, float] = {}
+        self.sets: Dict[str, set] = {}
+
+    def add(self, key: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.numbers[key] = self.numbers.get(key, 0.0) + value
+
+    def maximize(self, key: str, value: float) -> None:
+        with self._lock:
+            if value > self.numbers.get(key, float("-inf")):
+                self.numbers[key] = value
+
+    def mark(self, key: str, member: str) -> None:
+        with self._lock:
+            self.sets.setdefault(key, set()).add(member)
+
+    def number(self, key: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self.numbers.get(key, default)
+
+    def members(self, key: str) -> set:
+        with self._lock:
+            return set(self.sets.get(key, set()))
+
+
+class Scenario:
+    """Base scenario: subclasses fill in the model, mix, and invariants."""
+
+    name = "scenario"
+    description = ""
+    #: (site-pattern, probability) pairs applied when the run enables faults
+    fault_campaign: List[Tuple[str, float]] = []
+    #: (user, password, roles) provisioned on every node
+    users: List[Tuple[str, str, List[str]]] = []
+
+    # -- configuration ---------------------------------------------------------
+
+    def build_pim(self):
+        raise NotImplementedError
+
+    def concerns(self) -> List[Tuple[str, Dict[str, Any]]]:
+        raise NotImplementedError
+
+    def deploy(self, federation, config) -> None:
+        """Refine + weave the application on every node (default path)."""
+        for node in federation.nodes.values():
+            node.deploy(self.build_pim(), self.concerns())
+
+    def setup(self, federation, config) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def client_user(self, client_index: int) -> Optional[Tuple[str, str]]:
+        """The (user, password) a client authenticates as; None = anonymous."""
+        if not self.users:
+            return None
+        user = self.users[client_index % len(self.users)]
+        return user[0], user[1]
+
+    # -- workload ---------------------------------------------------------------
+
+    def pick(self, rng, federation, state, client, client_index):
+        """Draw one operation: returns ``(label, thunk)``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _roulette(rng, weighted):
+        """Pick from ``[(weight, value), ...]`` with one RNG draw."""
+        total = sum(weight for weight, _ in weighted)
+        point = rng.random() * total
+        acc = 0.0
+        for weight, value in weighted:
+            acc += weight
+            if point < acc:
+                return value
+        return weighted[-1][1]
+
+    # -- verification -------------------------------------------------------------
+
+    def invariants(self, federation, state) -> List[str]:
+        """Violation descriptions; empty = the run kept every invariant."""
+        raise NotImplementedError
+
+    def fingerprint(self, federation, state) -> List[str]:
+        """Stable lines describing the final servant state (digest input)."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# banking — money conservation under transactional transfers
+# ---------------------------------------------------------------------------
+
+
+class BankingScenario(Scenario):
+    name = "banking"
+    description = (
+        "branch-partitioned accounts; transactional transfers, deposits, "
+        "withdrawals; invariant: money is conserved exactly"
+    )
+    fault_campaign = [
+        ("bus.*", 0.02),
+        ("txn.prepare", 0.02),
+        ("federation.route", 0.01),
+    ]
+    users = [("alice", "pw", ["teller"])]
+
+    ACCOUNTS_PER_BRANCH = 4
+    INITIAL_BALANCE = 1_000.0
+
+    def build_pim(self):
+        resource, model = new_model("bank")
+        prims = ensure_primitives(model)
+        pkg = add_package(model, "accounts")
+        account = add_class(pkg, "Account")
+        add_attribute(account, "number", prims["String"])
+        add_attribute(account, "balance", prims["Real"])
+        deposit = add_operation(
+            account, "deposit", [("amount", prims["Real"])], return_type=prims["Real"]
+        )
+        apply_stereotype(
+            deposit, "PythonBody", body="self.balance += amount\nreturn self.balance"
+        )
+        withdraw = add_operation(
+            account, "withdraw", [("amount", prims["Real"])], return_type=prims["Real"]
+        )
+        apply_stereotype(
+            withdraw,
+            "PythonBody",
+            body=(
+                "if amount > self.balance:\n"
+                "    raise ValueError('insufficient funds')\n"
+                "self.balance -= amount\n"
+                "return self.balance"
+            ),
+        )
+        balance = add_operation(account, "getBalance", return_type=prims["Real"])
+        apply_stereotype(balance, "PythonBody", body="return self.balance")
+        bank = add_class(pkg, "Bank")
+        transfer = add_operation(
+            bank,
+            "transfer",
+            [("source", None), ("target", None), ("amount", prims["Real"])],
+            return_type=prims["Boolean"],
+        )
+        apply_stereotype(
+            transfer,
+            "PythonBody",
+            body="source.withdraw(amount)\ntarget.deposit(amount)\nreturn True",
+        )
+        return resource
+
+    def concerns(self):
+        return [
+            (
+                "distribution",
+                {"server_classes": ["Account", "Bank"], "registry_prefix": "bank"},
+            ),
+            (
+                "transactions",
+                {
+                    "transactional_ops": [
+                        "Bank.transfer",
+                        "Account.withdraw",
+                        "Account.deposit",
+                    ],
+                    "state_classes": ["Account"],
+                },
+            ),
+            (
+                "security",
+                {
+                    "protected_ops": ["Bank.transfer"],
+                    "role_grants": {"teller": ["Bank.*"]},
+                },
+            ),
+        ]
+
+    def setup(self, federation, config):
+        branches = []
+        servants: Dict[str, Any] = {}
+        n_branches = max(1, len(federation.nodes) * config.entities_per_node)
+        for b in range(n_branches):
+            partition = f"branch-{b}"
+            node = federation.node_for(partition)
+            bank_name = f"{partition}/Bank/0"
+            bank = node.module.Bank()
+            node.bind(bank_name, bank)
+            servants[bank_name] = bank
+            accounts = []
+            for i in range(self.ACCOUNTS_PER_BRANCH):
+                acct_name = f"{partition}/Account/{i}"
+                acct = node.module.Account(
+                    number=acct_name, balance=self.INITIAL_BALANCE
+                )
+                node.bind(acct_name, acct)
+                servants[acct_name] = acct
+                accounts.append(acct_name)
+            branches.append({"bank": bank_name, "accounts": accounts})
+        return {
+            "config": config,
+            "branches": branches,
+            "servants": servants,
+            "initial_total": self.INITIAL_BALANCE
+            * n_branches
+            * self.ACCOUNTS_PER_BRANCH,
+            "tally": Tally(),
+        }
+
+    def pick(self, rng, federation, state, client, client_index):
+        branch = rng.choice(state["branches"])
+        tally = state["tally"]
+        kind = self._roulette(
+            rng,
+            [
+                (0.40, "transfer"),
+                (0.25, "deposit"),
+                (0.25, "withdraw"),
+                (0.10, "getBalance"),
+            ],
+        )
+        if kind == "transfer":
+            source, target = rng.sample(branch["accounts"], 2)
+            amount = float(rng.randrange(1, 20))
+            source_ref = client.ref(source)
+            target_ref = client.ref(target)
+
+            def transfer():
+                client.call(branch["bank"], "transfer", source_ref, target_ref, amount)
+
+            return "Bank.transfer", transfer
+        if kind == "deposit":
+            account = rng.choice(branch["accounts"])
+            amount = float(rng.randrange(1, 50))
+
+            def deposit():
+                client.call(account, "deposit", amount)
+                tally.add("delta", amount)
+
+            return "Account.deposit", deposit
+        if kind == "withdraw":
+            account = rng.choice(branch["accounts"])
+            amount = float(rng.randrange(1, 50))
+
+            def withdraw():
+                client.call(account, "withdraw", amount)
+                tally.add("delta", -amount)
+
+            return "Account.withdraw", withdraw
+        account = rng.choice(branch["accounts"])
+
+        def get_balance():
+            client.call(account, "getBalance")
+
+        return "Account.getBalance", get_balance
+
+    def invariants(self, federation, state):
+        violations = []
+        actual = sum(
+            servant.balance
+            for name, servant in state["servants"].items()
+            if "/Account/" in name
+        )
+        expected = state["initial_total"] + state["tally"].number("delta")
+        if actual != expected:
+            violations.append(
+                f"money not conserved: expected {expected}, found {actual}"
+            )
+        for name, servant in state["servants"].items():
+            if "/Account/" in name and servant.balance < 0:
+                violations.append(f"negative balance on {name}: {servant.balance}")
+        return violations
+
+    def fingerprint(self, federation, state):
+        return [
+            f"{name} balance={servant.balance:.0f}"
+            for name, servant in sorted(state["servants"].items())
+            if "/Account/" in name
+        ]
+
+
+# ---------------------------------------------------------------------------
+# auction — serialized bidding, monotonic highest bid
+# ---------------------------------------------------------------------------
+
+
+class AuctionScenario(Scenario):
+    name = "auction"
+    description = (
+        "item-partitioned auctions; concurrent bidding serialized per "
+        "servant; invariant: final highest bid == max accepted bid"
+    )
+    fault_campaign = [("bus.*", 0.03)]
+    users: List[Tuple[str, str, List[str]]] = []
+
+    def build_pim(self):
+        resource, model = new_model("auction")
+        prims = ensure_primitives(model)
+        pkg = add_package(model, "market")
+        auction = add_class(pkg, "Auction")
+        add_attribute(auction, "item", prims["String"])
+        add_attribute(auction, "highestBid", prims["Real"])
+        add_attribute(auction, "highestBidder", prims["String"])
+        bid = add_operation(
+            auction,
+            "bid",
+            [("who", prims["String"]), ("amount", prims["Real"])],
+            return_type=prims["Boolean"],
+        )
+        apply_stereotype(
+            bid,
+            "PythonBody",
+            body=(
+                "if amount <= self.highestBid:\n"
+                "    return False\n"
+                "self.highestBid = amount\n"
+                "self.highestBidder = who\n"
+                "return True"
+            ),
+        )
+        status = add_operation(auction, "status", return_type=prims["Real"])
+        apply_stereotype(status, "PythonBody", body="return self.highestBid")
+        return resource
+
+    def concerns(self):
+        return [
+            (
+                "distribution",
+                {"server_classes": ["Auction"], "registry_prefix": "market"},
+            ),
+            ("logging", {"log_patterns": ["Auction.bid"]}),
+        ]
+
+    def setup(self, federation, config):
+        servants: Dict[str, Any] = {}
+        items = []
+        n_items = max(1, len(federation.nodes) * config.entities_per_node)
+        for k in range(n_items):
+            partition = f"item-{k}"
+            node = federation.node_for(partition)
+            name = f"{partition}/Auction/0"
+            auction = node.module.Auction(
+                item=partition, highestBid=0.0, highestBidder=""
+            )
+            node.bind(name, auction)
+            servants[name] = auction
+            items.append(name)
+        return {
+            "config": config,
+            "items": items,
+            "servants": servants,
+            "tally": Tally(),
+        }
+
+    def pick(self, rng, federation, state, client, client_index):
+        item = rng.choice(state["items"])
+        tally = state["tally"]
+        kind = self._roulette(rng, [(0.7, "bid"), (0.3, "status")])
+        if kind == "bid":
+            amount = float(rng.randrange(1, 10_000))
+            who = f"client-{client_index}"
+
+            def bid():
+                if client.call(item, "bid", who, amount):
+                    tally.maximize(f"best:{item}", amount)
+
+            return "Auction.bid", bid
+
+        def status():
+            client.call(item, "status")
+
+        return "Auction.status", status
+
+    def invariants(self, federation, state):
+        violations = []
+        for name in state["items"]:
+            servant = state["servants"][name]
+            best = state["tally"].number(f"best:{name}", 0.0)
+            if servant.highestBid != best:
+                violations.append(
+                    f"{name}: highestBid {servant.highestBid} != "
+                    f"max accepted bid {best}"
+                )
+        return violations
+
+    def fingerprint(self, federation, state):
+        return [
+            f"{name} bid={servant.highestBid:.0f} by={servant.highestBidder}"
+            for name, servant in sorted(state["servants"].items())
+        ]
+
+
+# ---------------------------------------------------------------------------
+# medical_records — role-based access, audit accounting
+# ---------------------------------------------------------------------------
+
+
+class MedicalRecordsScenario(Scenario):
+    name = "medical_records"
+    description = (
+        "patient-partitioned records; doctors update, nurses read-only; "
+        "invariant: revisions == successful updates, denials all audited"
+    )
+    fault_campaign = [("txn.prepare", 0.08)]
+    users = [("dr_ada", "pw", ["doctor"]), ("nina", "pw", ["nurse"])]
+
+    def build_pim(self):
+        resource, model = new_model("clinic")
+        prims = ensure_primitives(model)
+        pkg = add_package(model, "records")
+        record = add_class(pkg, "PatientRecord")
+        add_attribute(record, "patientId", prims["String"])
+        add_attribute(record, "diagnosis", prims["String"])
+        add_attribute(record, "revision", prims["Integer"])
+        read = add_operation(record, "read", return_type=prims["String"])
+        apply_stereotype(read, "PythonBody", body="return self.diagnosis")
+        update = add_operation(
+            record, "update", [("text", prims["String"])], return_type=prims["Integer"]
+        )
+        apply_stereotype(
+            update,
+            "PythonBody",
+            body=(
+                "if text == '':\n"
+                "    raise ValueError('empty diagnosis')\n"
+                "self.diagnosis = text\n"
+                "self.revision += 1\n"
+                "return self.revision"
+            ),
+        )
+        return resource
+
+    def concerns(self):
+        return [
+            (
+                "distribution",
+                {"server_classes": ["PatientRecord"], "registry_prefix": "clinic"},
+            ),
+            (
+                "transactions",
+                {
+                    "transactional_ops": ["PatientRecord.update"],
+                    "state_classes": ["PatientRecord"],
+                },
+            ),
+            (
+                "security",
+                {
+                    "protected_ops": ["PatientRecord.read", "PatientRecord.update"],
+                    "role_grants": {
+                        "doctor": ["PatientRecord.*"],
+                        "nurse": ["PatientRecord.read"],
+                    },
+                },
+            ),
+        ]
+
+    def client_user(self, client_index):
+        user = self.users[client_index % 2]
+        return user[0], user[1]
+
+    def _is_doctor(self, client_index):
+        return client_index % 2 == 0
+
+    def setup(self, federation, config):
+        servants: Dict[str, Any] = {}
+        records = []
+        n_records = max(1, len(federation.nodes) * config.entities_per_node)
+        for k in range(n_records):
+            partition = f"patient-{k}"
+            node = federation.node_for(partition)
+            name = f"{partition}/PatientRecord/0"
+            record = node.module.PatientRecord(
+                patientId=partition, diagnosis="healthy", revision=0
+            )
+            node.bind(name, record)
+            servants[name] = record
+            records.append(name)
+        return {
+            "config": config,
+            "records": records,
+            "servants": servants,
+            "tally": Tally(),
+        }
+
+    def pick(self, rng, federation, state, client, client_index):
+        record = rng.choice(state["records"])
+        tally = state["tally"]
+        if self._is_doctor(client_index):
+            kind = self._roulette(
+                rng, [(0.40, "read"), (0.55, "update"), (0.05, "empty-update")]
+            )
+            if kind == "read":
+
+                def read():
+                    client.call(record, "read")
+
+                return "PatientRecord.read", read
+            if kind == "update":
+                text = f"dx-{rng.randrange(1, 10_000)}"
+
+                def update():
+                    client.call(record, "update", text)
+                    tally.add(f"updates:{record}")
+
+                return "PatientRecord.update", update
+
+            def empty_update():
+                client.call(record, "update", "")
+
+            return "PatientRecord.update", empty_update
+        # nurses: mostly reads, plus update attempts that must be denied
+        kind = self._roulette(rng, [(0.7, "read"), (0.3, "update")])
+        if kind == "read":
+
+            def read():
+                client.call(record, "read")
+
+            return "PatientRecord.read", read
+
+        def denied_update():
+            tally.add("nurse_update_attempts")
+            client.call(record, "update", "nurse-note")
+
+        return "PatientRecord.update", denied_update
+
+    def invariants(self, federation, state):
+        violations = []
+        for name in state["records"]:
+            servant = state["servants"][name]
+            expected = int(state["tally"].number(f"updates:{name}"))
+            if servant.revision != expected:
+                violations.append(
+                    f"{name}: revision {servant.revision} != "
+                    f"successful updates {expected}"
+                )
+        denials = sum(
+            len(node.services.audit.denials())
+            for node in federation.nodes.values()
+        )
+        attempts = int(state["tally"].number("nurse_update_attempts"))
+        if state["config"].faults:
+            # a faulted request may die before the access check: the
+            # audit trail can only under-count scripted attempts
+            if denials > attempts:
+                violations.append(
+                    f"denials {denials} exceed nurse update attempts {attempts}"
+                )
+        elif denials != attempts:
+            violations.append(
+                f"audit denials {denials} != nurse update attempts {attempts}"
+            )
+        return violations
+
+    def fingerprint(self, federation, state):
+        return [
+            f"{name} rev={servant.revision} dx={servant.diagnosis}"
+            for name, servant in sorted(state["servants"].items())
+        ]
+
+
+# ---------------------------------------------------------------------------
+# component_shipping — ship once, replay on every node, pay at most once
+# ---------------------------------------------------------------------------
+
+
+class ComponentShippingScenario(Scenario):
+    name = "component_shipping"
+    description = (
+        "a vendor lifecycle is shipped as a component package and replayed "
+        "on every node; invariant: each order is paid at most once"
+    )
+    fault_campaign = [("txn.prepare", 0.05)]
+    users = [("carol", "pw", ["cashier"])]
+
+    ORDER_TOTAL = 25.0
+
+    def build_pim(self):
+        resource, model = new_model("orders")
+        prims = ensure_primitives(model)
+        pkg = add_package(model, "shop")
+        order = add_class(pkg, "Order")
+        add_attribute(order, "total", prims["Real"])
+        add_attribute(order, "paid", prims["Boolean"])
+        pay = add_operation(
+            order, "pay", [("amount", prims["Real"])], return_type=prims["Boolean"]
+        )
+        apply_stereotype(
+            pay,
+            "PythonBody",
+            body=(
+                "if self.paid:\n"
+                "    raise ValueError('already paid')\n"
+                "if amount < self.total:\n"
+                "    raise ValueError('partial payment refused')\n"
+                "self.paid = True\n"
+                "return True"
+            ),
+        )
+        is_paid = add_operation(order, "isPaid", return_type=prims["Boolean"])
+        apply_stereotype(is_paid, "PythonBody", body="return self.paid")
+        return resource
+
+    def concerns(self):
+        return [
+            (
+                "transactions",
+                {"transactional_ops": ["Order.pay"], "state_classes": ["Order"]},
+            ),
+            (
+                "security",
+                {
+                    "protected_ops": ["Order.pay"],
+                    "role_grants": {"cashier": ["Order.*"]},
+                },
+            ),
+        ]
+
+    def deploy(self, federation, config):
+        """Vendor side once, then replay the shipped package per node."""
+        from repro.core import MdaLifecycle, MiddlewareServices, replay, ship
+
+        vendor = MdaLifecycle(self.build_pim(), services=MiddlewareServices.create())
+        for concern, params in self.concerns():
+            vendor.apply_concern(concern, **params)
+        package = ship(vendor)
+        for node in federation.nodes.values():
+            lifecycle = replay(package, services=node.services)
+            module = lifecycle.build_application(
+                f"shipping_{node.name.replace('-', '_')}"
+            )
+            node.host(lifecycle, module)
+
+    def setup(self, federation, config):
+        servants: Dict[str, Any] = {}
+        orders = []
+        n_orders = max(1, len(federation.nodes) * config.entities_per_node * 3)
+        for k in range(n_orders):
+            partition = f"order-{k}"
+            node = federation.node_for(partition)
+            name = f"{partition}/Order/0"
+            order = node.module.Order(total=self.ORDER_TOTAL, paid=False)
+            node.bind(name, order)
+            servants[name] = order
+            orders.append(name)
+        return {
+            "config": config,
+            "orders": orders,
+            "servants": servants,
+            "tally": Tally(),
+        }
+
+    def pick(self, rng, federation, state, client, client_index):
+        order = rng.choice(state["orders"])
+        tally = state["tally"]
+        kind = self._roulette(rng, [(0.5, "pay"), (0.5, "isPaid")])
+        if kind == "pay":
+
+            def pay():
+                client.call(order, "pay", self.ORDER_TOTAL)
+                tally.mark("paid", order)
+                tally.add(f"pays:{order}")
+
+            return "Order.pay", pay
+
+        def is_paid():
+            client.call(order, "isPaid")
+
+        return "Order.isPaid", is_paid
+
+    def invariants(self, federation, state):
+        violations = []
+        paid_set = state["tally"].members("paid")
+        for name in state["orders"]:
+            servant = state["servants"][name]
+            if servant.paid != (name in paid_set):
+                violations.append(
+                    f"{name}: paid flag {servant.paid} disagrees with "
+                    f"client-observed payments"
+                )
+            pays = int(state["tally"].number(f"pays:{name}"))
+            if pays > 1:
+                violations.append(f"{name}: paid {pays} times (at most once allowed)")
+        return violations
+
+    def fingerprint(self, federation, state):
+        return [
+            f"{name} paid={servant.paid}"
+            for name, servant in sorted(state["servants"].items())
+        ]
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Scenario] = {
+    spec.name: spec
+    for spec in (
+        BankingScenario(),
+        AuctionScenario(),
+        MedicalRecordsScenario(),
+        ComponentShippingScenario(),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ScenarioError(f"unknown scenario {name!r} (known: {known})") from None
