@@ -24,13 +24,69 @@ from repro.aop.advice import Advice, AdviceKind
 from repro.aop.joinpoint import JoinPoint
 
 
+class _AdviceList(list):
+    """The aspect's public advice list, with mutation notification.
+
+    ``aspect.advices`` is documented public API, so direct mutations
+    (``remove``, ``clear``, slicing) must reach subscribed weavers just
+    like ``add_advice`` — otherwise a weaver's match memo would keep
+    serving advice that no longer exists.
+    """
+
+    __slots__ = ("_notify",)
+
+    def __init__(self, notify: Callable[[], None]):
+        super().__init__()
+        self._notify = notify
+
+    def _mutator(method_name):  # noqa: N805 - tiny local factory
+        def mutate(self, *args, **kwargs):
+            result = getattr(list, method_name)(self, *args, **kwargs)
+            self._notify()
+            return result
+
+        mutate.__name__ = method_name
+        return mutate
+
+    append = _mutator("append")
+    extend = _mutator("extend")
+    insert = _mutator("insert")
+    remove = _mutator("remove")
+    pop = _mutator("pop")
+    clear = _mutator("clear")
+    sort = _mutator("sort")
+    reverse = _mutator("reverse")
+    __setitem__ = _mutator("__setitem__")
+    __delitem__ = _mutator("__delitem__")
+    __iadd__ = _mutator("__iadd__")
+
+    del _mutator
+
+
 class Aspect:
     """A named collection of advice deployed as one unit."""
 
     def __init__(self, name: str, description: str = ""):
         self.name = name
         self.description = description
-        self.advices: List[Advice] = []
+        #: weavers observing advice mutations (while this aspect is
+        #: deployed); notified so match memos invalidate in O(1)
+        self._mutation_listeners: List[Callable[[], None]] = []
+        self.advices: List[Advice] = _AdviceList(self._notify_mutation)
+
+    def _notify_mutation(self) -> None:
+        for listener in list(self._mutation_listeners):
+            listener()
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired on every advice mutation."""
+        self._mutation_listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[], None]) -> None:
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def add_advice(self, kind: AdviceKind, pointcut, body: Callable, name: str = "") -> Advice:
         advice = Advice(kind, pointcut, body, name)

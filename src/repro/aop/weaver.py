@@ -81,9 +81,12 @@ class Weaver:
         self._woven_fields: Dict[type, Dict[str, object]] = {}
         #: static-signature → (matched static advice by kind, dynamic advice)
         self._match_memo: Dict[tuple, tuple] = {}
-        #: identity of every deployed advice when the memo was built;
-        #: catches advice added/removed on an already-deployed aspect
-        self._memo_fingerprint: tuple = ()
+        #: epoch counter bumped on every deploy/undeploy and on advice
+        #: mutation of a deployed aspect (the aspects notify us); memo
+        #: staleness is one integer comparison instead of rebuilding an
+        #: O(deployed-advice) identity fingerprint on every dispatch
+        self._epoch = 0
+        self._memo_epoch = 0
         #: guards memo + counters: dispatch runs on concurrent worker
         #: threads, and a stale memo must never be re-published after a
         #: concurrent deploy/undeploy
@@ -93,17 +96,21 @@ class Weaver:
 
     # -- deployment ----------------------------------------------------------
 
+    def _bump_epoch(self) -> None:
+        with self._memo_lock:
+            self._epoch += 1
+
     def deploy(self, aspect: Aspect, rank: Optional[int] = None) -> int:
         """Deploy an aspect; rank defaults to deployment order."""
         rank = self.precedence.deploy(aspect, rank)
-        with self._memo_lock:
-            self._match_memo.clear()
+        aspect.subscribe(self._bump_epoch)
+        self._bump_epoch()
         return rank
 
     def undeploy(self, aspect: Aspect) -> None:
         self.precedence.undeploy(aspect)
-        with self._memo_lock:
-            self._match_memo.clear()
+        aspect.unsubscribe(self._bump_epoch)
+        self._bump_epoch()
 
     @property
     def deployed_aspects(self) -> List[Aspect]:
@@ -212,14 +219,9 @@ class Weaver:
         """
         key = (jp.kind, jp.class_name, jp.member_name)
         with self._memo_lock:
-            fingerprint = tuple(
-                id(advice)
-                for _, aspect in self.precedence.ordered()
-                for advice in aspect.advices
-            )
-            if fingerprint != self._memo_fingerprint:
+            if self._memo_epoch != self._epoch:
                 self._match_memo.clear()
-                self._memo_fingerprint = fingerprint
+                self._memo_epoch = self._epoch
             memo = self._match_memo.get(key)
             if memo is None:
                 self.pointcut_memo_misses += 1

@@ -178,6 +178,8 @@ def _cmd_simulate(args) -> int:
         real_latency_ms=args.latency_ms,
         faults=args.faults,
         entities_per_node=args.entities_per_node,
+        window=args.window,
+        delivery_workers=args.delivery_workers,
     )
     result = ScenarioRunner(args.scenario, config).run()
     print(result.report())
@@ -238,8 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--scenario",
         required=True,
-        help="scenario name (banking, auction, medical_records, "
-        "component_shipping)",
+        help="scenario name (banking, banking_async, auction, "
+        "medical_records, component_shipping)",
     )
     simulate.add_argument("--nodes", type=int, default=3)
     simulate.add_argument("--clients", type=int, default=8)
@@ -274,6 +276,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--entities-per-node", type=int, default=2, dest="entities_per_node"
+    )
+    simulate.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="max in-flight async replies per client (async scenarios)",
+    )
+    simulate.add_argument(
+        "--delivery-workers",
+        type=int,
+        default=2,
+        dest="delivery_workers",
+        help="delivery threads of the federation's queued (async) transport",
     )
     simulate.add_argument("--json", default="", help="write the full results here")
     return parser

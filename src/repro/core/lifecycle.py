@@ -99,7 +99,7 @@ class MdaLifecycle:
             raise WorkflowError(
                 f"concern(s) {duplicate} were already applied to this lifecycle"
             )
-        steps = plan.bind(self.registry)
+        steps = plan.bind(self.registry, satisfied=history)
         schedule = Scheduler(workflow=self.workflow, satisfied=history).schedule(
             steps
         )

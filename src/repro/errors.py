@@ -251,6 +251,14 @@ class RemoteInvocationError(MiddlewareError):
     """An RPC failed (unknown object, unknown operation, injected fault)."""
 
 
+class InvocationTimeout(MiddlewareError):
+    """An asynchronous reply did not arrive within the QoS timeout."""
+
+
+class TransportError(MiddlewareError):
+    """A transport refused an envelope (shut down, malformed policy, ...)."""
+
+
 class TransactionError(MiddlewareError):
     """Base class for transaction manager failures."""
 

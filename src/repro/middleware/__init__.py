@@ -8,6 +8,12 @@ concrete aspects target (see the substitution table in DESIGN.md):
 
 * :mod:`repro.middleware.clock` — logical simulation clock;
 * :mod:`repro.middleware.faults` — deterministic fault injection;
+* :mod:`repro.middleware.envelope` — envelopes (correlation id,
+  reply-to future, propagated context, QoS policy) and the ordered
+  interceptor-chain element pipeline every delivery runs through;
+* :mod:`repro.middleware.transport` — pluggable transports: in-process
+  synchronous, queued-asynchronous (delivery threads), and
+  simulated-latency network;
 * :mod:`repro.middleware.bus` — message bus with pass-by-value
   marshalling, latency accounting and delivery statistics;
 * :mod:`repro.middleware.naming` — naming service (bind/resolve);
@@ -24,6 +30,21 @@ concrete aspects target (see the substitution table in DESIGN.md):
 from repro.middleware.clock import SimClock
 from repro.middleware.faults import FaultInjector, FaultSpec
 from repro.middleware.bus import MessageBus, Request, Response
+from repro.middleware.envelope import (
+    DEFAULT_QOS,
+    ONEWAY_QOS,
+    Envelope,
+    InterceptorChain,
+    QoS,
+    ReplyFuture,
+    current_delivery_context,
+)
+from repro.middleware.transport import (
+    InProcessTransport,
+    QueuedTransport,
+    SimulatedNetworkTransport,
+    Transport,
+)
 from repro.middleware.naming import NamingService
 from repro.middleware.rpc import ObjectRef, Orb, RemoteProxy
 from repro.middleware.locks import LockManager, LockMode
@@ -50,6 +71,17 @@ __all__ = [
     "MessageBus",
     "Request",
     "Response",
+    "Envelope",
+    "QoS",
+    "DEFAULT_QOS",
+    "ONEWAY_QOS",
+    "ReplyFuture",
+    "InterceptorChain",
+    "current_delivery_context",
+    "Transport",
+    "InProcessTransport",
+    "QueuedTransport",
+    "SimulatedNetworkTransport",
     "NamingService",
     "Orb",
     "ObjectRef",

@@ -1,11 +1,30 @@
 """In-process message bus with pass-by-value marshalling.
 
-The bus is the transport of the simulated middleware: the ORB (S10/rpc)
-turns proxy calls into :class:`Request` messages, the bus delivers them to
-registered servants and returns :class:`Response` messages.  Marshalling
-rebuilds argument structures (lists/dicts/primitives) so callee mutations
-never leak back to the caller — the semantic that distinguishes remote
-from local calls and that the distribution concern's tests rely on.
+The bus is the transport endpoint of the simulated middleware: the ORB
+(S10/rpc) turns proxy calls into :class:`Request` messages wrapped in
+:class:`~repro.middleware.envelope.Envelope` objects, and the bus delivers
+them to registered servants, producing :class:`Response` messages.
+Delivery runs through a pluggable
+:class:`~repro.middleware.transport.Transport` (in-process synchronous by
+default; queued-asynchronous for ``async``/oneway invocations) and a
+single ordered :class:`~repro.middleware.envelope.InterceptorChain` that
+carries the cross-cutting transport behaviour — fault injection, latency
+simulation, delivery statistics — as named elements instead of inline
+special cases.
+
+Wire-type contract (what `marshal` guarantees end to end):
+
+* primitives (``str``/``int``/``float``/``bool``/``bytes``/``None``)
+  travel unchanged;
+* **lists stay lists and tuples stay tuples** — containers round-trip
+  their concrete type, so a servant returning a tuple is observed as a
+  tuple by the caller (they are deep-copied either way: mutations never
+  cross the wire);
+* dict keys must be strings; values recurse;
+* registered servants travel by reference (:class:`ObjectRefData`),
+  everything else non-marshallable is rejected with
+  :class:`~repro.errors.MarshallingError`, as a real ORB rejects a
+  non-serializable argument.
 """
 
 from __future__ import annotations
@@ -18,7 +37,22 @@ from typing import Any, Callable, Dict, Optional
 import repro.errors as errors_module
 from repro.errors import MarshallingError, RemoteInvocationError, ReproError
 from repro.middleware.clock import SimClock
+from repro.middleware.envelope import (
+    DEFAULT_QOS,
+    Envelope,
+    InterceptorChain,
+    QoS,
+    ReplyFuture,
+    sim_latency_element,
+)
 from repro.middleware.faults import FaultInjector
+from repro.middleware.transport import (
+    InProcessTransport,
+    LazyQueuedTransport,
+    QueuedTransport,
+    Transport,
+    in_serving_thread,
+)
 
 _message_counter = itertools.count(1)
 
@@ -34,7 +68,7 @@ class ObjectRefData:
 
 
 def marshal(value, ref_of: Optional[Callable] = None):
-    """Deep-copy ``value`` into wire form.
+    """Deep-copy ``value`` into wire form (see the wire-type contract above).
 
     ``ref_of`` maps registered servant objects to :class:`ObjectRefData`
     (pass-by-reference); everything unregistered and non-primitive is
@@ -42,8 +76,12 @@ def marshal(value, ref_of: Optional[Callable] = None):
     """
     if isinstance(value, _PRIMITIVES):
         return value
-    if isinstance(value, (list, tuple)):
+    if isinstance(value, list):
         return [marshal(item, ref_of) for item in value]
+    if isinstance(value, tuple):
+        # tuples round-trip as tuples: a servant returning a tuple must
+        # not be observed as returning a list (wire-type fidelity)
+        return tuple(marshal(item, ref_of) for item in value)
     if isinstance(value, dict):
         out = {}
         for key, item in value.items():
@@ -74,7 +112,7 @@ def wire_size(value) -> int:
         return len(value.encode("utf-8"))
     if isinstance(value, bytes):
         return len(value)
-    if isinstance(value, list):
+    if isinstance(value, (list, tuple)):
         return 2 + sum(wire_size(item) for item in value)
     if isinstance(value, dict):
         return 2 + sum(len(k) + wire_size(v) for k, v in value.items())
@@ -107,34 +145,56 @@ class Response:
 
 def _rebuild_exception(response: Response) -> Exception:
     """Reconstruct a library exception by name; unknown types degrade to
-    :class:`RemoteInvocationError` carrying the original description."""
+    :class:`RemoteInvocationError` carrying the original description.
+
+    Rebuilt exceptions are marked ``_remote_rebuilt``: crossing the
+    wire-error conversion means a servant dispatch was already underway
+    (effects may exist), so the QoS retry policy must never re-deliver
+    them — even when the original type was a bare transport fault raised
+    by a *nested* call inside the servant.
+    """
     exc_type = getattr(errors_module, response.error_type or "", None)
+    rebuilt: Exception
     if (
         isinstance(exc_type, type)
         and issubclass(exc_type, ReproError)
         and exc_type is not None
     ):
         try:
-            return exc_type(response.error_message)
+            rebuilt = exc_type(response.error_message)
         except TypeError:
-            pass
-    return RemoteInvocationError(
-        f"remote raised {response.error_type}: {response.error_message}"
-    )
+            rebuilt = RemoteInvocationError(
+                f"remote raised {response.error_type}: {response.error_message}"
+            )
+    else:
+        rebuilt = RemoteInvocationError(
+            f"remote raised {response.error_type}: {response.error_message}"
+        )
+    rebuilt._remote_rebuilt = True
+    return rebuilt
 
 
 class MessageBus:
-    """Servant registry plus synchronous request delivery."""
+    """Servant registry plus envelope delivery through transport + chain."""
 
     def __init__(
         self,
         clock: Optional[SimClock] = None,
         faults: Optional[FaultInjector] = None,
         latency_ms: float = 0.5,
+        transport: Optional[Transport] = None,
+        delivery_workers: int = 2,
     ):
         self.clock = clock or SimClock()
         self.faults = faults or FaultInjector()
         self.latency_ms = latency_ms
+        #: synchronous delivery path (caller-thread semantics by default)
+        self.transport = transport or InProcessTransport()
+        #: asynchronous delivery path, created lazily on first async call
+        self.delivery_workers = delivery_workers
+        self._async = LazyQueuedTransport(
+            lambda: QueuedTransport(workers=self.delivery_workers, name="bus")
+        )
         self._servants: Dict[str, Any] = {}
         self._stats_lock = threading.Lock()
         #: optional hook wrapping servant dispatch: ``guard(object_id, fn)``.
@@ -145,6 +205,13 @@ class MessageBus:
         self.messages_delivered = 0
         self.bytes_transferred = 0
         self.errors_returned = 0
+        #: the one ordered element pipeline every delivery runs through
+        self.chain = InterceptorChain()
+        self.chain.add("faults", self.faults.interceptor("bus.deliver"))
+        self.chain.add(
+            "latency", sim_latency_element(self.clock, lambda: self.latency_ms)
+        )
+        self.chain.add("stats", self._stats_element)
 
     # -- servant registry ------------------------------------------------------
 
@@ -165,22 +232,33 @@ class MessageBus:
     def is_registered(self, servant: Any) -> bool:
         return any(existing is servant for existing in self._servants.values())
 
-    # -- delivery ----------------------------------------------------------------
+    # -- chain elements ----------------------------------------------------------
 
-    def deliver(self, request: Request, dispatch: Callable[[Request, Any], Any]) -> Response:
-        """Deliver ``request``; ``dispatch`` invokes the operation on the servant.
-
-        The two-hop latency (request + reply) is charged to the clock.  Any
-        exception from dispatch is converted into an error response — the
-        bus itself never leaks exceptions except injected transport faults.
-        """
-        self.faults.check("bus.deliver")
-        self.clock.advance(self.latency_ms)
+    def _stats_element(self, envelope: Envelope, proceed: Callable[[], Any]):
+        request = envelope.request
         with self._stats_lock:
             self.messages_delivered += 1
             self.bytes_transferred += wire_size(request.args) + wire_size(
                 request.kwargs
             )
+        response = proceed()
+        with self._stats_lock:
+            if response.is_error:
+                self.errors_returned += 1
+            else:
+                self.bytes_transferred += wire_size(response.result)
+        return response
+
+    # -- delivery ----------------------------------------------------------------
+
+    @property
+    def async_transport(self) -> QueuedTransport:
+        return self._async.get()
+
+    def _terminal(self, envelope: Envelope, dispatch) -> Response:
+        """Execute the request against its servant; errors become wire
+        responses — the terminal never leaks servant exceptions."""
+        request = envelope.request
         try:
             servant = self.servant(request.object_id)
             if self.dispatch_guard is not None:
@@ -189,20 +267,60 @@ class MessageBus:
                 )
             else:
                 result = dispatch(request, servant)
-            response = Response(request.message_id, result=result)
+            return Response(request.message_id, result=result)
         except Exception as exc:  # noqa: BLE001 - converted to wire error
-            with self._stats_lock:
-                self.errors_returned += 1
-            response = Response(
+            return Response(
                 request.message_id,
                 error_type=type(exc).__name__,
                 error_message=str(exc),
             )
-        self.clock.advance(self.latency_ms)
-        if not response.is_error:
-            with self._stats_lock:
-                self.bytes_transferred += wire_size(response.result)
-        return response
+
+    def _handler(self, dispatch) -> Callable[[Envelope], Response]:
+        return lambda envelope: self.chain.execute(
+            envelope, lambda: self._terminal(envelope, dispatch)
+        )
+
+    def deliver(self, request: Request, dispatch: Callable[[Request, Any], Any]) -> Response:
+        """Deliver ``request`` synchronously; ``dispatch`` invokes the servant.
+
+        The two-hop latency (request + reply) is charged to the clock by
+        the chain's latency element; servant exceptions come back as
+        error responses, while injected *transport* faults (the chain's
+        fault element) keep raising out, as a lost message would.
+        """
+        envelope = Envelope(request=request)
+        return self.transport.submit(envelope, self._handler(dispatch)).raw()
+
+    def submit(
+        self,
+        request: Request,
+        dispatch: Callable[[Request, Any], Any],
+        qos: QoS = DEFAULT_QOS,
+    ) -> ReplyFuture:
+        """Deliver ``request`` asynchronously; returns the reply future.
+
+        The envelope (including its propagated context) is fully built on
+        the caller's thread; only delivery happens on the queued
+        transport's threads.  Oneway QoS still returns the future — the
+        caller just never waits on it.
+
+        Issued from a thread that is itself serving a request (a
+        delivery thread or a dispatcher pool worker), the submission
+        delivers inline instead: queueing it behind the bounded pools
+        the caller occupies could deadlock, exactly like nested
+        synchronous dispatch.
+        """
+        envelope = Envelope(request=request, qos=qos)
+        if in_serving_thread():
+            return self.transport.submit(envelope, self._handler(dispatch))
+        return self.async_transport.submit(envelope, self._handler(dispatch))
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait for all in-flight asynchronous deliveries (oneways included)."""
+        return self._async.drain(timeout_s)
+
+    def shutdown(self) -> None:
+        self._async.shutdown()
 
     @staticmethod
     def raise_remote(response: Response):

@@ -111,6 +111,21 @@ class FaultInjector:
                 return candidate
         return None
 
+    def interceptor(self, site: str):
+        """This injector as a chain element: check ``site`` before delivery.
+
+        The returned element plugs into an
+        :class:`~repro.middleware.envelope.InterceptorChain`, so fault
+        injection composes with latency, statistics, and metrics in one
+        ordered pipeline instead of ad-hoc ``check()`` call sites.
+        """
+
+        def fault_element(envelope, proceed):
+            self.check(site)
+            return proceed()
+
+        return fault_element
+
     def check(self, site: str) -> None:
         """Raise the configured exception if this operation should fail."""
         with self._lock:

@@ -6,9 +6,22 @@ naming service, and hands out :class:`RemoteProxy` objects whose method
 calls travel through the bus with full marshalling.
 
 Interceptors mirror CORBA portable interceptors: *client* interceptors run
-before a request is sent (the security aspect attaches credentials, the
-transaction aspect propagates the transaction id), *server* interceptors
-run before dispatch (access-control checks).
+when the request is built — on the caller's thread, once per logical call
+(never per retry attempt), only for requests issued through this orb —
+and *server* interceptors run before dispatch (access-control checks).
+Transport-level cross-cutting behaviour (faults, latency, statistics)
+lives in the bus's ordered
+:class:`~repro.middleware.envelope.InterceptorChain` instead.
+
+Invocation styles (all sharing one request-build path, so context
+capture, marshalling, and interceptors behave identically):
+
+* ``proxy.method(...)`` — synchronous round trip (in-process transport);
+* ``proxy.method.async_(...)`` — returns a
+  :class:`~repro.middleware.envelope.ReplyFuture`; delivery happens on
+  the bus's queued transport while the caller continues;
+* ``proxy.method.oneway(...)`` — fire-and-forget for void operations:
+  no reply, no error surfaces, at-most-once servant effect.
 """
 
 from __future__ import annotations
@@ -23,8 +36,10 @@ from repro.middleware.bus import (
     MessageBus,
     ObjectRefData,
     Request,
+    Response,
     marshal,
 )
+from repro.middleware.envelope import DEFAULT_QOS, ONEWAY_QOS, QoS, ReplyFuture
 from repro.middleware.naming import NamingService
 
 ObjectRef = ObjectRefData
@@ -45,13 +60,6 @@ class Orb:
         # dispatched on worker threads must not see each other's
         # credentials or transaction ids
         self._ctx_local = threading.local()
-
-    @property
-    def _context_stack(self) -> List[Dict[str, Any]]:
-        stack = getattr(self._ctx_local, "frames", None)
-        if stack is None:
-            stack = self._ctx_local.frames = []
-        return stack
 
     # -- registration --------------------------------------------------------
 
@@ -80,6 +88,13 @@ class Orb:
 
     # -- call context -----------------------------------------------------------
 
+    @property
+    def _context_stack(self) -> List[Dict[str, Any]]:
+        stack = getattr(self._ctx_local, "frames", None)
+        if stack is None:
+            stack = self._ctx_local.frames = []
+        return stack
+
     @contextlib.contextmanager
     def call_context(self, **entries):
         """Attach implicit per-call context (credentials, transaction id...)."""
@@ -104,7 +119,16 @@ class Orb:
 
     # -- invocation path ---------------------------------------------------------
 
-    def invoke(self, ref: ObjectRef, operation: str, args: tuple, kwargs: dict):
+    def _build_request(self, ref: ObjectRef, operation: str, args: tuple, kwargs: dict) -> Request:
+        """Marshal arguments and capture context on the *caller's* thread.
+
+        Everything thread-sensitive (implicit context, argument
+        snapshots, client interceptors) happens here, so asynchronous
+        delivery threads only ever see a finished, self-contained
+        envelope payload.  Client interceptors run exactly once per
+        logical call — never per retry attempt, never for requests
+        issued through another orb sharing the same bus.
+        """
         if operation.startswith("_"):
             raise RemoteInvocationError(
                 f"operation {operation!r} is not remotely accessible"
@@ -118,10 +142,45 @@ class Orb:
         )
         for interceptor in self.client_interceptors:
             interceptor(request)
-        response = self.bus.deliver(request, self._dispatch)
+        return request
+
+    def _decode(self, response: Response):
+        """Reply post-processing on the caller's thread: raise wire errors,
+        hydrate references into proxies."""
         if response.is_error:
             self.bus.raise_remote(response)
         return self._from_wire(response.result)
+
+    def invoke(self, ref: ObjectRef, operation: str, args: tuple, kwargs: dict):
+        request = self._build_request(ref, operation, args, kwargs)
+        response = self.bus.deliver(request, self._dispatch)
+        return self._decode(response)
+
+    def invoke_async(
+        self,
+        ref: ObjectRef,
+        operation: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        qos: QoS = DEFAULT_QOS,
+    ) -> ReplyFuture:
+        """Send the request and return immediately with a reply future."""
+        request = self._build_request(ref, operation, args, kwargs or {})
+        future = self.bus.submit(request, self._dispatch, qos=qos)
+        future._decode = self._decode
+        return future
+
+    def invoke_oneway(
+        self,
+        ref: ObjectRef,
+        operation: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        qos: QoS = ONEWAY_QOS,
+    ) -> None:
+        """Fire-and-forget: no reply, no client-visible error."""
+        request = self._build_request(ref, operation, args, kwargs or {})
+        self.bus.submit(request, self._dispatch, qos=qos)
 
     def _dispatch(self, request: Request, servant: Any):
         for interceptor in self.server_interceptors:
@@ -145,13 +204,20 @@ class Orb:
             return RemoteProxy(self, value)
         if isinstance(value, list):
             return [self._from_wire(item) for item in value]
+        if isinstance(value, tuple):
+            return tuple(self._from_wire(item) for item in value)
         if isinstance(value, dict):
             return {key: self._from_wire(item) for key, item in value.items()}
         return value
 
 
 class RemoteProxy:
-    """Dynamic client stub: attribute access yields remote invocations."""
+    """Dynamic client stub: attribute access yields remote invocations.
+
+    Each looked-up operation is a callable with two extra invocation
+    styles attached: ``proxy.op.async_(...)`` (reply future) and
+    ``proxy.op.oneway(...)`` (fire-and-forget).
+    """
 
     __slots__ = ("_orb", "_ref")
 
@@ -171,7 +237,15 @@ class RemoteProxy:
         def remote_call(*args, **kwargs):
             return orb.invoke(ref, operation, args, kwargs)
 
+        def remote_call_async(*args, qos: QoS = DEFAULT_QOS, **kwargs) -> ReplyFuture:
+            return orb.invoke_async(ref, operation, args, kwargs, qos=qos)
+
+        def remote_call_oneway(*args, qos: QoS = ONEWAY_QOS, **kwargs) -> None:
+            orb.invoke_oneway(ref, operation, args, kwargs, qos=qos)
+
         remote_call.__name__ = operation
+        remote_call.async_ = remote_call_async
+        remote_call.oneway = remote_call_oneway
         return remote_call
 
     def __repr__(self):  # pragma: no cover - debugging aid

@@ -91,26 +91,35 @@ class ConfigurationPlan:
     def concerns(self) -> List[str]:
         return [s.concern for s in self.selections]
 
-    def validate(self) -> None:
-        """Referential integrity of the explicit ``after`` edges."""
-        known = set(self.concerns)
+    def validate(self, satisfied: Iterable[str] = ()) -> None:
+        """Referential integrity of the explicit ``after`` edges.
+
+        An ``after`` edge may name a concern selected in this plan *or*
+        one in ``satisfied`` — the lifecycle's already-applied history.
+        History edges are trivially ordered (the predecessor already
+        ran), so the scheduler drops them; naming a concern found in
+        neither place is a planning error.
+        """
+        known = set(self.concerns) | set(satisfied)
         for selection in self.selections:
             unknown = [dep for dep in selection.after if dep not in known]
             if unknown:
                 raise PlanError(
                     f"selection {selection.concern!r} depends on concern(s) "
-                    f"{unknown} not present in the plan"
+                    f"{unknown} neither present in the plan nor already applied"
                 )
 
-    def bind(self, registry) -> List[PlannedStep]:
+    def bind(self, registry, satisfied: Iterable[str] = ()) -> List[PlannedStep]:
         """Specialize every selection's GMT with its ``Si``.
 
-        Raises the registry's :class:`~repro.errors.TransformationError`
-        for unknown concerns and the signature's
+        ``satisfied`` names concerns already applied to the target
+        lifecycle; explicit ``after`` edges may reference them.  Raises
+        the registry's :class:`~repro.errors.TransformationError` for
+        unknown concerns and the signature's
         :class:`~repro.errors.ParameterError` for bad parameter sets —
         all before any model mutation.
         """
-        self.validate()
+        self.validate(satisfied)
         steps: List[PlannedStep] = []
         for index, selection in enumerate(self.selections):
             gmt = registry.get(selection.concern)

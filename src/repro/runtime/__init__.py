@@ -24,6 +24,7 @@ from repro.runtime.federation import (
     Federation,
     FederationClient,
     HashRing,
+    InvocationPipeline,
     ShardedNamingService,
 )
 from repro.runtime.harness import (
@@ -34,7 +35,7 @@ from repro.runtime.harness import (
 )
 from repro.runtime.metrics import MetricsRegistry, percentile
 from repro.runtime.node import Node
-from repro.runtime.scenarios import SCENARIOS, Scenario, get_scenario
+from repro.runtime.scenarios import SCENARIOS, AsyncOp, Scenario, get_scenario
 
 __all__ = [
     "ConcurrentDispatcher",
@@ -42,6 +43,7 @@ __all__ = [
     "Federation",
     "FederationClient",
     "HashRing",
+    "InvocationPipeline",
     "ShardedNamingService",
     "RunConfig",
     "ScenarioResult",
@@ -51,6 +53,7 @@ __all__ = [
     "percentile",
     "Node",
     "SCENARIOS",
+    "AsyncOp",
     "Scenario",
     "get_scenario",
 ]

@@ -30,10 +30,11 @@ servant's lock.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, TypeVar
 
 from repro.errors import MiddlewareError
+from repro.middleware.transport import serving_request
 
 T = TypeVar("T")
 
@@ -114,6 +115,15 @@ class _DispatcherBase:
         with self._servant_lock(key):
             return fn()
 
+    def _run_into_future(self, key: str, fn: Callable[[], T]) -> "Future":
+        """Run inline, packaging the outcome as an already-done future."""
+        future: Future = Future()
+        try:
+            future.set_result(self._run(key, fn))
+        except BaseException as exc:  # noqa: BLE001 - carried by the future
+            future.set_exception(exc)
+        return future
+
     def shutdown(self) -> None:  # pragma: no cover - overridden where needed
         """Release worker resources (no-op for the serial dispatcher)."""
 
@@ -125,6 +135,10 @@ class SerialDispatcher(_DispatcherBase):
 
     def dispatch(self, servant_key: str, fn: Callable[[], T]) -> T:
         return self._run(servant_key, fn)
+
+    def submit(self, servant_key: str, fn: Callable[[], T]) -> "Future":
+        """Non-blocking dispatch API; serial execution resolves inline."""
+        return self._run_into_future(servant_key, fn)
 
 
 class ConcurrentDispatcher(_DispatcherBase):
@@ -149,10 +163,27 @@ class ConcurrentDispatcher(_DispatcherBase):
             return self._run(servant_key, fn)
         return self._pool.submit(self._worker_run, servant_key, fn).result()
 
+    def submit(self, servant_key: str, fn: Callable[[], T]) -> "Future":
+        """Hand the request to the pool without blocking on its result.
+
+        The asynchronous invocation path (batched pipelines, oneway
+        deliveries) uses this to overlap per-servant work of one batch
+        across the pool.  Calls from a worker thread run inline for the
+        same reason nested ``dispatch`` does: a saturated pool waiting on
+        itself would deadlock.
+        """
+        if getattr(_worker_local, "in_worker", False):
+            return self._run_into_future(servant_key, fn)
+        return self._pool.submit(self._worker_run, servant_key, fn)
+
     def _worker_run(self, servant_key: str, fn: Callable[[], T]) -> T:
         _worker_local.in_worker = True
         try:
-            return self._run(servant_key, fn)
+            # pool workers also count as "serving a request": nested
+            # asynchronous submissions made by the servant must deliver
+            # inline rather than queue behind a possibly exhausted pool
+            with serving_request():
+                return self._run(servant_key, fn)
         finally:
             _worker_local.in_worker = False
 

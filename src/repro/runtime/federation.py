@@ -9,14 +9,19 @@ The federation is the inter-node fabric:
   :class:`~repro.middleware.naming.NamingService` instances (each node's
   local naming service is its shard), so resolution is one hash plus one
   local lookup, with no global table.
-* :class:`Federation` — node registry plus the routed invocation path:
-  resolve the owning node, charge transport latency (simulated clock time
-  plus an optional *real* sleep modelling network I/O — the component
-  concurrent dispatch overlaps), run fault-injection sites, execute on
-  the owner through its dispatcher, and record per-operation/per-node
-  metrics.
+* :class:`Federation` — node registry plus the routed invocation path.
+  Every hop is an :class:`~repro.middleware.envelope.Envelope` running
+  through one ordered interceptor chain (metrics → fault injection →
+  latency → routing statistics → the owner node's dispatcher) over a
+  pluggable transport: in-process synchronous for classic blocking
+  calls, queued-asynchronous (delivery threads) for futures, oneways,
+  and pipelined batches.
+* :class:`InvocationPipeline` — client-side batching: consecutive calls
+  to the same node travel as one envelope, so a latency-bound client
+  pays one transport hop per batch instead of per call.
 * :class:`FederationClient` — a caller identity: resolves names anywhere
-  in the federation and attaches per-node credentials to each request.
+  in the federation and attaches per-node credentials to each request,
+  in all four invocation styles (sync, async future, oneway, pipeline).
 """
 
 from __future__ import annotations
@@ -25,13 +30,28 @@ import bisect
 import hashlib
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import FederationError, NamingError
-from repro.middleware.bus import ObjectRefData
+from repro.middleware.bus import ObjectRefData, Request
 from repro.middleware.clock import SimClock
+from repro.middleware.envelope import (
+    DEFAULT_QOS,
+    ONEWAY_QOS,
+    Envelope,
+    InterceptorChain,
+    QoS,
+    ReplyFuture,
+    current_delivery_context,
+)
 from repro.middleware.faults import FaultInjector
 from repro.middleware.naming import NamingService
+from repro.middleware.transport import (
+    InProcessTransport,
+    LazyQueuedTransport,
+    QueuedTransport,
+    in_serving_thread,
+)
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.node import Node
 
@@ -178,6 +198,7 @@ class Federation:
         real_latency_s: float = 0.0,
         metrics: Optional[MetricsRegistry] = None,
         replicas: int = 64,
+        delivery_workers: int = 2,
     ):
         self.clock = SimClock()
         self.faults = FaultInjector(seed)
@@ -189,6 +210,23 @@ class Federation:
         self._route_lock = threading.Lock()
         #: requests routed per target node (transport-level statistic)
         self.routed: Dict[str, int] = {}
+        #: pipelined batches delivered per target node
+        self.batches: Dict[str, int] = {}
+        #: synchronous hop transport (caller-thread semantics)
+        self.transport = InProcessTransport()
+        #: asynchronous hop transport, created lazily on first use
+        self.delivery_workers = delivery_workers
+        self._async = LazyQueuedTransport(
+            lambda: QueuedTransport(
+                workers=self.delivery_workers, name="federation"
+            )
+        )
+        #: the one ordered element pipeline every routed hop runs through
+        self.chain = InterceptorChain()
+        self.chain.add("metrics", self.metrics.element())
+        self.chain.add("faults", self.faults.interceptor("federation.route"))
+        self.chain.add("latency", self._latency_element)
+        self.chain.add("routing", self._routing_element)
 
     # -- topology ---------------------------------------------------------------
 
@@ -221,7 +259,15 @@ class Federation:
         """The node owning partition ``key`` (or any name below it)."""
         return self.node(self.naming.ring.owner(self.naming.partition_key(key)))
 
+    def quiesce(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait until every asynchronous delivery (oneways included) landed."""
+        quiet = self._async.drain(timeout_s)
+        for node in self.nodes.values():
+            quiet = node.services.bus.drain(timeout_s) and quiet
+        return quiet
+
     def shutdown(self) -> None:
+        self._async.shutdown()
         for node in self.nodes.values():
             node.shutdown()
 
@@ -260,11 +306,83 @@ class Federation:
         for operations served by the same node)."""
         return self.resolve(name)[1]
 
-    def _charge_transport(self) -> None:
-        self.faults.check("federation.route")
+    # -- chain elements -----------------------------------------------------------
+
+    def _latency_element(self, envelope: Envelope, proceed: Callable[[], Any]):
+        """One transport hop: simulated clock time plus optional real sleep
+        (the network I/O that concurrent delivery overlaps)."""
         self.clock.advance(self.latency_ms)
         if self.real_latency_s > 0:
             time.sleep(self.real_latency_s)
+        return proceed()
+
+    def _routing_element(self, envelope: Envelope, proceed: Callable[[], Any]):
+        with self._route_lock:
+            self.routed[envelope.target] = self.routed.get(envelope.target, 0) + 1
+        return proceed()
+
+    # -- invocation path -----------------------------------------------------------
+
+    @property
+    def async_transport(self) -> QueuedTransport:
+        return self._async.get()
+
+    def _submission_transport(self):
+        """Where an asynchronous submission delivers.
+
+        From a thread that is itself serving a request (delivery thread
+        or dispatcher pool worker), nested submissions run inline on the
+        in-process transport — queueing them behind the bounded pools
+        the caller occupies could deadlock the federation, exactly like
+        nested synchronous dispatch (the dispatcher's in-worker rule).
+        """
+        if in_serving_thread():
+            return self.transport
+        return self.async_transport
+
+    @staticmethod
+    def _inherit(context: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+        """Default a missing context to the current delivery context, so
+        nested cross-node calls made by servants propagate transaction
+        ids and credentials without manual plumbing."""
+        if context is not None:
+            return context
+        inherited = current_delivery_context()
+        return inherited or None
+
+    def _envelope(
+        self,
+        node: Node,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple,
+        kwargs: Optional[dict],
+        context: Optional[Dict[str, Any]],
+        qos: QoS,
+    ) -> Tuple[Envelope, Callable[[Envelope], Any]]:
+        """Build one routed hop: envelope + its chain-wrapped handler."""
+        context = self._inherit(context)
+        request = Request(
+            object_id=ref.object_id,
+            operation=operation,
+            args=list(args),
+            kwargs=dict(kwargs or {}),
+            context=dict(context or {}),
+        )
+        envelope = Envelope(
+            request=request,
+            qos=qos,
+            target=node.name,
+            label=f"{ref.type_name}.{operation}",
+        )
+
+        def handler(env: Envelope):
+            return self.chain.execute(
+                env,
+                lambda: node.invoke(ref, operation, args, kwargs or {}, context),
+            )
+
+        return envelope, handler
 
     def invoke(
         self,
@@ -274,22 +392,45 @@ class Federation:
         args: tuple = (),
         kwargs: Optional[dict] = None,
         context: Optional[Dict[str, Any]] = None,
+        qos: QoS = DEFAULT_QOS,
     ):
         """Route one request to ``node`` and execute it there, metered."""
-        label = f"{ref.type_name}.{operation}"
-        started = time.perf_counter()
-        try:
-            self._charge_transport()
-            with self._route_lock:
-                self.routed[node.name] = self.routed.get(node.name, 0) + 1
-            result = node.invoke(ref, operation, args, kwargs or {}, context)
-        except Exception:
-            self.metrics.record(
-                label, node.name, time.perf_counter() - started, error=True
-            )
-            raise
-        self.metrics.record(label, node.name, time.perf_counter() - started)
-        return result
+        envelope, handler = self._envelope(
+            node, ref, operation, args, kwargs, context, qos
+        )
+        return self.transport.submit(envelope, handler).raw()
+
+    def invoke_async(
+        self,
+        node: Node,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        context: Optional[Dict[str, Any]] = None,
+        qos: QoS = DEFAULT_QOS,
+    ) -> ReplyFuture:
+        """Route one request asynchronously; returns the reply future."""
+        envelope, handler = self._envelope(
+            node, ref, operation, args, kwargs, context, qos
+        )
+        return self._submission_transport().submit(envelope, handler)
+
+    def oneway(
+        self,
+        node: Node,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        context: Optional[Dict[str, Any]] = None,
+        qos: QoS = ONEWAY_QOS,
+    ) -> None:
+        """Fire-and-forget delivery: at most one servant effect, no reply."""
+        envelope, handler = self._envelope(
+            node, ref, operation, args, kwargs, context, qos
+        )
+        self._submission_transport().submit(envelope, handler)
 
     def call(
         self,
@@ -303,16 +444,232 @@ class Federation:
         node, ref = self.resolve(name)
         return self.invoke(node, ref, operation, args, kwargs, context)
 
+    def call_async(
+        self,
+        name: str,
+        operation: str,
+        *args,
+        context: Optional[Dict[str, Any]] = None,
+        qos: QoS = DEFAULT_QOS,
+        **kwargs,
+    ) -> ReplyFuture:
+        node, ref = self.resolve(name)
+        return self.invoke_async(node, ref, operation, args, kwargs, context, qos)
+
+    def call_oneway(
+        self,
+        name: str,
+        operation: str,
+        *args,
+        context: Optional[Dict[str, Any]] = None,
+        qos: QoS = ONEWAY_QOS,
+        **kwargs,
+    ) -> None:
+        node, ref = self.resolve(name)
+        self.oneway(node, ref, operation, args, kwargs, context, qos)
+
+    def pipeline(
+        self,
+        max_batch: int = 8,
+        context: Optional[Dict[str, Any]] = None,
+        qos: QoS = DEFAULT_QOS,
+    ) -> "InvocationPipeline":
+        """A batching client: consecutive same-node calls share one hop."""
+        context_for = None
+        if context is not None:
+            snapshot = dict(context)
+            context_for = lambda node: snapshot  # noqa: E731 - tiny closure
+        return InvocationPipeline(
+            self, max_batch=max_batch, context_for=context_for, qos=qos
+        )
+
+    # -- batched delivery ----------------------------------------------------------
+
+    def _submit_batch(self, node: Node, items: List["_PipelinedCall"], qos: QoS) -> None:
+        """One envelope for a whole node-batch: the chain (fault check,
+        hop latency, routing) runs once, then every member call executes
+        through the owner node's dispatcher — submitted first, awaited
+        second, so calls against different servants overlap."""
+        request = Request(
+            object_id="<pipeline>",
+            operation="<batch>",
+            args=[item.label for item in items],
+            kwargs={},
+        )
+        envelope = Envelope(request=request, qos=qos, target=node.name, label=None)
+
+        def terminal():
+            with self._route_lock:
+                self.batches[node.name] = self.batches.get(node.name, 0) + 1
+            dispatched = []
+            last_by_servant: Dict[str, Any] = {}
+            for item in items:
+                # same-servant members must execute in submission order:
+                # the pool serializes them on the servant lock but does
+                # not order the acquisitions, so gate on the previous
+                # same-servant dispatch before submitting the next
+                previous = last_by_servant.get(item.ref.object_id)
+                if previous is not None:
+                    previous.exception()  # wait; outcome consumed below
+                started = time.perf_counter()
+                try:
+                    pending = node.invoke_async(
+                        item.ref, item.operation, item.args, item.kwargs, item.context
+                    )
+                except Exception as exc:  # noqa: BLE001 - routed to the future
+                    self.metrics.record(
+                        item.label, node.name, time.perf_counter() - started, error=True
+                    )
+                    item.future._fail(exc)
+                    dispatched.append(None)
+                    continue
+                last_by_servant[item.ref.object_id] = pending
+                dispatched.append((pending, started))
+            for item, entry in zip(items, dispatched):
+                if entry is None:
+                    continue
+                pending, started = entry
+                # each member's latency runs from its own dispatch, not
+                # from the batch start — comparable to per-call metering
+                try:
+                    value = pending.result()
+                except Exception as exc:  # noqa: BLE001 - routed to the future
+                    self.metrics.record(
+                        item.label, node.name, time.perf_counter() - started, error=True
+                    )
+                    item.future._fail(exc)
+                    continue
+                self.metrics.record(
+                    item.label, node.name, time.perf_counter() - started
+                )
+                item.future._complete(value)
+            return len(items)
+
+        batch_future = self._submission_transport().submit(
+            envelope, lambda env: self.chain.execute(env, terminal)
+        )
+
+        def propagate_batch_failure(done: ReplyFuture) -> None:
+            # a transport fault killed the whole batch before any member
+            # ran (the terminal completes members itself): fail them all
+            if done._exception is not None:
+                for item in items:
+                    item.future._fail(done._exception)
+
+        batch_future.add_done_callback(propagate_batch_failure)
+
     # -- reporting ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats = {
             "nodes": [node.stats() for node in self.nodes.values()],
             "shards": self.naming.stats(),
             "routed": dict(sorted(self.routed.items())),
             "sim_transport_ms": self.clock.now(),
             "faults_injected": self.faults_injected(),
         }
+        if self.batches:
+            stats["batches"] = dict(sorted(self.batches.items()))
+        async_transport = self._async.peek()
+        if async_transport is not None:
+            stats["async_transport"] = async_transport.stats()
+        return stats
+
+
+class _PipelinedCall:
+    """One queued member of an :class:`InvocationPipeline` batch.
+
+    Members travel inside the batch envelope, but each future still
+    carries its own envelope (request payload + the pipeline's QoS) so
+    ``future.result()`` honours the configured timeout and callers can
+    introspect what they sent.
+    """
+
+    __slots__ = ("node", "ref", "operation", "args", "kwargs", "context", "label", "future")
+
+    def __init__(self, node, ref, operation, args, kwargs, context, qos):
+        self.node = node
+        self.ref = ref
+        self.operation = operation
+        self.args = args
+        self.kwargs = kwargs
+        self.context = context
+        self.label = f"{ref.type_name}.{operation}"
+        envelope = Envelope(
+            request=Request(
+                object_id=ref.object_id,
+                operation=operation,
+                args=list(args),
+                kwargs=dict(kwargs),
+                context=dict(context or {}),
+            ),
+            qos=qos,
+            target=node.name,
+            label=self.label,
+        )
+        self.future = ReplyFuture(envelope)
+
+
+class InvocationPipeline:
+    """Client-side batching of consecutive same-node calls.
+
+    ``call`` queues an invocation and returns its future immediately; a
+    flush (explicit, on leaving the ``with`` block, or automatic once
+    ``max_batch`` calls are queued) groups *consecutive* calls to the
+    same node and ships each group as one envelope — one fault-injection
+    site check and one hop latency per group, so a latency-bound client
+    pays transport cost per batch instead of per call.
+
+    Ordering: within one batch, calls against the *same servant* execute
+    in program order; beyond that — across batches, across flushes, and
+    for different servants inside a batch — deliveries may interleave
+    freely, like independent network flows.  Callers with cross-batch or
+    cross-servant ordering dependencies must await the earlier future
+    (or use synchronous calls) before issuing the dependent call.
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        max_batch: int = 8,
+        context_for: Optional[Callable[[Node], Optional[Dict[str, Any]]]] = None,
+        qos: QoS = DEFAULT_QOS,
+    ):
+        if max_batch < 1:
+            raise FederationError(f"pipeline batch must be >= 1, got {max_batch}")
+        self.federation = federation
+        self.max_batch = max_batch
+        self.context_for = context_for
+        self.qos = qos
+        self._pending: List[_PipelinedCall] = []
+
+    def call(self, name: str, operation: str, *args, **kwargs) -> ReplyFuture:
+        node, ref = self.federation.resolve(name)
+        context = self.context_for(node) if self.context_for is not None else None
+        context = Federation._inherit(context)
+        item = _PipelinedCall(node, ref, operation, args, kwargs, context, self.qos)
+        self._pending.append(item)
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return item.future
+
+    def flush(self) -> None:
+        """Ship every queued call, grouped by consecutive target node."""
+        pending, self._pending = self._pending, []
+        batch: List[_PipelinedCall] = []
+        for item in pending:
+            if batch and item.node is not batch[0].node:
+                self.federation._submit_batch(batch[0].node, batch, self.qos)
+                batch = []
+            batch.append(item)
+        if batch:
+            self.federation._submit_batch(batch[0].node, batch, self.qos)
+
+    def __enter__(self) -> "InvocationPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.flush()
 
 
 class FederationClient:
@@ -339,9 +696,38 @@ class FederationClient:
             token = self._tokens[node.name] = credential.token
         return token
 
+    def _context_for(self, node: Node) -> Optional[Dict[str, Any]]:
+        if self.user is None:
+            return None
+        return {"credentials": self._token_for(node)}
+
     def call(self, name: str, operation: str, *args, **kwargs):
         node, ref = self.federation.resolve(name)
-        context: Dict[str, Any] = {}
-        if self.user is not None:
-            context["credentials"] = self._token_for(node)
-        return self.federation.invoke(node, ref, operation, args, kwargs, context)
+        return self.federation.invoke(
+            node, ref, operation, args, kwargs, self._context_for(node) or {}
+        )
+
+    def call_async(
+        self, name: str, operation: str, *args, qos: QoS = DEFAULT_QOS, **kwargs
+    ) -> ReplyFuture:
+        node, ref = self.federation.resolve(name)
+        return self.federation.invoke_async(
+            node, ref, operation, args, kwargs, self._context_for(node) or {}, qos
+        )
+
+    def oneway(
+        self, name: str, operation: str, *args, qos: QoS = ONEWAY_QOS, **kwargs
+    ) -> None:
+        node, ref = self.federation.resolve(name)
+        self.federation.oneway(
+            node, ref, operation, args, kwargs, self._context_for(node) or {}, qos
+        )
+
+    def pipeline(self, max_batch: int = 8, qos: QoS = DEFAULT_QOS) -> InvocationPipeline:
+        """A batching view of this client (credentials attached per node)."""
+        return InvocationPipeline(
+            self.federation,
+            max_batch=max_batch,
+            context_for=self._context_for,
+            qos=qos,
+        )

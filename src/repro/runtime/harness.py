@@ -18,6 +18,15 @@ run:
 Closed-loop clients: each client issues its next operation as soon as the
 previous one completes.  ``think_time_ms`` models user pacing (an open
 holdoff between operations).
+
+Asynchronous scenarios: a pick thunk may return an
+:class:`~repro.runtime.scenarios.AsyncOp` instead of ``None`` — the
+harness then keeps up to ``window`` replies in flight per client,
+resolving the oldest future (and attributing its outcome to the issuing
+operation's label) whenever the window fills, and drains every pending
+future and oneway delivery (``federation.quiesce``) before invariants
+are checked — so money-conservation-style oracles always see a settled
+system, never a half-landed batch.
 """
 
 from __future__ import annotations
@@ -26,13 +35,19 @@ import hashlib
 import json
 import random
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError, ScenarioError
+from repro.errors import InvocationTimeout, ReproError, ScenarioError
 from repro.runtime.federation import Federation, FederationClient
 from repro.runtime.metrics import MetricsRegistry, format_series_table
-from repro.runtime.scenarios import Scenario, get_scenario
+from repro.runtime.scenarios import (
+    AsyncOp,
+    Scenario,
+    attach_late_success,
+    get_scenario,
+)
 
 
 @dataclass
@@ -51,6 +66,10 @@ class RunConfig:
     think_time_ms: float = 0.0
     faults: bool = False
     entities_per_node: int = 2
+    #: max in-flight async replies per client before the oldest is resolved
+    window: int = 4
+    #: delivery threads of the federation's queued (async) transport
+    delivery_workers: int = 2
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -66,6 +85,8 @@ class RunConfig:
             "think_time_ms": self.think_time_ms,
             "faults": self.faults,
             "entities_per_node": self.entities_per_node,
+            "window": self.window,
+            "delivery_workers": self.delivery_workers,
         }
 
 
@@ -188,6 +209,7 @@ class ScenarioRunner:
             latency_ms=config.sim_latency_ms,
             real_latency_s=config.real_latency_ms / 1000.0,
             metrics=MetricsRegistry(),
+            delivery_workers=config.delivery_workers,
         )
         for i in range(config.nodes):
             federation.add_node(
@@ -235,6 +257,12 @@ class ScenarioRunner:
                 self._run_concurrent(federation, state, clients, rngs, outcomes, budgets)
             else:
                 self._run_sequential(federation, state, clients, rngs, outcomes, budgets)
+            # settle the system before measuring or judging it: every
+            # oneway and stray async delivery must land first
+            if not federation.quiesce(timeout_s=60.0):
+                raise ScenarioError(
+                    "asynchronous deliveries did not quiesce within 60s"
+                )
             federation.metrics.stop()
 
             merged = self._merge_outcomes(outcomes)
@@ -262,31 +290,100 @@ class ScenarioRunner:
         finally:
             federation.shutdown()
 
-    def _step(self, federation, state, client, rng, outcome, client_index) -> None:
+    def _step(
+        self, federation, state, client, rng, outcome, client_index
+    ) -> Optional[Tuple[str, AsyncOp]]:
+        """Issue one operation; async issues come back as pending entries."""
         label, thunk = self.spec.pick(rng, federation, state, client, client_index)
         results = outcome.setdefault(label, {})
+        pending: Optional[Tuple[str, AsyncOp]] = None
         try:
-            thunk()
+            value = thunk()
         except ReproError as exc:
             key = type(exc).__name__
             results[key] = results.get(key, 0) + 1
         else:
-            results["ok"] = results.get("ok", 0) + 1
+            if isinstance(value, AsyncOp):
+                # outcome attributed at resolution time, not issue time
+                pending = (label, value)
+            else:
+                results["ok"] = results.get("ok", 0) + 1
         if self.config.think_time_ms > 0:
             import time
 
             time.sleep(self.config.think_time_ms / 1000.0)
+        return pending
+
+    @staticmethod
+    def _resolve(entry: Tuple[str, AsyncOp], outcome) -> None:
+        """Wait for one in-flight reply; count it under its own label.
+
+        The wait honours the op's timeout (falling back to the
+        envelope's QoS timeout).  A timed-out call counts as failed, but
+        its success bookkeeping is re-attached as a done-callback: if
+        the delivery lands after all (before the harness quiesces), the
+        scenario's tallies still agree with the servant state —
+        timeouts must never fake a lost effect.
+        """
+        label, op = entry
+        results = outcome.setdefault(label, {})
+        try:
+            if op.timeout_ms is None:
+                value = op.future.result()
+            else:
+                value = op.future.result(timeout_ms=op.timeout_ms)
+        except InvocationTimeout as exc:
+            if op.on_success is not None:
+                attach_late_success(op.future, op.on_success)
+            key = type(exc).__name__
+            results[key] = results.get(key, 0) + 1
+        except ReproError as exc:
+            key = type(exc).__name__
+            results[key] = results.get(key, 0) + 1
+        else:
+            if op.on_success is not None:
+                op.on_success(value)
+            results["ok"] = results.get("ok", 0) + 1
+
+    def _client_step(
+        self,
+        federation,
+        state,
+        client,
+        rng,
+        outcome,
+        index: int,
+        pending: "Deque[Tuple[str, AsyncOp]]",
+    ) -> None:
+        entry = self._step(federation, state, client, rng, outcome, index)
+        if entry is not None:
+            pending.append(entry)
+        while len(pending) > self.config.window:
+            self._resolve(pending.popleft(), outcome)
+
+    def _drain(self, pending, outcome) -> None:
+        while pending:
+            self._resolve(pending.popleft(), outcome)
 
     def _run_sequential(
         self, federation, state, clients, rngs, outcomes, budgets
     ) -> None:
-        """Round-robin the clients' scripts on one thread (deterministic)."""
+        """Round-robin the clients' scripts on one thread (deterministic
+        for synchronous scenarios; async replies land on delivery threads)."""
         remaining = list(budgets)
+        pendings: List[Deque[Tuple[str, AsyncOp]]] = [
+            deque() for _ in range(self.config.clients)
+        ]
         while any(remaining):
             for i in range(self.config.clients):
                 if remaining[i] > 0:
                     remaining[i] -= 1
-                    self._step(federation, state, clients[i], rngs[i], outcomes[i], i)
+                    self._client_step(
+                        federation, state, clients[i], rngs[i], outcomes[i], i,
+                        pendings[i],
+                    )
+        for i in range(self.config.clients):
+            self._drain(pendings[i], outcomes[i])
 
     def _run_concurrent(
         self, federation, state, clients, rngs, outcomes, budgets
@@ -294,9 +391,14 @@ class ScenarioRunner:
         errors: List[BaseException] = []
 
         def loop(i: int) -> None:
+            pending: Deque[Tuple[str, AsyncOp]] = deque()
             try:
                 for _ in range(budgets[i]):
-                    self._step(federation, state, clients[i], rngs[i], outcomes[i], i)
+                    self._client_step(
+                        federation, state, clients[i], rngs[i], outcomes[i], i,
+                        pending,
+                    )
+                self._drain(pending, outcomes[i])
             except BaseException as exc:  # noqa: BLE001 - surfaced after join
                 errors.append(exc)
 
@@ -338,6 +440,8 @@ def run_scenario(
     think_time_ms: float = 0.0,
     faults: bool = False,
     entities_per_node: int = 2,
+    window: int = 4,
+    delivery_workers: int = 2,
 ) -> ScenarioResult:
     """One-call convenience over :class:`ScenarioRunner`."""
     name = scenario if isinstance(scenario, str) else scenario.name
@@ -354,5 +458,7 @@ def run_scenario(
         think_time_ms=think_time_ms,
         faults=faults,
         entities_per_node=entities_per_node,
+        window=window,
+        delivery_workers=delivery_workers,
     )
     return ScenarioRunner(scenario, config).run()

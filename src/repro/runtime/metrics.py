@@ -107,6 +107,37 @@ class MetricsRegistry:
                 node_series = self._per_node[node] = _Series()
             node_series.add(seconds, error)
 
+    def element(self):
+        """This registry as an interceptor-chain element.
+
+        Records one sample per *logical call* under ``envelope.label``
+        and ``envelope.target``: a transport fault that the QoS retry
+        budget will re-deliver is not recorded (only the final attempt
+        is), so counts and error rates stay comparable to the
+        synchronous one-record-per-call metering.  Envelopes with no
+        label (e.g. pipelined batches that meter their member calls
+        individually) pass through unrecorded.
+        """
+        from repro.middleware.envelope import will_retry
+
+        def metrics_element(envelope, proceed):
+            if envelope.label is None:
+                return proceed()
+            node = envelope.target or "?"
+            started = time.perf_counter()
+            try:
+                result = proceed()
+            except Exception as exc:
+                if not will_retry(envelope, exc):
+                    self.record(
+                        envelope.label, node, time.perf_counter() - started, error=True
+                    )
+                raise
+            self.record(envelope.label, node, time.perf_counter() - started)
+            return result
+
+        return metrics_element
+
     # -- reporting -------------------------------------------------------------
 
     def total_requests(self) -> int:

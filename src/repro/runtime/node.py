@@ -24,6 +24,7 @@ from repro.core.lifecycle import MdaLifecycle
 from repro.core.runtime import MiddlewareServices
 from repro.errors import NamingError
 from repro.middleware.bus import ObjectRefData
+from repro.middleware.envelope import delivering
 from repro.runtime.dispatch import ConcurrentDispatcher, SerialDispatcher
 
 _module_counter = itertools.count(1)
@@ -116,6 +117,33 @@ class Node:
 
     # -- request entry point -----------------------------------------------------
 
+    def _runner(
+        self,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple,
+        kwargs: dict,
+        context: Optional[Dict[str, Any]],
+    ):
+        """The executable unit both invocation styles dispatch.
+
+        The caller-supplied ``context`` (credentials, transaction hints)
+        is re-established on the executing thread before the ORB builds
+        the request, so implicit context survives the thread hop; it is
+        also published as the thread's *delivery context*, so outbound
+        calls the servant makes (cross-node nested dispatch) inherit it.
+        """
+        orb = self.services.orb
+
+        def run():
+            with delivering(context):
+                if context:
+                    with orb.call_context(**context):
+                        return orb.invoke(ref, operation, args, kwargs)
+                return orb.invoke(ref, operation, args, kwargs)
+
+        return run
+
     def invoke(
         self,
         ref: ObjectRefData,
@@ -124,26 +152,34 @@ class Node:
         kwargs: dict,
         context: Optional[Dict[str, Any]] = None,
     ):
-        """Execute a request against a local servant through the dispatcher.
+        """Execute a request against a local servant through the dispatcher."""
+        return self.dispatcher.dispatch(
+            ref.object_id, self._runner(ref, operation, args, kwargs, context)
+        )
 
-        The caller-supplied ``context`` (credentials, transaction hints)
-        is re-established on the executing thread before the ORB builds
-        the request, so implicit context survives the thread hop.
+    def invoke_async(
+        self,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple,
+        kwargs: dict,
+        context: Optional[Dict[str, Any]] = None,
+    ):
+        """Dispatch without blocking; returns a ``concurrent.futures.Future``.
+
+        With a concurrent dispatcher the request lands in the node's
+        pool (per-servant serialization still applies), so a pipelined
+        batch overlaps the work of calls against different servants.
         """
-        orb = self.services.orb
-
-        def run():
-            if context:
-                with orb.call_context(**context):
-                    return orb.invoke(ref, operation, args, kwargs)
-            return orb.invoke(ref, operation, args, kwargs)
-
-        return self.dispatcher.dispatch(ref.object_id, run)
+        return self.dispatcher.submit(
+            ref.object_id, self._runner(ref, operation, args, kwargs, context)
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
     def shutdown(self) -> None:
         self.dispatcher.shutdown()
+        self.services.bus.shutdown()
 
     def stats(self) -> Dict[str, Any]:
         services = self.services

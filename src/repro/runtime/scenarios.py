@@ -22,18 +22,59 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ScenarioError
+from repro.errors import InvocationTimeout, ScenarioError
+from repro.middleware.envelope import QoS
 from repro.uml import (
     add_attribute,
     add_class,
     add_operation,
     add_package,
     apply_stereotype,
+    classes_of,
     ensure_primitives,
     new_model,
 )
 
 OpThunk = Callable[[], Any]
+
+
+class AsyncOp:
+    """What an asynchronous pick thunk hands back to the harness.
+
+    Wraps the in-flight :class:`~repro.middleware.envelope.ReplyFuture`;
+    the harness resolves it within the client's in-flight window and
+    only then runs ``on_success`` (scenario bookkeeping such as tallying
+    a deposit's delta) and counts the outcome — so client-side oracles
+    never credit an operation whose reply reported failure.
+    """
+
+    __slots__ = ("future", "on_success", "timeout_ms")
+
+    def __init__(self, future, on_success=None, timeout_ms=None):
+        self.future = future
+        self.on_success = on_success
+        self.timeout_ms = timeout_ms
+
+
+def attach_late_success(future, action) -> None:
+    """Run ``action(decoded_result)`` if/when ``future`` completes well.
+
+    The timed-out-call hook: a delivery may still land after the caller
+    gave up, and bookkeeping (e.g. a deposit's tally delta) must follow
+    the *actual* outcome.  Goes through ``future.result()`` so the
+    outcome is decoded exactly like a normal wait — a bus-level reply
+    whose Response carries a wire error counts as failure, never as
+    success with a raw Response payload.
+    """
+
+    def callback(done):
+        try:
+            value = done.result(timeout_ms=None)  # already completed
+        except Exception:  # noqa: BLE001 - failure: nothing to book
+            return
+        action(value)
+
+    future.add_done_callback(callback)
 
 
 class Tally:
@@ -315,6 +356,189 @@ class BankingScenario(Scenario):
     def fingerprint(self, federation, state):
         return [
             f"{name} balance={servant.balance:.0f}"
+            for name, servant in sorted(state["servants"].items())
+            if "/Account/" in name
+        ]
+
+
+# ---------------------------------------------------------------------------
+# banking_async — futures, oneways, and pipelined bursts under faults
+# ---------------------------------------------------------------------------
+
+
+class AsyncBankingScenario(BankingScenario):
+    name = "banking_async"
+    description = (
+        "banking client mix issued asynchronously: reply futures with a "
+        "retry/timeout QoS, fire-and-forget oneway touches, pipelined "
+        "deposit bursts; invariants: money conserved under in-flight "
+        "futures, oneway effects at most once"
+    )
+    #: the timeout/retry fault campaign: transport faults on both layers
+    #: (retried by the async QoS budget) plus prepare-phase aborts
+    #: (application-level — never retried, rolled back server-side)
+    fault_campaign = [
+        ("federation.route", 0.02),
+        ("bus.*", 0.02),
+        ("txn.prepare", 0.02),
+    ]
+
+    #: per-call QoS of the asynchronous mix: bounded waiting, transport
+    #: faults retried twice before the client sees them
+    ASYNC_QOS = QoS(timeout_ms=30_000.0, retries=2)
+    #: oneway deliveries never retry — that is what keeps them at-most-once
+    ONEWAY_QOS = QoS(oneway=True, retries=0)
+    BURST_SIZE = 4
+
+    def build_pim(self):
+        resource = super().build_pim()
+        model = resource.roots[0]
+        prims = ensure_primitives(model)
+        account = next(c for c in classes_of(model) if c.name == "Account")
+        # a void-ish operation for oneway calls: its server-side counter is
+        # the oracle for at-most-once delivery
+        add_attribute(account, "touches", prims["Integer"])
+        touch = add_operation(account, "touch", return_type=prims["Integer"])
+        apply_stereotype(
+            touch, "PythonBody", body="self.touches += 1\nreturn self.touches"
+        )
+        return resource
+
+    def pick(self, rng, federation, state, client, client_index):
+        branch = rng.choice(state["branches"])
+        tally = state["tally"]
+        kind = self._roulette(
+            rng,
+            [
+                (0.30, "transfer"),
+                (0.20, "deposit"),
+                (0.20, "withdraw"),
+                (0.10, "getBalance"),
+                (0.10, "touch"),
+                (0.10, "burst"),
+            ],
+        )
+        if kind == "transfer":
+            source, target = rng.sample(branch["accounts"], 2)
+            amount = float(rng.randrange(1, 20))
+            source_ref = client.ref(source)
+            target_ref = client.ref(target)
+
+            def transfer():
+                return AsyncOp(
+                    client.call_async(
+                        branch["bank"],
+                        "transfer",
+                        source_ref,
+                        target_ref,
+                        amount,
+                        qos=self.ASYNC_QOS,
+                    )
+                )
+
+            return "Bank.transfer", transfer
+        if kind == "deposit":
+            account = rng.choice(branch["accounts"])
+            amount = float(rng.randrange(1, 50))
+
+            def deposit():
+                return AsyncOp(
+                    client.call_async(account, "deposit", amount, qos=self.ASYNC_QOS),
+                    on_success=lambda _value: tally.add("delta", amount),
+                )
+
+            return "Account.deposit", deposit
+        if kind == "withdraw":
+            account = rng.choice(branch["accounts"])
+            amount = float(rng.randrange(1, 50))
+
+            def withdraw():
+                return AsyncOp(
+                    client.call_async(account, "withdraw", amount, qos=self.ASYNC_QOS),
+                    on_success=lambda _value: tally.add("delta", -amount),
+                )
+
+            return "Account.withdraw", withdraw
+        if kind == "touch":
+            account = rng.choice(branch["accounts"])
+
+            def touch():
+                # attempts are counted client-side *before* the send: the
+                # at-most-once oracle is servant touches <= attempts
+                tally.add(f"touch_attempts:{account}")
+                client.oneway(account, "touch", qos=self.ONEWAY_QOS)
+
+            return "Account.touch", touch
+        if kind == "burst":
+            accounts = rng.sample(
+                branch["accounts"],
+                min(self.BURST_SIZE, len(branch["accounts"])),
+            )
+            amounts = [float(rng.randrange(1, 25)) for _ in accounts]
+
+            def burst():
+                # consecutive same-node calls ride one envelope: the whole
+                # burst pays a single transport hop
+                pipe = client.pipeline(max_batch=self.BURST_SIZE, qos=self.ASYNC_QOS)
+                futures = [
+                    pipe.call(account, "deposit", amount)
+                    for account, amount in zip(accounts, amounts)
+                ]
+                pipe.flush()
+                first_error = None
+                for future, amount in zip(futures, amounts):
+                    try:
+                        future.result(timeout_ms=30_000.0)
+                    except InvocationTimeout as exc:
+                        # a timed-out member may still land before the
+                        # harness quiesces: re-attach the delta so the
+                        # money-conservation oracle cannot fire on a
+                        # deposit that actually happened
+                        attach_late_success(
+                            future,
+                            lambda _value, amount=amount: tally.add("delta", amount),
+                        )
+                        if first_error is None:
+                            first_error = exc
+                    except Exception as exc:  # noqa: BLE001 - re-raised below
+                        if first_error is None:
+                            first_error = exc
+                    else:
+                        tally.add("delta", amount)
+                if first_error is not None:
+                    raise first_error
+
+            return "Account.depositBurst", burst
+        account = rng.choice(branch["accounts"])
+
+        def get_balance():
+            client.call(account, "getBalance")
+
+        return "Account.getBalance", get_balance
+
+    def invariants(self, federation, state):
+        violations = super().invariants(federation, state)
+        tally = state["tally"]
+        for name, servant in state["servants"].items():
+            if "/Account/" not in name:
+                continue
+            attempts = int(tally.number(f"touch_attempts:{name}"))
+            touches = servant.touches
+            if touches > attempts:
+                violations.append(
+                    f"{name}: {touches} oneway effects exceed {attempts} "
+                    "attempts (at-most-once broken)"
+                )
+            if not state["config"].faults and touches != attempts:
+                violations.append(
+                    f"{name}: {touches} oneway effects != {attempts} attempts "
+                    "(fault-free runs must deliver exactly once)"
+                )
+        return violations
+
+    def fingerprint(self, federation, state):
+        return [
+            f"{name} balance={servant.balance:.0f} touches={servant.touches}"
             for name, servant in sorted(state["servants"].items())
             if "/Account/" in name
         ]
@@ -739,6 +963,7 @@ SCENARIOS: Dict[str, Scenario] = {
     spec.name: spec
     for spec in (
         BankingScenario(),
+        AsyncBankingScenario(),
         AuctionScenario(),
         MedicalRecordsScenario(),
         ComponentShippingScenario(),

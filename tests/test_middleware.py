@@ -104,8 +104,19 @@ class TestMarshalling:
         wire["xs"].append(99)
         assert original == {"xs": [1, {"y": 2}]}
 
-    def test_tuples_become_lists(self):
-        assert marshal((1, 2)) == [1, 2]
+    def test_tuples_round_trip_as_tuples(self):
+        # wire-type contract: containers keep their concrete type, so a
+        # servant returning a tuple is observed as a tuple by the caller
+        wire = marshal((1, [2, 3], {"k": (4,)}))
+        assert wire == (1, [2, 3], {"k": (4,)})
+        assert isinstance(wire, tuple)
+        assert isinstance(wire[1], list)
+        assert isinstance(wire[2]["k"], tuple)
+
+    def test_lists_stay_lists(self):
+        wire = marshal([1, (2, 3)])
+        assert isinstance(wire, list)
+        assert isinstance(wire[1], tuple)
 
     def test_non_string_dict_keys_rejected(self):
         with pytest.raises(MarshallingError):

@@ -3,8 +3,10 @@
 The satellite coverage for the concurrent dispatcher's foundations:
 the lock manager must stay consistent when hammered from worker threads,
 fault injection must replay deterministically for a fixed seed and honor
-pattern sites, and the transaction manager's current-transaction tracking
-must be invisible across threads.
+pattern sites, the transaction manager's current-transaction tracking
+must be invisible across threads, and envelope context (transaction id,
+credentials) must survive every invocation style — synchronous, async
+reply futures, oneway deliveries, and cross-node nested dispatch.
 """
 
 import threading
@@ -275,6 +277,133 @@ class TestThreadLocalState:
         thread.join()
         assert error, "commit on a foreign thread must not find the tx current"
         manager.rollback(tx)
+
+    def test_envelope_context_survives_async_replies(self):
+        """Credentials + txn id captured at issue time reach the servant
+        even though delivery happens on a transport thread, and the
+        caller's thread-local context is gone by then."""
+        orb = Orb()
+        seen = {}
+
+        class Servant:
+            def probe(self):
+                ctx = orb.current_context()
+                seen["credentials"] = ctx.get("credentials")
+                seen["txn_id"] = ctx.get("txn_id")
+                seen["thread"] = threading.current_thread().name
+                return "done"
+
+        orb.register(Servant(), name="servant")
+        proxy = orb.proxy("servant")
+        with orb.call_context(credentials="tok-1", txn_id="T-9"):
+            future = proxy.probe.async_()
+        # the issuing context is closed before the reply is awaited
+        assert orb.current_context() == {}
+        assert future.result(timeout_ms=5000) == "done"
+        assert seen["credentials"] == "tok-1"
+        assert seen["txn_id"] == "T-9"
+        assert seen["thread"] != threading.current_thread().name
+        assert future.envelope.request.context == {
+            "credentials": "tok-1",
+            "txn_id": "T-9",
+        }
+        orb.bus.shutdown()
+
+    def test_envelope_context_survives_oneway_calls(self):
+        orb = Orb()
+        seen = []
+
+        class Servant:
+            def note(self):
+                ctx = orb.current_context()
+                seen.append((ctx.get("credentials"), ctx.get("txn_id")))
+
+        orb.register(Servant(), name="servant")
+        proxy = orb.proxy("servant")
+        with orb.call_context(credentials="tok-2", txn_id="T-11"):
+            proxy.note.oneway()
+        assert orb.bus.drain(timeout_s=5), "oneway delivery did not land"
+        assert seen == [("tok-2", "T-11")]
+        orb.bus.shutdown()
+
+    def _probe_federation(self):
+        """Two nodes with plain servants: a relay on one node calling a
+        probe on the other through the federation."""
+        from repro.runtime import Federation
+
+        federation = Federation(seed=0)
+        node_a = federation.add_node("node-a")
+        node_b = federation.add_node("node-b")
+        # partition keys owned by each node (found by hashing)
+        key_a = next(
+            f"p{i}" for i in range(100)
+            if federation.node_for(f"p{i}") is node_a
+        )
+        key_b = next(
+            f"p{i}" for i in range(100)
+            if federation.node_for(f"p{i}") is node_b
+        )
+        seen = {}
+
+        class Probe:
+            def __init__(self, orb):
+                self.orb = orb
+
+            def who(self):
+                ctx = self.orb.current_context()
+                seen["credentials"] = ctx.get("credentials")
+                seen["txn_id"] = ctx.get("txn_id")
+                return "probed"
+
+        class Relay:
+            def relay(self):
+                # no explicit context: the nested hop must inherit the
+                # delivery context of the request being served
+                return federation.call(f"{key_b}/Probe/0", "who")
+
+        node_a.bind(f"{key_a}/Relay/0", Relay())
+        node_b.bind(f"{key_b}/Probe/0", Probe(node_b.services.orb))
+        return federation, key_a, seen
+
+    def test_context_survives_cross_node_nested_dispatch(self):
+        federation, key_a, seen = self._probe_federation()
+        try:
+            result = federation.call(
+                f"{key_a}/Relay/0",
+                "relay",
+                context={"credentials": "tok-3", "txn_id": "T-13"},
+            )
+            assert result == "probed"
+            assert seen == {"credentials": "tok-3", "txn_id": "T-13"}
+        finally:
+            federation.shutdown()
+
+    def test_context_survives_nested_dispatch_on_async_path(self):
+        federation, key_a, seen = self._probe_federation()
+        try:
+            future = federation.call_async(
+                f"{key_a}/Relay/0",
+                "relay",
+                context={"credentials": "tok-4", "txn_id": "T-17"},
+            )
+            assert future.result(timeout_ms=5000) == "probed"
+            assert seen == {"credentials": "tok-4", "txn_id": "T-17"}
+        finally:
+            federation.shutdown()
+
+    def test_delivery_context_does_not_leak_between_requests(self):
+        federation, key_a, seen = self._probe_federation()
+        try:
+            federation.call(
+                f"{key_a}/Relay/0",
+                "relay",
+                context={"credentials": "tok-5", "txn_id": "T-19"},
+            )
+            seen.clear()
+            federation.call(f"{key_a}/Relay/0", "relay")  # anonymous
+            assert seen == {"credentials": None, "txn_id": None}
+        finally:
+            federation.shutdown()
 
     def test_orb_context_is_thread_local(self):
         orb = Orb()

@@ -47,12 +47,27 @@ class TestConfigurationPlan:
         with pytest.raises(PlanError, match="already selects"):
             plan.select("logging", log_patterns=["*.deposit"])
 
-    def test_after_must_reference_plan_members(self):
+    def test_after_must_reference_plan_members_or_history(self):
         plan = ConfigurationPlan().select(
             "logging", after=["distribution"], log_patterns=["*"]
         )
-        with pytest.raises(PlanError, match="not present in the plan"):
+        with pytest.raises(PlanError, match="neither present in the plan"):
             plan.validate()
+
+    def test_after_may_reference_satisfied_history(self):
+        plan = ConfigurationPlan().select(
+            "logging", after=["distribution"], log_patterns=["*"]
+        )
+        plan.validate(satisfied=["distribution"])  # already applied: fine
+        steps = plan.bind(default_registry(), satisfied=["distribution"])
+        assert [s.concern for s in steps] == ["logging"]
+
+    def test_satisfied_history_does_not_admit_unknown_edges(self):
+        plan = ConfigurationPlan().select(
+            "logging", after=["distribution", "ghost"], log_patterns=["*"]
+        )
+        with pytest.raises(PlanError, match=r"\['ghost'\]"):
+            plan.validate(satisfied=["distribution"])
 
     def test_bind_specializes_each_selection(self):
         steps = bank_plan().bind(default_registry())
@@ -120,6 +135,22 @@ class TestScheduler:
             ["distribution", "transactions"],
             ["security"],
         ]
+
+    def test_satisfied_after_edges_impose_no_dependency(self):
+        # an `after` edge naming an already-applied concern is dropped by
+        # the scheduler's satisfied-history filter: everything schedules
+        # in one batch because no in-plan predecessor remains
+        plan = ConfigurationPlan()
+        plan.select(
+            "transactions", after=["distribution"], **FULL_BANK_PARAMS["transactions"]
+        )
+        plan.select("security", **FULL_BANK_PARAMS["security"])
+        steps = plan.bind(default_registry(), satisfied=["distribution"])
+        schedule = Scheduler(satisfied=["distribution"]).schedule(steps)
+        assert [[s.concern for s in b] for b in schedule.batches] == [
+            ["transactions", "security"]
+        ]
+        assert schedule.dependencies["transactions"] == []
 
     def test_workflow_requires_become_edges(self):
         steps = bank_plan().bind(default_registry())
@@ -321,6 +352,20 @@ class TestLifecycleIntegration:
         assert names[2].startswith("A_security")
         assert lifecycle.last_pipeline_stats is result.stats
 
+    def test_after_edge_into_lifecycle_history_is_accepted(
+        self, bank_resource, services
+    ):
+        # the lifecycle threads its applied history into plan validation,
+        # so a later plan may order itself after an earlier application
+        lifecycle = MdaLifecycle(bank_resource, services=services)
+        lifecycle.apply_concern("distribution", **FULL_BANK_PARAMS["distribution"])
+        follow_up = ConfigurationPlan().select(
+            "security", after=["distribution"], **FULL_BANK_PARAMS["security"]
+        )
+        result = lifecycle.apply_plan(follow_up)
+        assert [a.concern for a in result.applications] == ["security"]
+        assert lifecycle.applied_concerns == ["distribution", "security"]
+
     def test_apply_plan_then_build_application_works(self, bank_resource, services):
         lifecycle = MdaLifecycle(bank_resource, services=services)
         lifecycle.apply_plan(bank_plan())
@@ -506,6 +551,64 @@ class TestWeaverPointcutMemo:
         )
         t.ping()
         assert calls == ["late"]
+
+    def test_epoch_bumps_on_deploy_undeploy_and_advice_mutation(self):
+        from repro.aop import Aspect, AdviceKind
+
+        weaver, Target = self.build_weaver()
+        aspect = Aspect("obs")
+        epoch0 = weaver._epoch
+        weaver.deploy(aspect)
+        assert weaver._epoch > epoch0
+        epoch1 = weaver._epoch
+        aspect.add_advice(AdviceKind.BEFORE, "execution(Target.ping)", lambda jp: None)
+        assert weaver._epoch > epoch1
+        epoch2 = weaver._epoch
+        weaver.undeploy(aspect)
+        assert weaver._epoch > epoch2
+        # undeploy unsubscribes: mutations of a detached aspect are free
+        epoch3 = weaver._epoch
+        aspect.add_advice(AdviceKind.BEFORE, "execution(Target.ping)", lambda jp: None)
+        assert weaver._epoch == epoch3
+
+    def test_advice_removed_after_deploy_stops_firing(self):
+        from repro.aop import Aspect
+
+        weaver, Target = self.build_weaver()
+        calls = []
+        aspect = Aspect("shrinks")
+
+        @aspect.before("execution(Target.ping)")
+        def _mark(jp):
+            calls.append("x")
+
+        weaver.deploy(aspect)
+        t = Target()
+        t.ping()  # memo populated with the advice
+        assert calls == ["x"]
+        aspect.advices.clear()  # direct mutation of the public list
+        t.ping()
+        assert calls == ["x"], "removed advice must not be served from the memo"
+
+    def test_steady_state_dispatch_never_invalidates(self):
+        from repro.aop import Aspect
+
+        weaver, Target = self.build_weaver()
+        aspect = Aspect("obs")
+
+        @aspect.before("execution(Target.ping)")
+        def _noop(jp):
+            pass
+
+        weaver.deploy(aspect)
+        t = Target()
+        t.ping()
+        assert weaver.pointcut_memo_misses == 1
+        for _ in range(50):
+            t.ping()
+        # one integer comparison per dispatch: the memo never rebuilt
+        assert weaver.pointcut_memo_misses == 1
+        assert weaver.pointcut_memo_hits == 50
 
     def test_cflow_advice_stays_dynamic(self):
         from repro.aop import Aspect
