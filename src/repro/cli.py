@@ -12,6 +12,7 @@ The §3 tool infrastructure, driveable from a shell::
     python -m repro.cli generate refined.xmi --out generated_app.py
     python -m repro.cli fingerprint refined.xmi
     python -m repro.cli simulate --scenario banking --clients 8 --seed 1
+    python -m repro.cli simulate --scenario banking_elastic --serial --churn
 
 ``apply`` runs the full engine path (OCL preconditions → rules →
 postconditions) and reports the demarcation summary; ``pipeline`` runs a
@@ -180,6 +181,7 @@ def _cmd_simulate(args) -> int:
         entities_per_node=args.entities_per_node,
         window=args.window,
         delivery_workers=args.delivery_workers,
+        churn=args.churn,
     )
     result = ScenarioRunner(args.scenario, config).run()
     print(result.report())
@@ -198,90 +200,176 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("concerns", help="list registered concerns and their wizards")
+    sub.add_parser(
+        "concerns",
+        help="list registered concerns and their configuration wizards",
+        description="Print every registered concern with its wizard "
+        "transcript: the ordered questions whose answers form the "
+        "parameter set Si of the concern's generic transformation.",
+    )
 
-    info = sub.add_parser("info", help="summarize an XMI model")
-    info.add_argument("model")
+    info = sub.add_parser(
+        "info",
+        help="summarize an XMI model",
+        description="Load an XMI model and print its element counts "
+        "(packages, classes, operations, attributes) plus the applied "
+        "stereotypes per class.",
+    )
+    info.add_argument("model", help="path to the XMI model file")
 
-    check = sub.add_parser("validate", help="well-formedness check an XMI model")
-    check.add_argument("model")
+    check = sub.add_parser(
+        "validate",
+        help="well-formedness check an XMI model",
+        description="Run the metamodel validator; prints each violation "
+        "and exits 1 if the model is not well-formed.",
+    )
+    check.add_argument("model", help="path to the XMI model file")
 
-    apply_cmd = sub.add_parser("apply", help="apply a concern's transformation")
-    apply_cmd.add_argument("model")
-    apply_cmd.add_argument("--concern", required=True)
+    apply_cmd = sub.add_parser(
+        "apply",
+        help="apply one concern's transformation to a model",
+        description="Specialize the named concern's generic "
+        "transformation with --params (the parameter set Si) and apply "
+        "it through the full engine path: OCL preconditions, rules, "
+        "postconditions, demarcation report.",
+    )
+    apply_cmd.add_argument("model", help="path to the XMI model file")
+    apply_cmd.add_argument(
+        "--concern",
+        required=True,
+        help="registered concern to apply (see the 'concerns' subcommand)",
+    )
     apply_cmd.add_argument(
         "--params", default="", help="JSON object with the parameter set Si"
     )
-    apply_cmd.add_argument("--out", default="", help="write the refined model here")
+    apply_cmd.add_argument(
+        "--out", default="", help="write the refined model to this XMI file"
+    )
 
     pipeline = sub.add_parser(
         "pipeline",
         help="apply a multi-concern plan through the batched pipeline",
+        description="Run a JSON configuration plan through the "
+        "plan/schedule/execute pass-manager: independent concerns are "
+        "batched, each batch gets one demarcated savepoint, and cache "
+        "statistics are reported.",
     )
-    pipeline.add_argument("model")
+    pipeline.add_argument("model", help="path to the XMI model file")
     pipeline.add_argument(
-        "--plan", required=True, help="JSON file with the concern selections"
+        "--plan",
+        required=True,
+        help="JSON file with the concern selections (list of "
+        '{"concern", "params", "after"} objects)',
     )
-    pipeline.add_argument("--out", default="", help="write the refined model here")
+    pipeline.add_argument(
+        "--out", default="", help="write the refined model to this XMI file"
+    )
 
-    generate = sub.add_parser("generate", help="emit the functional Python module")
-    generate.add_argument("model")
-    generate.add_argument("--out", default="", help="write the source here")
+    generate = sub.add_parser(
+        "generate",
+        help="emit the functional Python module for a model",
+        description="Generate the concern-free functional Python module "
+        "(classes, attributes, PythonBody operations) for the model.",
+    )
+    generate.add_argument("model", help="path to the XMI model file")
+    generate.add_argument(
+        "--out", default="", help="write the generated source here (default: stdout)"
+    )
 
     fingerprint = sub.add_parser(
-        "fingerprint", help="print the uuid-free structural fingerprint"
+        "fingerprint",
+        help="print the uuid-free structural fingerprint of a model",
+        description="Print the sorted structural fingerprint used to "
+        "verify that a replayed component package matches the shipped "
+        "final model (stable across XMI re-exports).",
     )
-    fingerprint.add_argument("model")
+    fingerprint.add_argument("model", help="path to the XMI model file")
 
     simulate = sub.add_parser(
         "simulate",
         help="run a built-in scenario on a multi-node federation under load",
+        description="Build an N-node ORB federation, deploy the "
+        "scenario's configured application on every node, drive seeded "
+        "concurrent clients against it (optionally with fault injection "
+        "and membership churn), then check the scenario's invariants "
+        "against the servants' actual state.  Exits 1 on any invariant "
+        "violation.",
     )
     simulate.add_argument(
         "--scenario",
         required=True,
-        help="scenario name (banking, banking_async, auction, "
-        "medical_records, component_shipping)",
+        help="scenario name: banking, banking_async, banking_elastic, "
+        "auction, medical_records, component_shipping",
     )
-    simulate.add_argument("--nodes", type=int, default=3)
-    simulate.add_argument("--clients", type=int, default=8)
-    simulate.add_argument("--ops", type=int, default=400)
-    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--nodes", type=int, default=3, help="federation size (ORB nodes)"
+    )
+    simulate.add_argument(
+        "--clients", type=int, default=8, help="closed-loop client count"
+    )
+    simulate.add_argument(
+        "--ops",
+        type=int,
+        default=400,
+        help="total operations, split evenly across clients",
+    )
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="RNG seed for client mixes and fault injection (sequential "
+        "runs are digest-deterministic per seed)",
+    )
     simulate.add_argument(
         "--workers", type=int, default=4, help="dispatcher worker threads per node"
     )
     simulate.add_argument(
         "--serial",
         action="store_true",
-        help="sequential dispatch (deterministic baseline)",
+        help="sequential dispatch (deterministic baseline; one client "
+        "thread, serial dispatchers)",
     )
     simulate.add_argument(
         "--faults",
         action="store_true",
-        help="arm the scenario's fault campaign",
+        help="arm the scenario's fault campaign (wildcard sites such as "
+        "bus.* at the scenario's probabilities)",
+    )
+    simulate.add_argument(
+        "--churn",
+        action="store_true",
+        help="arm the scenario's churn plan: membership events (node "
+        "kill with replicated failover, live join with shard migration, "
+        "graceful retire) fired at fixed points in the op stream — "
+        "scenarios without a churn plan reject this flag",
     )
     simulate.add_argument(
         "--latency-ms",
         type=float,
         default=0.3,
         dest="latency_ms",
-        help="real (slept) transport latency per federation hop",
+        help="real (slept) transport latency per federation hop, in ms",
     )
     simulate.add_argument(
         "--sim-latency-ms",
         type=float,
         default=0.5,
         dest="sim_latency_ms",
-        help="simulated-clock transport latency per federation hop",
+        help="simulated-clock transport latency per federation hop, in ms",
     )
     simulate.add_argument(
-        "--entities-per-node", type=int, default=2, dest="entities_per_node"
+        "--entities-per-node",
+        type=int,
+        default=2,
+        dest="entities_per_node",
+        help="scenario entities (branches, auctions, ...) created per node",
     )
     simulate.add_argument(
         "--window",
         type=int,
         default=4,
-        help="max in-flight async replies per client (async scenarios)",
+        help="max in-flight async replies per client before the oldest "
+        "is resolved (async scenarios)",
     )
     simulate.add_argument(
         "--delivery-workers",
@@ -290,7 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
         dest="delivery_workers",
         help="delivery threads of the federation's queued (async) transport",
     )
-    simulate.add_argument("--json", default="", help="write the full results here")
+    simulate.add_argument(
+        "--json", default="", help="write the full machine-readable results here"
+    )
     return parser
 
 

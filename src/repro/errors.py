@@ -259,6 +259,23 @@ class TransportError(MiddlewareError):
     """A transport refused an envelope (shut down, malformed policy, ...)."""
 
 
+class NodeDownError(TransportError):
+    """The target federation node is dead (killed or unreachable).
+
+    ``pre_effect`` distinguishes the fail-stop case every routed call can
+    recover from: the fault was raised *before* the servant dispatched,
+    so re-delivering the envelope cannot duplicate effects.  The
+    federation raises it at the routing terminal (always pre-effect);
+    the failover interceptor promotes a standby and the transport retry
+    budget re-delivers, re-resolving the owner.
+    """
+
+    def __init__(self, message: str, node: str = "", pre_effect: bool = True):
+        self.node = node
+        self.pre_effect = pre_effect
+        super().__init__(message)
+
+
 class TransactionError(MiddlewareError):
     """Base class for transaction manager failures."""
 

@@ -34,7 +34,12 @@ import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import InvocationTimeout, MiddlewareError, PipelineError
+from repro.errors import (
+    InvocationTimeout,
+    MiddlewareError,
+    NodeDownError,
+    PipelineError,
+)
 
 _correlation_counter = itertools.count(1)
 
@@ -79,21 +84,31 @@ def will_retry(envelope: "Envelope", exc: BaseException) -> bool:
 
 
 def is_retryable(exc: BaseException) -> bool:
-    """Retry policy: only *local* bare transport faults are safe to retry.
+    """Retry policy: only *pre-effect* transport faults are safe to retry.
 
-    Injected transport faults raise :class:`MiddlewareError` exactly
-    (never a subclass) and fire *before* the servant runs, so retrying
-    them cannot duplicate effects.  Subclasses — remote invocation
-    errors, denials, transaction aborts — carry application meaning and
-    are surfaced to the caller untouched.  An exception rebuilt from a
-    wire error response (``_remote_rebuilt``) is excluded even when its
-    type is bare: it crossed a servant dispatch — e.g. a nested call's
-    transport fault *inside* servant code — so effects may already
-    exist and re-delivery could duplicate them.
+    Two classes qualify:
+
+    * injected transport faults — raised as :class:`MiddlewareError`
+      exactly (never a subclass), fired *before* the servant runs;
+    * dead-node faults — :class:`~repro.errors.NodeDownError` with
+      ``pre_effect`` set, raised at the federation's routing terminal
+      before dispatch.  Re-delivery re-resolves the owner, so after the
+      failover interceptor promotes a standby the retry lands on the
+      new primary.
+
+    Subclasses — remote invocation errors, denials, transaction aborts —
+    carry application meaning and are surfaced to the caller untouched.
+    An exception rebuilt from a wire error response (``_remote_rebuilt``)
+    is excluded even when its type is bare: it crossed a servant
+    dispatch — e.g. a nested call's transport fault *inside* servant
+    code — so effects may already exist and re-delivery could duplicate
+    them.
     """
-    return type(exc) is MiddlewareError and not getattr(
-        exc, "_remote_rebuilt", False
-    )
+    if getattr(exc, "_remote_rebuilt", False):
+        return False
+    if isinstance(exc, NodeDownError):
+        return exc.pre_effect
+    return type(exc) is MiddlewareError
 
 
 # ---------------------------------------------------------------------------
@@ -113,6 +128,10 @@ class Envelope:
     reply_to: Optional["ReplyFuture"] = None
     #: routing target (federation node name; None for in-process buses)
     target: Optional[str] = None
+    #: the federation *name* this call was routed by, when known; retries
+    #: re-resolve it, so a redelivery lands on the current owner even if
+    #: the shard migrated (or failed over) between attempts
+    binding: Optional[str] = None
     #: metrics label (``Class.operation``); None suppresses recording
     label: Optional[str] = None
     #: delivery attempt number (0 = first try; bumped by retrying transports)

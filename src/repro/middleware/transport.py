@@ -22,6 +22,14 @@ retry budget: a *bare* :class:`~repro.errors.MiddlewareError` (the fault
 injector's default — raised before any servant effect) is re-delivered up
 to ``qos.retries`` times; application errors are never retried, so
 effects stay at-most-once per logical call.
+
+Dead-node fault classification: a
+:class:`~repro.errors.NodeDownError` whose ``pre_effect`` flag is set is
+treated like any other pre-effect transport fault and re-delivered under
+the same budget.  Because the federation's routed handler re-resolves
+``envelope.binding`` on every delivery attempt, the retry that follows a
+standby promotion lands on the new primary instead of hammering the dead
+node — that is the whole failover path: fault → promote → re-deliver.
 """
 
 from __future__ import annotations

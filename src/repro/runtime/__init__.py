@@ -10,7 +10,9 @@ instance uses.  This package turns those services into a runtime fabric:
 * :mod:`repro.runtime.node` — a federation node: one ORB endpoint with
   its own middleware services hosting a woven application;
 * :mod:`repro.runtime.federation` — consistent-hash ring, sharded naming
-  over per-node naming services, routed + metered inter-node invocation;
+  over per-node naming services, routed + metered inter-node invocation,
+  and elastic membership: live ``join``/``retire`` with gated shard
+  migration, fail-stop ``kill`` with replicated standby failover;
 * :mod:`repro.runtime.scenarios` — built-in load scenarios mirroring the
   four examples (banking, auction, medical_records, component_shipping),
   each with a seeded client mix, fault campaign, and invariants;
@@ -25,6 +27,9 @@ from repro.runtime.federation import (
     FederationClient,
     HashRing,
     InvocationPipeline,
+    ReplicaGroup,
+    ReplicaManager,
+    ShardManifest,
     ShardedNamingService,
 )
 from repro.runtime.harness import (
@@ -44,6 +49,9 @@ __all__ = [
     "FederationClient",
     "HashRing",
     "InvocationPipeline",
+    "ReplicaGroup",
+    "ReplicaManager",
+    "ShardManifest",
     "ShardedNamingService",
     "RunConfig",
     "ScenarioResult",

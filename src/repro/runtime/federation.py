@@ -22,17 +22,39 @@ The federation is the inter-node fabric:
 * :class:`FederationClient` — a caller identity: resolves names anywhere
   in the federation and attaches per-node credentials to each request,
   in all four invocation styles (sync, async future, oneway, pipeline).
+
+Elastic membership (live topology changes):
+
+* :meth:`Federation.join` / :meth:`Federation.retire` rehash the ring and
+  migrate **only the affected bindings**: each moving partition is frozen
+  (in-flight envelopes quiesce behind a :class:`_MigrationGate`), its
+  servant state ships as a :class:`ShardManifest` (the shard-level
+  analogue of :class:`~repro.core.shipping.ComponentPackage` — the
+  application itself travels as a shipped package and is replayed on the
+  joining node), and the :class:`ShardedNamingService` performs an atomic
+  ownership-epoch swap, so routing never observes a half-migrated shard.
+* :class:`ReplicaManager` keeps, per partition key, a primary plus N
+  standby servant copies on the ring-successor nodes (write-through after
+  every successful routed call).  :meth:`Federation.kill` models a
+  fail-stop crash (in-flight requests finish, then the node goes dark);
+  the ``failover`` interceptor element reacts to the resulting
+  :class:`~repro.errors.NodeDownError` by promoting the standbys of the
+  dead node's partitions, and the transport's QoS retry budget re-delivers
+  the pre-effect call — re-resolving ``envelope.binding`` — onto the new
+  primary.
 """
 
 from __future__ import annotations
 
 import bisect
+import contextlib
 import hashlib
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import FederationError, NamingError
+from repro.errors import FederationError, NamingError, NodeDownError, ReproError
 from repro.middleware.bus import ObjectRefData, Request
 from repro.middleware.clock import SimClock
 from repro.middleware.envelope import (
@@ -112,6 +134,43 @@ class HashRing:
             index = 0
         return self._owners[self._points[index]]
 
+    def preference(self, key: str, count: int) -> List[str]:
+        """The first ``count`` distinct members clockwise from ``key``.
+
+        The owner comes first; the members that follow are the natural
+        standby order for replica placement — when the owner leaves the
+        ring, ownership of ``key`` falls to ``preference(key, 2)[1]``.
+        """
+        if not self._points:
+            raise FederationError("hash ring is empty")
+        point = self._hash(key)
+        index = bisect.bisect_right(self._points, point)
+        result: List[str] = []
+        total = len(self._points)
+        for i in range(total):
+            owner = self._owners[self._points[(index + i) % total]]
+            if owner not in result:
+                result.append(owner)
+                if len(result) >= count:
+                    break
+        return result
+
+
+class _Topology:
+    """One immutable ownership snapshot: ring + shard stores + epoch.
+
+    Readers take the whole snapshot in a single attribute read, so a
+    concurrent topology swap can never be observed half-applied (ring
+    says one owner, shard table says another).
+    """
+
+    __slots__ = ("ring", "shards", "epoch")
+
+    def __init__(self, ring: HashRing, shards: Dict[str, NamingService], epoch: int):
+        self.ring = ring
+        self.shards = shards
+        self.epoch = epoch
+
 
 class ShardedNamingService:
     """Consistent-hash shards over plain :class:`NamingService` stores.
@@ -120,27 +179,76 @@ class ShardedNamingService:
     (``branch-3/Account/7`` → ``branch-3``), so all names below one
     partition co-locate on one shard — the property single-shard
     transactions rely on.
+
+    Topology changes (``add_shard``/``remove_shard``) are **atomic
+    ownership-epoch swaps**: a fresh ring and shard table are built off
+    to the side and published in one reference assignment, bumping
+    :attr:`epoch`.  Lookups pin one snapshot for their whole
+    resolve-owner-then-read-shard sequence, so routing never sees a
+    half-migrated shard even while a migration rebinds names.
     """
 
     def __init__(self, replicas: int = 64):
-        self.ring = HashRing(replicas)
-        self._shards: Dict[str, NamingService] = {}
+        self._replicas = replicas
+        self._topology = _Topology(HashRing(replicas), {}, 0)
+        self._swap_lock = threading.Lock()
 
     # -- topology -----------------------------------------------------------
+
+    @property
+    def ring(self) -> HashRing:
+        """The current ring snapshot (stable for the returned object)."""
+        return self._topology.ring
+
+    @property
+    def epoch(self) -> int:
+        """Bumped once per committed topology swap."""
+        return self._topology.epoch
+
+    def preview_ring(
+        self, add: Optional[str] = None, drop: Optional[str] = None
+    ) -> HashRing:
+        """The ring as it *would* look after a membership change —
+        migrations use it to compute which partitions move before any
+        ownership actually changes."""
+        members = [m for m in self._topology.ring.members if m != drop]
+        if add is not None:
+            members.append(add)
+        ring = HashRing(self._replicas)
+        for member in members:
+            ring.add(member)
+        return ring
 
     def add_shard(
         self, shard_name: str, naming: Optional[NamingService] = None
     ) -> NamingService:
-        if shard_name in self._shards:
-            raise FederationError(f"shard {shard_name!r} already exists")
-        store = naming or NamingService()
-        self.ring.add(shard_name)
-        self._shards[shard_name] = store
-        return store
+        with self._swap_lock:
+            topology = self._topology
+            if shard_name in topology.shards:
+                raise FederationError(f"shard {shard_name!r} already exists")
+            store = naming or NamingService()
+            shards = dict(topology.shards)
+            shards[shard_name] = store
+            self._commit(self.preview_ring(add=shard_name), shards)
+            return store
+
+    def remove_shard(self, shard_name: str) -> NamingService:
+        """Drop a shard in one epoch swap; returns the detached store."""
+        with self._swap_lock:
+            topology = self._topology
+            if shard_name not in topology.shards:
+                raise FederationError(f"unknown shard {shard_name!r}")
+            shards = dict(topology.shards)
+            store = shards.pop(shard_name)
+            self._commit(self.preview_ring(drop=shard_name), shards)
+            return store
+
+    def _commit(self, ring: HashRing, shards: Dict[str, NamingService]) -> None:
+        self._topology = _Topology(ring, shards, self._topology.epoch + 1)
 
     @property
     def shard_names(self) -> List[str]:
-        return sorted(self._shards)
+        return sorted(self._topology.shards)
 
     @staticmethod
     def partition_key(name: str) -> str:
@@ -152,14 +260,34 @@ class ShardedNamingService:
         raise NamingError(f"invalid name {name!r}")
 
     def owner_of(self, name: str) -> str:
-        return self.ring.owner(self.partition_key(name))
+        return self._topology.ring.owner(self.partition_key(name))
+
+    def resolve_with_owner(self, name: str) -> Tuple[str, ObjectRefData]:
+        """Resolve against ONE topology snapshot: (owner shard, ref)."""
+        topology = self._topology
+        owner = topology.ring.owner(self.partition_key(name))
+        return owner, topology.shards[owner].resolve(name)
+
+    def partition_view(self, partition: str) -> Optional[Tuple[str, List[str]]]:
+        """One partition's (owner, bound names) from ONE snapshot — or
+        None while a membership change is swapping the shard away
+        (callers like the replica sync treat that as 'try again later')."""
+        topology = self._topology
+        if not topology.shards:
+            return None
+        owner = topology.ring.owner(partition)
+        store = topology.shards.get(owner)
+        if store is None:
+            return None
+        return owner, store.list(partition)
 
     def shard_for(self, name: str) -> NamingService:
-        return self._shards[self.owner_of(name)]
+        topology = self._topology
+        return topology.shards[topology.ring.owner(self.partition_key(name))]
 
     def shard(self, shard_name: str) -> NamingService:
         try:
-            return self._shards[shard_name]
+            return self._topology.shards[shard_name]
         except KeyError:
             raise FederationError(f"unknown shard {shard_name!r}") from None
 
@@ -179,13 +307,301 @@ class ShardedNamingService:
 
     def list(self, prefix: str = "") -> List[str]:
         names: List[str] = []
-        for shard in self._shards.values():
+        for shard in self._topology.shards.values():
             names.extend(shard.list(prefix))
         return sorted(names)
 
     def stats(self) -> Dict[str, int]:
         """Bindings per shard — the shard-balance view."""
-        return {name: len(shard.list()) for name, shard in sorted(self._shards.items())}
+        return {
+            name: len(shard.list())
+            for name, shard in sorted(self._topology.shards.items())
+        }
+
+
+@dataclass
+class ShardManifest:
+    """The transfer unit of a shard migration — servant state in transit.
+
+    The shard-level analogue of
+    :class:`~repro.core.shipping.ComponentPackage`: where the package
+    ships the *application* (model + refinement steps, replayed on the
+    receiving node), the manifest ships one partition's *servant state*
+    — ``(name, type name, attribute dict)`` per binding.  The receiving
+    node reconstructs each servant from its own woven module class, so
+    migrated servants are instrumented by the receiver's aspects exactly
+    like locally created ones.  ``to_dict`` is JSON-shaped for the same
+    reason the package is: a migration is auditable, not opaque.
+    """
+
+    partition: str
+    source: str
+    entries: List[Tuple[str, str, Dict[str, Any]]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-shard-manifest/1",
+            "partition": self.partition,
+            "source": self.source,
+            "entries": [
+                {"name": name, "type": type_name, "state": dict(state)}
+                for name, type_name, state in self.entries
+            ],
+        }
+
+
+class _MigrationGate:
+    """Quiesces in-flight envelopes on a moving shard.
+
+    Routed deliveries ``enter`` their target partition for the duration
+    of the hop; a migration ``freeze``\\ s the moving partitions, which
+    (a) blocks *new* deliveries to them and (b) waits until every
+    already-entered delivery has drained — so servant state is copied
+    only while nothing executes against it, and resolution of the moving
+    names resumes only after the ownership epoch swap.
+
+    Re-entrancy rule: a thread that already holds an entry for a
+    partition re-enters it without blocking on the frozen set — the
+    freeze discounts its entries and waits for it, so blocking it would
+    invert the wait (a servant's nested call back into its own frozen
+    partition must pass).  A nested call into a *different* frozen
+    partition waits for the unfreeze like any new delivery; the freeze
+    timeout is the backstop for workloads that nest across two
+    partitions frozen by the same migration.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._frozen: set = set()
+        self._inflight: Dict[str, int] = {}
+        self._local = threading.local()
+
+    def _held(self) -> Dict[str, int]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = {}
+        return held
+
+    def _enter(self, partitions: List[str]) -> None:
+        """Enter several partitions atomically.
+
+        Waits until none of the *non-held* wanted partitions is frozen,
+        then takes every entry at once.  Partitions this thread already
+        holds are exempt from the wait (the freeze is waiting for those
+        entries; blocking on them would invert the wait), but a frozen
+        partition the thread does NOT hold always blocks — a nested or
+        batched delivery must never slip into a shard mid-export.  The
+        residual cross-wait (thread holds frozen A, wants frozen B) ends
+        at the freeze timeout: the migration fails cleanly rather than
+        the shard migrating with a torn snapshot.
+        """
+        held = self._held()
+        with self._cond:
+            while any(
+                p in self._frozen and p not in held for p in partitions
+            ):
+                if not self._cond.wait(timeout=30.0):
+                    raise FederationError(
+                        "partition(s) stayed frozen for 30s: "
+                        f"{sorted(self._frozen & set(partitions))}"
+                    )
+            for partition in partitions:
+                self._inflight[partition] = self._inflight.get(partition, 0) + 1
+        for partition in partitions:
+            held[partition] = held.get(partition, 0) + 1
+
+    def _exit(self, partitions: List[str]) -> None:
+        held = self._held()
+        for partition in partitions:
+            held[partition] -= 1
+            if not held[partition]:
+                del held[partition]
+        with self._cond:
+            for partition in partitions:
+                self._inflight[partition] -= 1
+                if not self._inflight[partition]:
+                    del self._inflight[partition]
+            self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def entered(self, partition: str):
+        self._enter([partition])
+        try:
+            yield
+        finally:
+            self._exit([partition])
+
+    @contextlib.contextmanager
+    def entered_many(self, partitions: Iterable[str]):
+        parts = sorted(set(partitions))
+        self._enter(parts)
+        try:
+            yield
+        finally:
+            self._exit(parts)
+
+    @contextlib.contextmanager
+    def freeze(self, partitions: Iterable[str], timeout_s: float = 30.0):
+        frozen = set(partitions)
+        held = self._held()
+
+        def drained() -> bool:
+            return all(
+                self._inflight.get(p, 0) <= held.get(p, 0) for p in frozen
+            )
+
+        with self._cond:
+            self._frozen |= frozen
+            if not self._cond.wait_for(drained, timeout_s):
+                self._frozen -= frozen
+                self._cond.notify_all()
+                raise FederationError(
+                    "in-flight requests on the moving shard did not "
+                    f"quiesce within {timeout_s}s"
+                )
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._frozen -= frozen
+                self._cond.notify_all()
+
+
+class ReplicaGroup:
+    """One partition's replication view: primary + standby servant copies."""
+
+    __slots__ = ("partition", "primary", "standbys")
+
+    def __init__(self, partition: str, primary: str, standby_names: List[str]):
+        self.partition = partition
+        self.primary = primary
+        #: standby node name -> {binding name -> servant copy}
+        self.standbys: Dict[str, Dict[str, Any]] = {
+            name: {} for name in standby_names
+        }
+
+
+class ReplicaManager:
+    """Per-partition primary + N standby servant copies (failover state).
+
+    Standbys are the partition's ring successors, so when the primary
+    leaves the ring the new hash owner *is* the first standby — the node
+    already holding current state.  Copies are instances of the standby
+    node's own woven module classes, refreshed write-through after every
+    successful routed call on the partition: each servant's attribute
+    dict is snapshot under that servant's dispatch lock (so a single
+    snapshot is never torn by a concurrent mutation; shallow — scenario
+    servant state is primitive by construction).  Cross-servant
+    coherence comes from the write-through discipline itself: every
+    mutating call re-syncs its whole partition before it releases the
+    node's in-flight count, so a drained (killed) primary has already
+    pushed its final state.
+    """
+
+    def __init__(self, federation: "Federation", count: int = 1):
+        if count < 1:
+            raise FederationError(f"replication needs >= 1 standby, got {count}")
+        self.federation = federation
+        self.count = count
+        self._groups: Dict[str, ReplicaGroup] = {}
+        self._lock = threading.RLock()
+
+    def _standby_names(self, partition: str) -> List[str]:
+        preference = self.federation.naming.ring.preference(
+            partition, self.count + 1
+        )
+        return preference[1:]
+
+    def sync_partition(self, partition: str) -> None:
+        """Refresh every standby copy of ``partition`` from its primary.
+
+        Best-effort by design: it runs *after* the triggering call's
+        servant effect, so it must never fail that call.  A topology
+        swap racing the sync (owner read from one snapshot, gone in the
+        next) just skips the refresh — the rebuild that every membership
+        change performs re-syncs the partition moments later.
+        """
+        federation = self.federation
+        view = federation.naming.partition_view(partition)
+        if view is None:
+            return
+        owner_name, names = view
+        owner = federation.nodes.get(owner_name)
+        if owner is None:
+            return
+        try:
+            standby_names = self._standby_names(partition)
+        except FederationError:
+            return
+        with self._lock:
+            group = self._groups.get(partition)
+            if (
+                group is None
+                or group.primary != owner_name
+                or list(group.standbys) != standby_names
+            ):
+                group = ReplicaGroup(partition, owner_name, standby_names)
+                self._groups[partition] = group
+            for standby_name in standby_names:
+                standby = federation.nodes.get(standby_name)
+                if standby is None or standby.module is None:
+                    continue
+                copies = group.standbys[standby_name]
+                for name in names:
+                    found = federation._servant_on(owner, name)
+                    if found is None:
+                        continue
+                    ref, servant = found
+                    copy = copies.get(name)
+                    if copy is None or type(copy).__name__ != type(servant).__name__:
+                        cls = getattr(standby.module, type(servant).__name__, None)
+                        if cls is None:
+                            continue
+                        copy = cls.__new__(cls)
+                        copies[name] = copy
+                    # snapshot under the servant's dispatch lock: a
+                    # concurrent call on the same servant cannot tear it
+                    state = owner.dispatcher.serialize(
+                        ref.object_id, lambda s=servant: dict(s.__dict__)
+                    )
+                    copy.__dict__.clear()
+                    copy.__dict__.update(state)
+
+    def take(self, partition: str, node_name: str) -> Dict[str, Any]:
+        """The standby copies ``node_name`` holds for ``partition``."""
+        with self._lock:
+            group = self._groups.get(partition)
+            if group is None:
+                return {}
+            return dict(group.standbys.get(node_name, {}))
+
+    def drop(self, partition: str) -> None:
+        with self._lock:
+            self._groups.pop(partition, None)
+
+    def rebuild(self) -> None:
+        """Re-place every group after a topology change and resync."""
+        partitions = {
+            ShardedNamingService.partition_key(name)
+            for name in self.federation.naming.list()
+        }
+        with self._lock:
+            for stale in set(self._groups) - partitions:
+                del self._groups[stale]
+        for partition in sorted(partitions):
+            self.sync_partition(partition)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "standbys_per_partition": self.count,
+                "partitions": len(self._groups),
+                "copies": sum(
+                    len(copies)
+                    for group in self._groups.values()
+                    for copies in group.standbys.values()
+                ),
+            }
 
 
 class Federation:
@@ -225,8 +641,32 @@ class Federation:
         self.chain = InterceptorChain()
         self.chain.add("metrics", self.metrics.element())
         self.chain.add("faults", self.faults.interceptor("federation.route"))
+        self.chain.add("failover", self._failover_element)
         self.chain.add("latency", self._latency_element)
         self.chain.add("routing", self._routing_element)
+        # -- elastic membership state --
+        #: serializes join/retire/fail_over against each other
+        self._topology_lock = threading.RLock()
+        #: quiesces in-flight envelopes on partitions under migration
+        self._gate = _MigrationGate()
+        #: per-node count of requests currently executing (kill drains it)
+        self._flight_cond = threading.Condition()
+        self._node_flight: Dict[str, int] = {}
+        #: users/faults provisioned so far — replayed onto joining nodes
+        self._provisioned_users: List[Tuple[str, str, tuple]] = []
+        self._fault_sites: List[Tuple[str, float, dict]] = []
+        #: standby state for failover; None until enable_replication()
+        self.replicas: Optional[ReplicaManager] = None
+        #: optional ComponentPackage every node runs — scenarios that
+        #: support live join stash it here so a joiner replays the exact
+        #: artifact the seed nodes deployed
+        self.app_package = None
+        #: elastic statistics
+        self.joins = 0
+        self.retires = 0
+        self.failovers = 0
+        self.bindings_moved = 0
+        self.last_rebalance: Dict[str, Any] = {}
 
     # -- topology ---------------------------------------------------------------
 
@@ -262,19 +702,355 @@ class Federation:
     def quiesce(self, timeout_s: Optional[float] = None) -> bool:
         """Wait until every asynchronous delivery (oneways included) landed."""
         quiet = self._async.drain(timeout_s)
-        for node in self.nodes.values():
+        for node in list(self.nodes.values()):
             quiet = node.services.bus.drain(timeout_s) and quiet
         return quiet
 
     def shutdown(self) -> None:
         self._async.shutdown()
-        for node in self.nodes.values():
+        for node in list(self.nodes.values()):
             node.shutdown()
+
+    # -- elastic membership -------------------------------------------------------
+
+    def enable_replication(self, count: int = 1) -> ReplicaManager:
+        """Give every partition ``count`` standby copies (failover state)."""
+        with self._topology_lock:
+            if self.replicas is None:
+                self.replicas = ReplicaManager(self, count)
+                self.replicas.rebuild()
+            elif self.replicas.count != count:
+                raise FederationError(
+                    f"replication already enabled with "
+                    f"{self.replicas.count} standby(s)"
+                )
+            return self.replicas
+
+    @staticmethod
+    def _group_by_partition(names: Iterable[str]) -> Dict[str, List[str]]:
+        grouped: Dict[str, List[str]] = {}
+        for name in names:
+            grouped.setdefault(
+                ShardedNamingService.partition_key(name), []
+            ).append(name)
+        return grouped
+
+    def _bindings_by_partition(self) -> Dict[str, List[str]]:
+        return self._group_by_partition(self.naming.list())
+
+    def _servant_on(
+        self, node: Node, name: str
+    ) -> Optional[Tuple[ObjectRefData, Any]]:
+        """The live (ref, servant) behind ``name`` on ``node`` (or None)."""
+        try:
+            ref = node.services.naming.resolve(name)
+            return ref, node.services.bus.servant(ref.object_id)
+        except (NamingError, ReproError):
+            return None
+
+    def servant(self, name: str) -> Any:
+        """The live servant currently serving ``name`` — follows
+        migrations and failovers, unlike a reference captured at setup."""
+        owner, ref = self.naming.resolve_with_owner(name)
+        return self.node(owner).services.bus.servant(ref.object_id)
+
+    def _export_shard(self, source: Node, partition: str, names: List[str]) -> ShardManifest:
+        manifest = ShardManifest(partition=partition, source=source.name)
+        for name in sorted(names):
+            found = self._servant_on(source, name)
+            if found is None:
+                continue
+            ref, servant = found
+            # snapshot under the servant's dispatch lock: the freeze
+            # drained routed calls, but a nested delivery that bypassed
+            # the frozen wait could still be mutating this servant
+            state = source.dispatcher.serialize(
+                ref.object_id, lambda s=servant: dict(s.__dict__)
+            )
+            manifest.entries.append((name, type(servant).__name__, state))
+        return manifest
+
+    def _import_shard(self, target: Node, manifest: ShardManifest) -> int:
+        """Materialize a manifest's servants on ``target``; returns count."""
+        if target.module is None:
+            raise FederationError(
+                f"node {target.name!r} has no application deployed; "
+                f"cannot adopt shard {manifest.partition!r}"
+            )
+        for name, type_name, state in manifest.entries:
+            cls = getattr(target.module, type_name, None)
+            if cls is None:
+                raise FederationError(
+                    f"node {target.name!r} has no class {type_name!r}; "
+                    f"cannot adopt {name!r}"
+                )
+            servant = cls.__new__(cls)
+            servant.__dict__.update(state)
+            ref = target.services.orb.register(servant)
+            target.services.naming.rebind(name, ref)
+        return len(manifest.entries)
+
+    def _release_exported(self, source: Node, manifest: ShardManifest) -> None:
+        """Drop the moved bindings (and servants) from the old owner."""
+        for name, _type_name, _state in manifest.entries:
+            found = self._servant_on(source, name)
+            try:
+                source.services.naming.unbind(name)
+            except NamingError:
+                pass
+            if found is not None:
+                source.services.orb.unregister(found[1])
+
+    def join(
+        self,
+        name: str,
+        workers: int = 0,
+        seed: Optional[int] = None,
+        node: Optional[Node] = None,
+        deploy: Optional[Callable[[Node], Any]] = None,
+        drain_timeout_s: float = 30.0,
+    ) -> Node:
+        """Add a node to a *live* federation, migrating only what rehashes.
+
+        The joiner is fully prepared off-ring (application deployed via
+        ``deploy``, users and fault campaign provisioned); the partitions
+        the new ring assigns to it are frozen, their in-flight envelopes
+        quiesce, servant state ships as :class:`ShardManifest`\\ s, and
+        one atomic epoch swap makes the joiner routable — every other
+        partition keeps its owner and never stalls.
+        """
+        with self._topology_lock:
+            if name in self.nodes:
+                raise FederationError(f"node {name!r} already exists")
+            self.reconcile()
+            node = node or Node(
+                name,
+                workers=workers,
+                seed=seed if seed is not None else len(self.nodes) + 1,
+            )
+            node.federation = self
+            if deploy is not None:
+                deploy(node)
+            for user, password, roles in self._provisioned_users:
+                node.services.credentials.add_user(user, password, roles=roles)
+            for site, probability, kwargs in self._fault_sites:
+                node.services.faults.configure(site, probability, **kwargs)
+            grouped = self._bindings_by_partition()
+            total = sum(len(names) for names in grouped.values())
+            next_ring = self.naming.preview_ring(add=name)
+            moving = {
+                partition: names
+                for partition, names in sorted(grouped.items())
+                if next_ring.owner(partition) == name
+            }
+            moved = 0
+            with self._gate.freeze(moving, timeout_s=drain_timeout_s):
+                manifests = []
+                for partition, names in moving.items():
+                    source = self.node(self.naming.owner_of(partition))
+                    manifests.append(
+                        (source, self._export_shard(source, partition, names))
+                    )
+                for _source, manifest in manifests:
+                    moved += self._import_shard(node, manifest)
+                # the atomic ownership-epoch swap: the joiner becomes
+                # routable only now, with its bindings already in place
+                # (and its node entry published first, so a resolver that
+                # sees the new topology always finds the node)
+                self.nodes[name] = node
+                self.naming.add_shard(name, node.services.naming)
+                for source, manifest in manifests:
+                    self._release_exported(source, manifest)
+            self.joins += 1
+            self.bindings_moved += moved
+            self.last_rebalance = {
+                "action": "join",
+                "node": name,
+                "moved": moved,
+                "total": total,
+                "partitions": sorted(moving),
+            }
+            if self.replicas is not None:
+                self.replicas.rebuild()
+            return node
+
+    def retire(self, name: str, drain_timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Gracefully remove a node: migrate its shard, then drop it.
+
+        Every partition the retiree owns is frozen, quiesced, shipped to
+        its next ring owner, and released in one epoch swap; retiring the
+        last node raises — a federation cannot route with an empty ring.
+        """
+        with self._topology_lock:
+            node = self.nodes.get(name)
+            if node is None:
+                raise FederationError(f"unknown node {name!r}")
+            if not node.alive:
+                raise FederationError(
+                    f"node {name!r} is dead — fail_over() handles crashed "
+                    "nodes; retire() is the graceful path"
+                )
+            self.reconcile()
+            survivors = self.naming.preview_ring(drop=name)
+            if not survivors.members:
+                raise FederationError(
+                    f"cannot retire {name!r}: it is the last node"
+                )
+            grouped = self._group_by_partition(self.naming.shard(name).list())
+            total = len(self.naming.list())
+            moved = 0
+            with self._gate.freeze(grouped, timeout_s=drain_timeout_s):
+                for partition, pnames in sorted(grouped.items()):
+                    target = self.node(survivors.owner(partition))
+                    manifest = self._export_shard(node, partition, pnames)
+                    moved += self._import_shard(target, manifest)
+                # epoch swap: the retiree's shard vanishes atomically
+                self.naming.remove_shard(name)
+                node.alive = False
+                del self.nodes[name]
+            node.shutdown()
+            self.retires += 1
+            self.bindings_moved += moved
+            self.last_rebalance = {
+                "action": "retire",
+                "node": name,
+                "moved": moved,
+                "total": total,
+                "partitions": sorted(grouped),
+            }
+            if self.replicas is not None:
+                self.replicas.rebuild()
+            return dict(self.last_rebalance)
+
+    def _await_node_idle(self, name: str, timeout_s: float) -> None:
+        """Wait until no admitted request still executes on ``name``."""
+        with self._flight_cond:
+            if not self._flight_cond.wait_for(
+                lambda: self._node_flight.get(name, 0) == 0, timeout_s
+            ):
+                raise FederationError(
+                    f"node {name!r} did not drain within {timeout_s}s"
+                )
+
+    def kill(self, name: str, drain_timeout_s: float = 30.0) -> None:
+        """Fail-stop a node: requests already executing finish (and
+        replicate), new routed calls see :class:`NodeDownError`.  The
+        node stays in the ring until the failover interceptor (or an
+        explicit :meth:`fail_over`) promotes its standbys."""
+        node = self.node(name)
+        with self._flight_cond:
+            if not node.alive:
+                return
+            node.alive = False
+        self._await_node_idle(name, drain_timeout_s)
+
+    def fail_over(self, name: str, blocking: bool = True) -> bool:
+        """Promote the standbys of a dead node's partitions.
+
+        Idempotent: returns True if this call performed the promotion,
+        False if the node was already gone (a racing caller won) or no
+        replication is enabled (nothing to promote — callers keep seeing
+        :class:`NodeDownError`, as a replica-less system would).
+
+        ``blocking=False`` skips the promotion when a membership change
+        holds the topology lock — the failover element uses it because
+        its calling thread holds a migration-gate entry the membership
+        change may be waiting on (blocking would invert the two waits);
+        the caller's retry, or any later fault, promotes once the lock
+        frees up.
+        """
+        if not self._topology_lock.acquire(blocking=blocking):
+            return False
+        try:
+            node = self.nodes.get(name)
+            if node is None:
+                return False
+            if node.alive:
+                raise FederationError(
+                    f"node {name!r} is alive — use retire() for a "
+                    "graceful leave"
+                )
+            if self.replicas is None:
+                return False
+            survivors = self.naming.preview_ring(drop=name)
+            if not survivors.members:
+                raise FederationError(
+                    f"cannot fail over {name!r}: it is the last node"
+                )
+            # requests admitted before the node died may still be
+            # executing (kill's own drain can be racing on another
+            # thread): their effects — and write-through syncs — must
+            # land before the standby copies are taken, or the promoted
+            # state silently loses them
+            self._await_node_idle(name, 30.0)
+            grouped = self._group_by_partition(self.naming.shard(name).list())
+            moved = 0
+            lost: List[str] = []
+            for partition, pnames in sorted(grouped.items()):
+                new_owner = self.node(survivors.owner(partition))
+                copies = self.replicas.take(partition, new_owner.name)
+                for bound in sorted(pnames):
+                    standby = copies.get(bound)
+                    if standby is None:
+                        lost.append(bound)
+                        continue
+                    ref = new_owner.services.orb.register(standby)
+                    new_owner.services.naming.rebind(bound, ref)
+                    moved += 1
+                self.replicas.drop(partition)
+            # epoch swap: ownership falls to the ring successors — the
+            # nodes whose standby copies were just promoted
+            self.naming.remove_shard(name)
+            del self.nodes[name]
+            node.shutdown()
+            self.failovers += 1
+            self.bindings_moved += moved
+            self.last_rebalance = {
+                "action": "failover",
+                "node": name,
+                "moved": moved,
+                "lost": lost,
+                "partitions": sorted(grouped),
+            }
+            self.replicas.rebuild()
+            return True
+        finally:
+            self._topology_lock.release()
+
+    def reconcile(self) -> List[str]:
+        """Promote every dead member still in the ring; returns the
+        nodes promoted.  Membership changes call this first so a
+        migration never picks a dead node as a target owner."""
+        with self._topology_lock:
+            promoted = []
+            for name in sorted(self.nodes):
+                node = self.nodes.get(name)
+                if node is not None and not node.alive and self.fail_over(name):
+                    promoted.append(name)
+            return promoted
+
+    def _failover_element(self, envelope: Envelope, proceed: Callable[[], Any]):
+        """On a dead-node transport fault, promote the standbys; the
+        re-raise lets the transport's QoS retry budget re-deliver the
+        (pre-effect) call, which re-resolves onto the new primary.
+
+        The promotion is attempted without blocking: this thread holds a
+        migration-gate entry, and a concurrent join/retire holding the
+        topology lock may be waiting for exactly that entry to drain —
+        blocking here would stall both until the freeze timeout."""
+        try:
+            return proceed()
+        except NodeDownError as exc:
+            if exc.pre_effect and exc.node:
+                self.fail_over(exc.node, blocking=False)
+            raise
 
     # -- users ------------------------------------------------------------------
 
     def add_user(self, name: str, password: str, roles=()) -> None:
-        """Provision a user on every node's credential store."""
+        """Provision a user on every node's credential store (remembered
+        so joining nodes are provisioned identically)."""
+        self._provisioned_users.append((name, password, tuple(roles)))
         for node in self.nodes.values():
             node.services.credentials.add_user(name, password, roles=roles)
 
@@ -282,6 +1058,7 @@ class Federation:
 
     def configure_fault(self, site: str, probability: float, **kwargs) -> None:
         """Configure a fault site (pattern allowed) federation-wide."""
+        self._fault_sites.append((site, probability, dict(kwargs)))
         self.faults.configure(site, probability, **kwargs)
         for node in self.nodes.values():
             node.services.faults.configure(site, probability, **kwargs)
@@ -297,9 +1074,14 @@ class Federation:
     # -- routing ------------------------------------------------------------------
 
     def resolve(self, name: str) -> Tuple[Node, ObjectRefData]:
-        owner = self.naming.owner_of(name)
-        ref = self.naming.shard(owner).resolve(name)
-        return self.node(owner), ref
+        owner, ref = self.naming.resolve_with_owner(name)
+        node = self.nodes.get(owner)
+        if node is None:
+            # the snapshot we resolved against was retired between the
+            # lookup and the node-table read; one fresh snapshot heals it
+            owner, ref = self.naming.resolve_with_owner(name)
+            node = self.node(owner)
+        return node, ref
 
     def ref(self, name: str) -> ObjectRefData:
         """The wire reference of a bound name (usable as a call argument
@@ -350,6 +1132,52 @@ class Federation:
         inherited = current_delivery_context()
         return inherited or None
 
+    @contextlib.contextmanager
+    def _node_guard(self, node: Node):
+        """Atomic aliveness check + in-flight accounting for one hop.
+
+        The check and the bump are one step under the flight condition,
+        so :meth:`kill`'s drain cannot miss a request that slipped past
+        the check — a dead node never executes another servant effect,
+        and kill returns only after every admitted request (including
+        its write-through replication) finished."""
+        with self._flight_cond:
+            if not node.alive:
+                raise NodeDownError(
+                    f"node {node.name!r} is down", node=node.name
+                )
+            self._node_flight[node.name] = self._node_flight.get(node.name, 0) + 1
+        try:
+            yield
+        finally:
+            with self._flight_cond:
+                self._node_flight[node.name] -= 1
+                if not self._node_flight[node.name]:
+                    del self._node_flight[node.name]
+                    self._flight_cond.notify_all()
+
+    def _dispatch(
+        self,
+        node: Node,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple,
+        kwargs: Optional[dict],
+        context: Optional[Dict[str, Any]],
+        partition: Optional[str] = None,
+    ):
+        """The routing terminal: dead-node classification + the node hop.
+
+        The write-through replication of a named call runs *inside* the
+        node guard: a kill that drained to zero has therefore already
+        captured every completed effect in the standby copies — there is
+        no window where an effect exists only on the dying primary."""
+        with self._node_guard(node):
+            value = node.invoke(ref, operation, args, kwargs or {}, context)
+            if partition is not None and self.replicas is not None:
+                self.replicas.sync_partition(partition)
+            return value
+
     def _envelope(
         self,
         node: Node,
@@ -359,28 +1187,72 @@ class Federation:
         kwargs: Optional[dict],
         context: Optional[Dict[str, Any]],
         qos: QoS,
+        binding: Optional[str] = None,
     ) -> Tuple[Envelope, Callable[[Envelope], Any]]:
-        """Build one routed hop: envelope + its chain-wrapped handler."""
-        context = self._inherit(context)
+        """Build one routed hop: envelope + its chain-wrapped handler.
+
+        With a ``binding`` (the federation name the caller routed by),
+        the handler enters the migration gate and re-resolves the owner
+        on *every* delivery attempt — so queued envelopes and QoS
+        retries land on the current primary even if the shard migrated
+        or failed over since submission — and, on success, write-through
+        replicates the partition's servant state to its standbys.
+
+        ``context`` may be a *provider* ``callable(node) -> dict`` (how
+        :class:`FederationClient` attaches credentials): it is re-invoked
+        per attempt against the re-resolved owner, because a security
+        token minted by the old primary means nothing to the node that
+        took over its shard.
+        """
+        provider = context if callable(context) else None
+        if provider is not None:
+            context_for = lambda n: provider(n) or {}  # noqa: E731
+        else:
+            static_context = self._inherit(context)
+            context_for = lambda n: static_context  # noqa: E731
         request = Request(
             object_id=ref.object_id,
             operation=operation,
             args=list(args),
             kwargs=dict(kwargs or {}),
-            context=dict(context or {}),
+            context=dict(context_for(node) or {}),
         )
         envelope = Envelope(
             request=request,
             qos=qos,
             target=node.name,
             label=f"{ref.type_name}.{operation}",
+            binding=binding,
         )
 
+        if binding is None:
+
+            def handler(env: Envelope):
+                return self.chain.execute(
+                    env,
+                    lambda: self._dispatch(
+                        node, ref, operation, args, kwargs, context_for(node)
+                    ),
+                )
+
+            return envelope, handler
+
+        partition = ShardedNamingService.partition_key(binding)
+
         def handler(env: Envelope):
-            return self.chain.execute(
-                env,
-                lambda: node.invoke(ref, operation, args, kwargs or {}, context),
-            )
+            with self._gate.entered(partition):
+                owner, live_ref = self.resolve(binding)
+                env.target = owner.name
+                env.request.object_id = live_ref.object_id
+                attempt_context = context_for(owner)
+                env.request.context = dict(attempt_context or {})
+                return self.chain.execute(
+                    env,
+                    lambda: self._dispatch(
+                        owner, live_ref, operation, args, kwargs,
+                        attempt_context, partition,
+                    ),
+                )
 
         return envelope, handler
 
@@ -393,10 +1265,11 @@ class Federation:
         kwargs: Optional[dict] = None,
         context: Optional[Dict[str, Any]] = None,
         qos: QoS = DEFAULT_QOS,
+        binding: Optional[str] = None,
     ):
         """Route one request to ``node`` and execute it there, metered."""
         envelope, handler = self._envelope(
-            node, ref, operation, args, kwargs, context, qos
+            node, ref, operation, args, kwargs, context, qos, binding
         )
         return self.transport.submit(envelope, handler).raw()
 
@@ -409,10 +1282,11 @@ class Federation:
         kwargs: Optional[dict] = None,
         context: Optional[Dict[str, Any]] = None,
         qos: QoS = DEFAULT_QOS,
+        binding: Optional[str] = None,
     ) -> ReplyFuture:
         """Route one request asynchronously; returns the reply future."""
         envelope, handler = self._envelope(
-            node, ref, operation, args, kwargs, context, qos
+            node, ref, operation, args, kwargs, context, qos, binding
         )
         return self._submission_transport().submit(envelope, handler)
 
@@ -425,10 +1299,11 @@ class Federation:
         kwargs: Optional[dict] = None,
         context: Optional[Dict[str, Any]] = None,
         qos: QoS = ONEWAY_QOS,
+        binding: Optional[str] = None,
     ) -> None:
         """Fire-and-forget delivery: at most one servant effect, no reply."""
         envelope, handler = self._envelope(
-            node, ref, operation, args, kwargs, context, qos
+            node, ref, operation, args, kwargs, context, qos, binding
         )
         self._submission_transport().submit(envelope, handler)
 
@@ -438,11 +1313,12 @@ class Federation:
         operation: str,
         *args,
         context: Optional[Dict[str, Any]] = None,
+        qos: QoS = DEFAULT_QOS,
         **kwargs,
     ):
         """Resolve ``name`` and invoke ``operation`` on its owner node."""
         node, ref = self.resolve(name)
-        return self.invoke(node, ref, operation, args, kwargs, context)
+        return self.invoke(node, ref, operation, args, kwargs, context, qos, name)
 
     def call_async(
         self,
@@ -454,7 +1330,9 @@ class Federation:
         **kwargs,
     ) -> ReplyFuture:
         node, ref = self.resolve(name)
-        return self.invoke_async(node, ref, operation, args, kwargs, context, qos)
+        return self.invoke_async(
+            node, ref, operation, args, kwargs, context, qos, name
+        )
 
     def call_oneway(
         self,
@@ -466,7 +1344,7 @@ class Federation:
         **kwargs,
     ) -> None:
         node, ref = self.resolve(name)
-        self.oneway(node, ref, operation, args, kwargs, context, qos)
+        self.oneway(node, ref, operation, args, kwargs, context, qos, name)
 
     def pipeline(
         self,
@@ -489,7 +1367,13 @@ class Federation:
         """One envelope for a whole node-batch: the chain (fault check,
         hop latency, routing) runs once, then every member call executes
         through the owner node's dispatcher — submitted first, awaited
-        second, so calls against different servants overlap."""
+        second, so calls against different servants overlap.
+
+        Elastic interaction: the batch holds its member partitions in
+        the migration gate and the node's flight count (so freezes and
+        kill-drains wait for it), but the target node is fixed at flush
+        time — a batch never re-routes after a failover; use the
+        per-call paths when membership churn must be transparent."""
         request = Request(
             object_id="<pipeline>",
             operation="<batch>",
@@ -498,56 +1382,34 @@ class Federation:
         )
         envelope = Envelope(request=request, qos=qos, target=node.name, label=None)
 
+        partitions = sorted(
+            {
+                ShardedNamingService.partition_key(item.name)
+                for item in items
+                if item.name is not None
+            }
+        )
+
         def terminal():
             with self._route_lock:
                 self.batches[node.name] = self.batches.get(node.name, 0) + 1
-            dispatched = []
-            last_by_servant: Dict[str, Any] = {}
-            for item in items:
-                # same-servant members must execute in submission order:
-                # the pool serializes them on the servant lock but does
-                # not order the acquisitions, so gate on the previous
-                # same-servant dispatch before submitting the next
-                previous = last_by_servant.get(item.ref.object_id)
-                if previous is not None:
-                    previous.exception()  # wait; outcome consumed below
-                started = time.perf_counter()
-                try:
-                    pending = node.invoke_async(
-                        item.ref, item.operation, item.args, item.kwargs, item.context
-                    )
-                except Exception as exc:  # noqa: BLE001 - routed to the future
-                    self.metrics.record(
-                        item.label, node.name, time.perf_counter() - started, error=True
-                    )
-                    item.future._fail(exc)
-                    dispatched.append(None)
-                    continue
-                last_by_servant[item.ref.object_id] = pending
-                dispatched.append((pending, started))
-            for item, entry in zip(items, dispatched):
-                if entry is None:
-                    continue
-                pending, started = entry
-                # each member's latency runs from its own dispatch, not
-                # from the batch start — comparable to per-call metering
-                try:
-                    value = pending.result()
-                except Exception as exc:  # noqa: BLE001 - routed to the future
-                    self.metrics.record(
-                        item.label, node.name, time.perf_counter() - started, error=True
-                    )
-                    item.future._fail(exc)
-                    continue
-                self.metrics.record(
-                    item.label, node.name, time.perf_counter() - started
-                )
-                item.future._complete(value)
-            return len(items)
+            with contextlib.ExitStack() as stack:
+                # the batch holds its members' partitions in the
+                # migration gate (entered atomically: frozen partitions
+                # it does not already hold block the whole entry) and
+                # its target nodes' flight counts for its whole
+                # lifetime: a freeze waits for it, a kill drains it.  Members re-resolve their bindings at
+                # delivery time, so a batch queued across a migration or
+                # promoted failover executes against the current owners
+                # (the flush-time grouping only fixes which calls shared
+                # this envelope's hop).
+                stack.enter_context(self._gate.entered_many(partitions))
+                return self._run_batch(node, items, stack)
 
-        batch_future = self._submission_transport().submit(
-            envelope, lambda env: self.chain.execute(env, terminal)
-        )
+        def handler(env: Envelope):
+            return self.chain.execute(env, terminal)
+
+        batch_future = self._submission_transport().submit(envelope, handler)
 
         def propagate_batch_failure(done: ReplyFuture) -> None:
             # a transport fault killed the whole batch before any member
@@ -558,18 +1420,115 @@ class Federation:
 
         batch_future.add_done_callback(propagate_batch_failure)
 
+    def _run_batch(
+        self,
+        node: Node,
+        items: List["_PipelinedCall"],
+        stack: "contextlib.ExitStack",
+    ) -> int:
+        """Dispatch and await one node-batch's members.
+
+        Each member re-resolves its binding first (the gate is already
+        held), so deliveries land on the *current* owner even if the
+        shard moved since the flush; every distinct target node is held
+        in the flight guard for the batch's remaining lifetime, so kill
+        drains cover the members.  A dead target raises the pre-effect
+        :class:`NodeDownError` for the whole batch — the failover
+        element promotes and the batch envelope's retry budget re-runs
+        this terminal against the re-resolved owners.
+        """
+        targets: List[Optional[Tuple[Node, ObjectRefData]]] = []
+        guarded: set = set()
+        for item in items:
+            if item.name is None:
+                owner, ref = node, item.ref
+            else:
+                try:
+                    owner, ref = self.resolve(item.name)
+                except ReproError as exc:
+                    item.future._fail(exc)
+                    targets.append(None)
+                    continue
+            if owner.name not in guarded:
+                # raises NodeDownError (pre-effect) if the target died
+                stack.enter_context(self._node_guard(owner))
+                guarded.add(owner.name)
+            targets.append((owner, ref))
+        dispatched = []
+        last_by_servant: Dict[str, Any] = {}
+        for item, target in zip(items, targets):
+            if target is None:
+                dispatched.append(None)
+                continue
+            owner, ref = target
+            # same-servant members must execute in submission order:
+            # the pool serializes them on the servant lock but does
+            # not order the acquisitions, so gate on the previous
+            # same-servant dispatch before submitting the next
+            previous = last_by_servant.get(ref.object_id)
+            if previous is not None:
+                previous.exception()  # wait; outcome consumed below
+            started = time.perf_counter()
+            try:
+                pending = owner.invoke_async(
+                    ref, item.operation, item.args, item.kwargs, item.context
+                )
+            except Exception as exc:  # noqa: BLE001 - routed to the future
+                self.metrics.record(
+                    item.label, owner.name, time.perf_counter() - started, error=True
+                )
+                item.future._fail(exc)
+                dispatched.append(None)
+                continue
+            last_by_servant[ref.object_id] = pending
+            dispatched.append((pending, started, owner))
+        for item, entry in zip(items, dispatched):
+            if entry is None:
+                continue
+            pending, started, owner = entry
+            # each member's latency runs from its own dispatch, not
+            # from the batch start — comparable to per-call metering
+            try:
+                value = pending.result()
+            except Exception as exc:  # noqa: BLE001 - routed to the future
+                self.metrics.record(
+                    item.label, owner.name, time.perf_counter() - started, error=True
+                )
+                item.future._fail(exc)
+                continue
+            self.metrics.record(
+                item.label, owner.name, time.perf_counter() - started
+            )
+            if self.replicas is not None and item.name is not None:
+                self.replicas.sync_partition(
+                    ShardedNamingService.partition_key(item.name)
+                )
+            item.future._complete(value)
+        return len(items)
+
     # -- reporting ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
         stats = {
             "nodes": [node.stats() for node in self.nodes.values()],
             "shards": self.naming.stats(),
+            "epoch": self.naming.epoch,
             "routed": dict(sorted(self.routed.items())),
             "sim_transport_ms": self.clock.now(),
             "faults_injected": self.faults_injected(),
         }
         if self.batches:
             stats["batches"] = dict(sorted(self.batches.items()))
+        if self.joins or self.retires or self.failovers:
+            stats["elastic"] = {
+                "joins": self.joins,
+                "retires": self.retires,
+                "failovers": self.failovers,
+                "bindings_moved": self.bindings_moved,
+                "last_rebalance": dict(self.last_rebalance),
+            }
+        if self.replicas is not None:
+            stats["replication"] = self.replicas.stats()
         async_transport = self._async.peek()
         if async_transport is not None:
             stats["async_transport"] = async_transport.stats()
@@ -585,11 +1544,15 @@ class _PipelinedCall:
     introspect what they sent.
     """
 
-    __slots__ = ("node", "ref", "operation", "args", "kwargs", "context", "label", "future")
+    __slots__ = (
+        "node", "ref", "name", "operation", "args", "kwargs", "context",
+        "label", "future",
+    )
 
-    def __init__(self, node, ref, operation, args, kwargs, context, qos):
+    def __init__(self, node, ref, operation, args, kwargs, context, qos, name=None):
         self.node = node
         self.ref = ref
+        self.name = name
         self.operation = operation
         self.args = args
         self.kwargs = kwargs
@@ -626,6 +1589,11 @@ class InvocationPipeline:
     freely, like independent network flows.  Callers with cross-batch or
     cross-servant ordering dependencies must await the earlier future
     (or use synchronous calls) before issuing the dependent call.
+
+    Elastic caveat: a batch's target node is fixed when it flushes —
+    shard migrations wait for in-flight batches (the batch holds the
+    migration gate and the node's flight count), but a batch caught by
+    a node kill fails its members rather than re-routing them.
     """
 
     def __init__(
@@ -647,7 +1615,9 @@ class InvocationPipeline:
         node, ref = self.federation.resolve(name)
         context = self.context_for(node) if self.context_for is not None else None
         context = Federation._inherit(context)
-        item = _PipelinedCall(node, ref, operation, args, kwargs, context, self.qos)
+        item = _PipelinedCall(
+            node, ref, operation, args, kwargs, context, self.qos, name
+        )
         self._pending.append(item)
         if len(self._pending) >= self.max_batch:
             self.flush()
@@ -673,17 +1643,25 @@ class InvocationPipeline:
 
 
 class FederationClient:
-    """A client identity: routed calls with per-node credentials."""
+    """A client identity: routed calls with per-node credentials.
+
+    ``qos`` sets the client's default policy for synchronous and
+    asynchronous calls (elastic scenarios hand every client a retry
+    budget so failover re-delivery is automatic); per-call ``qos=``
+    still overrides it.
+    """
 
     def __init__(
         self,
         federation: Federation,
         user: Optional[str] = None,
         password: Optional[str] = None,
+        qos: Optional[QoS] = None,
     ):
         self.federation = federation
         self.user = user
         self.password = password
+        self.default_qos = qos or DEFAULT_QOS
         self._tokens: Dict[str, str] = {}
 
     def ref(self, name: str) -> ObjectRefData:
@@ -701,18 +1679,22 @@ class FederationClient:
             return None
         return {"credentials": self._token_for(node)}
 
-    def call(self, name: str, operation: str, *args, **kwargs):
+    def call(
+        self, name: str, operation: str, *args, qos: Optional[QoS] = None, **kwargs
+    ):
         node, ref = self.federation.resolve(name)
         return self.federation.invoke(
-            node, ref, operation, args, kwargs, self._context_for(node) or {}
+            node, ref, operation, args, kwargs,
+            self._context_for, qos or self.default_qos, name,
         )
 
     def call_async(
-        self, name: str, operation: str, *args, qos: QoS = DEFAULT_QOS, **kwargs
+        self, name: str, operation: str, *args, qos: Optional[QoS] = None, **kwargs
     ) -> ReplyFuture:
         node, ref = self.federation.resolve(name)
         return self.federation.invoke_async(
-            node, ref, operation, args, kwargs, self._context_for(node) or {}, qos
+            node, ref, operation, args, kwargs,
+            self._context_for, qos or self.default_qos, name,
         )
 
     def oneway(
@@ -720,7 +1702,8 @@ class FederationClient:
     ) -> None:
         node, ref = self.federation.resolve(name)
         self.federation.oneway(
-            node, ref, operation, args, kwargs, self._context_for(node) or {}, qos
+            node, ref, operation, args, kwargs,
+            self._context_for, qos, name,
         )
 
     def pipeline(self, max_batch: int = 8, qos: QoS = DEFAULT_QOS) -> InvocationPipeline:

@@ -19,6 +19,14 @@ Closed-loop clients: each client issues its next operation as soon as the
 previous one completes.  ``think_time_ms`` models user pacing (an open
 holdoff between operations).
 
+Churn: with ``RunConfig.churn`` the scenario's churn plan (membership
+events — node kill, live join, graceful retire) fires at fixed points
+in the issued-op stream: between operations on the sequential driver's
+single thread (so a fixed seed fixes the interleaving and the digest),
+from a monitor thread watching the shared op counter on the concurrent
+driver.  Events whose threshold is never reached fire after the last
+client op, so a plan always completes.
+
 Asynchronous scenarios: a pick thunk may return an
 :class:`~repro.runtime.scenarios.AsyncOp` instead of ``None`` — the
 harness then keeps up to ``window`` replies in flight per client,
@@ -70,6 +78,8 @@ class RunConfig:
     window: int = 4
     #: delivery threads of the federation's queued (async) transport
     delivery_workers: int = 2
+    #: arm the scenario's churn plan (node kill / join / retire mid-run)
+    churn: bool = False
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -87,6 +97,7 @@ class RunConfig:
             "entities_per_node": self.entities_per_node,
             "window": self.window,
             "delivery_workers": self.delivery_workers,
+            "churn": self.churn,
         }
 
 
@@ -220,6 +231,8 @@ class ScenarioRunner:
         self.spec.deploy(federation, config)
         for user, password, roles in self.spec.users:
             federation.add_user(user, password, roles=roles)
+        if self.spec.replica_count > 0:
+            federation.enable_replication(self.spec.replica_count)
         return federation
 
     def _client_rng(self, client_index: int) -> random.Random:
@@ -240,11 +253,27 @@ class ScenarioRunner:
             if config.faults:
                 for site, probability in self.spec.fault_campaign:
                     federation.configure_fault(site, probability)
+            self._issued = 0
+            self._issued_cond = threading.Condition()
+            self._churn: List[Tuple[int, str, Any]] = []
+            if config.churn:
+                self._churn = sorted(
+                    self.spec.churn_plan(config), key=lambda event: event[0]
+                )
+                if not self._churn:
+                    raise ScenarioError(
+                        f"scenario {self.spec.name!r} has no churn plan "
+                        "(--churn needs one)"
+                    )
             clients = []
             for i in range(config.clients):
                 user = self.spec.client_user(i)
                 clients.append(
-                    FederationClient(federation, *(user or (None, None)))
+                    FederationClient(
+                        federation,
+                        *(user or (None, None)),
+                        qos=self.spec.client_qos,
+                    )
                 )
             rngs = [self._client_rng(i) for i in range(config.clients)]
             outcomes: List[Dict[str, Dict[str, int]]] = [
@@ -356,6 +385,9 @@ class ScenarioRunner:
         pending: "Deque[Tuple[str, AsyncOp]]",
     ) -> None:
         entry = self._step(federation, state, client, rng, outcome, index)
+        with self._issued_cond:
+            self._issued += 1
+            self._issued_cond.notify_all()
         if entry is not None:
             pending.append(entry)
         while len(pending) > self.config.window:
@@ -364,6 +396,26 @@ class ScenarioRunner:
     def _drain(self, pending, outcome) -> None:
         while pending:
             self._resolve(pending.popleft(), outcome)
+
+    # -- churn (membership events scripted by the scenario) -----------------------
+
+    def _fire_due_churn(self, federation, state) -> None:
+        """Run every churn event whose op threshold has been reached.
+
+        Called between operations on the sequential driver's one thread,
+        so a fixed seed gives a fixed interleaving of ops and membership
+        events — the digest-determinism the elastic scenario asserts.
+        """
+        while self._churn and self._issued >= self._churn[0][0]:
+            _at, _label, action = self._churn.pop(0)
+            action(federation, state)
+
+    def _finish_churn(self, federation, state) -> None:
+        """Fire any event whose threshold was never reached (op budget
+        smaller than the plan expected) so the plan always completes."""
+        while self._churn:
+            _at, _label, action = self._churn.pop(0)
+            action(federation, state)
 
     def _run_sequential(
         self, federation, state, clients, rngs, outcomes, budgets
@@ -377,11 +429,13 @@ class ScenarioRunner:
         while any(remaining):
             for i in range(self.config.clients):
                 if remaining[i] > 0:
+                    self._fire_due_churn(federation, state)
                     remaining[i] -= 1
                     self._client_step(
                         federation, state, clients[i], rngs[i], outcomes[i], i,
                         pendings[i],
                     )
+        self._finish_churn(federation, state)
         for i in range(self.config.clients):
             self._drain(pendings[i], outcomes[i])
 
@@ -389,6 +443,19 @@ class ScenarioRunner:
         self, federation, state, clients, rngs, outcomes, budgets
     ) -> None:
         errors: List[BaseException] = []
+        clients_done = threading.Event()
+
+        def churn_loop() -> None:
+            try:
+                for at, _label, action in list(self._churn):
+                    with self._issued_cond:
+                        self._issued_cond.wait_for(
+                            lambda: self._issued >= at or clients_done.is_set()
+                        )
+                    action(federation, state)
+                self._churn = []
+            except BaseException as exc:  # noqa: BLE001 - surfaced after join
+                errors.append(exc)
 
         def loop(i: int) -> None:
             pending: Deque[Tuple[str, AsyncOp]] = deque()
@@ -406,10 +473,19 @@ class ScenarioRunner:
             threading.Thread(target=loop, args=(i,), name=f"client-{i}")
             for i in range(self.config.clients)
         ]
+        churn_thread = None
+        if self._churn:
+            churn_thread = threading.Thread(target=churn_loop, name="churn")
+            churn_thread.start()
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
+        clients_done.set()
+        with self._issued_cond:
+            self._issued_cond.notify_all()
+        if churn_thread is not None:
+            churn_thread.join()
         if errors:
             raise errors[0]
 
@@ -442,6 +518,7 @@ def run_scenario(
     entities_per_node: int = 2,
     window: int = 4,
     delivery_workers: int = 2,
+    churn: bool = False,
 ) -> ScenarioResult:
     """One-call convenience over :class:`ScenarioRunner`."""
     name = scenario if isinstance(scenario, str) else scenario.name
@@ -460,5 +537,6 @@ def run_scenario(
         entities_per_node=entities_per_node,
         window=window,
         delivery_workers=delivery_workers,
+        churn=churn,
     )
     return ScenarioRunner(scenario, config).run()

@@ -59,6 +59,10 @@ class Node:
         # every bus delivery — including nested in-process proxy calls
         # that bypass Node.invoke — serializes on the servant's lock
         self.services.bus.dispatch_guard = self.dispatcher.serialize
+        #: False once the node is killed (fail-stop) or retired; the
+        #: federation's routing terminal refuses dead targets with a
+        #: pre-effect NodeDownError so standby promotion can take over
+        self.alive = True
         #: set by Federation.add_node
         self.federation = None
         self.lifecycle: Optional[MdaLifecycle] = None
@@ -113,6 +117,13 @@ class Node:
         with self._bind_lock:
             ref = self.services.orb.register(servant)
             self.services.naming.rebind(name, ref)
+        if self.federation is not None and self.federation.replicas is not None:
+            # seed the standby copies immediately: a partition must be
+            # recoverable even if it is killed before any routed call
+            # ever write-through-replicated it
+            self.federation.replicas.sync_partition(
+                self.federation.naming.partition_key(name)
+            )
         return ref
 
     # -- request entry point -----------------------------------------------------
@@ -197,4 +208,5 @@ class Node:
 
     def __repr__(self):  # pragma: no cover - debugging aid
         kind = type(self.dispatcher).__name__
-        return f"<Node {self.name} dispatcher={kind}>"
+        state = "" if self.alive else " DOWN"
+        return f"<Node {self.name} dispatcher={kind}{state}>"

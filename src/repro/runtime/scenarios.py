@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import InvocationTimeout, ScenarioError
+from repro.errors import InvocationTimeout, ReproError, ScenarioError
 from repro.middleware.envelope import QoS
 from repro.uml import (
     add_attribute,
@@ -116,6 +116,12 @@ class Scenario:
     fault_campaign: List[Tuple[str, float]] = []
     #: (user, password, roles) provisioned on every node
     users: List[Tuple[str, str, List[str]]] = []
+    #: standby copies per partition (> 0 enables replicated failover)
+    replica_count: int = 0
+    #: default QoS handed to every harness client (None = DEFAULT_QOS);
+    #: elastic scenarios set a retry budget so failover re-delivery is
+    #: automatic for pre-effect dead-node faults
+    client_qos: Optional[QoS] = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -145,6 +151,17 @@ class Scenario:
     def pick(self, rng, federation, state, client, client_index):
         """Draw one operation: returns ``(label, thunk)``."""
         raise NotImplementedError
+
+    def churn_plan(self, config) -> List[Tuple[int, str, Callable]]:
+        """Membership events for a ``--churn`` run.
+
+        Returns ``(at_op, label, action)`` triples; the harness fires
+        ``action(federation, state)`` once ``at_op`` operations have
+        been issued (between operations on the sequential driver, from
+        a monitor thread on the concurrent one).  Default: no plan —
+        ``--churn`` on a scenario without one is a scenario error.
+        """
+        return []
 
     @staticmethod
     def _roulette(rng, weighted):
@@ -289,18 +306,23 @@ class BankingScenario(Scenario):
             "tally": Tally(),
         }
 
+    #: the synchronous client mix (subclasses override the weights and
+    #: may add kinds handled by their _banking_op override)
+    MIX = [
+        (0.40, "transfer"),
+        (0.25, "deposit"),
+        (0.25, "withdraw"),
+        (0.10, "getBalance"),
+    ]
+
     def pick(self, rng, federation, state, client, client_index):
         branch = rng.choice(state["branches"])
         tally = state["tally"]
-        kind = self._roulette(
-            rng,
-            [
-                (0.40, "transfer"),
-                (0.25, "deposit"),
-                (0.25, "withdraw"),
-                (0.10, "getBalance"),
-            ],
-        )
+        kind = self._roulette(rng, self.MIX)
+        return self._banking_op(kind, rng, branch, tally, client)
+
+    def _banking_op(self, kind, rng, branch, tally, client):
+        """One synchronous banking operation — shared by the elastic mix."""
         if kind == "transfer":
             source, target = rng.sample(branch["accounts"], 2)
             amount = float(rng.randrange(1, 20))
@@ -361,6 +383,21 @@ class BankingScenario(Scenario):
         ]
 
 
+def _add_touch_probe(resource):
+    """Give Account a ``touch`` op + ``touches`` counter — the delivery
+    oracle both the async (at-most-once oneway) and elastic
+    (exactly-once under churn) scenarios count against."""
+    model = resource.roots[0]
+    prims = ensure_primitives(model)
+    account = next(c for c in classes_of(model) if c.name == "Account")
+    add_attribute(account, "touches", prims["Integer"])
+    touch = add_operation(account, "touch", return_type=prims["Integer"])
+    apply_stereotype(
+        touch, "PythonBody", body="self.touches += 1\nreturn self.touches"
+    )
+    return resource
+
+
 # ---------------------------------------------------------------------------
 # banking_async — futures, oneways, and pipelined bursts under faults
 # ---------------------------------------------------------------------------
@@ -391,18 +428,7 @@ class AsyncBankingScenario(BankingScenario):
     BURST_SIZE = 4
 
     def build_pim(self):
-        resource = super().build_pim()
-        model = resource.roots[0]
-        prims = ensure_primitives(model)
-        account = next(c for c in classes_of(model) if c.name == "Account")
-        # a void-ish operation for oneway calls: its server-side counter is
-        # the oracle for at-most-once delivery
-        add_attribute(account, "touches", prims["Integer"])
-        touch = add_operation(account, "touch", return_type=prims["Integer"])
-        apply_stereotype(
-            touch, "PythonBody", body="self.touches += 1\nreturn self.touches"
-        )
-        return resource
+        return _add_touch_probe(super().build_pim())
 
     def pick(self, rng, federation, state, client, client_index):
         branch = rng.choice(state["branches"])
@@ -540,6 +566,177 @@ class AsyncBankingScenario(BankingScenario):
         return [
             f"{name} balance={servant.balance:.0f} touches={servant.touches}"
             for name, servant in sorted(state["servants"].items())
+            if "/Account/" in name
+        ]
+
+
+# ---------------------------------------------------------------------------
+# banking_elastic — membership churn: kill + failover, join, retire
+# ---------------------------------------------------------------------------
+
+
+class ElasticBankingScenario(BankingScenario):
+    name = "banking_elastic"
+    description = (
+        "banking mix under membership churn: a node is killed mid-run "
+        "(replicated standbys promoted, pre-effect calls retried), a new "
+        "node joins (only its rehashed shard migrates), a node retires "
+        "gracefully; invariants: money conserved, touch effects exactly "
+        "once per success, every name still resolvable"
+    )
+    #: churn is the fault model here; the optional --faults campaign adds
+    #: transport noise on top (retried under the same client QoS budget)
+    fault_campaign = [("federation.route", 0.01)]
+    users = [("alice", "pw", ["teller"])]
+    #: one standby per partition — enough to survive one crash at a time
+    replica_count = 1
+    #: the retry budget that makes failover transparent for pre-effect
+    #: faults; application errors are still never retried
+    client_qos = QoS(timeout_ms=30_000.0, retries=2)
+
+    JOINED_NODE = "node-elastic"
+
+    #: the banking mix plus the exactly-once probe: every *successful*
+    #: synchronous touch must leave exactly one increment — a failover
+    #: retry that duplicated an effect, or a migration that lost one,
+    #: both break the equality
+    MIX = [
+        (0.35, "transfer"),
+        (0.20, "deposit"),
+        (0.20, "withdraw"),
+        (0.15, "touch"),
+        (0.10, "getBalance"),
+    ]
+
+    def build_pim(self):
+        return _add_touch_probe(super().build_pim())
+
+    # -- deployment: the application travels as a shipped package ------------
+
+    def deploy(self, federation, config):
+        """Ship the vendor lifecycle once; replay the package per node.
+
+        The same :class:`~repro.core.shipping.ComponentPackage` is kept
+        on the federation so a node joining mid-run deploys the *exact*
+        artifact every seed node runs — migration ships servant state
+        (:class:`~repro.runtime.federation.ShardManifest`), the package
+        ships the code to host it.
+        """
+        from repro.core import MdaLifecycle, MiddlewareServices, ship
+
+        vendor = MdaLifecycle(self.build_pim(), services=MiddlewareServices.create())
+        for concern, params in self.concerns():
+            vendor.apply_concern(concern, **params)
+        federation.app_package = ship(vendor)
+        for node in federation.nodes.values():
+            self.deploy_node(federation, node)
+
+    @staticmethod
+    def deploy_node(federation, node) -> None:
+        """Replay the federation's shipped package onto one node."""
+        from repro.core import replay
+
+        lifecycle = replay(federation.app_package, services=node.services)
+        module = lifecycle.build_application(
+            f"elastic_{node.name.replace('-', '_')}"
+        )
+        node.host(lifecycle, module)
+
+    # -- the churn campaign ---------------------------------------------------
+
+    def churn_plan(self, config):
+        if config.nodes < 2:
+            raise ScenarioError(
+                "banking_elastic churn needs >= 2 nodes (failover must "
+                "have somewhere to promote to)"
+            )
+        quarter = max(1, config.ops // 4)
+        victim = f"node-{config.nodes - 1}"
+
+        def kill(federation, state):
+            federation.kill(victim)
+
+        def join(federation, state):
+            run_config = state["config"]
+            federation.join(
+                self.JOINED_NODE,
+                workers=run_config.workers if run_config.concurrent else 0,
+                seed=run_config.seed * 31 + 97,
+                deploy=lambda node: self.deploy_node(federation, node),
+            )
+
+        def retire(federation, state):
+            federation.retire("node-0")
+
+        return [
+            (quarter, f"kill {victim}", kill),
+            (2 * quarter, f"join {self.JOINED_NODE}", join),
+            (3 * quarter, "retire node-0", retire),
+        ]
+
+    # -- workload --------------------------------------------------------------
+
+    def _banking_op(self, kind, rng, branch, tally, client):
+        if kind == "touch":
+            account = rng.choice(branch["accounts"])
+
+            def touch():
+                # synchronous: a success IS one effect — counted only
+                # after the call returned, so touches == successes holds
+                # even when a pre-effect fault consumed retry attempts
+                client.call(account, "touch")
+                tally.add(f"touch_ok:{account}")
+
+            return "Account.touch", touch
+        return super()._banking_op(kind, rng, branch, tally, client)
+
+    # -- oracles: judged against the LIVE servants ------------------------------
+
+    def _live_servants(self, federation, state):
+        """(name, servant) via current routing — setup-time references go
+        stale the moment a shard migrates or fails over."""
+        pairs = []
+        for branch in state["branches"]:
+            for name in [branch["bank"], *branch["accounts"]]:
+                pairs.append((name, federation.servant(name)))
+        return pairs
+
+    def invariants(self, federation, state):
+        violations = []
+        # settle membership first: a node killed late in the run may not
+        # have been promoted yet (no traffic hit its shard afterwards)
+        federation.reconcile()
+        tally = state["tally"]
+        total = 0.0
+        try:
+            live = self._live_servants(federation, state)
+        except ReproError as exc:
+            return [f"binding lost after churn: {exc}"]
+        for name, servant in live:
+            if "/Account/" not in name:
+                continue
+            total += servant.balance
+            if servant.balance < 0:
+                violations.append(f"negative balance on {name}: {servant.balance}")
+            successes = int(tally.number(f"touch_ok:{name}"))
+            if servant.touches != successes:
+                violations.append(
+                    f"{name}: {servant.touches} touch effects != "
+                    f"{successes} successful touches (exactly-once broken "
+                    "by churn)"
+                )
+        expected = state["initial_total"] + tally.number("delta")
+        if total != expected:
+            violations.append(
+                f"money not conserved under churn: expected {expected}, "
+                f"found {total}"
+            )
+        return violations
+
+    def fingerprint(self, federation, state):
+        return [
+            f"{name} balance={servant.balance:.0f} touches={servant.touches}"
+            for name, servant in sorted(self._live_servants(federation, state))
             if "/Account/" in name
         ]
 
@@ -964,6 +1161,7 @@ SCENARIOS: Dict[str, Scenario] = {
     for spec in (
         BankingScenario(),
         AsyncBankingScenario(),
+        ElasticBankingScenario(),
         AuctionScenario(),
         MedicalRecordsScenario(),
         ComponentShippingScenario(),

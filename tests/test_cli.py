@@ -1,10 +1,11 @@
 """CLI tests: every subcommand end-to-end on real XMI files."""
 
+import argparse
 import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 from repro.uml import UML, find_element, has_stereotype
 from repro.xmi import read_xmi, write_xmi
 
@@ -122,6 +123,53 @@ class TestGenerate:
         exec(compile(out_path.read_text(), "app.py", "exec"), namespace)
         account = namespace["Account"](balance=5.0)
         assert account.deposit(1.0) == 6.0
+
+
+def _subparsers(parser):
+    return next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ).choices
+
+
+class TestHelpAudit:
+    """Docs-drift guards: every registered flag must be documented."""
+
+    def test_every_flag_of_every_subcommand_has_help(self):
+        for command, subparser in _subparsers(build_parser()).items():
+            for action in subparser._actions:
+                if action.dest == "help":
+                    continue
+                label = action.option_strings or [action.dest]
+                assert action.help, f"{command} {label[0]} has no help text"
+            assert subparser.description, f"{command} has no description"
+
+    def test_simulate_help_mentions_every_registered_flag(self, capsys):
+        simulate = _subparsers(build_parser())["simulate"]
+        rendered = simulate.format_help()
+        for action in simulate._actions:
+            for option in action.option_strings:
+                if option.startswith("--"):
+                    assert option in rendered, f"{option} missing from help"
+        # the flags the docs lean on, by name, so a rename cannot slip by
+        for flag in ("--window", "--delivery-workers", "--churn"):
+            assert flag in rendered
+
+    def test_simulate_help_lists_every_scenario(self):
+        from repro.runtime.scenarios import SCENARIOS
+
+        rendered = _subparsers(build_parser())["simulate"].format_help()
+        for name in SCENARIOS:
+            assert name in rendered, f"scenario {name!r} missing from --scenario help"
+
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in _subparsers(build_parser()):
+            assert command in out
 
 
 class TestFingerprint:

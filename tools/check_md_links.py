@@ -1,0 +1,71 @@
+"""Check that relative markdown links in the repo's docs resolve.
+
+CI runs this over README.md, docs/, and examples/ so documentation and
+the tree cannot drift silently: a renamed file, a deleted doc, or a typo
+in a link breaks the build instead of breaking a reader.
+
+Usage::
+
+    python tools/check_md_links.py README.md docs examples
+
+External links (http/https/mailto) and pure in-page anchors (#section)
+are skipped; a relative link's optional #anchor is stripped before the
+existence check.  Exits 1 listing every dangling link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links: [text](target) — images included via the ![ prefix
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(paths: list[str]):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+        else:
+            print(f"warning: skipping non-markdown argument {path}", file=sys.stderr)
+
+
+def check(paths: list[str]) -> list[str]:
+    failures: list[str] = []
+    checked = 0
+    for document in iter_markdown(paths):
+        text = document.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            checked += 1
+            resolved = (document.parent / relative).resolve()
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                failures.append(f"{document}:{line}: dangling link -> {target}")
+    print(f"checked {checked} relative link(s)")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_md_links.py <file-or-dir> [...]", file=sys.stderr)
+        return 2
+    failures = check(argv)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
