@@ -1,0 +1,72 @@
+"""Declarative deployment — spec in, federation out, diff to reconfigure.
+
+Loads the standalone spec file ``deployment_spec.json`` (a 3-node
+banking federation with one standby per partition), compiles it into a
+live federation with one call, drives a few routed operations, then
+reconfigures by *diffing specs*: ``deployment_target.json`` adds a
+fourth node and raises the replica count, and ``repro.deploy.apply``
+turns that difference into an ordered migration plan (join before any
+removal, replication after the ring is final) executed through the
+elastic machinery — no hand-sequenced ``join``/``enable_replication``
+calls anywhere.
+
+Run:  python examples/deploy_spec.py
+
+The same flow is scriptable from the shell::
+
+    python -m repro.cli deploy --spec examples/deployment_spec.json --check
+    python -m repro.cli deploy --spec examples/deployment_spec.json \
+        --diff examples/deployment_target.json
+    python -m repro.cli deploy --spec examples/deployment_spec.json \
+        --apply examples/deployment_target.json
+"""
+
+from pathlib import Path
+
+from repro.deploy import DeploymentCompiler, DeploymentDiff, DeploymentSpec, apply
+from repro.runtime import FederationClient
+
+HERE = Path(__file__).resolve().parent
+
+
+def load(name: str) -> DeploymentSpec:
+    return DeploymentSpec.from_json((HERE / name).read_text())
+
+
+def main():
+    base = load("deployment_spec.json")
+    target = load("deployment_target.json")
+    print(base.describe())
+
+    # -- compile: one call from declarative model to running federation
+    compiler = DeploymentCompiler()
+    print()
+    print(compiler.compile(base).describe())
+    federation = compiler.deploy(base)
+    try:
+        client = FederationClient(federation, "alice", "pw")
+        account = "branch-0/Account/0"
+        print()
+        print(f"balance({account})     = {client.call(account, 'getBalance')}")
+        client.call(account, "deposit", 250.0)
+        print(f"after deposit(250)     = {client.call(account, 'getBalance')}")
+        print(f"shards                 = {federation.naming.stats()}")
+
+        # -- reconcile: reconfiguration is a spec diff, not a call sequence
+        print()
+        diff = DeploymentDiff.between(federation.current_spec(), target)
+        print(diff.describe())
+        plan = apply(federation, target)
+        print(plan.describe())
+        print()
+        print(f"nodes now              = {sorted(federation.nodes)}")
+        print(f"replicas/partition     = {federation.replicas.count}")
+        print(f"balance survived       = {client.call(account, 'getBalance')}")
+        drift = DeploymentDiff.between(federation.current_spec(), target)
+        print(f"drift after reconcile  = {'none' if drift.empty else drift.describe()}")
+    finally:
+        federation.shutdown()
+
+
+if __name__ == "__main__":
+    main()

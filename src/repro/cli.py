@@ -13,6 +13,9 @@ The §3 tool infrastructure, driveable from a shell::
     python -m repro.cli fingerprint refined.xmi
     python -m repro.cli simulate --scenario banking --clients 8 --seed 1
     python -m repro.cli simulate --scenario banking_elastic --serial --churn
+    python -m repro.cli deploy --spec examples/deployment_spec.json --check
+    python -m repro.cli deploy --spec base.json --diff target.json
+    python -m repro.cli deploy --spec base.json --apply target.json
 
 ``apply`` runs the full engine path (OCL preconditions → rules →
 postconditions) and reports the demarcation summary; ``pipeline`` runs a
@@ -164,6 +167,56 @@ def _cmd_fingerprint(args) -> int:
     return 0
 
 
+def _load_spec(path: str):
+    from repro.deploy import DeploymentSpec
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return DeploymentSpec.from_json(handle.read())
+
+
+def _cmd_deploy(args) -> int:
+    from repro.deploy import DeploymentCompiler, DeploymentDiff
+    from repro.deploy import apply as apply_spec
+
+    spec = _load_spec(args.spec)
+    spec.validate()
+    print(spec.describe())
+    if args.check:
+        print("spec is valid")
+        return 0
+    if args.diff:
+        target = _load_spec(args.diff)
+        diff = DeploymentDiff.between(spec, target)
+        print(diff.describe())
+        print(diff.plan().describe())
+        return 0
+    compiler = DeploymentCompiler()
+    if args.apply:
+        target = _load_spec(args.apply)
+        federation = compiler.deploy(spec)
+        try:
+            plan = apply_spec(federation, target)
+            print(plan.describe())
+            drift = DeploymentDiff.between(
+                federation.current_spec(), target
+            )
+            if not drift.empty:
+                print("reconciliation did NOT converge:")
+                print(drift.describe())
+                return 1
+            print(
+                f"reconciled onto {target.name!r}: "
+                f"{len(federation.nodes)} node(s), "
+                f"epoch {federation.naming.epoch}, converged"
+            )
+        finally:
+            federation.shutdown()
+        return 0
+    # default: dry-run compile — print the ordered bootstrap plan
+    print(compiler.compile(spec).describe())
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     from repro.runtime import RunConfig, ScenarioRunner
 
@@ -183,7 +236,13 @@ def _cmd_simulate(args) -> int:
         delivery_workers=args.delivery_workers,
         churn=args.churn,
     )
-    result = ScenarioRunner(args.scenario, config).run()
+    runner = ScenarioRunner(args.scenario, config)
+    if args.describe:
+        # validate + describe only: the full run configuration including
+        # the deployment spec digest, without building or running
+        print(json.dumps(config.describe(), indent=2))
+        return 0
+    result = runner.run()
     print(result.report())
     print(f"  digest:     {result.digest()}")
     if args.json:
@@ -285,6 +344,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fingerprint.add_argument("model", help="path to the XMI model file")
 
+    deploy = sub.add_parser(
+        "deploy",
+        help="validate, compile, diff, or apply a declarative deployment spec",
+        description="Drive the declarative deployment API: load a "
+        "DeploymentSpec JSON file and either validate it (--check), "
+        "print the ordered bootstrap plan a deployment would execute "
+        "(default dry-run), print the spec diff and migration plan "
+        "against a second spec (--diff), or materialize the spec as a "
+        "live simulated federation and reconcile it onto a target spec "
+        "(--apply), verifying that the topology converged.",
+    )
+    deploy.add_argument("--spec", required=True, help="deployment spec JSON file")
+    deploy_mode = deploy.add_mutually_exclusive_group()
+    deploy_mode.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the spec and print its summary/digest, then exit",
+    )
+    deploy_mode.add_argument(
+        "--diff",
+        default="",
+        metavar="TARGET_SPEC",
+        help="print the structural diff and ordered migration plan from "
+        "--spec to this target spec (no federation is built)",
+    )
+    deploy_mode.add_argument(
+        "--apply",
+        default="",
+        metavar="TARGET_SPEC",
+        help="deploy --spec as a live simulated federation, reconcile it "
+        "onto this target spec (diff -> migration plan -> elastic "
+        "actions), and verify the live topology converged",
+    )
+
     simulate = sub.add_parser(
         "simulate",
         help="run a built-in scenario on a multi-node federation under load",
@@ -381,6 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--json", default="", help="write the full machine-readable results here"
     )
+    simulate.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the run configuration (including the deployment spec "
+        "digest for spec-declared scenarios) as JSON and exit without "
+        "running",
+    )
     return parser
 
 
@@ -393,6 +493,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "fingerprint": _cmd_fingerprint,
     "simulate": _cmd_simulate,
+    "deploy": _cmd_deploy,
 }
 
 

@@ -1,0 +1,77 @@
+"""S17 — Declarative deployment: spec → compile → reconcile.
+
+The deployment subsystem closes the loop between the paper's
+declarative-configuration pipeline (PR 1: *which concerns* refine an
+application) and the elastic runtime (PR 2–4: *where* the refined
+application runs):
+
+* :mod:`repro.deploy.spec` — :class:`DeploymentSpec` and its parts:
+  topology, servant placement + initial state + read-only operation
+  classification, replication, fault campaign, QoS profiles, users.
+  Lossless JSON round-trip, referential validation, stable digest.
+* :mod:`repro.deploy.compiler` — :class:`DeploymentCompiler`: lower a
+  spec through the configuration pipeline into a :class:`BootstrapPlan`
+  and materialize it as a live
+  :class:`~repro.runtime.federation.Federation`
+  (``deploy(spec) -> Federation``).
+* :mod:`repro.deploy.reconcile` — :class:`DeploymentDiff` /
+  :class:`MigrationPlan`: reconfiguration as a spec diff executed
+  through the migration-gate machinery (``apply(federation, target)``),
+  with ``Federation.current_spec()`` as the drift-check inverse.
+"""
+
+from repro.deploy.compiler import (
+    BootstrapPlan,
+    BootstrapStep,
+    DeploymentCompiler,
+    extract_spec,
+    register_application,
+    resolve_application,
+    timed_deploy,
+)
+from repro.deploy.reconcile import (
+    DeploymentDiff,
+    MigrationAction,
+    MigrationPlan,
+    apply,
+)
+from repro.deploy.spec import (
+    SPEC_FORMAT,
+    ApplicationSpec,
+    ConcernSpec,
+    DeploymentSpec,
+    FaultCampaignSpec,
+    FaultSiteSpec,
+    NodeSpec,
+    PartitionSpec,
+    QoSProfile,
+    ReplicationSpec,
+    ServantSpec,
+    UserSpec,
+)
+
+__all__ = [
+    "SPEC_FORMAT",
+    "ApplicationSpec",
+    "BootstrapPlan",
+    "BootstrapStep",
+    "ConcernSpec",
+    "DeploymentCompiler",
+    "DeploymentDiff",
+    "DeploymentSpec",
+    "FaultCampaignSpec",
+    "FaultSiteSpec",
+    "MigrationAction",
+    "MigrationPlan",
+    "NodeSpec",
+    "PartitionSpec",
+    "QoSProfile",
+    "ReplicationSpec",
+    "ServantSpec",
+    "UserSpec",
+    "apply",
+    "extract_spec",
+    "register_application",
+    "resolve_application",
+    "timed_deploy",
+]

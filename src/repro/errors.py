@@ -310,6 +310,22 @@ class FederationError(MiddlewareError):
     """Illegal federation topology or routing failure (no nodes, bad shard)."""
 
 
+# ---------------------------------------------------------------------------
+# Declarative deployment (S17)
+# ---------------------------------------------------------------------------
+
+
+class DeploymentError(ReproError):
+    """A deployment spec is invalid, uncompilable, or undiffable.
+
+    Raised by :meth:`~repro.deploy.DeploymentSpec.validate` for
+    referential-integrity violations (unknown node in a partition,
+    replica count >= node count, duplicate servant names, ...), by the
+    compiler when a spec cannot be materialized, and by the reconciler
+    for topology changes that have no migration path (e.g. a changed
+    application, which requires a redeploy rather than a diff)."""
+
+
 class ScenarioError(ReproError):
     """A scenario specification or run is malformed (unknown scenario, ...)."""
 

@@ -197,6 +197,18 @@ class MessageBus:
         )
         self._servants: Dict[str, Any] = {}
         self._stats_lock = threading.Lock()
+        #: read-only operation classification per servant *type* name,
+        #: declared by the deployment spec (``ServantSpec.read_only_ops``).
+        #: Deliveries whose operation is NOT in its type's set bump
+        #: :attr:`mutations` — the per-call mutation flag the federation's
+        #: write-through replication consults to skip syncing partitions
+        #: a routed call never mutated.  Unknown types default to
+        #: "everything mutates" (the safe direction).
+        self.read_only_ops: Dict[str, frozenset] = {}
+        #: monotonic count of (possibly) mutating servant dispatches;
+        #: bumped *before* dispatch so a call that fails mid-effect still
+        #: registers as a mutation
+        self.mutations = 0
         #: optional hook wrapping servant dispatch: ``guard(object_id, fn)``.
         #: The runtime node installs its dispatcher's per-servant lock here
         #: so nested in-process deliveries serialize like routed requests.
@@ -232,6 +244,24 @@ class MessageBus:
     def is_registered(self, servant: Any) -> bool:
         return any(existing is servant for existing in self._servants.values())
 
+    def mark_read_only(self, type_name: str, operations) -> None:
+        """Set the read-only operation set of servant type ``type_name``.
+
+        A read-only operation promises that its dispatch — including any
+        nested calls it makes *into the same node* — leaves no servant
+        state change behind.  Nested deliveries are still classified
+        individually, so an operation wrongly marked read-only that
+        nests a mutating call is caught by the nested delivery's own
+        mutation bump.
+
+        *Replace* semantics, not merge: reconciling onto a spec that
+        reclassifies an operation as mutating must actually remove it
+        from the set, or write-through replication would keep skipping
+        its syncs.
+        """
+        with self._stats_lock:
+            self.read_only_ops[type_name] = frozenset(operations)
+
     # -- chain elements ----------------------------------------------------------
 
     def _stats_element(self, envelope: Envelope, proceed: Callable[[], Any]):
@@ -261,6 +291,14 @@ class MessageBus:
         request = envelope.request
         try:
             servant = self.servant(request.object_id)
+            read_only = request.operation in self.read_only_ops.get(
+                type(servant).__name__, ()
+            )
+            if not read_only:
+                # flagged before dispatch: a mutation that dies half-way
+                # must still trigger the write-through sync
+                with self._stats_lock:
+                    self.mutations += 1
             if self.dispatch_guard is not None:
                 result = self.dispatch_guard(
                     request.object_id, lambda: dispatch(request, servant)

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import bisect
 import contextlib
+import fnmatch
 import hashlib
 import threading
 import time
@@ -505,6 +506,10 @@ class ReplicaManager:
         self.count = count
         self._groups: Dict[str, ReplicaGroup] = {}
         self._lock = threading.RLock()
+        #: write-through syncs actually performed / skipped because the
+        #: routed call touched no mutable servant (mutation narrowing)
+        self.syncs = 0
+        self.skipped_syncs = 0
 
     def _standby_names(self, partition: str) -> List[str]:
         preference = self.federation.naming.ring.preference(
@@ -522,6 +527,8 @@ class ReplicaManager:
         change performs re-syncs the partition moments later.
         """
         federation = self.federation
+        with self._lock:
+            self.syncs += 1
         view = federation.naming.partition_view(partition)
         if view is None:
             return
@@ -567,6 +574,11 @@ class ReplicaManager:
                     copy.__dict__.clear()
                     copy.__dict__.update(state)
 
+    def note_skip(self) -> None:
+        """Count one write-through sync skipped by mutation narrowing."""
+        with self._lock:
+            self.skipped_syncs += 1
+
     def take(self, partition: str, node_name: str) -> Dict[str, Any]:
         """The standby copies ``node_name`` holds for ``partition``."""
         with self._lock:
@@ -601,6 +613,8 @@ class ReplicaManager:
                     for group in self._groups.values()
                     for copies in group.standbys.values()
                 ),
+                "syncs": self.syncs,
+                "skipped_syncs": self.skipped_syncs,
             }
 
 
@@ -617,6 +631,7 @@ class Federation:
         delivery_workers: int = 2,
     ):
         self.clock = SimClock()
+        self.seed = seed
         self.faults = FaultInjector(seed)
         self.metrics = metrics or MetricsRegistry()
         self.naming = ShardedNamingService(replicas)
@@ -655,6 +670,19 @@ class Federation:
         #: users/faults provisioned so far — replayed onto joining nodes
         self._provisioned_users: List[Tuple[str, str, tuple]] = []
         self._fault_sites: List[Tuple[str, float, dict]] = []
+        #: read-only operation sets per servant type, replayed onto
+        #: joining nodes; feeds the buses' per-call mutation flags that
+        #: let write-through replication skip read-only routed calls
+        self.read_only_ops: Dict[str, frozenset] = {}
+        #: (binding pattern, QoS) defaults declared by a deployment
+        #: spec; consulted (in declaration order) for calls issued
+        #: without an explicit per-call policy
+        self._binding_qos: List[Tuple[str, QoS]] = []
+        #: the DeploymentSpec this federation was compiled from and the
+        #: BootstrapPlan that materialized it (set by
+        #: DeploymentCompiler.deploy; None for hand-built federations)
+        self.spec = None
+        self.bootstrap_plan = None
         #: standby state for failover; None until enable_replication()
         self.replicas: Optional[ReplicaManager] = None
         #: optional ComponentPackage every node runs — scenarios that
@@ -725,6 +753,68 @@ class Federation:
                     f"{self.replicas.count} standby(s)"
                 )
             return self.replicas
+
+    def set_replication(self, count: int) -> ReplicaManager:
+        """Enable replication or *change* the standby count on a live
+        federation (the reconciler's path: a spec diff may raise the
+        replica count mid-run).  Re-places every group and resyncs, so
+        the new standbys hold current state before the call returns."""
+        with self._topology_lock:
+            if self.replicas is None:
+                return self.enable_replication(count)
+            if count < 1:
+                raise FederationError(
+                    "replication cannot be disabled once enabled "
+                    "(standby state would be dropped under live traffic)"
+                )
+            self.replicas.count = count
+            self.replicas.rebuild()
+            return self.replicas
+
+    # -- declarative deployment hooks ---------------------------------------------
+
+    def mark_read_only(self, type_name: str, operations) -> None:
+        """Set the read-only classification of servant type
+        ``type_name`` federation-wide (remembered, so joining nodes are
+        classified identically).  Routed calls whose whole dispatch
+        touched only read-only operations skip the write-through
+        replication sync — the dispatch-layer mutation tracking the
+        narrowing relies on lives in each node's bus.  Replace
+        semantics: a reconcile that narrows a type's set (reclassifies
+        an op as mutating) takes full effect."""
+        ops = frozenset(operations)
+        self.read_only_ops[type_name] = ops
+        for node in self.nodes.values():
+            node.services.bus.mark_read_only(type_name, ops)
+
+    def set_binding_qos(self, pattern: str, qos: QoS) -> None:
+        """Declare the default QoS for bindings matching ``pattern``
+        (fnmatch over the federation name; declaration order wins)."""
+        self._binding_qos.append((pattern, qos))
+
+    def replace_binding_qos(self, pairs: Iterable[Tuple[str, QoS]]) -> None:
+        """Swap the whole per-binding QoS table in one assignment (the
+        reconciler's path: a spec diff re-declares the table rather than
+        patching it, so removals take effect too)."""
+        self._binding_qos = list(pairs)
+
+    def qos_for(self, name: str) -> Optional[QoS]:
+        """The declared default QoS for ``name`` (None if undeclared)."""
+        for pattern, qos in self._binding_qos:
+            if fnmatch.fnmatchcase(name, pattern):
+                return qos
+        return None
+
+    def current_spec(self, include_state: bool = False):
+        """Re-extract the live topology as a
+        :class:`~repro.deploy.DeploymentSpec` — the drift-check input of
+        ``DeploymentDiff.between(current, target)``.  ``include_state``
+        additionally snapshots every servant's attribute dict (the
+        manifest view; mutable state is excluded from structural diffs
+        either way)."""
+        from repro.deploy.compiler import extract_spec
+
+        return extract_spec(self, include_state=include_state)
 
     @staticmethod
     def _group_by_partition(names: Iterable[str]) -> Dict[str, List[str]]:
@@ -835,6 +925,8 @@ class Federation:
                 node.services.credentials.add_user(user, password, roles=roles)
             for site, probability, kwargs in self._fault_sites:
                 node.services.faults.configure(site, probability, **kwargs)
+            for type_name, ops in self.read_only_ops.items():
+                node.services.bus.mark_read_only(type_name, ops)
             grouped = self._bindings_by_partition()
             total = sum(len(names) for names in grouped.values())
             next_ring = self.naming.preview_ring(add=name)
@@ -1171,11 +1263,24 @@ class Federation:
         The write-through replication of a named call runs *inside* the
         node guard: a kill that drained to zero has therefore already
         captured every completed effect in the standby copies — there is
-        no window where an effect exists only on the dying primary."""
+        no window where an effect exists only on the dying primary.
+
+        Mutation narrowing: the sync is skipped when the node's bus saw
+        no (possibly) mutating dispatch while this call executed — the
+        call's own dispatch, and every nested delivery it made on the
+        node, were all spec-declared read-only operations.  A concurrent
+        mutating call on the same node can only flip a skip into a sync
+        (the safe direction); a mutating call always observes its own
+        bump, so its sync is never skipped."""
         with self._node_guard(node):
+            track = partition is not None and self.replicas is not None
+            before = node.services.bus.mutations if track else 0
             value = node.invoke(ref, operation, args, kwargs or {}, context)
-            if partition is not None and self.replicas is not None:
-                self.replicas.sync_partition(partition)
+            if track:
+                if node.services.bus.mutations != before:
+                    self.replicas.sync_partition(partition)
+                else:
+                    self.replicas.note_skip()
             return value
 
     def _envelope(
@@ -1204,6 +1309,13 @@ class Federation:
         token minted by the old primary means nothing to the node that
         took over its shard.
         """
+        if qos is DEFAULT_QOS and binding is not None:
+            # spec-declared per-binding QoS default: applies only when
+            # the caller did not state a policy (identity check — an
+            # explicit QoS() equal to the default is still explicit)
+            declared = self.qos_for(binding)
+            if declared is not None:
+                qos = declared
         provider = context if callable(context) else None
         if provider is not None:
             context_for = lambda n: provider(n) or {}  # noqa: E731
@@ -1469,6 +1581,7 @@ class Federation:
             if previous is not None:
                 previous.exception()  # wait; outcome consumed below
             started = time.perf_counter()
+            mutations_before = owner.services.bus.mutations
             try:
                 pending = owner.invoke_async(
                     ref, item.operation, item.args, item.kwargs, item.context
@@ -1481,11 +1594,11 @@ class Federation:
                 dispatched.append(None)
                 continue
             last_by_servant[ref.object_id] = pending
-            dispatched.append((pending, started, owner))
+            dispatched.append((pending, started, owner, mutations_before))
         for item, entry in zip(items, dispatched):
             if entry is None:
                 continue
-            pending, started, owner = entry
+            pending, started, owner, mutations_before = entry
             # each member's latency runs from its own dispatch, not
             # from the batch start — comparable to per-call metering
             try:
@@ -1500,9 +1613,14 @@ class Federation:
                 item.label, owner.name, time.perf_counter() - started
             )
             if self.replicas is not None and item.name is not None:
-                self.replicas.sync_partition(
-                    ShardedNamingService.partition_key(item.name)
-                )
+                # same mutation narrowing as the per-call path: members
+                # whose dispatch bumped no mutation flag skip the sync
+                if owner.services.bus.mutations != mutations_before:
+                    self.replicas.sync_partition(
+                        ShardedNamingService.partition_key(item.name)
+                    )
+                else:
+                    self.replicas.note_skip()
             item.future._complete(value)
         return len(items)
 

@@ -80,6 +80,10 @@ class RunConfig:
     delivery_workers: int = 2
     #: arm the scenario's churn plan (node kill / join / retire mid-run)
     churn: bool = False
+    #: digest of the DeploymentSpec this run builds from (set by the
+    #: runner for spec-declared scenarios; None on the legacy path) —
+    #: scenario digests include it, so topology drift changes the digest
+    spec_digest: Optional[str] = None
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -98,6 +102,7 @@ class RunConfig:
             "window": self.window,
             "delivery_workers": self.delivery_workers,
             "churn": self.churn,
+            "spec_digest": self.spec_digest,
         }
 
 
@@ -137,6 +142,10 @@ class ScenarioResult:
                 "scenario": self.scenario,
                 "outcomes": self.outcomes,
                 "fingerprint": self.fingerprint,
+                # topology drift detection: two runs with identical
+                # outcomes but different deployment specs must not
+                # collide on one digest
+                "spec": self.config.get("spec_digest"),
             },
             sort_keys=True,
         )
@@ -210,11 +219,31 @@ class ScenarioRunner:
                 "concurrent dispatch needs workers >= 1 (use --serial for "
                 "the sequential baseline)"
             )
+        #: the declarative deployment of this run (None = legacy scenario)
+        self.deployment = self.spec.deployment_spec(config)
+        if self.deployment is not None:
+            config.spec_digest = self.deployment.digest()
 
     # -- construction -----------------------------------------------------------
 
     def build(self) -> Federation:
+        """Materialize the run's federation.
+
+        Spec-declared scenarios (all six built-ins) compile their
+        :class:`~repro.deploy.DeploymentSpec` through the
+        :class:`~repro.deploy.DeploymentCompiler` — topology, woven
+        application, servants, users, read-only classification, QoS
+        defaults, fault campaign, and replication all come from the
+        spec.  Scenarios without a layout fall back to the imperative
+        build the harness used before the deployment subsystem existed.
+        """
         config = self.config
+        if self.deployment is not None:
+            from repro.deploy.compiler import DeploymentCompiler
+
+            return DeploymentCompiler().deploy(
+                self.deployment, metrics=MetricsRegistry()
+            )
         federation = Federation(
             seed=config.seed,
             latency_ms=config.sim_latency_ms,
@@ -250,7 +279,9 @@ class ScenarioRunner:
         federation = self.build()
         try:
             state = self.spec.setup(federation, config)
-            if config.faults:
+            if config.faults and federation.spec is None:
+                # legacy path only: spec-compiled federations had their
+                # campaign armed by the compiler (FaultCampaignSpec.armed)
                 for site, probability in self.spec.fault_campaign:
                     federation.configure_fault(site, probability)
             self._issued = 0

@@ -52,6 +52,10 @@ class Node:
     ):
         self.name = name
         self.services = services or MiddlewareServices.create(seed=seed)
+        #: construction parameters, kept so Federation.current_spec()
+        #: can re-extract the live topology as a DeploymentSpec
+        self.workers = workers
+        self.seed = seed
         if workers > 0:
             self.dispatcher = ConcurrentDispatcher(workers=workers, name=name)
         else:

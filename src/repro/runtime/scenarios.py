@@ -22,6 +22,19 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.deploy.spec import (
+    ApplicationSpec,
+    ConcernSpec,
+    DeploymentSpec,
+    FaultCampaignSpec,
+    FaultSiteSpec,
+    NodeSpec,
+    PartitionSpec,
+    QoSProfile,
+    ReplicationSpec,
+    ServantSpec,
+    UserSpec,
+)
 from repro.errors import InvocationTimeout, ReproError, ScenarioError
 from repro.middleware.envelope import QoS
 from repro.uml import (
@@ -131,10 +144,105 @@ class Scenario:
     def concerns(self) -> List[Tuple[str, Dict[str, Any]]]:
         raise NotImplementedError
 
+    # -- declarative deployment -------------------------------------------------
+
+    def servant_layout(self, config) -> List[PartitionSpec]:
+        """The scenario's entities as partition/servant specs.
+
+        Scenarios that implement this get the declarative deployment
+        path: :meth:`deployment_spec` assembles a full
+        :class:`~repro.deploy.DeploymentSpec` and the harness builds the
+        federation through the
+        :class:`~repro.deploy.DeploymentCompiler` — ``deploy``/``setup``
+        shrink to workload logic.  Legacy scenarios may skip it and keep
+        the imperative :meth:`deploy` path.
+        """
+        raise NotImplementedError
+
+    def application_spec(self) -> ApplicationSpec:
+        """The application section: this scenario's PIM + concern plan."""
+        return ApplicationSpec(
+            name=self.name,
+            builder=f"scenario:{self.name}",
+            concerns=tuple(
+                ConcernSpec(concern=concern, params=dict(params))
+                for concern, params in self.concerns()
+            ),
+        )
+
+    def deployment_spec(self, config) -> Optional[DeploymentSpec]:
+        """The declarative deployment of one run (None = legacy path)."""
+        try:
+            partitions = self.servant_layout(config)
+        except NotImplementedError:
+            return None
+        qos_profiles: List[QoSProfile] = []
+        client_qos = None
+        if self.client_qos is not None:
+            qos_profiles.append(
+                QoSProfile(
+                    name="client",
+                    timeout_ms=self.client_qos.timeout_ms,
+                    retries=self.client_qos.retries,
+                    oneway=self.client_qos.oneway,
+                )
+            )
+            client_qos = "client"
+        return DeploymentSpec(
+            name=self.name,
+            application=self.application_spec(),
+            nodes=tuple(
+                NodeSpec(
+                    name=f"node-{i}",
+                    workers=config.workers if config.concurrent else 0,
+                    seed=config.seed * 31 + i,
+                )
+                for i in range(config.nodes)
+            ),
+            partitions=tuple(partitions),
+            # a standby needs a distinct successor node: a topology
+            # smaller than replica_count+1 degrades to what it can hold
+            # (the pre-spec runtime behaved the same way — standbys
+            # simply had nowhere to land)
+            replication=ReplicationSpec(
+                count=min(self.replica_count, max(config.nodes - 1, 0))
+            ),
+            faults=FaultCampaignSpec(
+                sites=tuple(
+                    FaultSiteSpec(site=site, probability=probability)
+                    for site, probability in self.fault_campaign
+                ),
+                armed=config.faults,
+            ),
+            users=tuple(
+                UserSpec(name=user, password=password, roles=tuple(roles))
+                for user, password, roles in self.users
+            ),
+            qos_profiles=tuple(qos_profiles),
+            client_qos=client_qos,
+            sim_latency_ms=config.sim_latency_ms,
+            real_latency_ms=config.real_latency_ms,
+            delivery_workers=config.delivery_workers,
+            seed=config.seed,
+        )
+
     def deploy(self, federation, config) -> None:
-        """Refine + weave the application on every node (default path)."""
+        """Refine + weave the application on every node (legacy path —
+        spec-declared scenarios are deployed by the compiler instead)."""
         for node in federation.nodes.values():
             node.deploy(self.build_pim(), self.concerns())
+
+    @staticmethod
+    def _spec_servants(federation) -> Tuple[Dict[str, Any], List[str]]:
+        """(live servants by name, names in declaration order) for every
+        servant the deployed spec declared — the common bookkeeping of
+        single-servant-type scenarios' ``setup``."""
+        servants: Dict[str, Any] = {}
+        names: List[str] = []
+        for _key, servant_spec in federation.spec.servants():
+            servants[servant_spec.name] = federation.servant(servant_spec.name)
+            names.append(servant_spec.name)
+        return servants, names
 
     def setup(self, federation, config) -> Dict[str, Any]:
         raise NotImplementedError
@@ -275,34 +383,52 @@ class BankingScenario(Scenario):
             ),
         ]
 
+    def servant_layout(self, config):
+        """One Bank + N Accounts per branch partition; ``getBalance`` is
+        the read-only op (its routed calls skip the write-through sync)."""
+        partitions = []
+        n_branches = max(1, config.nodes * config.entities_per_node)
+        for b in range(n_branches):
+            key = f"branch-{b}"
+            servants = [
+                ServantSpec(name=f"{key}/Bank/0", type_name="Bank")
+            ]
+            for i in range(self.ACCOUNTS_PER_BRANCH):
+                name = f"{key}/Account/{i}"
+                servants.append(
+                    ServantSpec(
+                        name=name,
+                        type_name="Account",
+                        state={"number": name, "balance": self.INITIAL_BALANCE},
+                        read_only_ops=("getBalance",),
+                    )
+                )
+            partitions.append(PartitionSpec(key=key, servants=tuple(servants)))
+        return partitions
+
     def setup(self, federation, config):
+        """Workload bookkeeping only — servants were materialized by the
+        deployment compiler from this scenario's spec."""
         branches = []
         servants: Dict[str, Any] = {}
-        n_branches = max(1, len(federation.nodes) * config.entities_per_node)
-        for b in range(n_branches):
-            partition = f"branch-{b}"
-            node = federation.node_for(partition)
-            bank_name = f"{partition}/Bank/0"
-            bank = node.module.Bank()
-            node.bind(bank_name, bank)
-            servants[bank_name] = bank
+        initial_total = 0.0
+        for partition in federation.spec.partitions:
             accounts = []
-            for i in range(self.ACCOUNTS_PER_BRANCH):
-                acct_name = f"{partition}/Account/{i}"
-                acct = node.module.Account(
-                    number=acct_name, balance=self.INITIAL_BALANCE
+            for servant_spec in partition.servants:
+                servants[servant_spec.name] = federation.servant(
+                    servant_spec.name
                 )
-                node.bind(acct_name, acct)
-                servants[acct_name] = acct
-                accounts.append(acct_name)
-            branches.append({"bank": bank_name, "accounts": accounts})
+                if "/Account/" in servant_spec.name:
+                    accounts.append(servant_spec.name)
+                    initial_total += servant_spec.state.get("balance", 0.0)
+            branches.append(
+                {"bank": f"{partition.key}/Bank/0", "accounts": accounts}
+            )
         return {
             "config": config,
             "branches": branches,
             "servants": servants,
-            "initial_total": self.INITIAL_BALANCE
-            * n_branches
-            * self.ACCOUNTS_PER_BRANCH,
+            "initial_total": initial_total,
             "tally": Tally(),
         }
 
@@ -611,36 +737,20 @@ class ElasticBankingScenario(BankingScenario):
     def build_pim(self):
         return _add_touch_probe(super().build_pim())
 
-    # -- deployment: the application travels as a shipped package ------------
-
-    def deploy(self, federation, config):
-        """Ship the vendor lifecycle once; replay the package per node.
-
-        The same :class:`~repro.core.shipping.ComponentPackage` is kept
-        on the federation so a node joining mid-run deploys the *exact*
-        artifact every seed node runs — migration ships servant state
-        (:class:`~repro.runtime.federation.ShardManifest`), the package
-        ships the code to host it.
-        """
-        from repro.core import MdaLifecycle, MiddlewareServices, ship
-
-        vendor = MdaLifecycle(self.build_pim(), services=MiddlewareServices.create())
-        for concern, params in self.concerns():
-            vendor.apply_concern(concern, **params)
-        federation.app_package = ship(vendor)
-        for node in federation.nodes.values():
-            self.deploy_node(federation, node)
+    # -- deployment -------------------------------------------------------------
+    #
+    # The compiler ships the vendor lifecycle once and replays the
+    # package per node for *every* spec-declared scenario; the elastic
+    # scenario only needs the joiner hook below to replay that same
+    # artifact on a node joining mid-run — migration ships servant state
+    # (ShardManifest), the package ships the code to host it.
 
     @staticmethod
     def deploy_node(federation, node) -> None:
         """Replay the federation's shipped package onto one node."""
-        from repro.core import replay
+        from repro.deploy.compiler import DeploymentCompiler
 
-        lifecycle = replay(federation.app_package, services=node.services)
-        module = lifecycle.build_application(
-            f"elastic_{node.name.replace('-', '_')}"
-        )
-        node.host(lifecycle, module)
+        DeploymentCompiler.deploy_node(federation, node)
 
     # -- the churn campaign ---------------------------------------------------
 
@@ -793,20 +903,32 @@ class AuctionScenario(Scenario):
             ("logging", {"log_patterns": ["Auction.bid"]}),
         ]
 
-    def setup(self, federation, config):
-        servants: Dict[str, Any] = {}
-        items = []
-        n_items = max(1, len(federation.nodes) * config.entities_per_node)
+    def servant_layout(self, config):
+        partitions = []
+        n_items = max(1, config.nodes * config.entities_per_node)
         for k in range(n_items):
-            partition = f"item-{k}"
-            node = federation.node_for(partition)
-            name = f"{partition}/Auction/0"
-            auction = node.module.Auction(
-                item=partition, highestBid=0.0, highestBidder=""
+            key = f"item-{k}"
+            partitions.append(
+                PartitionSpec(
+                    key=key,
+                    servants=(
+                        ServantSpec(
+                            name=f"{key}/Auction/0",
+                            type_name="Auction",
+                            state={
+                                "item": key,
+                                "highestBid": 0.0,
+                                "highestBidder": "",
+                            },
+                            read_only_ops=("status",),
+                        ),
+                    ),
+                )
             )
-            node.bind(name, auction)
-            servants[name] = auction
-            items.append(name)
+        return partitions
+
+    def setup(self, federation, config):
+        servants, items = self._spec_servants(federation)
         return {
             "config": config,
             "items": items,
@@ -924,20 +1046,32 @@ class MedicalRecordsScenario(Scenario):
     def _is_doctor(self, client_index):
         return client_index % 2 == 0
 
-    def setup(self, federation, config):
-        servants: Dict[str, Any] = {}
-        records = []
-        n_records = max(1, len(federation.nodes) * config.entities_per_node)
+    def servant_layout(self, config):
+        partitions = []
+        n_records = max(1, config.nodes * config.entities_per_node)
         for k in range(n_records):
-            partition = f"patient-{k}"
-            node = federation.node_for(partition)
-            name = f"{partition}/PatientRecord/0"
-            record = node.module.PatientRecord(
-                patientId=partition, diagnosis="healthy", revision=0
+            key = f"patient-{k}"
+            partitions.append(
+                PartitionSpec(
+                    key=key,
+                    servants=(
+                        ServantSpec(
+                            name=f"{key}/PatientRecord/0",
+                            type_name="PatientRecord",
+                            state={
+                                "patientId": key,
+                                "diagnosis": "healthy",
+                                "revision": 0,
+                            },
+                            read_only_ops=("read",),
+                        ),
+                    ),
+                )
             )
-            node.bind(name, record)
-            servants[name] = record
-            records.append(name)
+        return partitions
+
+    def setup(self, federation, config):
+        servants, records = self._spec_servants(federation)
         return {
             "config": config,
             "records": records,
@@ -1078,33 +1212,31 @@ class ComponentShippingScenario(Scenario):
             ),
         ]
 
-    def deploy(self, federation, config):
-        """Vendor side once, then replay the shipped package per node."""
-        from repro.core import MdaLifecycle, MiddlewareServices, replay, ship
+    # the ship-once/replay-per-node deployment this scenario used to
+    # hand-code is now the compiler's standard path for every spec
 
-        vendor = MdaLifecycle(self.build_pim(), services=MiddlewareServices.create())
-        for concern, params in self.concerns():
-            vendor.apply_concern(concern, **params)
-        package = ship(vendor)
-        for node in federation.nodes.values():
-            lifecycle = replay(package, services=node.services)
-            module = lifecycle.build_application(
-                f"shipping_{node.name.replace('-', '_')}"
+    def servant_layout(self, config):
+        partitions = []
+        n_orders = max(1, config.nodes * config.entities_per_node * 3)
+        for k in range(n_orders):
+            key = f"order-{k}"
+            partitions.append(
+                PartitionSpec(
+                    key=key,
+                    servants=(
+                        ServantSpec(
+                            name=f"{key}/Order/0",
+                            type_name="Order",
+                            state={"total": self.ORDER_TOTAL, "paid": False},
+                            read_only_ops=("isPaid",),
+                        ),
+                    ),
+                )
             )
-            node.host(lifecycle, module)
+        return partitions
 
     def setup(self, federation, config):
-        servants: Dict[str, Any] = {}
-        orders = []
-        n_orders = max(1, len(federation.nodes) * config.entities_per_node * 3)
-        for k in range(n_orders):
-            partition = f"order-{k}"
-            node = federation.node_for(partition)
-            name = f"{partition}/Order/0"
-            order = node.module.Order(total=self.ORDER_TOTAL, paid=False)
-            node.bind(name, order)
-            servants[name] = order
-            orders.append(name)
+        servants, orders = self._spec_servants(federation)
         return {
             "config": config,
             "orders": orders,
