@@ -235,6 +235,7 @@ def _cmd_simulate(args) -> int:
         window=args.window,
         delivery_workers=args.delivery_workers,
         churn=args.churn,
+        replication_mode=args.replication_mode,
     )
     runner = ScenarioRunner(args.scenario, config)
     if args.describe:
@@ -470,6 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         dest="delivery_workers",
         help="delivery threads of the federation's queued (async) transport",
+    )
+    simulate.add_argument(
+        "--replication-mode",
+        choices=("full", "log"),
+        default=None,
+        dest="replication_mode",
+        help="override the scenario's replication machinery: 'full' "
+        "write-through standby copies or 'log' append-only op-log "
+        "shipping with snapshot/truncate (replicated scenarios only)",
     )
     simulate.add_argument(
         "--json", default="", help="write the full machine-readable results here"

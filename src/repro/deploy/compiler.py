@@ -197,7 +197,9 @@ class DeploymentCompiler:
         if spec.replication.count > 0:
             plan.add(
                 "replication",
-                f"enable {spec.replication.count} standby(s) per partition",
+                f"enable {spec.replication.count} standby(s) per partition, "
+                f"{spec.replication.mode} mode "
+                f"(snapshot every {spec.replication.snapshot_every})",
             )
         return plan
 
@@ -263,7 +265,11 @@ class DeploymentCompiler:
             for site in spec.faults.effective_sites():
                 federation.configure_fault(site.site, site.probability)
             if spec.replication.count > 0:
-                federation.enable_replication(spec.replication.count)
+                federation.enable_replication(
+                    spec.replication.count,
+                    mode=spec.replication.mode,
+                    snapshot_every=spec.replication.snapshot_every,
+                )
             federation.spec = spec
             federation.bootstrap_plan = bootstrap
             return federation
@@ -389,8 +395,14 @@ def extract_spec(federation, include_state: bool = False) -> DeploymentSpec:
         application=application,
         nodes=nodes,
         partitions=tuple(partitions),
-        replication=ReplicationSpec(
-            count=federation.replicas.count if federation.replicas else 0
+        replication=(
+            ReplicationSpec(
+                count=federation.replicas.count,
+                mode=federation.replicas.mode,
+                snapshot_every=federation.replicas.snapshot_every,
+            )
+            if federation.replicas
+            else ReplicationSpec()
         ),
         # the federation's fault log is append-only (reconfigured sites
         # are re-appended); collapse it last-wins so the extracted spec

@@ -119,7 +119,11 @@ class MigrationPlan:
                     node.services.bus.servant(ref.object_id)
                 )
         elif action.kind == "set_replication":
-            federation.set_replication(payload["count"])
+            federation.set_replication(
+                payload["count"],
+                mode=payload.get("mode"),
+                snapshot_every=payload.get("snapshot_every"),
+            )
         elif action.kind == "set_binding_qos":
             from repro.deploy.spec import QoSProfile
 
@@ -152,6 +156,9 @@ class DeploymentDiff:
         self.added_servants: List[ServantSpec] = []
         self.removed_servants: List[str] = []
         self.replication_change: Optional[Tuple[int, int]] = None
+        #: the full target replication policy when anything about it
+        #: changed (count raise or log snapshot-threshold retune)
+        self.replication_target = None
         self.fault_changes: List[Tuple[str, float]] = []
         #: (type name, target read-only set) — one entry per type whose
         #: classification differs (replace semantics: an empty target
@@ -228,7 +235,10 @@ class DeploymentDiff:
                 )
         if cls._qos_table(current) != cls._qos_table(target):
             diff.qos_changed = True
-        if current.replication.count != target.replication.count:
+        if (
+            current.replication != target.replication
+            and (current.replication.count or target.replication.count)
+        ):
             if target.replication.count < current.replication.count:
                 raise DeploymentError(
                     "replication count cannot be lowered live "
@@ -236,10 +246,21 @@ class DeploymentDiff:
                     f"{target.replication.count}); standby state would be "
                     "dropped under traffic"
                 )
+            if (
+                current.replication.count > 0
+                and current.replication.mode != target.replication.mode
+            ):
+                raise DeploymentError(
+                    "replication mode cannot be changed live "
+                    f"({current.replication.mode!r} -> "
+                    f"{target.replication.mode!r}); standby state would "
+                    "have to be rebuilt under traffic — redeploy instead"
+                )
             diff.replication_change = (
                 current.replication.count,
                 target.replication.count,
             )
+            diff.replication_target = target.replication
         current_users = {user.name: user for user in current.users}
         target_users = {user.name: user for user in target.users}
         for name in sorted(set(target_users) - set(current_users)):
@@ -362,10 +383,20 @@ class DeploymentDiff:
             )
         if self.replication_change is not None:
             before, after = self.replication_change
+            target = self.replication_target
+            if after != before:
+                detail = f"raise replication {before} -> {after} standby(s)"
+            else:
+                detail = (
+                    "retune replication snapshot threshold -> "
+                    f"{target.snapshot_every}"
+                )
             plan.add(
                 "set_replication",
-                f"raise replication {before} -> {after} standby(s)",
+                detail,
                 count=after,
+                mode=target.mode,
+                snapshot_every=target.snapshot_every,
             )
         if self.qos_changed:
             from repro.deploy.compiler import DeploymentCompiler

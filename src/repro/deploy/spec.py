@@ -13,7 +13,8 @@ refined application runs*:
 * the application — :class:`ApplicationSpec`: a PIM source (builder name
   or XMI path) plus the ordered :class:`ConcernSpec` selections lowered
   through the configuration pipeline;
-* policies — :class:`ReplicationSpec` (standby count),
+* policies — :class:`ReplicationSpec` (standby count, write-through vs
+  log-shipping mode, snapshot threshold),
   :class:`FaultCampaignSpec` (site probabilities), named
   :class:`QoSProfile` s with per-binding defaults, and provisioned
   :class:`UserSpec` s.
@@ -184,16 +185,35 @@ class PartitionSpec:
 
 @dataclass(frozen=True)
 class ReplicationSpec:
-    """Standby copies per partition (0 = replication disabled)."""
+    """Standby copies per partition (0 = replication disabled).
+
+    ``mode`` selects the replication machinery: ``"full"`` write-through
+    (every mutating call overwrites the standby copies in place) or
+    ``"log"`` log shipping (per-servant deltas appended to a sequenced
+    partition log that standbys replay).  ``snapshot_every`` is the
+    log-mode truncation threshold: after that many retained entries the
+    tail is folded into a base snapshot.  Old spec files without these
+    keys parse as write-through.
+    """
 
     count: int = 0
+    mode: str = "full"
+    snapshot_every: int = 64
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"count": self.count}
+        return {
+            "count": self.count,
+            "mode": self.mode,
+            "snapshot_every": self.snapshot_every,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ReplicationSpec":
-        return cls(count=data.get("count", 0))
+        return cls(
+            count=data.get("count", 0),
+            mode=data.get("mode", "full"),
+            snapshot_every=data.get("snapshot_every", 64),
+        )
 
 
 @dataclass(frozen=True)
@@ -495,6 +515,16 @@ class DeploymentSpec:
                     f"smaller than the node count {len(self.nodes)} "
                     "(every standby needs a distinct successor node)"
                 )
+        if self.replication.mode not in ("full", "log"):
+            problems.append(
+                f"replication mode must be 'full' or 'log', "
+                f"got {self.replication.mode!r}"
+            )
+        if self.replication.snapshot_every < 1:
+            problems.append(
+                f"replication snapshot_every must be >= 1, "
+                f"got {self.replication.snapshot_every}"
+            )
         fault_sites = [site.site for site in self.faults.sites]
         for name in sorted({s for s in fault_sites if fault_sites.count(s) > 1}):
             problems.append(f"duplicate fault site {name!r}")
@@ -628,7 +658,13 @@ class DeploymentSpec:
             f"({', '.join(self.node_names)})",
             f"  partitions:  {len(self.partitions)} "
             f"({servant_count} servant(s))",
-            f"  replication: {self.replication.count} standby(s)/partition",
+            f"  replication: {self.replication.count} standby(s)/partition"
+            + (
+                f", {self.replication.mode} mode"
+                f" (snapshot every {self.replication.snapshot_every})"
+                if self.replication.count
+                else ""
+            ),
             f"  faults:      {len(self.faults.sites)} site(s), "
             f"{'armed' if self.faults.armed else 'disarmed'}",
             f"  users:       {len(self.users)}",

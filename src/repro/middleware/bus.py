@@ -29,10 +29,11 @@ Wire-type contract (what `marshal` guarantees end to end):
 
 from __future__ import annotations
 
+import collections
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Deque, Dict, FrozenSet, Optional, Tuple
 
 import repro.errors as errors_module
 from repro.errors import MarshallingError, RemoteInvocationError, ReproError
@@ -57,6 +58,11 @@ from repro.middleware.transport import (
 _message_counter = itertools.count(1)
 
 _PRIMITIVES = (str, int, float, bool, bytes, type(None))
+
+#: retained per-delivery mutation records (see MessageBus._touch_log);
+#: large enough that any realistic [before, after] replication window
+#: fits, small enough that the hot path never scans far
+TOUCH_LOG_LIMIT = 1024
 
 
 @dataclass(frozen=True)
@@ -209,6 +215,15 @@ class MessageBus:
         #: bumped *before* dispatch so a call that fails mid-effect still
         #: registers as a mutation
         self.mutations = 0
+        #: the per-delivery mutation record behind :attr:`mutations`:
+        #: ``(mutation index, object_id)`` per mutating dispatch — nested
+        #: in-process deliveries included, since every delivery funnels
+        #: through the terminal.  Bounded: replication reads a window of
+        #: it via :meth:`touched_since`, and an evicted window degrades
+        #: to "touched unknown" (the safe, sync-everything direction).
+        self._touch_log: Deque[Tuple[int, str]] = collections.deque(
+            maxlen=TOUCH_LOG_LIMIT
+        )
         #: optional hook wrapping servant dispatch: ``guard(object_id, fn)``.
         #: The runtime node installs its dispatcher's per-servant lock here
         #: so nested in-process deliveries serialize like routed requests.
@@ -262,6 +277,30 @@ class MessageBus:
         with self._stats_lock:
             self.read_only_ops[type_name] = frozenset(operations)
 
+    def touched_since(self, before: int) -> Optional[FrozenSet[str]]:
+        """Object ids of servants mutated since mutation count ``before``.
+
+        The replication layer brackets a routed call with two reads of
+        :attr:`mutations` and asks for the servants touched in between —
+        per-servant dirty tracking.  Returns ``None`` when part of the
+        window has been evicted from the bounded record (the caller must
+        then fall back to a full-partition sync).  A concurrent call's
+        mutations landing inside the window only *add* ids — the safe
+        direction: an extra servant gets refreshed, never one missed.
+        """
+        with self._stats_lock:
+            expected = self.mutations - before
+            if expected <= 0:
+                return frozenset()
+            touched = []
+            for index, object_id in reversed(self._touch_log):
+                if index <= before:
+                    break
+                touched.append(object_id)
+            if len(touched) < expected:
+                return None
+            return frozenset(touched)
+
     # -- chain elements ----------------------------------------------------------
 
     def _stats_element(self, envelope: Envelope, proceed: Callable[[], Any]):
@@ -296,9 +335,10 @@ class MessageBus:
             )
             if not read_only:
                 # flagged before dispatch: a mutation that dies half-way
-                # must still trigger the write-through sync
+                # must still trigger the replication sync
                 with self._stats_lock:
                     self.mutations += 1
+                    self._touch_log.append((self.mutations, request.object_id))
             if self.dispatch_guard is not None:
                 result = self.dispatch_guard(
                     request.object_id, lambda: dispatch(request, servant)

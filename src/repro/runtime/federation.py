@@ -471,7 +471,7 @@ class _MigrationGate:
 class ReplicaGroup:
     """One partition's replication view: primary + standby servant copies."""
 
-    __slots__ = ("partition", "primary", "standbys")
+    __slots__ = ("partition", "primary", "standbys", "watermarks")
 
     def __init__(self, partition: str, primary: str, standby_names: List[str]):
         self.partition = partition
@@ -480,6 +480,64 @@ class ReplicaGroup:
         self.standbys: Dict[str, Dict[str, Any]] = {
             name: {} for name in standby_names
         }
+        #: standby node name -> applied log sequence (log mode): the
+        #: watermark up to which that standby's copies have replayed the
+        #: partition's :class:`ReplicationLog`; replica lag is the
+        #: distance between the log head and the smallest watermark
+        self.watermarks: Dict[str, int] = {name: 0 for name in standby_names}
+
+
+class ReplicationLog:
+    """Append-only, monotonically sequenced op log for one partition.
+
+    Every mutating call appends one entry per touched servant carrying
+    that servant's post-call state delta ``(seq, name, type_name,
+    state)``.  Standbys *replay* the tail past their applied watermark
+    instead of re-copying the partition.  Periodically the tail is
+    folded into a base snapshot (``base``/``base_seq``) and truncated,
+    bounding memory; a standby whose watermark predates ``base_seq``
+    reseeds from the snapshot and replays the remaining tail — the same
+    path serves steady-state catch-up, join-time seeding, and failover
+    promotion.
+    """
+
+    __slots__ = (
+        "partition", "seq", "base_seq", "base", "entries",
+        "appends", "truncations",
+    )
+
+    def __init__(self, partition: str):
+        self.partition = partition
+        #: sequence of the newest entry ever appended (monotonic)
+        self.seq = 0
+        #: every entry with seq <= base_seq has been folded into base
+        self.base_seq = 0
+        #: binding name -> (type name, state) as of base_seq
+        self.base: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        #: untruncated tail: [(seq, name, type name, state)], seq > base_seq
+        self.entries: List[Tuple[int, str, str, Dict[str, Any]]] = []
+        self.appends = 0
+        self.truncations = 0
+
+    def append(self, name: str, type_name: str, state: Dict[str, Any]) -> int:
+        self.seq += 1
+        self.appends += 1
+        self.entries.append((self.seq, name, type_name, state))
+        return self.seq
+
+    def snapshot(self) -> None:
+        """Fold the tail into the base snapshot and truncate the log."""
+        for _seq, name, type_name, state in self.entries:
+            self.base[name] = (type_name, state)
+        self.base_seq = self.seq
+        self.entries = []
+        self.truncations += 1
+
+    def prune(self, live_names) -> None:
+        """Drop base entries for names no longer bound in the partition."""
+        for name in list(self.base):
+            if name not in live_names:
+                del self.base[name]
 
 
 class ReplicaManager:
@@ -488,28 +546,75 @@ class ReplicaManager:
     Standbys are the partition's ring successors, so when the primary
     leaves the ring the new hash owner *is* the first standby — the node
     already holding current state.  Copies are instances of the standby
-    node's own woven module classes, refreshed write-through after every
-    successful routed call on the partition: each servant's attribute
-    dict is snapshot under that servant's dispatch lock (so a single
-    snapshot is never torn by a concurrent mutation; shallow — scenario
-    servant state is primitive by construction).  Cross-servant
-    coherence comes from the write-through discipline itself: every
-    mutating call re-syncs its whole partition before it releases the
+    node's own woven module classes; each servant's attribute dict is
+    snapshot under that servant's dispatch lock (so a single snapshot is
+    never torn by a concurrent mutation; shallow — scenario servant
+    state is primitive by construction).
+
+    Two replication modes, both driven by **per-servant dirty
+    tracking**: the bus records which servants each delivery mutated
+    (:meth:`MessageBus.touched_since`), so a sync refreshes only the
+    touched servants instead of re-copying the whole partition.
+
+    * ``"full"`` — write-through: touched copies are refreshed in place
+      on every mutating routed call (the PR-4 behavior, narrowed).
+    * ``"log"`` — log shipping: touched states are appended to the
+      partition's :class:`ReplicationLog` and standbys *replay* the
+      tail past their applied watermark; the log is snapshot+truncated
+      every ``snapshot_every`` entries, and seeding/catch-up/failover
+      promotion all ride the same replay path.
+
+    Cross-servant coherence comes from the sync discipline itself:
+    every mutating call replicates its effects before it releases the
     node's in-flight count, so a drained (killed) primary has already
     pushed its final state.
     """
 
-    def __init__(self, federation: "Federation", count: int = 1):
+    MODES = ("full", "log")
+
+    def __init__(
+        self,
+        federation: "Federation",
+        count: int = 1,
+        mode: str = "full",
+        snapshot_every: int = 64,
+    ):
         if count < 1:
             raise FederationError(f"replication needs >= 1 standby, got {count}")
+        if mode not in self.MODES:
+            raise FederationError(
+                f"unknown replication mode {mode!r}; expected one of {self.MODES}"
+            )
+        if snapshot_every < 1:
+            raise FederationError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
         self.federation = federation
         self.count = count
+        self.mode = mode
+        self.snapshot_every = snapshot_every
+        #: set False to disable per-servant dirty narrowing and fall back
+        #: to full-partition syncs on every mutating call (the pre-log
+        #: behavior benchmarks baseline against)
+        self.dirty_narrowing = True
         self._groups: Dict[str, ReplicaGroup] = {}
+        #: per-partition append-only op log (log mode only)
+        self._logs: Dict[str, ReplicationLog] = {}
+        #: per-partition reverse index object_id -> binding name, rebuilt
+        #: on every full sync; lets a narrowed sync map the bus's touched
+        #: object ids to bindings without an O(partition) name listing
+        self._index: Dict[str, Dict[str, str]] = {}
+        self._index_epoch: Dict[str, int] = {}
         self._lock = threading.RLock()
-        #: write-through syncs actually performed / skipped because the
-        #: routed call touched no mutable servant (mutation narrowing)
+        #: syncs that actually refreshed at least one standby copy /
+        #: skipped because the routed call touched no mutable servant
         self.syncs = 0
         self.skipped_syncs = 0
+        #: log-mode counters: entries appended, snapshot+truncate cycles,
+        #: and the largest watermark deficit ever observed at catch-up
+        self.log_appends = 0
+        self.snapshots = 0
+        self.max_replica_lag = 0
 
     def _standby_names(self, partition: str) -> List[str]:
         preference = self.federation.naming.ring.preference(
@@ -517,8 +622,15 @@ class ReplicaManager:
         )
         return preference[1:]
 
-    def sync_partition(self, partition: str) -> None:
-        """Refresh every standby copy of ``partition`` from its primary.
+    def sync_partition(self, partition: str, touched=None) -> None:
+        """Replicate ``partition``'s state to its standbys.
+
+        ``touched`` is the set of servant object ids the triggering call
+        mutated (from :meth:`MessageBus.touched_since`); when given, only
+        those servants are refreshed/logged — per-servant dirty tracking.
+        ``None`` means "unknown": seed, rebuild, and evicted-window calls
+        pay the full-partition path, which also rebuilds the reverse
+        index the narrowed path needs.
 
         Best-effort by design: it runs *after* the triggering call's
         servant effect, so it must never fail that call.  A topology
@@ -527,8 +639,10 @@ class ReplicaManager:
         change performs re-syncs the partition moments later.
         """
         federation = self.federation
-        with self._lock:
-            self.syncs += 1
+        if touched is not None and self.dirty_narrowing:
+            with self._lock:
+                if self._sync_narrow(partition, touched):
+                    return
         view = federation.naming.partition_view(partition)
         if view is None:
             return
@@ -541,55 +655,199 @@ class ReplicaManager:
         except FederationError:
             return
         with self._lock:
-            group = self._groups.get(partition)
-            if (
-                group is None
-                or group.primary != owner_name
-                or list(group.standbys) != standby_names
-            ):
-                group = ReplicaGroup(partition, owner_name, standby_names)
-                self._groups[partition] = group
-            for standby_name in standby_names:
-                standby = federation.nodes.get(standby_name)
-                if standby is None or standby.module is None:
+            group = self._ensure_group(partition, owner_name, standby_names)
+            index: Dict[str, str] = {}
+            pairs = []
+            for name in names:
+                found = federation._servant_on(owner, name)
+                if found is None:
                     continue
-                copies = group.standbys[standby_name]
-                for name in names:
-                    found = federation._servant_on(owner, name)
-                    if found is None:
-                        continue
-                    ref, servant = found
-                    copy = copies.get(name)
-                    if copy is None or type(copy).__name__ != type(servant).__name__:
-                        cls = getattr(standby.module, type(servant).__name__, None)
-                        if cls is None:
-                            continue
-                        copy = cls.__new__(cls)
-                        copies[name] = copy
-                    # snapshot under the servant's dispatch lock: a
-                    # concurrent call on the same servant cannot tear it
-                    state = owner.dispatcher.serialize(
-                        ref.object_id, lambda s=servant: dict(s.__dict__)
-                    )
-                    copy.__dict__.clear()
-                    copy.__dict__.update(state)
+                ref, servant = found
+                index[ref.object_id] = name
+                pairs.append((name, ref, servant))
+            self._index[partition] = index
+            self._index_epoch[partition] = federation.naming.epoch
+            if self._replicate(partition, group, owner, pairs, full=True):
+                self.syncs += 1
+
+    def _sync_narrow(self, partition: str, touched) -> bool:
+        """Refresh only the ``touched`` servants; False -> full path.
+
+        Requires a current group and reverse index (same naming epoch,
+        object ids still resolving to the indexed bindings).  Anything
+        stale falls back to the full sync, which repairs the index.  A
+        touched id belonging to another partition (a concurrent call on
+        the same node bumped the counter inside our window) is simply
+        not in this partition's index and drops out.
+        """
+        federation = self.federation
+        group = self._groups.get(partition)
+        if group is None:
+            return False
+        if self._index_epoch.get(partition) != federation.naming.epoch:
+            return False
+        owner = federation.nodes.get(group.primary)
+        if owner is None:
+            return False
+        index = self._index.get(partition, {})
+        pairs = []
+        for object_id in touched:
+            name = index.get(object_id)
+            if name is None:
+                continue
+            found = federation._servant_on(owner, name)
+            if found is None or found[0].object_id != object_id:
+                return False
+            pairs.append((name, found[0], found[1]))
+        if not pairs:
+            # every touched id is foreign to this partition — either a
+            # concurrent foreign mutation landed in our window, or the
+            # index is stale; the full path resolves both safely
+            return False
+        if self._replicate(partition, group, owner, pairs, full=False):
+            self.syncs += 1
+        return True
+
+    def _ensure_group(
+        self, partition: str, owner_name: str, standby_names: List[str]
+    ) -> ReplicaGroup:
+        group = self._groups.get(partition)
+        if (
+            group is None
+            or group.primary != owner_name
+            or list(group.standbys) != standby_names
+        ):
+            group = ReplicaGroup(partition, owner_name, standby_names)
+            self._groups[partition] = group
+        return group
+
+    def _replicate(self, partition, group, owner, pairs, full) -> int:
+        """Push ``pairs`` [(name, ref, servant)] to the standbys; returns
+        the number of copies actually refreshed."""
+        if self.mode == "log":
+            return self._replicate_log(partition, group, owner, pairs, full)
+        return self._copy_through(group, owner, pairs)
+
+    def _snapshot_states(self, owner, pairs):
+        """[(name, type name, state)] snapshot under each servant's
+        dispatch lock — a concurrent call on the servant cannot tear it."""
+        snapshots = []
+        for name, ref, servant in pairs:
+            state = owner.dispatcher.serialize(
+                ref.object_id, lambda s=servant: dict(s.__dict__)
+            )
+            snapshots.append((name, type(servant).__name__, state))
+        return snapshots
+
+    def _copy_through(self, group, owner, pairs) -> int:
+        """Full mode: overwrite each standby's copies in place."""
+        federation = self.federation
+        snapshots = self._snapshot_states(owner, pairs)
+        refreshed = 0
+        for standby_name in group.standbys:
+            standby = federation.nodes.get(standby_name)
+            if standby is None or standby.module is None:
+                continue
+            copies = group.standbys[standby_name]
+            for name, type_name, state in snapshots:
+                refreshed += self._apply_state(
+                    standby.module, copies, name, type_name, state
+                )
+        return refreshed
+
+    def _replicate_log(self, partition, group, owner, pairs, full) -> int:
+        """Log mode: append per-servant deltas, then replay to standbys."""
+        federation = self.federation
+        log = self._logs.get(partition)
+        if log is None:
+            log = self._logs[partition] = ReplicationLog(partition)
+        for name, type_name, state in self._snapshot_states(owner, pairs):
+            log.append(name, type_name, state)
+            self.log_appends += 1
+        if full:
+            # a full append re-states every live binding, so base
+            # entries for since-unbound names can be dropped
+            log.prune({name for name, _ref, _servant in pairs})
+        if len(log.entries) >= self.snapshot_every:
+            log.snapshot()
+            self.snapshots += 1
+        refreshed = 0
+        for standby_name in group.standbys:
+            standby = federation.nodes.get(standby_name)
+            if standby is None or standby.module is None:
+                continue
+            refreshed += self._catch_up(group, log, standby_name, standby)
+        return refreshed
+
+    def _catch_up(self, group, log, standby_name, standby) -> int:
+        """Replay the log tail past ``standby_name``'s watermark."""
+        applied = group.watermarks.get(standby_name, 0)
+        lag = log.seq - applied
+        if lag > self.max_replica_lag:
+            self.max_replica_lag = lag
+        if lag <= 0:
+            return 0
+        copies = group.standbys[standby_name]
+        refreshed = 0
+        if applied < log.base_seq:
+            # truncated past this watermark: reseed from the base
+            # snapshot, then replay the remaining tail
+            for name, (type_name, state) in log.base.items():
+                refreshed += self._apply_state(
+                    standby.module, copies, name, type_name, state
+                )
+            applied = log.base_seq
+        for seq, name, type_name, state in log.entries:
+            if seq <= applied:
+                continue
+            refreshed += self._apply_state(
+                standby.module, copies, name, type_name, state
+            )
+        group.watermarks[standby_name] = log.seq
+        return refreshed
+
+    @staticmethod
+    def _apply_state(module, copies, name, type_name, state) -> int:
+        copy = copies.get(name)
+        if copy is None or type(copy).__name__ != type_name:
+            cls = getattr(module, type_name, None)
+            if cls is None:
+                return 0
+            copy = cls.__new__(cls)
+            copies[name] = copy
+        copy.__dict__.clear()
+        copy.__dict__.update(state)
+        return 1
 
     def note_skip(self) -> None:
-        """Count one write-through sync skipped by mutation narrowing."""
+        """Count one replication sync skipped by mutation narrowing."""
         with self._lock:
             self.skipped_syncs += 1
 
     def take(self, partition: str, node_name: str) -> Dict[str, Any]:
-        """The standby copies ``node_name`` holds for ``partition``."""
+        """The standby copies ``node_name`` holds for ``partition``.
+
+        In log mode the standby is caught up to the log head first, so
+        failover promotion rides the log: the promoted copies replay any
+        shipped-but-unapplied tail before they are handed out.
+        """
         with self._lock:
             group = self._groups.get(partition)
             if group is None:
                 return {}
+            log = self._logs.get(partition)
+            if log is not None and node_name in group.standbys:
+                standby = self.federation.nodes.get(node_name)
+                if standby is not None and standby.module is not None:
+                    self._catch_up(group, log, node_name, standby)
             return dict(group.standbys.get(node_name, {}))
 
     def drop(self, partition: str) -> None:
         with self._lock:
             self._groups.pop(partition, None)
+            self._logs.pop(partition, None)
+            self._index.pop(partition, None)
+            self._index_epoch.pop(partition, None)
 
     def rebuild(self) -> None:
         """Re-place every group after a topology change and resync."""
@@ -600,13 +858,34 @@ class ReplicaManager:
         with self._lock:
             for stale in set(self._groups) - partitions:
                 del self._groups[stale]
+            for stale in set(self._logs) - partitions:
+                del self._logs[stale]
+            for stale in set(self._index) - partitions:
+                self._index.pop(stale, None)
+                self._index_epoch.pop(stale, None)
         for partition in sorted(partitions):
             self.sync_partition(partition)
 
+    def replica_lag(self) -> int:
+        """Largest current watermark deficit across all standbys."""
+        with self._lock:
+            lag = 0
+            for partition, group in self._groups.items():
+                log = self._logs.get(partition)
+                if log is None:
+                    continue
+                for standby_name in group.standbys:
+                    behind = log.seq - group.watermarks.get(standby_name, 0)
+                    if behind > lag:
+                        lag = behind
+            return lag
+
     def stats(self) -> Dict[str, Any]:
+        lag = self.replica_lag()
         with self._lock:
             return {
                 "standbys_per_partition": self.count,
+                "mode": self.mode,
                 "partitions": len(self._groups),
                 "copies": sum(
                     len(copies)
@@ -615,6 +894,10 @@ class ReplicaManager:
                 ),
                 "syncs": self.syncs,
                 "skipped_syncs": self.skipped_syncs,
+                "log_appends": self.log_appends,
+                "snapshots": self.snapshots,
+                "replica_lag": lag,
+                "max_replica_lag": self.max_replica_lag,
             }
 
 
@@ -741,32 +1024,77 @@ class Federation:
 
     # -- elastic membership -------------------------------------------------------
 
-    def enable_replication(self, count: int = 1) -> ReplicaManager:
-        """Give every partition ``count`` standby copies (failover state)."""
+    def enable_replication(
+        self,
+        count: int = 1,
+        mode: str = "full",
+        snapshot_every: int = 64,
+    ) -> ReplicaManager:
+        """Give every partition ``count`` standby copies (failover state).
+
+        ``mode`` selects write-through (``"full"``) or log-shipping
+        (``"log"``) replication; ``snapshot_every`` is the log-mode
+        snapshot+truncate threshold (entries retained before the tail is
+        folded into the base snapshot).
+        """
         with self._topology_lock:
             if self.replicas is None:
-                self.replicas = ReplicaManager(self, count)
+                self.replicas = ReplicaManager(
+                    self, count, mode=mode, snapshot_every=snapshot_every
+                )
                 self.replicas.rebuild()
             elif self.replicas.count != count:
                 raise FederationError(
                     f"replication already enabled with "
                     f"{self.replicas.count} standby(s)"
                 )
+            elif self.replicas.mode != mode:
+                raise FederationError(
+                    f"replication already enabled in "
+                    f"{self.replicas.mode!r} mode"
+                )
             return self.replicas
 
-    def set_replication(self, count: int) -> ReplicaManager:
+    def set_replication(
+        self,
+        count: int,
+        mode: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
+    ) -> ReplicaManager:
         """Enable replication or *change* the standby count on a live
         federation (the reconciler's path: a spec diff may raise the
         replica count mid-run).  Re-places every group and resyncs, so
-        the new standbys hold current state before the call returns."""
+        the new standbys hold current state before the call returns.
+        ``snapshot_every`` retunes the log truncation threshold in
+        place; the mode itself cannot change live (the reconciler
+        refuses such diffs) — passing one only selects the mode when
+        replication is first enabled."""
         with self._topology_lock:
             if self.replicas is None:
-                return self.enable_replication(count)
+                return self.enable_replication(
+                    count,
+                    mode=mode if mode is not None else "full",
+                    snapshot_every=(
+                        snapshot_every if snapshot_every is not None else 64
+                    ),
+                )
+            if mode is not None and mode != self.replicas.mode:
+                raise FederationError(
+                    f"replication mode cannot change live "
+                    f"({self.replicas.mode!r} -> {mode!r}); standby state "
+                    "would have to be rebuilt under traffic"
+                )
             if count < 1:
                 raise FederationError(
                     "replication cannot be disabled once enabled "
                     "(standby state would be dropped under live traffic)"
                 )
+            if snapshot_every is not None:
+                if snapshot_every < 1:
+                    raise FederationError(
+                        f"snapshot_every must be >= 1, got {snapshot_every}"
+                    )
+                self.replicas.snapshot_every = snapshot_every
             self.replicas.count = count
             self.replicas.rebuild()
             return self.replicas
@@ -1260,25 +1588,32 @@ class Federation:
     ):
         """The routing terminal: dead-node classification + the node hop.
 
-        The write-through replication of a named call runs *inside* the
-        node guard: a kill that drained to zero has therefore already
-        captured every completed effect in the standby copies — there is
-        no window where an effect exists only on the dying primary.
+        The replication of a named call runs *inside* the node guard: a
+        kill that drained to zero has therefore already captured every
+        completed effect in the standby copies (or shipped it through
+        the replication log) — there is no window where an effect exists
+        only on the dying primary.
 
         Mutation narrowing: the sync is skipped when the node's bus saw
         no (possibly) mutating dispatch while this call executed — the
         call's own dispatch, and every nested delivery it made on the
-        node, were all spec-declared read-only operations.  A concurrent
-        mutating call on the same node can only flip a skip into a sync
-        (the safe direction); a mutating call always observes its own
-        bump, so its sync is never skipped."""
+        node, were all spec-declared read-only operations.  Otherwise
+        the bus's per-delivery record names exactly which servants were
+        touched, so only those are refreshed (per-servant dirty
+        tracking).  A concurrent mutating call on the same node can only
+        flip a skip into a sync or widen the touched set (the safe
+        direction); a mutating call always observes its own bump, so its
+        sync is never skipped."""
         with self._node_guard(node):
             track = partition is not None and self.replicas is not None
-            before = node.services.bus.mutations if track else 0
+            bus = node.services.bus
+            before = bus.mutations if track else 0
             value = node.invoke(ref, operation, args, kwargs or {}, context)
             if track:
-                if node.services.bus.mutations != before:
-                    self.replicas.sync_partition(partition)
+                if bus.mutations != before:
+                    self.replicas.sync_partition(
+                        partition, touched=bus.touched_since(before)
+                    )
                 else:
                     self.replicas.note_skip()
             return value
@@ -1614,10 +1949,13 @@ class Federation:
             )
             if self.replicas is not None and item.name is not None:
                 # same mutation narrowing as the per-call path: members
-                # whose dispatch bumped no mutation flag skip the sync
-                if owner.services.bus.mutations != mutations_before:
+                # whose dispatch bumped no mutation flag skip the sync,
+                # and the rest refresh only the servants they touched
+                bus = owner.services.bus
+                if bus.mutations != mutations_before:
                     self.replicas.sync_partition(
-                        ShardedNamingService.partition_key(item.name)
+                        ShardedNamingService.partition_key(item.name),
+                        touched=bus.touched_since(mutations_before),
                     )
                 else:
                     self.replicas.note_skip()

@@ -80,10 +80,18 @@ class RunConfig:
     delivery_workers: int = 2
     #: arm the scenario's churn plan (node kill / join / retire mid-run)
     churn: bool = False
+    #: override the scenario's replication machinery ("full" | "log");
+    #: None keeps the scenario's declared mode
+    replication_mode: Optional[str] = None
     #: digest of the DeploymentSpec this run builds from (set by the
     #: runner for spec-declared scenarios; None on the legacy path) —
     #: scenario digests include it, so topology drift changes the digest
     spec_digest: Optional[str] = None
+    #: the deployment's replication policy (count/mode/snapshot_every;
+    #: set by the runner for spec-declared scenarios) — surfaced by
+    #: ``simulate --describe`` so replication-path drift is visible
+    #: before a run, and folded into the spec digest above
+    replication: Optional[Dict[str, Any]] = None
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -103,6 +111,7 @@ class RunConfig:
             "delivery_workers": self.delivery_workers,
             "churn": self.churn,
             "spec_digest": self.spec_digest,
+            "replication": self.replication,
         }
 
 
@@ -151,6 +160,23 @@ class ScenarioResult:
         )
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
+    def replication_summary(self) -> Optional[Dict[str, Any]]:
+        """The run's replication-path counters (None when disabled):
+        syncs performed/skipped, log appends, snapshot+truncate cycles,
+        and the current/max replica lag watermark deficits."""
+        stats = self.federation_stats.get("replication")
+        if not stats:
+            return None
+        return {
+            "mode": stats.get("mode"),
+            "syncs": stats.get("syncs"),
+            "skipped_syncs": stats.get("skipped_syncs"),
+            "log_appends": stats.get("log_appends"),
+            "snapshots": stats.get("snapshots"),
+            "replica_lag": stats.get("replica_lag"),
+            "max_replica_lag": stats.get("max_replica_lag"),
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "scenario": self.scenario,
@@ -163,6 +189,7 @@ class ScenarioResult:
             "outcomes": self.outcomes,
             "metrics": self.metrics,
             "federation": self.federation_stats,
+            "replication": self.replication_summary(),
             "invariant_violations": self.invariant_violations,
             "faults_injected": self.faults_injected,
             "fingerprint": self.fingerprint,
@@ -186,6 +213,16 @@ class ScenarioResult:
         if routed:
             share = ", ".join(f"{node}={count}" for node, count in routed.items())
             lines.append(f"  routing:    {share}")
+        replication = self.replication_summary()
+        if replication:
+            lines.append(
+                f"  replication: {replication['mode']} mode, "
+                f"{replication['syncs']} sync(s), "
+                f"{replication['skipped_syncs']} skipped, "
+                f"{replication['log_appends']} append(s), "
+                f"{replication['snapshots']} snapshot(s), "
+                f"max lag {replication['max_replica_lag']}"
+            )
         if self.faults_injected:
             injected = ", ".join(
                 f"{site}={count}"
@@ -223,6 +260,7 @@ class ScenarioRunner:
         self.deployment = self.spec.deployment_spec(config)
         if self.deployment is not None:
             config.spec_digest = self.deployment.digest()
+            config.replication = self.deployment.replication.to_dict()
 
     # -- construction -----------------------------------------------------------
 
@@ -261,7 +299,11 @@ class ScenarioRunner:
         for user, password, roles in self.spec.users:
             federation.add_user(user, password, roles=roles)
         if self.spec.replica_count > 0:
-            federation.enable_replication(self.spec.replica_count)
+            federation.enable_replication(
+                self.spec.replica_count,
+                mode=config.replication_mode or self.spec.replication_mode,
+                snapshot_every=self.spec.replication_snapshot_every,
+            )
         return federation
 
     def _client_rng(self, client_index: int) -> random.Random:

@@ -16,13 +16,17 @@ import time
 from typing import Dict, List, Optional
 
 
-def percentile(samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples``; 0.0 for an empty set."""
-    if not samples:
+def percentile_of_sorted(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted ``ordered`` list."""
+    if not ordered:
         return 0.0
-    ordered = sorted(samples)
     rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples``; 0.0 for an empty set."""
+    return percentile_of_sorted(sorted(samples), fraction)
 
 
 class _Series:
@@ -40,15 +44,16 @@ class _Series:
         self.latencies.append(seconds)
 
     def summary(self) -> Dict[str, float]:
-        lat = self.latencies
-        total = sum(lat)
+        # one sort serves all three percentiles
+        ordered = sorted(self.latencies)
+        total = sum(ordered)
         return {
             "count": self.count,
             "errors": self.errors,
-            "mean_ms": (total / len(lat)) * 1000.0 if lat else 0.0,
-            "p50_ms": percentile(lat, 0.50) * 1000.0,
-            "p95_ms": percentile(lat, 0.95) * 1000.0,
-            "p99_ms": percentile(lat, 0.99) * 1000.0,
+            "mean_ms": (total / len(ordered)) * 1000.0 if ordered else 0.0,
+            "p50_ms": percentile_of_sorted(ordered, 0.50) * 1000.0,
+            "p95_ms": percentile_of_sorted(ordered, 0.95) * 1000.0,
+            "p99_ms": percentile_of_sorted(ordered, 0.99) * 1000.0,
         }
 
 

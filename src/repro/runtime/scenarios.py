@@ -131,6 +131,11 @@ class Scenario:
     users: List[Tuple[str, str, List[str]]] = []
     #: standby copies per partition (> 0 enables replicated failover)
     replica_count: int = 0
+    #: replication machinery: "full" write-through or "log" shipping
+    #: (append-only partition op log replayed onto the standbys)
+    replication_mode: str = "full"
+    #: log-mode snapshot+truncate threshold (entries retained)
+    replication_snapshot_every: int = 64
     #: default QoS handed to every harness client (None = DEFAULT_QOS);
     #: elastic scenarios set a retry budget so failover re-delivery is
     #: automatic for pre-effect dead-node faults
@@ -205,7 +210,12 @@ class Scenario:
             # (the pre-spec runtime behaved the same way — standbys
             # simply had nowhere to land)
             replication=ReplicationSpec(
-                count=min(self.replica_count, max(config.nodes - 1, 0))
+                count=min(self.replica_count, max(config.nodes - 1, 0)),
+                mode=(
+                    getattr(config, "replication_mode", None)
+                    or self.replication_mode
+                ),
+                snapshot_every=self.replication_snapshot_every,
             ),
             faults=FaultCampaignSpec(
                 sites=tuple(
@@ -716,6 +726,12 @@ class ElasticBankingScenario(BankingScenario):
     users = [("alice", "pw", ["teller"])]
     #: one standby per partition — enough to survive one crash at a time
     replica_count = 1
+    #: ship per-servant deltas through the partition op log instead of
+    #: write-through copies — the churn/kill oracles below (money
+    #: conserved, exactly-once touch) therefore exercise log replay,
+    #: truncation, and log-riding failover promotion on every run
+    replication_mode = "log"
+    replication_snapshot_every = 32
     #: the retry budget that makes failover transparent for pre-effect
     #: faults; application errors are still never retried
     client_qos = QoS(timeout_ms=30_000.0, retries=2)

@@ -1,0 +1,405 @@
+"""Log-shipping replication: dirty tracking, replay equivalence, truncation.
+
+The contract under test: a standby that only ever *replays* the
+partition's append-only :class:`ReplicationLog` holds state
+byte-identical to a full-state copy of the primary — through narrowed
+per-servant syncs, snapshot+truncate cycles, concurrent writers,
+membership churn, and failover promotion of a log-shipped tail.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.deploy import (
+    ApplicationSpec,
+    DeploymentDiff,
+    DeploymentSpec,
+    NodeSpec,
+    ReplicationSpec,
+)
+from repro.errors import DeploymentError, FederationError, NodeDownError
+from repro.middleware.envelope import QoS
+from repro.runtime import Federation, ReplicaManager
+from repro.runtime.federation import ReplicationLog
+
+
+class Counter:
+    """Minimal stateful servant for replication tests."""
+
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def bump(self, amount):
+        self.value += amount
+        return self.value
+
+    def read(self):
+        return self.value
+
+
+MODULE = type("ReplicationTestModule", (), {"Counter": Counter})
+
+RETRY = QoS(timeout_ms=30_000.0, retries=2)
+
+
+def build(nodes=3, partitions=6, per_partition=3, mode="log", snapshot_every=8):
+    federation = Federation(seed=7, latency_ms=0.0)
+    for i in range(nodes):
+        federation.add_node(f"node-{i}").module = MODULE
+    names = []
+    for k in range(partitions):
+        partition = f"part-{k}"
+        node = federation.node_for(partition)
+        for j in range(per_partition):
+            name = f"{partition}/Counter/{j}"
+            node.bind(name, Counter(100.0))
+            names.append(name)
+    federation.enable_replication(1, mode=mode, snapshot_every=snapshot_every)
+    return federation, names
+
+
+def deploy_module(node):
+    node.module = MODULE
+
+
+def assert_standbys_match_primaries(federation, names):
+    """Every standby copy's attribute dict equals its primary's."""
+    replicas = federation.replicas
+    for name in names:
+        primary = federation.servant(name)
+        partition = federation.naming.partition_key(name)
+        group = replicas._groups[partition]
+        for standby_name in group.standbys:
+            copies = replicas.take(partition, standby_name)
+            assert name in copies, f"{standby_name} holds no copy of {name}"
+            copy = copies[name]
+            assert copy is not primary
+            assert copy.__dict__ == primary.__dict__, (
+                f"standby {standby_name} diverged on {name}: "
+                f"{copy.__dict__} != {primary.__dict__}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# ReplicationLog unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestReplicationLog:
+    def test_appends_are_monotonically_sequenced(self):
+        log = ReplicationLog("p")
+        seqs = [log.append(f"p/Counter/{i}", "Counter", {"value": i}) for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert log.seq == 5
+        assert [entry[0] for entry in log.entries] == seqs
+
+    def test_snapshot_folds_last_write_and_truncates(self):
+        log = ReplicationLog("p")
+        log.append("p/Counter/0", "Counter", {"value": 1.0})
+        log.append("p/Counter/1", "Counter", {"value": 2.0})
+        log.append("p/Counter/0", "Counter", {"value": 3.0})
+        log.snapshot()
+        assert log.entries == []
+        assert log.base_seq == log.seq == 3
+        # last write per name wins in the folded base
+        assert log.base["p/Counter/0"] == ("Counter", {"value": 3.0})
+        assert log.base["p/Counter/1"] == ("Counter", {"value": 2.0})
+        assert log.truncations == 1
+        # sequencing continues across the truncation
+        assert log.append("p/Counter/1", "Counter", {"value": 4.0}) == 4
+
+    def test_prune_drops_unbound_names_from_base(self):
+        log = ReplicationLog("p")
+        log.append("p/Counter/0", "Counter", {"value": 1.0})
+        log.append("p/Counter/1", "Counter", {"value": 2.0})
+        log.snapshot()
+        log.prune({"p/Counter/0"})
+        assert list(log.base) == ["p/Counter/0"]
+
+
+# ---------------------------------------------------------------------------
+# configuration guards
+# ---------------------------------------------------------------------------
+
+
+class TestReplicationConfig:
+    def test_unknown_mode_rejected(self):
+        federation, _ = build()
+        with pytest.raises(FederationError, match="unknown replication mode"):
+            ReplicaManager(federation, count=1, mode="paxos")
+        federation.shutdown()
+
+    def test_snapshot_threshold_must_be_positive(self):
+        federation, _ = build()
+        with pytest.raises(FederationError, match="snapshot_every"):
+            ReplicaManager(federation, count=1, mode="log", snapshot_every=0)
+        federation.shutdown()
+
+    def test_enable_with_conflicting_mode_rejected(self):
+        federation, _ = build(mode="log")
+        with pytest.raises(FederationError, match="'log' mode"):
+            federation.enable_replication(1, mode="full")
+        federation.shutdown()
+
+    def test_live_mode_change_refused(self):
+        federation, _ = build(mode="log")
+        with pytest.raises(FederationError, match="mode cannot change live"):
+            federation.set_replication(1, mode="full")
+        federation.shutdown()
+
+    def test_set_replication_retunes_snapshot_threshold(self):
+        federation, _ = build(mode="log", snapshot_every=8)
+        federation.set_replication(1, snapshot_every=2)
+        assert federation.replicas.snapshot_every == 2
+        federation.shutdown()
+
+    def test_spec_round_trip_and_legacy_default(self):
+        spec = ReplicationSpec(count=2, mode="log", snapshot_every=16)
+        assert ReplicationSpec.from_dict(spec.to_dict()) == spec
+        # pre-log spec files carry only the count: parse as write-through
+        legacy = ReplicationSpec.from_dict({"count": 1})
+        assert legacy.mode == "full"
+        assert legacy.snapshot_every == 64
+
+
+class TestReconcileModeChanges:
+    @staticmethod
+    def _spec(replication):
+        return DeploymentSpec(
+            name="repl",
+            application=ApplicationSpec(name="banking", builder="scenario:banking"),
+            nodes=(NodeSpec(name="node-0"), NodeSpec(name="node-1")),
+            replication=replication,
+        )
+
+    def test_diff_refuses_live_mode_change(self):
+        current = self._spec(ReplicationSpec(count=1, mode="full"))
+        target = self._spec(ReplicationSpec(count=1, mode="log"))
+        with pytest.raises(DeploymentError, match="mode cannot be changed"):
+            DeploymentDiff.between(current, target)
+
+    def test_diff_allows_mode_choice_when_first_enabled(self):
+        current = self._spec(ReplicationSpec(count=0))
+        target = self._spec(ReplicationSpec(count=1, mode="log", snapshot_every=4))
+        diff = DeploymentDiff.between(current, target)
+        plan = diff.plan()
+        (action,) = [a for a in plan.actions if a.kind == "set_replication"]
+        assert action.payload["mode"] == "log"
+        assert action.payload["snapshot_every"] == 4
+
+    def test_diff_retunes_snapshot_threshold(self):
+        current = self._spec(ReplicationSpec(count=1, mode="log", snapshot_every=64))
+        target = self._spec(ReplicationSpec(count=1, mode="log", snapshot_every=8))
+        diff = DeploymentDiff.between(current, target)
+        assert not diff.empty
+        (action,) = [a for a in diff.plan().actions if a.kind == "set_replication"]
+        assert action.payload["count"] == 1
+        assert action.payload["snapshot_every"] == 8
+
+
+# ---------------------------------------------------------------------------
+# stats accounting (the syncs over-count fix)
+# ---------------------------------------------------------------------------
+
+
+class TestStatsAccounting:
+    def test_noop_sync_does_not_inflate_syncs(self):
+        federation, _ = build(mode="full")
+        before = federation.replicas.stats()["syncs"]
+        # no such partition: the early return must not count as a sync
+        federation.replicas.sync_partition("no-such-partition")
+        assert federation.replicas.stats()["syncs"] == before
+        federation.shutdown()
+
+    def test_mutating_call_counts_one_refreshing_sync(self):
+        federation, names = build(mode="log")
+        before = federation.replicas.stats()["syncs"]
+        federation.call(names[0], "bump", 1.0)
+        assert federation.replicas.stats()["syncs"] == before + 1
+        federation.shutdown()
+
+    def test_stats_expose_log_counters(self):
+        federation, names = build(mode="log")
+        federation.call(names[0], "bump", 1.0)
+        stats = federation.replicas.stats()
+        assert stats["mode"] == "log"
+        assert stats["log_appends"] > 0
+        assert stats["replica_lag"] == 0
+        assert stats["max_replica_lag"] >= 1
+        for key in ("syncs", "skipped_syncs", "snapshots"):
+            assert key in stats
+        federation.shutdown()
+
+    def test_full_mode_reports_zero_log_activity(self):
+        federation, names = build(mode="full")
+        federation.call(names[0], "bump", 1.0)
+        stats = federation.replicas.stats()
+        assert stats["mode"] == "full"
+        assert stats["log_appends"] == 0
+        assert stats["snapshots"] == 0
+        federation.shutdown()
+
+    def test_lag_is_measurable_for_an_unreachable_standby(self):
+        federation, names = build(mode="log")
+        name = names[0]
+        partition = federation.naming.partition_key(name)
+        group = federation.replicas._groups[partition]
+        (standby_name,) = list(group.standbys)
+        # an undeployed standby cannot apply the shipped tail: its
+        # watermark freezes and the lag becomes visible in stats()
+        module, federation.nodes[standby_name].module = (
+            federation.nodes[standby_name].module,
+            None,
+        )
+        try:
+            federation.call(name, "bump", 1.0)
+            assert federation.replicas.stats()["replica_lag"] >= 1
+        finally:
+            federation.nodes[standby_name].module = module
+        # the next write catches the standby back up through the log
+        federation.call(name, "bump", 1.0)
+        assert federation.replicas.stats()["replica_lag"] == 0
+        assert_standbys_match_primaries(federation, [name])
+        federation.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# replay equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestReplayEquivalence:
+    def test_sequential_writes_replay_identically(self):
+        federation, names = build(mode="log", snapshot_every=8)
+        rng = random.Random(11)
+        for _ in range(200):
+            federation.call(rng.choice(names), "bump", rng.choice((1.0, 2.5)))
+        assert_standbys_match_primaries(federation, names)
+        federation.shutdown()
+
+    def test_truncation_preserves_equivalence(self):
+        # snapshot_every=1 folds+truncates after every single append —
+        # every standby refresh goes through the reseed-from-base path
+        federation, names = build(mode="log", snapshot_every=1)
+        rng = random.Random(13)
+        for _ in range(120):
+            federation.call(rng.choice(names), "bump", 1.0)
+        stats = federation.replicas.stats()
+        assert stats["snapshots"] > 0
+        assert_standbys_match_primaries(federation, names)
+        federation.shutdown()
+
+    def test_log_and_full_modes_converge_to_identical_state(self):
+        ops = [(i % 18, float(1 + i % 5)) for i in range(90)]
+        finals = []
+        for mode in ("full", "log"):
+            federation, names = build(mode=mode)
+            for index, amount in ops:
+                federation.call(names[index], "bump", amount)
+            finals.append(
+                {name: federation.servant(name).__dict__.copy() for name in names}
+            )
+            assert_standbys_match_primaries(federation, names)
+            federation.shutdown()
+        assert finals[0] == finals[1]
+
+    def test_join_reseeds_new_standbys_through_the_log(self):
+        federation, names = build(nodes=3, mode="log", snapshot_every=4)
+        rng = random.Random(17)
+        for _ in range(60):
+            federation.call(rng.choice(names), "bump", 1.0)
+        federation.join("node-joiner", deploy=deploy_module)
+        # the joiner is now a ring successor for some partitions: the
+        # rebuild seeded its copies by replaying snapshot + tail
+        assert_standbys_match_primaries(federation, names)
+        federation.shutdown()
+
+    def test_kill_after_log_tail_promotes_last_write(self):
+        federation, names = build(mode="log", snapshot_every=4)
+        name = names[0]
+        victim = federation.naming.owner_of(name)
+        expected = federation.call(name, "bump", 41.0)
+        federation.kill(victim)
+        # the promoted standby must hold the log-shipped tail, last
+        # write included — the QoS budget absorbs the dead-node fault
+        assert federation.call(name, "read", qos=RETRY) == expected
+        assert federation.failovers == 1
+        federation.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# seeded multi-threaded stress: writers + churn
+# ---------------------------------------------------------------------------
+
+
+class TestReplayStress:
+    def _run_stress(self, snapshot_every):
+        federation = Federation(seed=23, latency_ms=0.0)
+        for i in range(4):
+            federation.add_node(f"node-{i}", workers=2).module = MODULE
+        names = []
+        for k in range(8):
+            partition = f"part-{k}"
+            node = federation.node_for(partition)
+            for j in range(3):
+                name = f"{partition}/Counter/{j}"
+                node.bind(name, Counter(100.0))
+                names.append(name)
+        federation.enable_replication(
+            1, mode="log", snapshot_every=snapshot_every
+        )
+
+        successes = []
+        unexpected = []
+
+        def writer(seed):
+            rng = random.Random(seed)
+            done = 0
+            for _ in range(80):
+                try:
+                    federation.call(rng.choice(names), "bump", 1.0, qos=RETRY)
+                    done += 1
+                except NodeDownError:
+                    # a kill window can outlast the retry budget under
+                    # heavy concurrency; dead-node refusals are
+                    # pre-effect, so the bump left no mark — money
+                    # conservation below still holds exactly
+                    pass
+                except Exception as exc:  # pragma: no cover - fails the test
+                    unexpected.append(exc)
+            successes.append(done)
+
+        threads = [
+            threading.Thread(target=writer, args=(100 + i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        # membership churn while the writers hammer the partitions
+        federation.join("node-churn", deploy=deploy_module)
+        federation.kill("node-1")
+        federation.retire("node-2")
+        for thread in threads:
+            thread.join()
+
+        assert not unexpected, f"writer calls failed: {unexpected[:3]}"
+        # money conserved: every successful bump left exactly one mark
+        total = sum(federation.call(name, "read", qos=RETRY) for name in names)
+        assert total == 100.0 * len(names) + sum(successes)
+        # replay equivalence after the dust settles: every standby copy
+        # byte-identical to its primary, and no standby left behind
+        assert_standbys_match_primaries(federation, names)
+        assert federation.replicas.replica_lag() == 0
+        stats = federation.replicas.stats()
+        federation.shutdown()
+        return stats
+
+    def test_concurrent_writers_with_churn(self):
+        stats = self._run_stress(snapshot_every=8)
+        assert stats["log_appends"] > 0
+        assert stats["snapshots"] > 0
+
+    def test_concurrent_writers_with_aggressive_truncation(self):
+        stats = self._run_stress(snapshot_every=1)
+        assert stats["snapshots"] >= stats["log_appends"] // 2
