@@ -236,6 +236,7 @@ def _cmd_simulate(args) -> int:
         delivery_workers=args.delivery_workers,
         churn=args.churn,
         replication_mode=args.replication_mode,
+        trace=args.trace or bool(args.trace_out),
     )
     runner = ScenarioRunner(args.scenario, config)
     if args.describe:
@@ -246,11 +247,113 @@ def _cmd_simulate(args) -> int:
     result = runner.run()
     print(result.report())
     print(f"  digest:     {result.digest()}")
+    if result.trace is not None:
+        tracer = result.trace["tracer"]
+        print(
+            f"  trace:      {tracer['span_count']} span(s), "
+            f"{tracer['slow_spans']} slow, {tracer['dropped']} dropped, "
+            f"{len(result.trace['events'])} event(s)"
+        )
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(result.trace, handle, indent=2)
+        print(f"trace written to {args.trace_out}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"results written to {args.json}")
     return 0 if result.passed else 1
+
+
+def _render_span(span, depth: int) -> str:
+    indent = "  " + "  " * depth
+    where = f" @{span['target']}" if span.get("target") else ""
+    attempt = f" attempt={span['attempt']}" if span.get("attempt") else ""
+    status = span.get("status", "?")
+    error = f" error={span['error']}" if span.get("error") else ""
+    slow = " SLOW" if span.get("slow") else ""
+    events = ""
+    if span.get("events"):
+        events = " [" + ", ".join(e.get("event", "?") for e in span["events"]) + "]"
+    return (
+        f"{indent}{span['name']} ({span['kind']}{where}){attempt} "
+        f"{span['duration_ms']:.3f} ms {status}{error}{slow}{events}"
+    )
+
+
+def _render_trace(spans, trace_id: str) -> List[str]:
+    """One trace's spans as an indented tree (orphans become roots)."""
+    mine = [s for s in spans if s["trace_id"] == trace_id]
+    by_id = {s["span_id"]: s for s in mine}
+    children = {}
+    roots = []
+    for span in mine:
+        parent = span.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    lines = [f"trace {trace_id}:"]
+
+    def walk(span, depth):
+        lines.append(_render_span(span, depth))
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    # client roots finish last but should print first: sort roots so the
+    # span that *started* the trace (client kind, then hops) leads
+    order = {"client": 0, "hop": 1, "bus": 2}
+    for root in sorted(roots, key=lambda s: order.get(s["kind"], 3)):
+        walk(root, 0)
+    return lines
+
+
+def _cmd_trace(args) -> int:
+    with open(args.results, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    # accept either a full simulate --json results file or a bare
+    # --trace-out export; both carry the same observability payload
+    payload = data.get("trace", data) if isinstance(data, dict) else None
+    tracer = payload.get("tracer") if isinstance(payload, dict) else None
+    if not tracer:
+        print(
+            "error: no trace data in file (run simulate with --trace)",
+            file=sys.stderr,
+        )
+        return 2
+    spans = tracer.get("spans", [])
+    print(
+        f"{tracer.get('span_count', len(spans))} span(s), "
+        f"{tracer.get('slow_spans', 0)} slow, "
+        f"{tracer.get('dropped', 0)} dropped, "
+        f"{len(payload.get('events', []))} event(s)"
+    )
+    if args.trace_id:
+        ids = [args.trace_id]
+    elif args.errors:
+        seen = {}
+        for span in spans:
+            if span.get("status") == "error":
+                seen.setdefault(span["trace_id"], None)
+        ids = list(seen)[-args.slowest:]
+        if not ids:
+            print("no erroring traces")
+            return 0
+    else:
+        worst = {}
+        for span in spans:
+            if span["duration_ms"] > worst.get(span["trace_id"], -1.0):
+                worst[span["trace_id"]] = span["duration_ms"]
+        ids = sorted(worst, key=lambda t: worst[t], reverse=True)[:args.slowest]
+    shown = 0
+    for trace_id in ids:
+        lines = _render_trace(spans, trace_id)
+        if len(lines) == 1:
+            print(f"trace {trace_id}: no spans in buffer")
+            continue
+        print("\n".join(lines))
+        shown += 1
+    return 0 if shown or not ids else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -482,6 +585,21 @@ def build_parser() -> argparse.ArgumentParser:
         "shipping with snapshot/truncate (replicated scenarios only)",
     )
     simulate.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable distributed tracing: every logical client call gets "
+        "a deterministic trace id and a span per federation hop, retry, "
+        "and servant dispatch (run-level toggle — digests are unchanged)",
+    )
+    simulate.add_argument(
+        "--trace-out",
+        default="",
+        dest="trace_out",
+        metavar="PATH",
+        help="write the observability export (spans, events, gauges) as "
+        "JSON here; implies --trace (render it with the 'trace' command)",
+    )
+    simulate.add_argument(
         "--json", default="", help="write the full machine-readable results here"
     )
     simulate.add_argument(
@@ -490,6 +608,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run configuration (including the deployment spec "
         "digest for spec-declared scenarios) as JSON and exit without "
         "running",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="render span trees from a traced simulate run",
+        description="Read the results of a traced run (simulate --trace "
+        "--json FILE, or the bare export from --trace-out) and render "
+        "the span trees of the slowest calls — or of erroring calls "
+        "with --errors, or of one specific call with --trace-id.  Each "
+        "line shows the span's name, kind, serving node, attempt "
+        "number, duration, status, and recorded events (retries, "
+        "failover promotions, migration-gate waits, batch membership).",
+    )
+    trace_cmd.add_argument(
+        "results",
+        help="JSON file from 'simulate --trace --json FILE' or '--trace-out PATH'",
+    )
+    trace_cmd.add_argument(
+        "--slowest",
+        type=int,
+        default=3,
+        help="how many traces to render, ranked by slowest span (default 3)",
+    )
+    trace_cmd.add_argument(
+        "--errors",
+        action="store_true",
+        help="render traces containing at least one error span instead "
+        "of the slowest ones",
+    )
+    trace_cmd.add_argument(
+        "--trace-id",
+        default="",
+        dest="trace_id",
+        help="render exactly this trace id",
     )
     return parser
 
@@ -504,6 +656,7 @@ _COMMANDS = {
     "fingerprint": _cmd_fingerprint,
     "simulate": _cmd_simulate,
     "deploy": _cmd_deploy,
+    "trace": _cmd_trace,
 }
 
 

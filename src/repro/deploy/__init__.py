@@ -43,6 +43,7 @@ from repro.deploy.spec import (
     FaultCampaignSpec,
     FaultSiteSpec,
     NodeSpec,
+    ObservabilitySpec,
     PartitionSpec,
     QoSProfile,
     ReplicationSpec,
@@ -64,6 +65,7 @@ __all__ = [
     "MigrationAction",
     "MigrationPlan",
     "NodeSpec",
+    "ObservabilitySpec",
     "PartitionSpec",
     "QoSProfile",
     "ReplicationSpec",

@@ -42,6 +42,7 @@ from repro.deploy.spec import (
     FaultCampaignSpec,
     FaultSiteSpec,
     NodeSpec,
+    ObservabilitySpec,
     PartitionSpec,
     ReplicationSpec,
     ServantSpec,
@@ -201,6 +202,13 @@ class DeploymentCompiler:
                 f"{spec.replication.mode} mode "
                 f"(snapshot every {spec.replication.snapshot_every})",
             )
+        obs = spec.observability
+        plan.add(
+            "observability",
+            f"sample {obs.sample_rate:.0%} of traces, slow-call threshold "
+            f"{obs.slow_call_ms:g} ms, event log <= {obs.event_log_capacity}, "
+            f"span ring <= {obs.span_capacity}",
+        )
         return plan
 
     @staticmethod
@@ -270,6 +278,7 @@ class DeploymentCompiler:
                     mode=spec.replication.mode,
                     snapshot_every=spec.replication.snapshot_every,
                 )
+            federation.observability.configure(spec.observability)
             federation.spec = spec
             federation.bootstrap_plan = bootstrap
             return federation
@@ -423,6 +432,12 @@ def extract_spec(federation, include_state: bool = False) -> DeploymentSpec:
         ),
         qos_profiles=qos_profiles,
         client_qos=client_qos,
+        observability=ObservabilitySpec(
+            sample_rate=federation.observability.tracer.sample_rate,
+            slow_call_ms=federation.observability.tracer.slow_call_ms,
+            event_log_capacity=federation.observability.events.capacity,
+            span_capacity=federation.observability.tracer.capacity,
+        ),
         sim_latency_ms=federation.latency_ms,
         real_latency_ms=federation.real_latency_s * 1000.0,
         delivery_workers=federation.delivery_workers,

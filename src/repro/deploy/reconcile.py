@@ -118,6 +118,12 @@ class MigrationPlan:
                 node.services.orb.unregister(
                     node.services.bus.servant(ref.object_id)
                 )
+        elif action.kind == "set_observability":
+            from repro.deploy.spec import ObservabilitySpec
+
+            federation.observability.configure(
+                ObservabilitySpec.from_dict(payload["observability"])
+            )
         elif action.kind == "set_replication":
             federation.set_replication(
                 payload["count"],
@@ -170,6 +176,9 @@ class DeploymentDiff:
         #: users present only in the target (removals/changes are
         #: refused — credential revocation has no live migration path)
         self.added_users: List = []
+        #: the target observability knobs when they differ (all four are
+        #: live-tunable: sampling, slow-call threshold, ring capacities)
+        self.observability_change = None
 
     # -- construction -------------------------------------------------------------
 
@@ -298,6 +307,8 @@ class DeploymentDiff:
             after = target_faults.get(site, 0.0)
             if before != after:
                 diff.fault_changes.append((site, after))
+        if current.observability != target.observability:
+            diff.observability_change = target.observability
         return diff
 
     @staticmethod
@@ -328,6 +339,7 @@ class DeploymentDiff:
             or self.read_only_changes
             or self.qos_changed
             or self.added_users
+            or self.observability_change
         )
 
     # -- lowering ----------------------------------------------------------------
@@ -419,6 +431,15 @@ class DeploymentDiff:
                 site=site,
                 probability=probability,
             )
+        if self.observability_change is not None:
+            obs = self.observability_change
+            plan.add(
+                "set_observability",
+                f"retune observability (sample {obs.sample_rate:.0%}, "
+                f"slow >= {obs.slow_call_ms:g} ms, events <= "
+                f"{obs.event_log_capacity}, spans <= {obs.span_capacity})",
+                observability=obs.to_dict(),
+            )
         if self.removed_servants:
             plan.add(
                 "unbind_servants",
@@ -452,6 +473,12 @@ class DeploymentDiff:
             lines.append("  ~ QoS declarations changed")
         for user in self.added_users:
             lines.append(f"  + user {user.name}")
+        if self.observability_change is not None:
+            obs = self.observability_change
+            lines.append(
+                f"  ~ observability -> sample {obs.sample_rate:.0%}, "
+                f"slow >= {obs.slow_call_ms:g} ms"
+            )
         return "\n".join(lines)
 
 

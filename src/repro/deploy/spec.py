@@ -217,6 +217,42 @@ class ReplicationSpec:
 
 
 @dataclass(frozen=True)
+class ObservabilitySpec:
+    """The instrumentation knobs compiled onto a federation.
+
+    ``sample_rate`` is the fraction of logical client calls traced when
+    tracing is on (the run-level ``--trace`` switch decides *whether*;
+    the spec decides *how much*); ``slow_call_ms`` flags spans at least
+    that slow; the capacities bound the span ring buffer and the
+    structured event log.  All four are live-tunable: the reconciler
+    applies observability-only diffs to a running federation.  Old spec
+    files without this section parse as the defaults.
+    """
+
+    sample_rate: float = 1.0
+    slow_call_ms: float = 50.0
+    event_log_capacity: int = 1024
+    span_capacity: int = 4096
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sample_rate": self.sample_rate,
+            "slow_call_ms": self.slow_call_ms,
+            "event_log_capacity": self.event_log_capacity,
+            "span_capacity": self.span_capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObservabilitySpec":
+        return cls(
+            sample_rate=data.get("sample_rate", 1.0),
+            slow_call_ms=data.get("slow_call_ms", 50.0),
+            event_log_capacity=data.get("event_log_capacity", 1024),
+            span_capacity=data.get("span_capacity", 4096),
+        )
+
+
+@dataclass(frozen=True)
 class FaultSiteSpec:
     """One fault-injection site (pattern allowed) with its probability."""
 
@@ -367,6 +403,7 @@ class DeploymentSpec:
     users: Tuple[UserSpec, ...] = ()
     qos_profiles: Tuple[QoSProfile, ...] = ()
     client_qos: Optional[str] = None
+    observability: ObservabilitySpec = ObservabilitySpec()
     sim_latency_ms: float = 0.5
     real_latency_ms: float = 0.0
     delivery_workers: int = 2
@@ -537,6 +574,26 @@ class DeploymentSpec:
         user_names = [user.name for user in self.users]
         for name in sorted({u for u in user_names if user_names.count(u) > 1}):
             problems.append(f"duplicate user {name!r}")
+        if not 0.0 <= self.observability.sample_rate <= 1.0:
+            problems.append(
+                f"observability sample_rate {self.observability.sample_rate} "
+                "out of [0, 1]"
+            )
+        if self.observability.slow_call_ms < 0:
+            problems.append(
+                f"observability slow_call_ms must be >= 0, "
+                f"got {self.observability.slow_call_ms}"
+            )
+        if self.observability.event_log_capacity < 1:
+            problems.append(
+                f"observability event_log_capacity must be >= 1, "
+                f"got {self.observability.event_log_capacity}"
+            )
+        if self.observability.span_capacity < 1:
+            problems.append(
+                f"observability span_capacity must be >= 1, "
+                f"got {self.observability.span_capacity}"
+            )
         if self.sim_latency_ms < 0 or self.real_latency_ms < 0:
             problems.append("latencies must be >= 0")
         if self.delivery_workers < 1:
@@ -570,6 +627,7 @@ class DeploymentSpec:
             "users": [user.to_dict() for user in self.users],
             "qos_profiles": [profile.to_dict() for profile in self.qos_profiles],
             "client_qos": self.client_qos,
+            "observability": self.observability.to_dict(),
             "sim_latency_ms": self.sim_latency_ms,
             "real_latency_ms": self.real_latency_ms,
             "delivery_workers": self.delivery_workers,
@@ -610,6 +668,9 @@ class DeploymentSpec:
                     for entry in data.get("qos_profiles", ())
                 ),
                 client_qos=data.get("client_qos"),
+                observability=ObservabilitySpec.from_dict(
+                    data.get("observability", {})
+                ),
                 sim_latency_ms=data.get("sim_latency_ms", 0.5),
                 real_latency_ms=data.get("real_latency_ms", 0.0),
                 delivery_workers=data.get("delivery_workers", 2),
@@ -670,6 +731,10 @@ class DeploymentSpec:
             f"  users:       {len(self.users)}",
             f"  qos:         {len(self.qos_profiles)} profile(s)"
             + (f", client default {self.client_qos!r}" if self.client_qos else ""),
+            f"  observe:     sample {self.observability.sample_rate:.0%}, "
+            f"slow >= {self.observability.slow_call_ms:g} ms, "
+            f"events <= {self.observability.event_log_capacity}, "
+            f"spans <= {self.observability.span_capacity}",
             f"  digest:      {self.digest()}",
         ]
         return "\n".join(lines)

@@ -376,3 +376,12 @@ def current_delivery_context() -> Dict[str, Any]:
     """The innermost delivery context of this thread ({} outside dispatch)."""
     stack = _delivery_stack()
     return dict(stack[-1]) if stack else {}
+
+
+def delivery_context_value(key: str) -> Optional[Any]:
+    """One entry of the innermost delivery context, without copying it.
+
+    Hot-path peek for per-delivery observers (the bus tracing element
+    looks up the propagated trace this way on every dispatch)."""
+    stack = getattr(_delivery_local, "frames", None)
+    return stack[-1].get(key) if stack else None

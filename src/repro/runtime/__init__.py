@@ -6,7 +6,12 @@ instance uses.  This package turns those services into a runtime fabric:
 * :mod:`repro.runtime.dispatch` — sequential and thread-pool request
   dispatchers with per-servant serialization;
 * :mod:`repro.runtime.metrics` — thread-safe throughput/error/latency
-  (p50/p95/p99) statistics per operation and per node;
+  (p50/p95/p99/p99.9, bounded log-bucketed histograms) statistics per
+  operation and per node, plus sampled level gauges;
+* :mod:`repro.runtime.observability` — the federation observability
+  plane: distributed tracing woven into the interceptor chains, the
+  bounded structured event log, and gauge sampling
+  (:class:`~repro.runtime.observability.Observability` per federation);
 * :mod:`repro.runtime.node` — a federation node: one ORB endpoint with
   its own middleware services hosting a woven application;
 * :mod:`repro.runtime.federation` — consistent-hash ring, sharded naming
@@ -40,6 +45,15 @@ from repro.runtime.harness import (
 )
 from repro.runtime.metrics import MetricsRegistry, percentile
 from repro.runtime.node import Node
+from repro.runtime.observability import (
+    EventLog,
+    GaugeBoard,
+    LogHistogram,
+    Observability,
+    Span,
+    TraceContext,
+    Tracer,
+)
 from repro.runtime.scenarios import SCENARIOS, AsyncOp, Scenario, get_scenario
 
 __all__ = [
@@ -60,6 +74,13 @@ __all__ = [
     "MetricsRegistry",
     "percentile",
     "Node",
+    "Observability",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "EventLog",
+    "GaugeBoard",
+    "LogHistogram",
     "SCENARIOS",
     "AsyncOp",
     "Scenario",

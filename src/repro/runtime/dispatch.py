@@ -73,6 +73,7 @@ class DispatchStats:
             return {
                 "dispatched": self.dispatched,
                 "errors": self.errors,
+                "in_flight": self.in_flight,
                 "max_in_flight": self.max_in_flight,
             }
 

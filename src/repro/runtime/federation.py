@@ -77,6 +77,7 @@ from repro.middleware.transport import (
 )
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.node import Node
+from repro.runtime.observability import TRACE_KEY, Observability
 
 
 class HashRing:
@@ -371,11 +372,14 @@ class _MigrationGate:
     partitions frozen by the same migration.
     """
 
-    def __init__(self):
+    def __init__(self, observer=None):
         self._cond = threading.Condition()
         self._frozen: set = set()
         self._inflight: Dict[str, int] = {}
         self._local = threading.local()
+        #: callable(partitions, waited_ms) — notified when a delivery
+        #: had to block on a frozen partition (observability event)
+        self._observer = observer
 
     def _held(self) -> Dict[str, int]:
         held = getattr(self._local, "held", None)
@@ -397,10 +401,13 @@ class _MigrationGate:
         the shard migrating with a torn snapshot.
         """
         held = self._held()
+        waited_at = None
         with self._cond:
             while any(
                 p in self._frozen and p not in held for p in partitions
             ):
+                if waited_at is None:
+                    waited_at = time.perf_counter()
                 if not self._cond.wait(timeout=30.0):
                     raise FederationError(
                         "partition(s) stayed frozen for 30s: "
@@ -410,6 +417,8 @@ class _MigrationGate:
                 self._inflight[partition] = self._inflight.get(partition, 0) + 1
         for partition in partitions:
             held[partition] = held.get(partition, 0) + 1
+        if waited_at is not None and self._observer is not None:
+            self._observer(partitions, (time.perf_counter() - waited_at) * 1000.0)
 
     def _exit(self, partitions: List[str]) -> None:
         held = self._held()
@@ -917,6 +926,9 @@ class Federation:
         self.seed = seed
         self.faults = FaultInjector(seed)
         self.metrics = metrics or MetricsRegistry()
+        #: tracing + event log + gauge sampling; knobs compiled from
+        #: ObservabilitySpec, run-level tracing toggled by the harness
+        self.observability = Observability(seed=seed)
         self.naming = ShardedNamingService(replicas)
         self.nodes: Dict[str, Node] = {}
         self.latency_ms = latency_ms
@@ -938,6 +950,7 @@ class Federation:
         #: the one ordered element pipeline every routed hop runs through
         self.chain = InterceptorChain()
         self.chain.add("metrics", self.metrics.element())
+        self.chain.add("trace", self.observability.tracer.element())
         self.chain.add("faults", self.faults.interceptor("federation.route"))
         self.chain.add("failover", self._failover_element)
         self.chain.add("latency", self._latency_element)
@@ -946,7 +959,7 @@ class Federation:
         #: serializes join/retire/fail_over against each other
         self._topology_lock = threading.RLock()
         #: quiesces in-flight envelopes on partitions under migration
-        self._gate = _MigrationGate()
+        self._gate = _MigrationGate(observer=self.observability.gate_wait)
         #: per-node count of requests currently executing (kill drains it)
         self._flight_cond = threading.Condition()
         self._node_flight: Dict[str, int] = {}
@@ -996,9 +1009,20 @@ class Federation:
             seed=seed if seed is not None else len(self.nodes) + 1,
         )
         node.federation = self
+        self._instrument_node(node)
         self.naming.add_shard(name, node.services.naming)
         self.nodes[name] = node
         return node
+
+    def _instrument_node(self, node: Node) -> None:
+        """Weave the bus-level tracing element into the node's chain."""
+        chain = node.services.bus.chain
+        if not chain.has("trace"):
+            chain.add(
+                "trace",
+                self.observability.tracer.bus_element(node.name),
+                before="faults",
+            )
 
     def node(self, name: str) -> Node:
         try:
@@ -1041,6 +1065,9 @@ class Federation:
             if self.replicas is None:
                 self.replicas = ReplicaManager(
                     self, count, mode=mode, snapshot_every=snapshot_every
+                )
+                self.observability.emit(
+                    "replication_enabled", count=count, mode=mode
                 )
                 self.replicas.rebuild()
             elif self.replicas.count != count:
@@ -1096,6 +1123,7 @@ class Federation:
                     )
                 self.replicas.snapshot_every = snapshot_every
             self.replicas.count = count
+            self.observability.emit("replication_changed", count=count)
             self.replicas.rebuild()
             return self.replicas
 
@@ -1247,6 +1275,7 @@ class Federation:
                 seed=seed if seed is not None else len(self.nodes) + 1,
             )
             node.federation = self
+            self._instrument_node(node)
             if deploy is not None:
                 deploy(node)
             for user, password, roles in self._provisioned_users:
@@ -1290,6 +1319,9 @@ class Federation:
                 "total": total,
                 "partitions": sorted(moving),
             }
+            self.observability.emit(
+                "join", node=name, moved=moved, partitions=sorted(moving)
+            )
             if self.replicas is not None:
                 self.replicas.rebuild()
             return node
@@ -1338,6 +1370,9 @@ class Federation:
                 "total": total,
                 "partitions": sorted(grouped),
             }
+            self.observability.emit(
+                "retire", node=name, moved=moved, partitions=sorted(grouped)
+            )
             if self.replicas is not None:
                 self.replicas.rebuild()
             return dict(self.last_rebalance)
@@ -1362,6 +1397,7 @@ class Federation:
             if not node.alive:
                 return
             node.alive = False
+        self.observability.emit("kill", node=name)
         self._await_node_idle(name, drain_timeout_s)
 
     def fail_over(self, name: str, blocking: bool = True) -> bool:
@@ -1432,6 +1468,13 @@ class Federation:
                 "lost": lost,
                 "partitions": sorted(grouped),
             }
+            self.observability.emit(
+                "failover",
+                node=name,
+                moved=moved,
+                lost=len(lost),
+                partitions=sorted(grouped),
+            )
             self.replicas.rebuild()
             return True
         finally:
@@ -1447,6 +1490,8 @@ class Federation:
                 node = self.nodes.get(name)
                 if node is not None and not node.alive and self.fail_over(name):
                     promoted.append(name)
+            if promoted:
+                self.observability.emit("reconcile", promoted=promoted)
             return promoted
 
     def _failover_element(self, envelope: Envelope, proceed: Callable[[], Any]):
@@ -1479,6 +1524,7 @@ class Federation:
     def configure_fault(self, site: str, probability: float, **kwargs) -> None:
         """Configure a fault site (pattern allowed) federation-wide."""
         self._fault_sites.append((site, probability, dict(kwargs)))
+        self.observability.emit("fault_armed", site=site, probability=probability)
         self.faults.configure(site, probability, **kwargs)
         for node in self.nodes.values():
             node.services.faults.configure(site, probability, **kwargs)
@@ -1657,6 +1703,12 @@ class Federation:
         else:
             static_context = self._inherit(context)
             context_for = lambda n: static_context  # noqa: E731
+        tracer = self.observability.tracer
+        # captured on the caller's thread at build time: the active
+        # span (a harness root span, or the bus span of the dispatch
+        # this nested call was made from) becomes this hop's parent.
+        # Inherited delivery contexts already carry the trace key.
+        trace_headers = tracer.current_headers() if tracer.enabled else None
         request = Request(
             object_id=ref.object_id,
             operation=operation,
@@ -1664,6 +1716,8 @@ class Federation:
             kwargs=dict(kwargs or {}),
             context=dict(context_for(node) or {}),
         )
+        if trace_headers is not None:
+            request.context[TRACE_KEY] = trace_headers
         envelope = Envelope(
             request=request,
             qos=qos,
@@ -1675,10 +1729,13 @@ class Federation:
         if binding is None:
 
             def handler(env: Envelope):
+                # the dispatch reads the *envelope's* context, not the
+                # provider's raw dict: chain elements (tracing) re-stamp
+                # per-attempt keys into it on the way through
                 return self.chain.execute(
                     env,
                     lambda: self._dispatch(
-                        node, ref, operation, args, kwargs, context_for(node)
+                        node, ref, operation, args, kwargs, env.request.context
                     ),
                 )
 
@@ -1691,13 +1748,18 @@ class Federation:
                 owner, live_ref = self.resolve(binding)
                 env.target = owner.name
                 env.request.object_id = live_ref.object_id
-                attempt_context = context_for(owner)
-                env.request.context = dict(attempt_context or {})
+                env.request.context = attempt_context = dict(
+                    context_for(owner) or {}
+                )
+                if trace_headers is not None:
+                    attempt_context[TRACE_KEY] = trace_headers
+                # the dispatch reads the *envelope's* context: chain
+                # elements (tracing) re-stamp per-attempt keys into it
                 return self.chain.execute(
                     env,
                     lambda: self._dispatch(
                         owner, live_ref, operation, args, kwargs,
-                        attempt_context, partition,
+                        env.request.context, partition,
                     ),
                 )
 
@@ -1827,6 +1889,11 @@ class Federation:
             args=[item.label for item in items],
             kwargs={},
         )
+        tracer = self.observability.tracer
+        if tracer.enabled:
+            headers = tracer.current_headers()
+            if headers is not None:
+                request.context[TRACE_KEY] = headers
         envelope = Envelope(request=request, qos=qos, target=node.name, label=None)
 
         partitions = sorted(

@@ -92,6 +92,15 @@ class RunConfig:
     #: ``simulate --describe`` so replication-path drift is visible
     #: before a run, and folded into the spec digest above
     replication: Optional[Dict[str, Any]] = None
+    #: enable distributed tracing for this run.  A *run-level* toggle on
+    #: purpose: the deployment spec (and therefore ``spec_digest``) is
+    #: identical traced and untraced, so turning tracing on can never
+    #: move a scenario digest
+    trace: bool = False
+    #: the deployment's observability knobs (sample rate, slow-call
+    #: threshold, ring capacities; set by the runner for spec-declared
+    #: scenarios) — surfaced by ``simulate --describe``
+    observability: Optional[Dict[str, Any]] = None
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -112,6 +121,8 @@ class RunConfig:
             "churn": self.churn,
             "spec_digest": self.spec_digest,
             "replication": self.replication,
+            "trace": self.trace,
+            "observability": self.observability,
         }
 
 
@@ -131,6 +142,10 @@ class ScenarioResult:
     invariant_violations: List[str]
     faults_injected: Dict[str, int] = field(default_factory=dict)
     fingerprint: List[str] = field(default_factory=list)
+    #: the observability export (spans, events, gauges) of a traced run;
+    #: None when the run was untraced.  Never part of :meth:`digest` —
+    #: timing-shaped data must not perturb outcome hashes
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def passed(self) -> bool:
@@ -193,6 +208,7 @@ class ScenarioResult:
             "invariant_violations": self.invariant_violations,
             "faults_injected": self.faults_injected,
             "fingerprint": self.fingerprint,
+            "trace": self.trace,
             "digest": self.digest(),
             "passed": self.passed,
         }
@@ -261,6 +277,7 @@ class ScenarioRunner:
         if self.deployment is not None:
             config.spec_digest = self.deployment.digest()
             config.replication = self.deployment.replication.to_dict()
+            config.observability = self.deployment.observability.to_dict()
 
     # -- construction -----------------------------------------------------------
 
@@ -279,9 +296,12 @@ class ScenarioRunner:
         if self.deployment is not None:
             from repro.deploy.compiler import DeploymentCompiler
 
-            return DeploymentCompiler().deploy(
+            federation = DeploymentCompiler().deploy(
                 self.deployment, metrics=MetricsRegistry()
             )
+            if config.trace:
+                federation.observability.enable_tracing()
+            return federation
         federation = Federation(
             seed=config.seed,
             latency_ms=config.sim_latency_ms,
@@ -304,6 +324,8 @@ class ScenarioRunner:
                 mode=config.replication_mode or self.spec.replication_mode,
                 snapshot_every=self.spec.replication_snapshot_every,
             )
+        if config.trace:
+            federation.observability.enable_tracing()
         return federation
 
     def _client_rng(self, client_index: int) -> random.Random:
@@ -328,6 +350,8 @@ class ScenarioRunner:
                     federation.configure_fault(site, probability)
             self._issued = 0
             self._issued_cond = threading.Condition()
+            #: per-client op counters feeding deterministic trace ids
+            self._op_counts = [0] * config.clients
             self._churn: List[Tuple[int, str, Any]] = []
             if config.churn:
                 self._churn = sorted(
@@ -365,6 +389,7 @@ class ScenarioRunner:
                 raise ScenarioError(
                     "asynchronous deliveries did not quiesce within 60s"
                 )
+            federation.observability.sample(federation)
             federation.metrics.stop()
 
             merged = self._merge_outcomes(outcomes)
@@ -388,6 +413,11 @@ class ScenarioRunner:
                 invariant_violations=self.spec.invariants(federation, state),
                 faults_injected=federation.faults_injected(),
                 fingerprint=self.spec.fingerprint(federation, state),
+                trace=(
+                    federation.observability.export(federation.metrics)
+                    if config.trace
+                    else None
+                ),
             )
         finally:
             federation.shutdown()
@@ -399,8 +429,15 @@ class ScenarioRunner:
         label, thunk = self.spec.pick(rng, federation, state, client, client_index)
         results = outcome.setdefault(label, {})
         pending: Optional[Tuple[str, AsyncOp]] = None
+        tracer = federation.observability.tracer
+        op_index = self._op_counts[client_index]
+        self._op_counts[client_index] = op_index + 1
         try:
-            value = thunk()
+            with tracer.client_span(
+                label,
+                tracer.trace_id_for(self.config.seed, client_index, op_index),
+            ):
+                value = thunk()
         except ReproError as exc:
             key = type(exc).__name__
             results[key] = results.get(key, 0) + 1
@@ -482,6 +519,9 @@ class ScenarioRunner:
         while self._churn and self._issued >= self._churn[0][0]:
             _at, _label, action = self._churn.pop(0)
             action(federation, state)
+            # membership events are exactly when levels move: sample the
+            # gauges at each churn edge so the time series brackets it
+            federation.observability.sample(federation)
 
     def _finish_churn(self, federation, state) -> None:
         """Fire any event whose threshold was never reached (op budget
@@ -489,6 +529,7 @@ class ScenarioRunner:
         while self._churn:
             _at, _label, action = self._churn.pop(0)
             action(federation, state)
+            federation.observability.sample(federation)
 
     def _run_sequential(
         self, federation, state, clients, rngs, outcomes, budgets
@@ -526,6 +567,7 @@ class ScenarioRunner:
                             lambda: self._issued >= at or clients_done.is_set()
                         )
                     action(federation, state)
+                    federation.observability.sample(federation)
                 self._churn = []
             except BaseException as exc:  # noqa: BLE001 - surfaced after join
                 errors.append(exc)
@@ -592,6 +634,7 @@ def run_scenario(
     window: int = 4,
     delivery_workers: int = 2,
     churn: bool = False,
+    trace: bool = False,
 ) -> ScenarioResult:
     """One-call convenience over :class:`ScenarioRunner`."""
     name = scenario if isinstance(scenario, str) else scenario.name
@@ -611,5 +654,6 @@ def run_scenario(
         window=window,
         delivery_workers=delivery_workers,
         churn=churn,
+        trace=trace,
     )
     return ScenarioRunner(scenario, config).run()

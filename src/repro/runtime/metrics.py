@@ -2,10 +2,13 @@
 
 One :class:`MetricsRegistry` serves a whole federation.  Every completed
 request is recorded under its operation label (``Class.operation``) and
-its serving node; latency percentiles (p50/p95/p99) are computed from the
-full per-operation sample set with the nearest-rank method.  All recording
-paths are thread-safe — client threads and dispatcher workers feed the
-same registry.
+its serving node.  Latency percentiles (p50/p95/p99/p99.9) come from a
+log-bucketed :class:`~repro.runtime.observability.histogram.LogHistogram`
+per series — fixed memory no matter how many samples land, with < 1%
+relative error against exact nearest-rank.  All recording paths are
+thread-safe — client threads and dispatcher workers feed the same
+registry.  Level gauges (queue depth, in-flight, replica lag) sampled by
+the observability plane live on :attr:`MetricsRegistry.gauges`.
 """
 
 from __future__ import annotations
@@ -14,6 +17,9 @@ import math
 import threading
 import time
 from typing import Dict, List, Optional
+
+from repro.runtime.observability.gauges import GaugeBoard
+from repro.runtime.observability.histogram import LogHistogram
 
 
 def percentile_of_sorted(ordered: List[float], fraction: float) -> float:
@@ -30,38 +36,39 @@ def percentile(samples: List[float], fraction: float) -> float:
 
 
 class _Series:
-    __slots__ = ("count", "errors", "latencies")
+    __slots__ = ("count", "errors", "hist")
 
     def __init__(self):
         self.count = 0
         self.errors = 0
-        self.latencies: List[float] = []
+        self.hist = LogHistogram()
 
     def add(self, seconds: float, error: bool) -> None:
         self.count += 1
         if error:
             self.errors += 1
-        self.latencies.append(seconds)
+        self.hist.add(seconds)
 
     def summary(self) -> Dict[str, float]:
-        # one sort serves all three percentiles
-        ordered = sorted(self.latencies)
-        total = sum(ordered)
+        hist = self.hist
         return {
             "count": self.count,
             "errors": self.errors,
-            "mean_ms": (total / len(ordered)) * 1000.0 if ordered else 0.0,
-            "p50_ms": percentile_of_sorted(ordered, 0.50) * 1000.0,
-            "p95_ms": percentile_of_sorted(ordered, 0.95) * 1000.0,
-            "p99_ms": percentile_of_sorted(ordered, 0.99) * 1000.0,
+            "mean_ms": hist.mean() * 1000.0,
+            "p50_ms": hist.percentile(0.50) * 1000.0,
+            "p95_ms": hist.percentile(0.95) * 1000.0,
+            "p99_ms": hist.percentile(0.99) * 1000.0,
+            "p999_ms": hist.percentile(0.999) * 1000.0,
         }
 
 
-def format_series_table(series: Dict[str, Dict[str, float]], indent: str = "") -> List[str]:
+def format_series_table(
+    series: Dict[str, Dict[str, float]], indent: str = "", title: str = "operation"
+) -> List[str]:
     """Render ``{name: summary}`` rows as a latency table (shared by the
     registry report and the scenario report)."""
     lines = [
-        f"{indent}{'operation':<28}{'count':>7}{'err':>6}"
+        f"{indent}{title:<28}{'count':>7}{'err':>6}"
         f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}"
     ]
     for name, s in series.items():
@@ -81,20 +88,36 @@ class MetricsRegistry:
         self._per_node: Dict[str, _Series] = {}
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
+        self._last_record_at: Optional[float] = None
+        #: level gauges sampled by the observability plane
+        self.gauges = GaugeBoard()
 
     # -- wall-clock window ---------------------------------------------------
 
     def start(self) -> None:
         self._started_at = time.perf_counter()
         self._stopped_at = None
+        self._last_record_at = None
 
     def stop(self) -> None:
         self._stopped_at = time.perf_counter()
 
     def elapsed_s(self) -> float:
+        """The measurement window in seconds.
+
+        When ``stop()`` was never called (a harness early-abort, a crash
+        report read post-mortem), the window freezes at the *last
+        recorded sample* instead of silently growing with wall clock —
+        otherwise throughput decays toward zero the longer the aborted
+        registry sits around before being read.
+        """
         if self._started_at is None:
             return 0.0
-        end = self._stopped_at or time.perf_counter()
+        end = self._stopped_at
+        if end is None:
+            end = self._last_record_at
+        if end is None or end < self._started_at:
+            return 0.0
         return end - self._started_at
 
     # -- recording -----------------------------------------------------------
@@ -102,7 +125,9 @@ class MetricsRegistry:
     def record(
         self, operation: str, node: str, seconds: float, error: bool = False
     ) -> None:
+        now = time.perf_counter()
         with self._lock:
+            self._last_record_at = now
             series = self._per_op.get(operation)
             if series is None:
                 series = self._per_op[operation] = _Series()
@@ -166,6 +191,7 @@ class MetricsRegistry:
         return {
             "operations": per_op,
             "nodes": per_node,
+            "gauges": self.gauges.snapshot(),
             "total_requests": sum(v["count"] for v in per_op.values()),
             "total_errors": sum(v["errors"] for v in per_op.values()),
             "elapsed_s": self.elapsed_s(),
@@ -182,7 +208,5 @@ class MetricsRegistry:
             f"  throughput: {snap['throughput_ops_s']:.0f} ops/s",
         ]
         lines.extend(format_series_table(snap["operations"]))
-        lines.append(f"{'node':<28}{'count':>7}{'err':>6}")
-        for name, s in snap["nodes"].items():
-            lines.append(f"{name:<28}{s['count']:>7}{s['errors']:>6}")
+        lines.extend(format_series_table(snap["nodes"], title="node"))
         return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Bounded structured event log for federation lifecycle events.
+
+Every membership or control-plane transition (join/retire/kill/
+failover/migration/reconcile/fault-armed/...) is appended as a JSON-
+shaped record with a monotonic sequence number.  The log is a bounded
+ring: old records fall off the front once ``capacity`` is exceeded, but
+sequence numbers keep counting so consumers can detect the gap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class EventLog:
+    """Thread-safe bounded log of structured events."""
+
+    def __init__(self, capacity: int = 1024):
+        self._lock = threading.Lock()
+        self._records: deque = deque(maxlen=max(1, int(capacity)))
+        self._seq = 0
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._records.maxlen
+
+    def set_capacity(self, capacity: int) -> None:
+        """Live-retune the ring size, keeping the newest records."""
+        with self._lock:
+            kept = deque(self._records, maxlen=max(1, int(capacity)))
+            self.dropped += len(self._records) - len(kept)
+            self._records = kept
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        record = dict(fields)
+        record["kind"] = kind
+        record["ts"] = round(time.time(), 6)
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            if len(self._records) == self._records.maxlen:
+                self.dropped += 1
+            self._records.append(record)
+        return record
+
+    def records(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            records = list(self._records)
+        if kind is not None:
+            records = [r for r in records if r["kind"] == kind]
+        return records
+
+    def last(self, kind: Optional[str] = None) -> Optional[Dict[str, Any]]:
+        records = self.records(kind)
+        return records[-1] if records else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

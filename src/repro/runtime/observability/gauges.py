@@ -1,0 +1,64 @@
+"""Gauge board: last-value-wins instruments with bounded history.
+
+Gauges capture *levels* (queue depth, in-flight requests, replica lag)
+rather than event counts.  Each ``set`` records the new value into a
+bounded per-gauge time series, so a sampled gauge doubles as a coarse
+trend line across membership events without unbounded growth.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+
+class _Gauge:
+    __slots__ = ("samples", "last", "max")
+
+    def __init__(self, capacity: int):
+        self.samples: deque = deque(maxlen=capacity)
+        self.last: float = 0.0
+        self.max: float = 0.0
+
+
+class GaugeBoard:
+    """Thread-safe named gauges with bounded sample history."""
+
+    def __init__(self, capacity: int = 256):
+        self._lock = threading.Lock()
+        self._capacity = max(1, int(capacity))
+        self._gauges: Dict[str, _Gauge] = {}
+        self._tick = 0
+
+    def set(self, name: str, value: float) -> None:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = _Gauge(self._capacity)
+            self._tick += 1
+            gauge.samples.append((self._tick, value))
+            gauge.last = value
+            if value > gauge.max:
+                gauge.max = value
+
+    def get(self, name: str) -> Optional[float]:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            return gauge.last if gauge else None
+
+    def series(self, name: str) -> List[Tuple[int, float]]:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            return list(gauge.samples) if gauge else []
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                name: {
+                    "last": gauge.last,
+                    "max": gauge.max,
+                    "samples": len(gauge.samples),
+                }
+                for name, gauge in sorted(self._gauges.items())
+            }

@@ -1,0 +1,105 @@
+"""Log-bucketed latency histogram: percentiles at fixed memory.
+
+Replaces the unbounded per-series latency list.  Values are counted in
+geometrically-spaced buckets with growth factor ``GROWTH``; a percentile
+query walks the bucket counts to the nearest-rank bucket and reports its
+geometric midpoint, so the estimate is within ``sqrt(GROWTH) - 1``
+relative error of the exact nearest-rank sample (< 0.75% at the default
+1.015 growth, comfortably inside the 1% budget) while memory stays a
+fixed ``BUCKETS``-slot array no matter how many samples land.
+
+The exact minimum and maximum are tracked alongside, so the extreme
+percentiles (p0/p100) and single-sample series stay exact, and the mean
+is computed from the exact running sum rather than bucket midpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+#: bucket growth factor; max relative error is sqrt(GROWTH) - 1
+GROWTH = 1.015
+#: trackable value range in seconds (100 ns .. 2 min); values outside
+#: are clamped into the edge buckets but min/max stay exact
+MIN_TRACKED = 1e-7
+MAX_TRACKED = 120.0
+
+_LOG_GROWTH = math.log(GROWTH)
+_SQRT_GROWTH = math.sqrt(GROWTH)
+#: interior buckets covering [MIN_TRACKED, MAX_TRACKED) plus an
+#: underflow bucket (index 0) and an overflow bucket (last index)
+BUCKETS = int(math.ceil(math.log(MAX_TRACKED / MIN_TRACKED) / _LOG_GROWTH)) + 2
+
+
+class LogHistogram:
+    """Fixed-memory histogram of non-negative samples (seconds)."""
+
+    __slots__ = ("counts", "count", "total", "min_seen", "max_seen")
+
+    def __init__(self):
+        self.counts: List[int] = [0] * BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = math.inf
+        self.max_seen = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min_seen:
+            self.min_seen = seconds
+        if seconds > self.max_seen:
+            self.max_seen = seconds
+        self.counts[self._index(seconds)] += 1
+
+    @staticmethod
+    def _index(seconds: float) -> int:
+        if seconds < MIN_TRACKED:
+            return 0
+        if seconds >= MAX_TRACKED:
+            return BUCKETS - 1
+        index = 1 + int(math.log(seconds / MIN_TRACKED) / _LOG_GROWTH)
+        # float rounding at bucket edges may land one off; clamp interior
+        return max(1, min(BUCKETS - 2, index))
+
+    @staticmethod
+    def _midpoint(index: int) -> float:
+        if index <= 0:
+            return MIN_TRACKED
+        if index >= BUCKETS - 1:
+            return MAX_TRACKED
+        return MIN_TRACKED * (GROWTH ** (index - 1)) * _SQRT_GROWTH
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile estimate (seconds)."""
+        if not self.count:
+            return 0.0
+        rank = max(0, min(self.count - 1, math.ceil(fraction * self.count) - 1))
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            if not bucket:
+                continue
+            seen += bucket
+            if seen > rank:
+                # the edge buckets hold out-of-range samples: report the
+                # exact extreme instead of the (clamped) range boundary
+                if index == 0:
+                    return self.min_seen
+                if index == BUCKETS - 1:
+                    return self.max_seen
+                estimate = self._midpoint(index)
+                return min(self.max_seen, max(self.min_seen, estimate))
+        return self.max_seen
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean(),
+            "min_s": self.min_seen if self.count else 0.0,
+            "max_s": self.max_seen,
+            "buckets": BUCKETS,
+        }
