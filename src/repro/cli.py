@@ -234,6 +234,7 @@ def _cmd_simulate(args) -> int:
         entities_per_node=args.entities_per_node,
         window=args.window,
         delivery_workers=args.delivery_workers,
+        transport=args.transport,
         churn=args.churn,
         replication_mode=args.replication_mode,
         trace=args.trace or bool(args.trace_out),
@@ -306,6 +307,19 @@ def _render_trace(spans, trace_id: str) -> List[str]:
     for root in sorted(roots, key=lambda s: order.get(s["kind"], 3)):
         walk(root, 0)
     return lines
+
+
+def _cmd_node(args) -> int:
+    if args.node_command == "serve":
+        from repro.runtime.procfed import serve_node
+
+        return serve_node(
+            args.name,
+            endpoint=args.endpoint,
+            workers=args.workers,
+            seed=args.seed,
+        )
+    raise ReproError(f"unknown node command {args.node_command!r}")
 
 
 def _cmd_trace(args) -> int:
@@ -576,6 +590,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="delivery threads of the federation's queued (async) transport",
     )
     simulate.add_argument(
+        "--transport",
+        choices=("inproc", "queued", "socket"),
+        default="inproc",
+        help="how routed federation hops travel: 'inproc' runs the hop "
+        "on the caller's thread (default), 'queued' forces delivery "
+        "threads, 'socket' sends every hop through a real wire "
+        "connection to the owner node's listener (full marshalling, "
+        "framing, and fault conversion — the same interceptor chain "
+        "runs unmodified)",
+    )
+    simulate.add_argument(
         "--replication-mode",
         choices=("full", "log"),
         default=None,
@@ -608,6 +633,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run configuration (including the deployment spec "
         "digest for spec-declared scenarios) as JSON and exit without "
         "running",
+    )
+
+    node_cmd = sub.add_parser(
+        "node",
+        help="worker node process management (multi-process federations)",
+        description="Host one federation worker in this process: bind a "
+        "wire listener, announce the endpoint on stdout as "
+        "'REPRO-NODE <name> <endpoint>', and serve requests until a "
+        "control 'stop' arrives.  The application arrives over the "
+        "wire as a shipped component package — spawned and driven by "
+        "ProcessFederation, or by hand for debugging.",
+    )
+    node_sub = node_cmd.add_subparsers(
+        dest="node_command",
+        required=True,
+        metavar="ACTION",
+        help="node action: 'serve' hosts one worker in this process",
+    )
+    node_serve = node_sub.add_parser(
+        "serve",
+        help="serve one worker node until stopped over the wire",
+    )
+    node_serve.add_argument(
+        "--name", required=True, help="federation node name"
+    )
+    node_serve.add_argument(
+        "--endpoint",
+        default="tcp://127.0.0.1:0",
+        help="listen endpoint: tcp://host:port (port 0 = OS-assigned) "
+        "or unix:///path/to.sock (default tcp://127.0.0.1:0)",
+    )
+    node_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="dispatcher worker threads (0 = serial dispatch)",
+    )
+    node_serve.add_argument(
+        "--seed", type=int, default=0, help="node middleware services seed"
     )
 
     trace_cmd = sub.add_parser(
@@ -656,6 +720,7 @@ _COMMANDS = {
     "fingerprint": _cmd_fingerprint,
     "simulate": _cmd_simulate,
     "deploy": _cmd_deploy,
+    "node": _cmd_node,
     "trace": _cmd_trace,
 }
 

@@ -234,6 +234,7 @@ class DeploymentCompiler:
             real_latency_s=spec.real_latency_ms / 1000.0,
             metrics=metrics,
             delivery_workers=spec.delivery_workers,
+            transport=spec.transport,
         )
         try:
             for index, node_spec in enumerate(spec.nodes):
@@ -442,6 +443,7 @@ def extract_spec(federation, include_state: bool = False) -> DeploymentSpec:
         real_latency_ms=federation.real_latency_s * 1000.0,
         delivery_workers=federation.delivery_workers,
         seed=deployed.seed if deployed is not None else federation.seed,
+        transport=federation.transport_mode,
     )
 
 

@@ -88,14 +88,21 @@ class NodeSpec:
     ``workers == 0`` means serial dispatch (the deterministic baseline);
     ``seed`` parameterizes the node's private middleware services (fault
     RNG); ``None`` lets the compiler derive one from the spec seed.
+    ``transport`` overrides the spec-level transport mode for this node
+    (``None`` inherits the deployment default); it is serialized only
+    when set, so existing specs — and their digests — are unchanged.
     """
 
     name: str
     workers: int = 0
     seed: Optional[int] = None
+    transport: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "workers": self.workers, "seed": self.seed}
+        data = {"name": self.name, "workers": self.workers, "seed": self.seed}
+        if self.transport is not None:
+            data["transport"] = self.transport
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "NodeSpec":
@@ -103,6 +110,7 @@ class NodeSpec:
             name=data["name"],
             workers=data.get("workers", 0),
             seed=data.get("seed"),
+            transport=data.get("transport"),
         )
 
 
@@ -408,6 +416,10 @@ class DeploymentSpec:
     real_latency_ms: float = 0.0
     delivery_workers: int = 2
     seed: int = 0
+    #: how routed hops travel ("inproc", "queued", or "socket"); the
+    #: default is omitted from the serialized form and the digest, so a
+    #: spec that never mentions transports hashes exactly as before
+    transport: str = "inproc"
 
     def __post_init__(self):
         _freeze(
@@ -600,6 +612,17 @@ class DeploymentSpec:
             problems.append(
                 f"delivery_workers must be >= 1, got {self.delivery_workers}"
             )
+        transports = ("inproc", "queued", "socket")
+        if self.transport not in transports:
+            problems.append(
+                f"transport must be one of {transports}, got {self.transport!r}"
+            )
+        for node in self.nodes:
+            if node.transport is not None and node.transport not in transports:
+                problems.append(
+                    f"node {node.name!r} transport must be one of "
+                    f"{transports}, got {node.transport!r}"
+                )
         return problems
 
     def validate(self) -> "DeploymentSpec":
@@ -616,7 +639,7 @@ class DeploymentSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """Lossless JSON form (``from_dict`` restores an equal spec)."""
-        return {
+        data = {
             "format": SPEC_FORMAT,
             "name": self.name,
             "application": self.application.to_dict(),
@@ -633,6 +656,11 @@ class DeploymentSpec:
             "delivery_workers": self.delivery_workers,
             "seed": self.seed,
         }
+        if self.transport != "inproc":
+            # omit-when-default: transport choice must not perturb the
+            # digest of a spec that never mentions it
+            data["transport"] = self.transport
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "DeploymentSpec":
@@ -675,6 +703,7 @@ class DeploymentSpec:
                 real_latency_ms=data.get("real_latency_ms", 0.0),
                 delivery_workers=data.get("delivery_workers", 2),
                 seed=data.get("seed", 0),
+                transport=data.get("transport", "inproc"),
             )
         except KeyError as exc:
             raise DeploymentError(

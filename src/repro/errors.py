@@ -259,6 +259,17 @@ class TransportError(MiddlewareError):
     """A transport refused an envelope (shut down, malformed policy, ...)."""
 
 
+class ProtocolError(TransportError):
+    """A wire frame violated the framing protocol.
+
+    Raised by the sans-IO frame decoder for garbage headers, unknown
+    protocol versions, oversized frames, and truncated or undecodable
+    payloads.  A protocol error poisons its *connection*, never the
+    peer: socket transports drop the connection and surface the routed
+    call's failure through the normal transport-fault path.
+    """
+
+
 class NodeDownError(TransportError):
     """The target federation node is dead (killed or unreachable).
 

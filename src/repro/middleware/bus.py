@@ -15,7 +15,9 @@ special cases.
 Wire-type contract (what `marshal` guarantees end to end):
 
 * primitives (``str``/``int``/``float``/``bool``/``bytes``/``None``)
-  travel unchanged;
+  travel unchanged — ``bytes`` is a first-class wire type, so binary
+  frame payloads (:mod:`repro.middleware.wire`) ride the same contract
+  as every other argument instead of needing an encoding side channel;
 * **lists stay lists and tuples stay tuples** — containers round-trip
   their concrete type, so a servant returning a tuple is observed as a
   tuple by the caller (they are deep-copied either way: mutations never
@@ -23,8 +25,14 @@ Wire-type contract (what `marshal` guarantees end to end):
 * dict keys must be strings; values recurse;
 * registered servants travel by reference (:class:`ObjectRefData`),
   everything else non-marshallable is rejected with
-  :class:`~repro.errors.MarshallingError`, as a real ORB rejects a
+  :class:`~repro.errors.MarshallingError` naming the *path* to the
+  offending value (``state["accounts"][3]``), as a real ORB rejects a
   non-serializable argument.
+
+Every value this contract admits has an exact binary encoding in
+:mod:`repro.middleware.wire` — the frame codec socket transports frame
+requests and responses with — so "marshallable" and "wire-encodable"
+are the same predicate by construction.
 """
 
 from __future__ import annotations
@@ -73,27 +81,40 @@ class ObjectRefData:
     type_name: str
 
 
-def marshal(value, ref_of: Optional[Callable] = None):
+def marshal(value, ref_of: Optional[Callable] = None, root: str = "value"):
     """Deep-copy ``value`` into wire form (see the wire-type contract above).
 
     ``ref_of`` maps registered servant objects to :class:`ObjectRefData`
     (pass-by-reference); everything unregistered and non-primitive is
     rejected, as a real ORB would reject a non-serializable argument.
+    The rejection names the *path* from ``root`` to the offending value
+    (``state["accounts"][3]``), so a caller marshalling a deep state
+    snapshot learns which field failed, not just the leaf's repr.
     """
+    return _marshal(value, ref_of, root)
+
+
+def _marshal(value, ref_of: Optional[Callable], path: str):
     if isinstance(value, _PRIMITIVES):
         return value
     if isinstance(value, list):
-        return [marshal(item, ref_of) for item in value]
+        return [
+            _marshal(item, ref_of, f"{path}[{i}]") for i, item in enumerate(value)
+        ]
     if isinstance(value, tuple):
         # tuples round-trip as tuples: a servant returning a tuple must
         # not be observed as returning a list (wire-type fidelity)
-        return tuple(marshal(item, ref_of) for item in value)
+        return tuple(
+            _marshal(item, ref_of, f"{path}[{i}]") for i, item in enumerate(value)
+        )
     if isinstance(value, dict):
         out = {}
         for key, item in value.items():
             if not isinstance(key, str):
-                raise MarshallingError(f"dict keys must be strings, got {key!r}")
-            out[key] = marshal(item, ref_of)
+                raise MarshallingError(
+                    f"dict keys must be strings, got {key!r} at {path}"
+                )
+            out[key] = _marshal(item, ref_of, f"{path}[{key!r}]")
         return out
     if isinstance(value, ObjectRefData):
         return value
@@ -102,7 +123,8 @@ def marshal(value, ref_of: Optional[Callable] = None):
         if ref is not None:
             return ref
     raise MarshallingError(
-        f"value {value!r} of type {type(value).__name__} is not marshallable"
+        f"value at {path}: {value!r} of type {type(value).__name__} "
+        "is not marshallable"
     )
 
 
@@ -136,6 +158,36 @@ class Request:
     context: Dict[str, Any] = field(default_factory=dict)
     message_id: int = field(default_factory=lambda: next(_message_counter))
 
+    def to_wire(self) -> Dict[str, Any]:
+        """The request as a plain wire dict (sans-IO: no bytes, no IO).
+
+        Everything in it is already marshalled — args/kwargs went
+        through :func:`marshal` when the request was built — so the
+        whole dict is encodable by the frame codec without another
+        marshalling pass.
+        """
+        return {
+            "object_id": self.object_id,
+            "operation": self.operation,
+            "args": list(self.args),
+            "kwargs": dict(self.kwargs),
+            "context": dict(self.context),
+            "message_id": self.message_id,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Request":
+        """Rebuild a request from its wire dict, preserving its identity
+        (``message_id`` pairs the eventual response — never re-minted)."""
+        return cls(
+            object_id=data["object_id"],
+            operation=data["operation"],
+            args=list(data["args"]),
+            kwargs=dict(data["kwargs"]),
+            context=dict(data["context"]),
+            message_id=data["message_id"],
+        )
+
 
 @dataclass
 class Response:
@@ -147,6 +199,24 @@ class Response:
     @property
     def is_error(self) -> bool:
         return self.error_type is not None
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The response as a plain wire dict (inverse of ``from_wire``)."""
+        return {
+            "message_id": self.message_id,
+            "result": self.result,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Response":
+        return cls(
+            message_id=data["message_id"],
+            result=data["result"],
+            error_type=data["error_type"],
+            error_message=data["error_message"],
+        )
 
 
 def _rebuild_exception(response: Response) -> Exception:

@@ -148,6 +148,56 @@ class Envelope:
     def is_oneway(self) -> bool:
         return self.qos.oneway
 
+    # -- sans-IO wire form ----------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The envelope as a plain wire dict — no bytes, no IO.
+
+        Everything a remote peer needs to re-dispatch the call travels:
+        the marshalled request (with its propagated context), the QoS
+        policy (so the receiving side can honour oneway semantics), the
+        correlation id (pairing the reply frame), and the routing
+        metadata.  ``reply_to`` and ``response`` stay local by design —
+        they are the *caller's* half of the conversation.
+        """
+        return {
+            "correlation_id": self.correlation_id,
+            "qos": {
+                "oneway": self.qos.oneway,
+                "timeout_ms": self.qos.timeout_ms,
+                "retries": self.qos.retries,
+            },
+            "target": self.target,
+            "binding": self.binding,
+            "label": self.label,
+            "attempt": self.attempt,
+            "request": self.request.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Envelope":
+        """Rebuild an envelope from its wire dict.
+
+        The correlation id is *preserved*, never re-minted: the peer's
+        reply frame must carry the id the sender is waiting on.
+        """
+        from repro.middleware.bus import Request
+
+        qos_data = data["qos"]
+        return cls(
+            request=Request.from_wire(data["request"]),
+            qos=QoS(
+                oneway=qos_data["oneway"],
+                timeout_ms=qos_data["timeout_ms"],
+                retries=qos_data["retries"],
+            ),
+            correlation_id=data["correlation_id"],
+            target=data["target"],
+            binding=data["binding"],
+            label=data["label"],
+            attempt=data["attempt"],
+        )
+
 
 # ---------------------------------------------------------------------------
 # Reply futures

@@ -136,8 +136,8 @@ class Orb:
         request = Request(
             object_id=ref.object_id,
             operation=operation,
-            args=marshal(list(args), self.ref_of),
-            kwargs=marshal(dict(kwargs), self.ref_of),
+            args=marshal(list(args), self.ref_of, root="args"),
+            kwargs=marshal(dict(kwargs), self.ref_of, root="kwargs"),
             context=dict(self.current_context()),
         )
         for interceptor in self.client_interceptors:
@@ -196,7 +196,7 @@ class Orb:
         context["__dispatching__"] = True  # lets aspects detect server side
         with self.call_context(**context):
             result = method(*args, **kwargs)
-        return marshal(result, self.ref_of)
+        return marshal(result, self.ref_of, root="result")
 
     def _from_wire(self, value):
         """Hydrate wire values: references become proxies, containers recurse."""

@@ -56,7 +56,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import FederationError, NamingError, NodeDownError, ReproError
-from repro.middleware.bus import ObjectRefData, Request
+from repro.middleware.bus import ObjectRefData, Request, marshal
 from repro.middleware.clock import SimClock
 from repro.middleware.envelope import (
     DEFAULT_QOS,
@@ -75,6 +75,7 @@ from repro.middleware.transport import (
     QueuedTransport,
     in_serving_thread,
 )
+from repro.middleware.rpc import RemoteProxy
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.node import Node
 from repro.runtime.observability import TRACE_KEY, Observability
@@ -913,6 +914,9 @@ class ReplicaManager:
 class Federation:
     """Named nodes + sharded naming + routed, metered invocation."""
 
+    #: transport modes a federation can route hops through
+    TRANSPORT_MODES = ("inproc", "queued", "socket")
+
     def __init__(
         self,
         seed: int = 0,
@@ -921,7 +925,14 @@ class Federation:
         metrics: Optional[MetricsRegistry] = None,
         replicas: int = 64,
         delivery_workers: int = 2,
+        transport: str = "inproc",
+        socket_family: str = "tcp",
     ):
+        if transport not in self.TRANSPORT_MODES:
+            raise FederationError(
+                f"unknown transport mode {transport!r} "
+                f"(one of {', '.join(self.TRANSPORT_MODES)})"
+            )
         self.clock = SimClock()
         self.seed = seed
         self.faults = FaultInjector(seed)
@@ -938,8 +949,28 @@ class Federation:
         self.routed: Dict[str, int] = {}
         #: pipelined batches delivered per target node
         self.batches: Dict[str, int] = {}
-        #: synchronous hop transport (caller-thread semantics)
-        self.transport = InProcessTransport()
+        #: how routed hops travel: "inproc" (caller thread), "queued"
+        #: (delivery threads even for sync calls), or "socket" (every
+        #: hop crosses a real wire connection to the node's listener)
+        self.transport_mode = transport
+        self.socket_family = socket_family
+        #: per-node wire listeners and their endpoints (socket mode)
+        self._wire_servers: Dict[str, Any] = {}
+        self._endpoints: Dict[str, str] = {}
+        self._socket_transport = None
+        self._unix_sock_dir: Optional[str] = None
+        #: synchronous hop transport (caller-thread semantics; in socket
+        #: mode delivery still runs inline — the wire wait is in the
+        #: routing terminal, where the GIL is released)
+        if transport == "socket":
+            from repro.middleware.sockets import SocketTransport
+
+            self._socket_transport = SocketTransport(
+                self._endpoints.get, node="federation"
+            )
+            self.transport = self._socket_transport
+        else:
+            self.transport = InProcessTransport()
         #: asynchronous hop transport, created lazily on first use
         self.delivery_workers = delivery_workers
         self._async = LazyQueuedTransport(
@@ -1012,6 +1043,8 @@ class Federation:
         self._instrument_node(node)
         self.naming.add_shard(name, node.services.naming)
         self.nodes[name] = node
+        if self.transport_mode == "socket":
+            self._start_wire_server(node)
         return node
 
     def _instrument_node(self, node: Node) -> None:
@@ -1043,8 +1076,17 @@ class Federation:
 
     def shutdown(self) -> None:
         self._async.shutdown()
+        if self._socket_transport is not None:
+            self._socket_transport.shutdown()
+        for name in list(self._wire_servers):
+            self._stop_wire_server(name)
         for node in list(self.nodes.values()):
             node.shutdown()
+        if self._unix_sock_dir is not None:
+            import shutil
+
+            shutil.rmtree(self._unix_sock_dir, ignore_errors=True)
+            self._unix_sock_dir = None
 
     # -- elastic membership -------------------------------------------------------
 
@@ -1360,6 +1402,7 @@ class Federation:
                 self.naming.remove_shard(name)
                 node.alive = False
                 del self.nodes[name]
+            self._stop_wire_server(name)
             node.shutdown()
             self.retires += 1
             self.bindings_moved += moved
@@ -1458,6 +1501,7 @@ class Federation:
             # nodes whose standby copies were just promoted
             self.naming.remove_shard(name)
             del self.nodes[name]
+            self._stop_wire_server(name)
             node.shutdown()
             self.failovers += 1
             self.bindings_moved += moved
@@ -1631,8 +1675,34 @@ class Federation:
         kwargs: Optional[dict],
         context: Optional[Dict[str, Any]],
         partition: Optional[str] = None,
+        envelope: Optional[Envelope] = None,
     ):
-        """The routing terminal: dead-node classification + the node hop.
+        """The routing terminal — branches on the transport mode.
+
+        In-process and queued modes execute the node hop directly
+        (:meth:`_local_dispatch`); socket mode sends the hop over a real
+        wire connection to the owner node's listener, whose server-side
+        handler runs the *same* :meth:`_local_dispatch` — so the node
+        guard, dispatcher serialization, and replication semantics are
+        identical on both sides of the wire.
+        """
+        if self.transport_mode == "socket" and envelope is not None:
+            return self._wire_dispatch(node, ref, envelope)
+        return self._local_dispatch(
+            node, ref, operation, args, kwargs, context, partition
+        )
+
+    def _local_dispatch(
+        self,
+        node: Node,
+        ref: ObjectRefData,
+        operation: str,
+        args: tuple,
+        kwargs: Optional[dict],
+        context: Optional[Dict[str, Any]],
+        partition: Optional[str] = None,
+    ):
+        """The node hop: dead-node classification + dispatch + replication.
 
         The replication of a named call runs *inside* the node guard: a
         kill that drained to zero has therefore already captured every
@@ -1663,6 +1733,116 @@ class Federation:
                 else:
                     self.replicas.note_skip()
             return value
+
+    # -- socket loopback mode -----------------------------------------------------
+
+    @staticmethod
+    def _proxy_ref(value: Any) -> Optional[ObjectRefData]:
+        """Client-side marshalling hook: proxies travel as references."""
+        if isinstance(value, RemoteProxy):
+            return value.ref
+        return None
+
+    def _wire_dispatch(self, node: Node, ref: ObjectRefData, envelope: Envelope):
+        """Send one routed hop over the wire to ``node``'s listener.
+
+        The hop envelope carries the *same* correlation id, message id,
+        QoS, binding, and attempt counter as the in-memory envelope the
+        chain executed — a traced retry over sockets is recognizably the
+        same logical call — but its request payload is re-marshalled
+        into pure wire values (proxies become references).  Faults come
+        back as FAULT frames and re-raise here with their retryability
+        intact, so the failover element and the QoS budget behave
+        exactly as they do in process.
+        """
+        request = envelope.request
+        hop = Envelope(
+            request=Request(
+                object_id=ref.object_id,
+                operation=request.operation,
+                args=marshal(list(request.args), self._proxy_ref, root="args"),
+                kwargs=marshal(
+                    dict(request.kwargs), self._proxy_ref, root="kwargs"
+                ),
+                context=dict(request.context),
+                message_id=request.message_id,
+            ),
+            qos=envelope.qos,
+            correlation_id=envelope.correlation_id,
+            target=node.name,
+            binding=envelope.binding,
+            label=envelope.label,
+            attempt=envelope.attempt,
+        )
+        response = self._socket_transport.roundtrip(node.name, hop)
+        if response is None:  # oneway: the ack is the whole reply
+            return None
+        if response.is_error:
+            node.services.bus.raise_remote(response)
+        # hydrate through the owner's orb, as an in-process hop would
+        return node.services.orb._from_wire(response.result)
+
+    def _serve_wire_request(self, node: Node, envelope: Envelope):
+        """Server half of a wire hop: runs on the listener's connection
+        thread, inside the node's own process space.
+
+        Rebuilds the dispatch coordinates from the envelope (the client
+        already re-resolved the owner for this attempt) and runs the
+        ordinary local terminal — node guard, dispatcher, replication —
+        then re-marshals the hydrated result for the return frame.
+        """
+        request = envelope.request
+        type_name = (envelope.label or ".").rsplit(".", 1)[0]
+        ref = ObjectRefData(request.object_id, type_name)
+        partition = (
+            ShardedNamingService.partition_key(envelope.binding)
+            if envelope.binding
+            else None
+        )
+        result = self._local_dispatch(
+            node,
+            ref,
+            request.operation,
+            tuple(request.args),
+            dict(request.kwargs),
+            dict(request.context),
+            partition,
+        )
+        return marshal(result, self._proxy_ref, root="result")
+
+    def _start_wire_server(self, node: Node) -> None:
+        """Bind a per-node listener and publish its endpoint (socket mode)."""
+        from repro.middleware.sockets import WireServer
+
+        if self.socket_family == "unix":
+            endpoint = f"unix://{self._unix_dir()}/{node.name}.sock"
+        else:
+            endpoint = "tcp://127.0.0.1:0"
+        server = WireServer(
+            node=node.name,
+            request_handler=lambda env, n=node: self._serve_wire_request(n, env),
+            endpoint=endpoint,
+        )
+        server.start()
+        self._wire_servers[node.name] = server
+        self._endpoints[node.name] = server.endpoint
+
+    def _stop_wire_server(self, name: str) -> None:
+        """Tear down a removed node's listener; in-flight connections to
+        it fail as pre-effect :class:`NodeDownError` on the client side."""
+        endpoint = self._endpoints.pop(name, None)
+        server = self._wire_servers.pop(name, None)
+        if server is not None:
+            server.stop()
+        if endpoint is not None and self._socket_transport is not None:
+            self._socket_transport.pool.invalidate(endpoint)
+
+    def _unix_dir(self) -> str:
+        if self._unix_sock_dir is None:
+            import tempfile
+
+            self._unix_sock_dir = tempfile.mkdtemp(prefix="repro-fed-")
+        return self._unix_sock_dir
 
     def _envelope(
         self,
@@ -1735,7 +1915,8 @@ class Federation:
                 return self.chain.execute(
                     env,
                     lambda: self._dispatch(
-                        node, ref, operation, args, kwargs, env.request.context
+                        node, ref, operation, args, kwargs,
+                        env.request.context, envelope=env,
                     ),
                 )
 
@@ -1759,7 +1940,7 @@ class Federation:
                     env,
                     lambda: self._dispatch(
                         owner, live_ref, operation, args, kwargs,
-                        env.request.context, partition,
+                        env.request.context, partition, envelope=env,
                     ),
                 )
 

@@ -78,6 +78,11 @@ class RunConfig:
     window: int = 4
     #: delivery threads of the federation's queued (async) transport
     delivery_workers: int = 2
+    #: how routed hops travel: "inproc" (caller thread), "queued"
+    #: (delivery threads), or "socket" (every hop crosses a real wire
+    #: connection to the owner node's listener).  The default never
+    #: enters the spec digest, so inproc runs hash as they always did
+    transport: str = "inproc"
     #: arm the scenario's churn plan (node kill / join / retire mid-run)
     churn: bool = False
     #: override the scenario's replication machinery ("full" | "log");
@@ -118,6 +123,7 @@ class RunConfig:
             "entities_per_node": self.entities_per_node,
             "window": self.window,
             "delivery_workers": self.delivery_workers,
+            "transport": self.transport,
             "churn": self.churn,
             "spec_digest": self.spec_digest,
             "replication": self.replication,
@@ -308,6 +314,7 @@ class ScenarioRunner:
             real_latency_s=config.real_latency_ms / 1000.0,
             metrics=MetricsRegistry(),
             delivery_workers=config.delivery_workers,
+            transport=config.transport,
         )
         for i in range(config.nodes):
             federation.add_node(

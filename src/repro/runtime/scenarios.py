@@ -234,6 +234,9 @@ class Scenario:
             real_latency_ms=config.real_latency_ms,
             delivery_workers=config.delivery_workers,
             seed=config.seed,
+            # "inproc" is omitted from the serialized spec, so runs
+            # that never select a transport keep their historic digests
+            transport=getattr(config, "transport", "inproc"),
         )
 
     def deploy(self, federation, config) -> None:
