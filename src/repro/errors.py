@@ -279,11 +279,27 @@ class NodeDownError(TransportError):
     federation raises it at the routing terminal (always pre-effect);
     the failover interceptor promotes a standby and the transport retry
     budget re-delivers, re-resolving the owner.
+
+    ``mid_call`` marks the ambiguous wire case: the request frame was
+    fully written but the reply never arrived (disconnect or timeout
+    after send).  The peer may have executed the effect, so transports
+    raise it with ``pre_effect=False`` — not retryable as-is.  Only the
+    failover element may upgrade it to pre-effect, and only after
+    confirming the node actually died: under fail-stop the unacked
+    effect perished with the node and promotion restored the standby
+    snapshot, so re-delivery cannot duplicate it.
     """
 
-    def __init__(self, message: str, node: str = "", pre_effect: bool = True):
+    def __init__(
+        self,
+        message: str,
+        node: str = "",
+        pre_effect: bool = True,
+        mid_call: bool = False,
+    ):
         self.node = node
         self.pre_effect = pre_effect
+        self.mid_call = mid_call
         super().__init__(message)
 
 

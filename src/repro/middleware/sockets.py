@@ -14,12 +14,19 @@ threads:
 * :class:`SocketTransport` — the :class:`~repro.middleware.transport.Transport`
   implementation: delivery runs inline on the caller's thread (socket
   waits release the GIL, which is the whole point), the QoS retry
-  budget is honoured by the shared delivery core, and every
-  socket-level failure — dial refused, peer gone, disconnect mid-call —
-  surfaces as the *pre-effect* :class:`~repro.errors.NodeDownError`
-  the federation's failover element already understands.  Reconnection
-  is therefore not a private loop here: a retryable envelope redials
-  simply by being re-delivered under its own budget.
+  budget is honoured by the shared delivery core, and socket-level
+  failures surface as :class:`~repro.errors.NodeDownError` classified
+  by *when* they struck.  A failure before the request frame was fully
+  written (no endpoint, dial refused, send error) is pre-effect — the
+  peer can never have dispatched a partial frame — and is safe for the
+  failover element and the QoS budget to re-deliver.  A failure *after*
+  the frame was written (disconnect or timeout while awaiting the
+  reply) is ``mid_call``: the effect may have executed, so it is not
+  retryable here; only the failover element upgrades it, after
+  confirming the node actually died (fail-stop rollback makes the
+  re-delivery pre-effect again).  Reconnection is therefore not a
+  private loop here: a retryable envelope redials simply by being
+  re-delivered under its own budget.
 
 Endpoints are strings: ``tcp://127.0.0.1:9307`` or
 ``unix:///tmp/node-a.sock``.
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import select
 import socket
 import threading
 from collections import deque
@@ -237,7 +245,10 @@ class WireServer:
                 if greeting:
                     conn.sendall(greeting)
                 for kind, payload in session.events():
-                    stop = self._serve_frame(conn, session, kind, payload)
+                    try:
+                        stop = self._serve_frame(conn, session, kind, payload)
+                    except OSError:
+                        return  # client went away while we replied
                     if stop:
                         return
         finally:
@@ -328,9 +339,13 @@ class WireClient:
         #: the node name the server announced in its HELLO-OK
         self.peer = self.session.peer
 
-    def roundtrip(self, frame: bytes) -> Tuple[int, Any]:
-        """Send one frame and block for the next conversation frame."""
+    def send(self, frame: bytes) -> None:
+        """Write one frame; raising means the frame was NOT fully written,
+        so the peer can never decode (let alone dispatch) the request."""
         self._sock.sendall(frame)
+
+    def await_reply(self) -> Tuple[int, Any]:
+        """Block for the next conversation frame from the peer."""
         while True:
             events = self.session.events()
             if events:
@@ -339,6 +354,21 @@ class WireClient:
             if not data:
                 raise TransportError(f"peer at {self.endpoint} disconnected")
             self.session.feed(data)
+
+    def roundtrip(self, frame: bytes) -> Tuple[int, Any]:
+        """Send one frame and block for the next conversation frame."""
+        self.send(frame)
+        return self.await_reply()
+
+    def stale(self) -> bool:
+        """True when the *idle* socket is readable: the peer closed it
+        (EOF/RST pending) or sent bytes outside any conversation —
+        either way it cannot carry a fresh at-most-once request."""
+        try:
+            readable, _, _ = select.select([self._sock], [], [], 0)
+        except (OSError, ValueError):
+            return True
+        return bool(readable)
 
     def close(self) -> None:
         with contextlib.suppress(OSError):
@@ -367,15 +397,29 @@ class ConnectionPool:
         self.reuses = 0
 
     def checkout(self, endpoint: str) -> Tuple[WireClient, bool]:
-        """An idle or fresh connection; the flag says it was pooled."""
-        with self._lock:
-            if self._closed:
-                raise TransportError("connection pool is shut down")
-            queue = self._idle.get(endpoint)
-            if queue:
-                self.reuses += 1
-                return queue.popleft(), True
-            self.dials += 1
+        """An idle or fresh connection; the flag says it was pooled.
+
+        Idle entries are probed before reuse: a connection the peer
+        closed while pooled is discarded here, *before* any request
+        bytes are risked on it — the at-most-once contract never has to
+        reason about a knowingly-dead socket."""
+        discarded = []
+        try:
+            with self._lock:
+                if self._closed:
+                    raise TransportError("connection pool is shut down")
+                queue = self._idle.get(endpoint)
+                while queue:
+                    client = queue.popleft()
+                    if client.stale():
+                        discarded.append(client)
+                        continue
+                    self.reuses += 1
+                    return client, True
+                self.dials += 1
+        finally:
+            for client in discarded:
+                client.close()
         return (
             WireClient(
                 endpoint,
@@ -422,10 +466,16 @@ class SocketTransport(Transport):
     ``submit`` delivers inline on the caller's thread — synchronous
     semantics, like :class:`~repro.middleware.transport.InProcessTransport`
     — through the shared retry core, so the envelope's QoS budget drives
-    reconnection: a pre-effect failure (dial refused, disconnect
-    mid-call) raises :class:`~repro.errors.NodeDownError`, the failover
-    element reacts, and the re-delivery dials whatever node the binding
-    re-resolves to.
+    reconnection: a pre-effect failure (no endpoint, dial refused, the
+    request frame rejected before it was fully written) raises
+    :class:`~repro.errors.NodeDownError`, the failover element reacts,
+    and the re-delivery dials whatever node the binding re-resolves to.
+    A failure *after* the frame was written is the ambiguous mid-call
+    case: it raises ``NodeDownError(pre_effect=False, mid_call=True)``
+    and is never blind-retried here — the effect may already exist on
+    the peer, so only the failover element (which can confirm the node
+    is fail-stop dead and roll its state back to the standby snapshot)
+    may make it retryable.
 
     The handler the routing layer passes in runs its interceptor chain
     client-side; the chain's terminal calls :meth:`roundtrip` to put the
@@ -464,12 +514,17 @@ class SocketTransport(Transport):
     def roundtrip(self, node: str, envelope: Envelope) -> Any:
         """Deliver ``envelope`` to ``node`` and return the wire result.
 
-        Raises the decoded remote fault on FAULT frames; socket-level
-        failures become pre-effect :class:`NodeDownError` — disconnects
-        mid-call included, by protocol contract: workers send effects'
-        responses before anything else on the connection, so a vanished
-        reply means the request never dispatched or the node is gone
-        wholesale, and the failover/retry path owns what happens next.
+        Raises the decoded remote fault on FAULT frames.  Socket-level
+        failures are classified by phase, because at-most-once hinges on
+        it: a failure *before* the request frame was fully written (no
+        endpoint, dial refused, send error — a partial frame can never
+        decode, so no effect can exist) raises the pre-effect
+        :class:`NodeDownError` the failover/retry path may re-deliver;
+        a failure *after* the frame was written (disconnect or timeout
+        while awaiting the reply) raises
+        ``NodeDownError(pre_effect=False, mid_call=True)`` — the effect
+        may have executed, so re-delivery is only safe once the failover
+        element confirms the node is fail-stop dead.
         """
         endpoint = self.endpoints(node)
         if endpoint is None:
@@ -487,22 +542,28 @@ class SocketTransport(Transport):
             ) from exc
         frame = client.session.send_request(envelope)
         try:
-            kind, payload = client.roundtrip(frame)
+            client.send(frame)
         except (OSError, TransportError) as exc:
             client.close()
             self._disconnected(endpoint)
             if pooled:
-                # a kept-alive connection may have gone stale while
-                # idle; one fresh dial distinguishes "stale socket"
-                # from "dead node" without spending the QoS budget
+                # the checkout probe can race the peer's close: a pooled
+                # connection that rejected the *send* never delivered a
+                # complete frame, so one blind fresh dial is effect-free
                 return self._retry_fresh(node, endpoint, envelope, exc)
             raise NodeDownError(
-                f"node {node!r} disconnected mid-call: {exc}", node=node
+                f"node {node!r} rejected the request at {endpoint}: {exc}",
+                node=node,
             ) from exc
-        self.pool.checkin(client)
-        return self._conclude(node, envelope, kind, payload)
+        return self._await_and_conclude(node, endpoint, envelope, client)
 
     def _retry_fresh(self, node, endpoint, envelope, cause) -> Any:
+        """One fresh dial after a pooled connection refused the *send*.
+
+        Only reachable pre-effect: the stale socket never accepted a
+        complete request frame, so re-sending on a new connection cannot
+        duplicate anything.  Failures here are classified exactly like a
+        first attempt's."""
         try:
             client = WireClient(
                 endpoint,
@@ -510,26 +571,70 @@ class SocketTransport(Transport):
                 timeout_s=self.pool.timeout_s,
                 max_frame=self.pool.max_frame,
             )
-            kind, payload = client.roundtrip(client.session.send_request(envelope))
         except (OSError, TransportError) as exc:
             self._disconnected(endpoint)
             raise NodeDownError(
-                f"node {node!r} disconnected mid-call: {exc}", node=node
+                f"node {node!r} unreachable at {endpoint}: {exc}", node=node
             ) from exc
-        self.pool.checkin(client)
-        return self._conclude(node, envelope, kind, payload)
+        try:
+            client.send(client.session.send_request(envelope))
+        except (OSError, TransportError) as exc:
+            client.close()
+            self._disconnected(endpoint)
+            raise NodeDownError(
+                f"node {node!r} rejected the request at {endpoint}: {exc}",
+                node=node,
+            ) from exc
+        return self._await_and_conclude(node, endpoint, envelope, client)
 
-    def _conclude(self, node: str, envelope: Envelope, kind: int, payload: Any):
+    def _await_and_conclude(
+        self, node: str, endpoint: str, envelope: Envelope, client: WireClient
+    ) -> Any:
+        """The post-send half of a hop: any failure past this point is
+        mid-call — the request frame is on the wire and the effect may
+        run (or already have run) on the peer."""
+        try:
+            kind, payload = client.await_reply()
+        except (OSError, TransportError) as exc:
+            client.close()
+            self._disconnected(endpoint)
+            raise NodeDownError(
+                f"node {node!r} gave no reply mid-call: {exc}",
+                node=node,
+                pre_effect=False,
+                mid_call=True,
+            ) from exc
+        return self._conclude(node, envelope, client, kind, payload)
+
+    def _conclude(
+        self,
+        node: str,
+        envelope: Envelope,
+        client: WireClient,
+        kind: int,
+        payload: Any,
+    ):
         with self._stats_lock:
             self.roundtrips += 1
+        if kind not in (RESPONSE, FAULT, ONEWAY_ACK):
+            client.close()
+            raise ProtocolError(
+                f"expected a response frame from {node!r}, got kind {kind}"
+            )
+        got = payload.get("correlation_id") if isinstance(payload, dict) else None
+        if got != envelope.correlation_id:
+            # a stray or reordered frame must fail loudly, never be
+            # paired with the wrong call; the connection is beyond trust
+            client.close()
+            raise ProtocolError(
+                f"reply from {node!r} correlates to {got!r}, expected "
+                f"{envelope.correlation_id}"
+            )
+        self.pool.checkin(client)
         if kind == FAULT:
             raise decode_fault(payload.get("fault", {}))
         if kind == ONEWAY_ACK:
             return None
-        if kind != RESPONSE:
-            raise ProtocolError(
-                f"expected a response frame from {node!r}, got kind {kind}"
-            )
         return Response.from_wire(payload["response"])
 
     def control(self, node: str, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -539,8 +644,15 @@ class SocketTransport(Transport):
             raise NodeDownError(f"node {node!r} has no wire endpoint", node=node)
         try:
             client, _pooled = self.pool.checkout(endpoint)
+        except (OSError, TransportError) as exc:
+            self._disconnected(endpoint)
+            raise NodeDownError(
+                f"node {node!r} unreachable at {endpoint}: {exc}", node=node
+            ) from exc
+        try:
             kind, reply = client.roundtrip(client.session.send_control(payload))
         except (OSError, TransportError) as exc:
+            client.close()
             self._disconnected(endpoint)
             raise NodeDownError(
                 f"node {node!r} unreachable at {endpoint}: {exc}", node=node

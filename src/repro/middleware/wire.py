@@ -22,8 +22,9 @@ binary encoding closed over exactly the bus's marshal contract
 (``None``/``bool``/``int``/``float``/``str``/``bytes``, lists, tuples,
 string-keyed dicts, :class:`~repro.middleware.bus.ObjectRefData`), so
 "marshallable" and "frame-encodable" are the same predicate.  Garbage
-magic, unknown versions or kinds, oversized frames, truncated or
-trailing payload bytes all raise :class:`~repro.errors.ProtocolError`.
+magic, unknown versions or kinds, oversized frames, over-deep nesting
+(:data:`MAX_DEPTH`), truncated or trailing payload bytes all raise
+:class:`~repro.errors.ProtocolError`.
 
 :class:`FrameDecoder` is an incremental state machine: bytes arrive in
 arbitrary splits (half a header, three frames and a tail, ...) and
@@ -55,6 +56,12 @@ VERSION = 1
 #: refuse frames larger than this (a garbage length prefix must not make
 #: the decoder buffer gigabytes before noticing)
 DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+#: refuse values nested deeper than this — a hostile frame packing one
+#: container per ~5 bytes could otherwise blow the interpreter's
+#: recursion limit and surface a raw RecursionError instead of the
+#: ProtocolError that poisons the decoder and drops the connection
+MAX_DEPTH = 100
 
 _HEADER = struct.Struct(">2sBBI")
 
@@ -100,7 +107,11 @@ def encode_value(value: Any) -> bytes:
     return b"".join(out)
 
 
-def _encode_into(value: Any, out: List[bytes]) -> None:
+def _encode_into(value: Any, out: List[bytes], depth: int = 0) -> None:
+    if depth > MAX_DEPTH:
+        raise ProtocolError(
+            f"wire value nests deeper than {MAX_DEPTH} levels"
+        )
     if value is None:
         out.append(b"N")
     elif value is True:
@@ -129,12 +140,12 @@ def _encode_into(value: Any, out: List[bytes]) -> None:
         out.append(b"l")
         out.append(_U32.pack(len(value)))
         for item in value:
-            _encode_into(item, out)
+            _encode_into(item, out, depth + 1)
     elif isinstance(value, tuple):
         out.append(b"t")
         out.append(_U32.pack(len(value)))
         for item in value:
-            _encode_into(item, out)
+            _encode_into(item, out, depth + 1)
     elif isinstance(value, dict):
         out.append(b"d")
         out.append(_U32.pack(len(value)))
@@ -146,7 +157,7 @@ def _encode_into(value: Any, out: List[bytes]) -> None:
             data = key.encode("utf-8")
             out.append(_U32.pack(len(data)))
             out.append(data)
-            _encode_into(item, out)
+            _encode_into(item, out, depth + 1)
     elif isinstance(value, ObjectRefData):
         out.append(b"r")
         for text in (value.object_id, value.type_name):
@@ -176,7 +187,13 @@ def _take(payload: memoryview, offset: int, count: int) -> Tuple[memoryview, int
     return payload[offset:end], end
 
 
-def _decode_from(payload: memoryview, offset: int) -> Tuple[Any, int]:
+def _decode_from(
+    payload: memoryview, offset: int, depth: int = 0
+) -> Tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise ProtocolError(
+            f"wire value nests deeper than {MAX_DEPTH} levels"
+        )
     tag_view, offset = _take(payload, offset, 1)
     tag = tag_view.tobytes()
     if tag == b"N":
@@ -211,7 +228,7 @@ def _decode_from(payload: memoryview, offset: int) -> Tuple[Any, int]:
         (count,) = _U32.unpack(raw)
         items = []
         for _ in range(count):
-            item, offset = _decode_from(payload, offset)
+            item, offset = _decode_from(payload, offset, depth + 1)
             items.append(item)
         return (tuple(items) if tag == b"t" else items), offset
     if tag == b"d":
@@ -226,7 +243,7 @@ def _decode_from(payload: memoryview, offset: int) -> Tuple[Any, int]:
                 key = key_data.tobytes().decode("utf-8")
             except UnicodeDecodeError as exc:
                 raise ProtocolError(f"malformed dict key: {exc}") from None
-            mapping[key], offset = _decode_from(payload, offset)
+            mapping[key], offset = _decode_from(payload, offset, depth + 1)
         return mapping, offset
     if tag == b"r":
         parts = []

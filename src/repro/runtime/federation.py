@@ -1546,12 +1546,26 @@ class Federation:
         The promotion is attempted without blocking: this thread holds a
         migration-gate entry, and a concurrent join/retire holding the
         topology lock may be waiting for exactly that entry to drain —
-        blocking here would stall both until the freeze timeout."""
+        blocking here would stall both until the freeze timeout.
+
+        A ``mid_call`` fault (socket mode: the reply vanished after the
+        request frame was written) is upgraded to pre-effect only when
+        the node is confirmed dead or already removed — under fail-stop
+        its unacked effect died with it and re-delivery re-resolves onto
+        the promoted owner.  While the node is still alive the fault
+        stays non-retryable: a lost reply must not re-run the effect."""
         try:
             return proceed()
         except NodeDownError as exc:
-            if exc.pre_effect and exc.node:
-                self.fail_over(exc.node, blocking=False)
+            if exc.node:
+                if exc.pre_effect:
+                    self.fail_over(exc.node, blocking=False)
+                elif exc.mid_call:
+                    node = self.nodes.get(exc.node)
+                    if node is None or not node.alive:
+                        with contextlib.suppress(FederationError):
+                            self.fail_over(exc.node, blocking=False)
+                        exc.pre_effect = True
             raise
 
     # -- users ------------------------------------------------------------------
@@ -1829,7 +1843,9 @@ class Federation:
 
     def _stop_wire_server(self, name: str) -> None:
         """Tear down a removed node's listener; in-flight connections to
-        it fail as pre-effect :class:`NodeDownError` on the client side."""
+        it fail as mid-call :class:`NodeDownError` on the client side,
+        which the failover element upgrades to pre-effect because the
+        node is already out of the table."""
         endpoint = self._endpoints.pop(name, None)
         server = self._wire_servers.pop(name, None)
         if server is not None:

@@ -615,9 +615,11 @@ class ProcessFederation:
         """Hard-kill one worker process (fail-stop).
 
         The endpoint stays registered: in-flight and subsequent calls
-        meet a dead socket, surface the pre-effect
-        :class:`NodeDownError`, and drive failover + retry — the same
-        observable sequence as killing an in-process node.
+        meet a dead socket and surface :class:`NodeDownError` — a
+        refused dial is pre-effect outright, a mid-call disconnect is
+        upgraded by the failover element once it confirms the process
+        is dead — and drive failover + retry, the same observable
+        sequence as killing an in-process node.
         """
         handle = self.workers.get(name)
         if handle is None:
@@ -691,12 +693,27 @@ class ProcessFederation:
     # -- chain elements -------------------------------------------------------
 
     def _failover_element(self, envelope: Envelope, proceed: Callable[[], Any]):
+        """Promote a dead worker's standbys; classify mid-call faults.
+
+        A ``mid_call`` fault (reply lost after the request was written)
+        is ambiguous at the transport: the effect may have executed.
+        ``fail_over`` resolves it — it refuses while the worker process
+        is alive (so a slow-or-flaky but living node never gets a
+        duplicate delivery) and succeeds only once the worker is
+        fail-stop dead, at which point any unacked effect died with the
+        process and promotion restored the pre-call standby snapshot.
+        Only then is the fault upgraded to pre-effect, letting the QoS
+        budget land the very same call on the new primary."""
         try:
             return proceed()
         except NodeDownError as exc:
-            if exc.pre_effect and exc.node:
-                with contextlib.suppress(FederationError):
+            if exc.node and (exc.pre_effect or exc.mid_call):
+                try:
                     self.fail_over(exc.node)
+                except FederationError:
+                    pass  # worker still alive (or last node): no upgrade
+                else:
+                    exc.pre_effect = True
             raise
 
     def _latency_element(self, envelope: Envelope, proceed: Callable[[], Any]):

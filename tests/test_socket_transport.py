@@ -10,7 +10,9 @@ in-process federation: same calls, same results, same exception
 shapes, same failover sequence.
 """
 
+import socket
 import threading
+import time
 from types import SimpleNamespace
 
 import pytest
@@ -18,10 +20,11 @@ import pytest
 from repro.errors import (
     FederationError,
     NodeDownError,
+    ProtocolError,
     RemoteInvocationError,
     TransportError,
 )
-from repro.middleware.envelope import QoS
+from repro.middleware.envelope import QoS, is_retryable
 from repro.middleware.sockets import (
     ConnectionPool,
     SocketTransport,
@@ -29,6 +32,7 @@ from repro.middleware.sockets import (
     WireServer,
     parse_endpoint,
 )
+from repro.middleware.wire import WireSession
 from repro.runtime import Federation
 
 RETRY = QoS(retries=3)
@@ -66,6 +70,73 @@ def build(transport="socket", nodes=3, partitions=6, replication=0, **kwargs):
     if replication:
         federation.enable_replication(replication)
     return federation, names
+
+
+def _envelope(target):
+    from repro.middleware.bus import Request
+    from repro.middleware.envelope import Envelope
+
+    return Envelope(
+        request=Request(
+            object_id="obj-1", operation="op", args=[], kwargs={}, context={}
+        ),
+        target=target,
+        label="T.op",
+    )
+
+
+class _ScriptedServer:
+    """A raw listener speaking just enough wire protocol to misbehave.
+
+    Completes the HELLO handshake, then runs
+    ``script(conn, session, kind, payload)`` per conversation frame —
+    returning True closes the connection (the mid-call disconnect).
+    ``close_after_handshake`` drops each connection right after the
+    handshake instead (the peer-closed-while-idle case).  Connections
+    are served sequentially; the listener stays up until :meth:`close`.
+    """
+
+    def __init__(self, script, close_after_handshake=False):
+        self._script = script
+        self._close_after_handshake = close_after_handshake
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        host, port = self._listener.getsockname()
+        self.endpoint = f"tcp://{host}:{port}"
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                self._converse(conn)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def _converse(self, conn):
+        session = WireSession("server", node="scripted")
+        while True:
+            data = conn.recv(65536)
+            if not data:
+                return
+            session.feed(data)
+            greeting = session.take_outbound()
+            if greeting:
+                conn.sendall(greeting)
+            if session.handshaken and self._close_after_handshake:
+                return
+            for kind, payload in session.events():
+                if self._script(conn, session, kind, payload):
+                    return
+
+    def close(self):
+        self._listener.close()
 
 
 # ---------------------------------------------------------------------------
@@ -127,6 +198,99 @@ class TestWireLayer:
             transport.roundtrip("ghost", envelope)
         assert excinfo.value.node == "ghost"
         assert excinfo.value.pre_effect
+
+    def test_reply_timeout_is_mid_call_and_not_retryable(self):
+        """The review's core at-most-once scenario: a slow handler on a
+        *living* node times the client out after the request was fully
+        written — the effect may land, so the fault must not be
+        pre-effect-retryable."""
+        import time as time_module
+
+        server = WireServer(
+            node="w", request_handler=lambda env: time_module.sleep(1.2) or 1
+        )
+        endpoint = server.start()
+        try:
+            transport = SocketTransport({"w": endpoint}.get, timeout_s=0.3)
+            with pytest.raises(NodeDownError) as excinfo:
+                transport.roundtrip("w", _envelope("w"))
+            assert excinfo.value.mid_call
+            assert not excinfo.value.pre_effect
+            assert not is_retryable(excinfo.value)
+            transport.shutdown()
+        finally:
+            server.stop()
+
+    def test_disconnect_after_request_sent_is_mid_call(self):
+        """A connection dropped after the request frame was written is
+        the ambiguous case: NodeDownError, but never blind-retried and
+        not retryable until failover confirms the node died."""
+        server = _ScriptedServer(lambda conn, session, kind, payload: True)
+        try:
+            transport = SocketTransport({"w": server.endpoint}.get)
+            with pytest.raises(NodeDownError) as excinfo:
+                transport.roundtrip("w", _envelope("w"))
+            assert excinfo.value.mid_call
+            assert not excinfo.value.pre_effect
+            assert not is_retryable(excinfo.value)
+            transport.shutdown()
+        finally:
+            server.close()
+
+    def test_mismatched_correlation_id_fails_loudly(self):
+        from repro.middleware.bus import Response
+
+        def misreply(conn, session, kind, payload):
+            wrong = payload["correlation_id"] + 7
+            conn.sendall(
+                session.send_response(
+                    wrong, Response(payload["request"]["message_id"], result=1)
+                )
+            )
+            return False
+
+        server = _ScriptedServer(misreply)
+        try:
+            transport = SocketTransport({"w": server.endpoint}.get)
+            with pytest.raises(ProtocolError, match="correlates to"):
+                transport.roundtrip("w", _envelope("w"))
+            transport.shutdown()
+        finally:
+            server.close()
+
+    def test_control_failure_closes_the_checked_out_connection(self, monkeypatch):
+        closed = []
+        original = WireClient.close
+        monkeypatch.setattr(
+            WireClient, "close", lambda self: (closed.append(self), original(self))
+        )
+        server = _ScriptedServer(lambda conn, session, kind, payload: True)
+        try:
+            transport = SocketTransport({"w": server.endpoint}.get)
+            with pytest.raises(NodeDownError):
+                transport.control("w", {"verb": "ping"})
+            assert len(closed) == 1  # no socket leaked until GC
+            transport.shutdown()
+        finally:
+            server.close()
+
+    def test_pool_discards_connections_closed_while_idle(self):
+        """The checkout probe: a pooled connection the peer closed is
+        discarded before any request bytes are risked on it."""
+        server = _ScriptedServer(script=None, close_after_handshake=True)
+        try:
+            pool = ConnectionPool(node="c")
+            client, pooled = pool.checkout(server.endpoint)
+            assert not pooled
+            pool.checkin(client)
+            time.sleep(0.2)  # let the server's close reach the socket
+            fresh, pooled = pool.checkout(server.endpoint)
+            assert not pooled and fresh is not client
+            assert pool.dials == 2 and pool.reuses == 0
+            fresh.close()
+            pool.close()
+        finally:
+            server.close()
 
     def test_connection_pool_reuses_and_invalidates(self):
         server = WireServer(node="w", request_handler=lambda env: None)

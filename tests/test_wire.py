@@ -32,6 +32,7 @@ from repro.middleware.wire import (
     FAULT,
     HELLO,
     HELLO_OK,
+    MAX_DEPTH,
     REQUEST,
     RESPONSE,
     VERSION,
@@ -259,6 +260,35 @@ def test_poisoned_decoder_stays_poisoned():
     decoder = FrameDecoder()
     decoder.feed(b"XXXXXXXXXX")
     with pytest.raises(ProtocolError):
+        list(decoder.frames())
+    with pytest.raises(ProtocolError, match="poisoned"):
+        decoder.feed(b"more")
+
+
+def test_nesting_at_the_depth_limit_round_trips():
+    value = "leaf"
+    for _ in range(MAX_DEPTH):
+        value = [value]
+    assert decode_value(encode_value(value)) == value
+
+
+def test_encoder_refuses_over_deep_nesting():
+    value = "leaf"
+    for _ in range(MAX_DEPTH + 1):
+        value = [value]
+    with pytest.raises(ProtocolError, match="nests deeper"):
+        encode_value(value)
+
+
+def test_hostile_deep_frame_is_a_protocol_error_not_recursion():
+    """A ~1MB frame nesting one list per 5 bytes must poison the decoder
+    with ProtocolError — never escape as RecursionError and kill the
+    serving connection thread."""
+    payload = (b"l" + (1).to_bytes(4, "big")) * 200_000 + b"N"
+    header = encode_frame(HELLO, {})[:4] + len(payload).to_bytes(4, "big")
+    decoder = FrameDecoder()
+    decoder.feed(header + payload)
+    with pytest.raises(ProtocolError, match="nests deeper"):
         list(decoder.frames())
     with pytest.raises(ProtocolError, match="poisoned"):
         decoder.feed(b"more")
