@@ -1,0 +1,168 @@
+"""E18 — open-loop load: a million simulated users on virtual time.
+
+The claims under test:
+
+* **Scale** — the open-loop driver hosts >= 1,000,000 simulated users
+  as array-backed state machines on one thread: no threads, no sockets,
+  and the whole run (tens of thousands of *real* federation calls)
+  finishes in well under a minute of wall clock.
+* **Determinism** — the same seed produces the same scenario digest,
+  run after run, even at that scale (the virtual-time scheduler fixes
+  the event interleaving).
+* **Shed, don't collapse** — driven far past saturation, bounded-
+  lateness admission sheds the excess *before* execution, so goodput
+  holds near the pre-saturation plateau instead of collapsing under
+  queue growth.  The CI bar is **overload goodput >= 70% of the
+  plateau** (on classic queueing collapse this ratio heads toward
+  zero), with every admitted operation still inside its latency SLO.
+
+Run standalone:  python benchmarks/bench_load.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from _benchjson import write_bench_json
+
+from repro.runtime import RunConfig, ScenarioRunner
+
+#: simulated-user floor of the scale run
+MILLION_USERS = 1_000_000
+#: wall-clock ceiling of the whole scale story (both digest runs)
+WALL_LIMIT_S = 60.0
+#: the CI floor: overload goodput over pre-saturation plateau goodput
+FLOOR_GOODPUT_RATIO = 0.70
+
+#: common topology: 3 nodes, serial dispatchers (1 channel each at the
+#: modeled 0.2 ms service time -> 5,000 ops/s per node capacity)
+BASE = dict(
+    nodes=3,
+    clients=8,
+    workers=4,
+    concurrent=False,
+    real_latency_ms=0.0,
+)
+
+
+def _run(ops: int, seed: int, **open_loop):
+    config = RunConfig(
+        scenario="banking_openloop",
+        ops=ops,
+        seed=seed,
+        open_loop=open_loop,
+        **BASE,
+    )
+    result = ScenarioRunner("banking_openloop", config).run()
+    assert result.passed, result.invariant_violations
+    return result
+
+
+def bench_million_users():
+    """>= 1M users, two same-seed runs, digests compared byte for byte."""
+    started = time.perf_counter()
+    kwargs = dict(
+        ops=30_000,
+        seed=17,
+        users=MILLION_USERS,
+        arrival="poisson:4000",
+        zipf_s=1.1,
+    )
+    first = _run(**kwargs)
+    second = _run(**kwargs)
+    wall_s = time.perf_counter() - started
+    load = first.open_loop
+    return {
+        "users": load["users"]["size"],
+        "active_users": load["users"]["active"],
+        "offered": load["offered"],
+        "completed_ok": load["completed_ok"],
+        "shed": load["shed"],
+        "virtual_duration_ms": round(load["virtual_duration_ms"], 3),
+        "goodput_ops_s": round(load["goodput"]["goodput_ops_s"], 1),
+        "response_p999_ms": round(load["response"]["p999_ms"], 3),
+        "wall_s_two_runs": round(wall_s, 2),
+        "digest": first.digest(),
+        "digest_stable": first.digest() == second.digest(),
+    }
+
+
+def bench_goodput_under_overload():
+    """Offered rate 6x past capacity: goodput must hold, not collapse."""
+    plateau = _run(
+        ops=15_000,
+        seed=17,
+        users=100_000,
+        arrival="constant:4000",
+        zipf_s=1.1,
+        max_shed_fraction=1.0,
+    ).open_loop
+    overload = _run(
+        ops=30_000,
+        seed=17,
+        users=100_000,
+        arrival="constant:25000",
+        zipf_s=1.1,
+        max_shed_fraction=1.0,
+    ).open_loop
+    ratio = (
+        overload["goodput"]["goodput_ops_s"] / plateau["goodput"]["goodput_ops_s"]
+    )
+    return {
+        "plateau_offered_ops_s": round(plateau["goodput"]["offered_ops_s"], 1),
+        "plateau_goodput_ops_s": round(plateau["goodput"]["goodput_ops_s"], 1),
+        "overload_offered_ops_s": round(overload["goodput"]["offered_ops_s"], 1),
+        "overload_goodput_ops_s": round(overload["goodput"]["goodput_ops_s"], 1),
+        "overload_shed_fraction": round(overload["shed_fraction"], 4),
+        "overload_response_max_ms": round(overload["response"]["max_ms"], 3),
+        "overload_slo_ms": overload["slo_ms"],
+        "goodput_ratio": round(ratio, 4),
+    }
+
+
+def main():
+    scale = bench_million_users()
+    print(
+        f"{scale['users']:,} users: {scale['offered']:,} offered ops, "
+        f"{scale['goodput_ops_s']:,.0f} ops/s goodput, "
+        f"p99.9 {scale['response_p999_ms']:.3f} ms, "
+        f"{scale['wall_s_two_runs']:.1f}s wall for two runs, "
+        f"digest stable: {scale['digest_stable']}"
+    )
+    overload = bench_goodput_under_overload()
+    print(
+        f"overload: {overload['overload_offered_ops_s']:,.0f} ops/s offered "
+        f"-> {overload['overload_goodput_ops_s']:,.0f} ops/s goodput "
+        f"({overload['overload_shed_fraction']:.1%} shed), "
+        f"{overload['goodput_ratio']:.2f}x of the "
+        f"{overload['plateau_goodput_ops_s']:,.0f} ops/s plateau"
+    )
+    passed = (
+        scale["users"] >= MILLION_USERS
+        and scale["digest_stable"]
+        and scale["wall_s_two_runs"] <= WALL_LIMIT_S
+        and overload["goodput_ratio"] >= FLOOR_GOODPUT_RATIO
+    )
+    write_bench_json(
+        "load",
+        {
+            "million_users": scale,
+            "overload": overload,
+            "floor_goodput_ratio": FLOOR_GOODPUT_RATIO,
+            "wall_limit_s": WALL_LIMIT_S,
+            "passed": passed,
+        },
+    )
+    if not passed:
+        raise SystemExit(
+            "open-loop load floors not met: "
+            f"users={scale['users']} (need >= {MILLION_USERS}), "
+            f"digest_stable={scale['digest_stable']}, "
+            f"wall={scale['wall_s_two_runs']}s (limit {WALL_LIMIT_S}s), "
+            f"goodput_ratio={overload['goodput_ratio']} "
+            f"(floor {FLOOR_GOODPUT_RATIO})"
+        )
+
+
+if __name__ == "__main__":
+    main()

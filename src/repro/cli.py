@@ -220,6 +220,21 @@ def _cmd_deploy(args) -> int:
 def _cmd_simulate(args) -> int:
     from repro.runtime import RunConfig, ScenarioRunner
 
+    open_loop = None
+    overrides = {
+        "users": args.users,
+        "arrival": args.arrival,
+        "zipf_s": args.zipf_s,
+        "max_lateness_ms": args.max_lateness_ms,
+        "service_time_ms": args.service_time_ms,
+    }
+    given = {key: value for key, value in overrides.items() if value is not None}
+    if args.open_loop:
+        open_loop = given
+    elif given:
+        flags = ", ".join(f"--{key.replace('_', '-')}" for key in sorted(given))
+        print(f"error: {flags} only make sense with --open-loop", file=sys.stderr)
+        return 2
     config = RunConfig(
         scenario=args.scenario,
         nodes=args.nodes,
@@ -238,6 +253,7 @@ def _cmd_simulate(args) -> int:
         churn=args.churn,
         replication_mode=args.replication_mode,
         trace=args.trace or bool(args.trace_out),
+        open_loop=open_loop,
     )
     runner = ScenarioRunner(args.scenario, config)
     if args.describe:
@@ -509,8 +525,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--scenario",
         required=True,
-        help="scenario name: banking, banking_async, banking_elastic, "
-        "auction, medical_records, component_shipping",
+        help="scenario name: banking, banking_openloop, banking_async, "
+        "banking_elastic, auction, medical_records, component_shipping",
     )
     simulate.add_argument(
         "--nodes", type=int, default=3, help="federation size (ORB nodes)"
@@ -623,6 +639,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the observability export (spans, events, gauges) as "
         "JSON here; implies --trace (render it with the 'trace' command)",
+    )
+    simulate.add_argument(
+        "--open-loop",
+        action="store_true",
+        dest="open_loop",
+        help="drive the scenario open-loop on virtual time: an arrival "
+        "schedule offers operations regardless of completions (simulated "
+        "users, Zipf-hot shards, bounded-lateness admission — overload "
+        "sheds instead of collapsing); --ops is the total offered "
+        "arrivals and think time is rejected",
+    )
+    simulate.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="simulated-user population for --open-loop (state machines, "
+        "not threads — millions are fine)",
+    )
+    simulate.add_argument(
+        "--arrival",
+        default=None,
+        help="offered-load shape for --open-loop: constant:RATE, "
+        "poisson:RATE, bursty:BASE:BURST:PERIOD_MS[:DUTY], or "
+        "diurnal:MEAN:AMPLITUDE:PERIOD_MS (rates in ops/s, periods in "
+        "virtual ms)",
+    )
+    simulate.add_argument(
+        "--zipf-s",
+        type=float,
+        default=None,
+        dest="zipf_s",
+        help="Zipf popularity exponent over the scenario's partitions "
+        "for --open-loop (0 = uniform; larger = hotter hot shard)",
+    )
+    simulate.add_argument(
+        "--max-lateness-ms",
+        type=float,
+        default=None,
+        dest="max_lateness_ms",
+        help="bounded-lateness admission for --open-loop: an arrival "
+        "predicted to wait longer than this is shed, not queued",
+    )
+    simulate.add_argument(
+        "--service-time-ms",
+        type=float,
+        default=None,
+        dest="service_time_ms",
+        help="modeled virtual service time per operation and dispatcher "
+        "channel for --open-loop",
     )
     simulate.add_argument(
         "--json", default="", help="write the full machine-readable results here"

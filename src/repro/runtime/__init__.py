@@ -21,6 +21,10 @@ instance uses.  This package turns those services into a runtime fabric:
 * :mod:`repro.runtime.scenarios` — built-in load scenarios mirroring the
   four examples (banking, auction, medical_records, component_shipping),
   each with a seeded client mix, fault campaign, and invariants;
+* :mod:`repro.runtime.load` — open-loop load generation on a
+  virtual-time event scheduler: arrival-rate schedules, Zipf key
+  popularity, and the bounded-lateness driver hosting simulated users
+  as array-backed state machines (millions of users, zero threads);
 * :mod:`repro.runtime.harness` — the runner driving seeded clients
   against a federation and checking scenario invariants
   (``repro.cli simulate`` is its command-line front end).

@@ -19,6 +19,14 @@ Closed-loop clients: each client issues its next operation as soon as the
 previous one completes.  ``think_time_ms`` models user pacing (an open
 holdoff between operations).
 
+Open-loop runs: with :attr:`RunConfig.open_loop` the clients are not
+scripted threads but simulated users driven by the
+:class:`~repro.runtime.load.OpenLoopDriver` on a virtual-time scheduler —
+an arrival schedule offers operations regardless of completions, Zipf
+popularity heats a few shards, and bounded-lateness admission sheds what
+the SLO already lost.  ``think_time_ms`` is rejected there: pacing is
+the schedule's job, and a think-time would quietly re-close the loop.
+
 Churn: with ``RunConfig.churn`` the scenario's churn plan (membership
 events — node kill, live join, graceful retire) fires at fixed points
 in the issued-op stream: between operations on the sequential driver's
@@ -106,6 +114,13 @@ class RunConfig:
     #: threshold, ring capacities; set by the runner for spec-declared
     #: scenarios) — surfaced by ``simulate --describe``
     observability: Optional[Dict[str, Any]] = None
+    #: open-loop driving: None = closed-loop clients; a dict (possibly
+    #: empty) switches the run to the virtual-time open-loop driver and
+    #: overrides its knobs (users, arrival, zipf_s, max_lateness_ms,
+    #: service_time_ms, sample_every_ms, max_shed_fraction).  ``ops`` is
+    #: then the total *offered* arrivals, and ``clients`` only sizes the
+    #: connection pool the simulated users share
+    open_loop: Optional[Dict[str, Any]] = None
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -129,6 +144,15 @@ class RunConfig:
             "replication": self.replication,
             "trace": self.trace,
             "observability": self.observability,
+            "open_loop": (
+                None
+                if self.open_loop is None
+                # a schedule object override serializes as its spec dict
+                else {
+                    key: value.to_dict() if hasattr(value, "to_dict") else value
+                    for key, value in sorted(self.open_loop.items())
+                }
+            ),
         }
 
 
@@ -152,6 +176,12 @@ class ScenarioResult:
     #: None when the run was untraced.  Never part of :meth:`digest` —
     #: timing-shaped data must not perturb outcome hashes
     trace: Optional[Dict[str, Any]] = None
+    #: the open-loop :class:`~repro.runtime.load.LoadReport` as a dict
+    #: (None on closed-loop runs).  Its *counts* already reach the
+    #: digest through ``outcomes`` (shed rides each label); the latency
+    #: summaries themselves stay out of the hash — virtual-time numbers
+    #: are deterministic, but wall-clock-adjacent fields must never be
+    open_loop: Optional[Dict[str, Any]] = None
 
     @property
     def passed(self) -> bool:
@@ -215,6 +245,7 @@ class ScenarioResult:
             "faults_injected": self.faults_injected,
             "fingerprint": self.fingerprint,
             "trace": self.trace,
+            "open_loop": self.open_loop,
             "digest": self.digest(),
             "passed": self.passed,
         }
@@ -228,6 +259,28 @@ class ScenarioResult:
             f"   throughput: {self.throughput_ops_s:.0f} ops/s",
             f"  succeeded:  {self.succeeded}   failed: {self.failed}",
         ]
+        if self.open_loop:
+            load = self.open_loop
+            goodput = load["goodput"]
+            response = load["response"]
+            lines.append(
+                f"  open-loop:  offered {load['offered']}"
+                f"  ok {load['completed_ok']}  failed {load['failed']}"
+                f"  shed {load['shed']} ({load['shed_fraction']:.1%})"
+            )
+            lines.append(
+                f"  goodput:    {goodput['goodput_ops_s']:.0f} ops/s of "
+                f"{goodput['offered_ops_s']:.0f} offered "
+                f"({goodput['goodput_fraction']:.1%}) over "
+                f"{load['virtual_duration_ms'] / 1000.0:.2f}s virtual"
+            )
+            lines.append(
+                f"  response:   p50 {response['p50_ms']:.3f}  "
+                f"p99 {response['p99_ms']:.3f}  "
+                f"p99.9 {response['p999_ms']:.3f}  "
+                f"max {response['max_ms']:.3f} ms  "
+                f"(SLO {load['slo_ms']:.3f} ms)"
+            )
         ops = self.metrics.get("operations", {})
         if ops:
             lines.extend(format_series_table(ops, indent="  "))
@@ -277,6 +330,24 @@ class ScenarioRunner:
             raise ScenarioError(
                 "concurrent dispatch needs workers >= 1 (use --serial for "
                 "the sequential baseline)"
+            )
+        if config.open_loop is not None:
+            if config.think_time_ms > 0:
+                raise ScenarioError(
+                    "think_time_ms is closed-loop pacing (each client waits "
+                    "between its own operations); an open-loop run's pacing "
+                    "is the arrival schedule — drop think_time_ms or drop "
+                    "open_loop"
+                )
+            # effective knobs = driver defaults < scenario tuning < run block
+            config.open_loop = {
+                **self.spec.open_loop_defaults,
+                **config.open_loop,
+            }
+        elif self.spec.requires_open_loop:
+            raise ScenarioError(
+                f"scenario {self.spec.name!r} is open-loop only (its oracle "
+                "judges a load report) — run it with --open-loop"
             )
         #: the declarative deployment of this run (None = legacy scenario)
         self.deployment = self.spec.deployment_spec(config)
@@ -386,7 +457,14 @@ class ScenarioRunner:
             budgets = self._budgets()
 
             federation.metrics.start()
-            if config.concurrent:
+            load_report = None
+            if config.open_loop is not None:
+                from repro.runtime.load import OpenLoopDriver
+
+                load_report = OpenLoopDriver(
+                    federation, self.spec, state, config, clients
+                ).run()
+            elif config.concurrent:
                 self._run_concurrent(federation, state, clients, rngs, outcomes, budgets)
             else:
                 self._run_sequential(federation, state, clients, rngs, outcomes, budgets)
@@ -399,7 +477,10 @@ class ScenarioRunner:
             federation.observability.sample(federation)
             federation.metrics.stop()
 
-            merged = self._merge_outcomes(outcomes)
+            if load_report is not None:
+                merged = load_report.outcomes
+            else:
+                merged = self._merge_outcomes(outcomes)
             succeeded = sum(r.get("ok", 0) for r in merged.values())
             failed = sum(
                 count
@@ -424,6 +505,9 @@ class ScenarioRunner:
                     federation.observability.export(federation.metrics)
                     if config.trace
                     else None
+                ),
+                open_loop=(
+                    load_report.to_dict() if load_report is not None else None
                 ),
             )
         finally:
@@ -642,6 +726,7 @@ def run_scenario(
     delivery_workers: int = 2,
     churn: bool = False,
     trace: bool = False,
+    open_loop: Optional[Dict[str, Any]] = None,
 ) -> ScenarioResult:
     """One-call convenience over :class:`ScenarioRunner`."""
     name = scenario if isinstance(scenario, str) else scenario.name
@@ -662,5 +747,6 @@ def run_scenario(
         delivery_workers=delivery_workers,
         churn=churn,
         trace=trace,
+        open_loop=open_loop,
     )
     return ScenarioRunner(scenario, config).run()

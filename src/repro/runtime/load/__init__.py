@@ -1,0 +1,49 @@
+"""Open-loop load generation on a virtual-time event scheduler.
+
+The closed-loop harness clients issue their next operation only after
+the previous one completed — so the federation is never exposed to an
+arrival rate it cannot absorb, and overload behavior (queue growth,
+shedding, latency collapse) is structurally unmeasurable.  This package
+is the open-loop counterpart:
+
+* :mod:`.schedule` — arrival-rate schedules (constant, Poisson, bursty
+  step, diurnal sine) generating seed-deterministic arrival instants;
+* :mod:`.popularity` — Zipf-distributed key popularity over servant
+  partitions (hot-shard pressure the uniform mixes cannot produce);
+* :mod:`.scheduler` — the virtual-time event heap driving the
+  federation's :class:`~repro.middleware.clock.SimClock` (no wall-clock
+  sleeps, time never goes backwards);
+* :mod:`.driver` — the bounded-lateness open-loop driver hosting
+  simulated users as array-backed state machines (a million users need
+  neither a million threads nor a million sockets) and recording
+  *intended* vs *actual* issue time, so coordinated omission is
+  measured instead of hidden.
+"""
+
+from __future__ import annotations
+
+from .driver import LoadReport, OpenLoopDriver, UserPopulation
+from .popularity import ZipfSampler
+from .schedule import (
+    ArrivalSchedule,
+    BurstyStepSchedule,
+    ConstantSchedule,
+    DiurnalSineSchedule,
+    PoissonSchedule,
+    parse_arrival,
+)
+from .scheduler import VirtualTimeScheduler
+
+__all__ = [
+    "ArrivalSchedule",
+    "ConstantSchedule",
+    "PoissonSchedule",
+    "BurstyStepSchedule",
+    "DiurnalSineSchedule",
+    "parse_arrival",
+    "ZipfSampler",
+    "VirtualTimeScheduler",
+    "OpenLoopDriver",
+    "UserPopulation",
+    "LoadReport",
+]

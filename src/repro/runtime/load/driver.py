@@ -1,0 +1,357 @@
+"""Bounded-lateness open-loop driver: millions of users, one thread.
+
+Closed-loop clients hide overload: each waits for its previous reply,
+so the offered rate sags to whatever the system can serve (coordinated
+omission).  This driver is open-loop — an arrival schedule *offers*
+operations at instants that do not depend on completions — and it runs
+entirely on virtual time:
+
+* simulated users live in a :class:`UserPopulation` — a struct-of-arrays
+  state machine store (four unsigned counters per user), so a million
+  users cost ~16 MB and zero threads or sockets;
+* each federation node is modeled as a service station with
+  ``dispatcher workers`` parallel channels and a fixed virtual service
+  time per operation; queue wait is the gap between an operation's
+  *intended* arrival instant (from the schedule) and its *actual* issue
+  instant (when a channel frees) — recorded, not hidden;
+* admission is bounded-lateness: an arrival whose predicted queue wait
+  exceeds ``max_lateness_ms`` is **shed** before execution.  Under
+  overload the queue therefore never grows without bound, every
+  admitted operation still meets its latency SLO, and goodput plateaus
+  at capacity instead of collapsing — reject, don't drown;
+* admitted operations execute *for real* against the federation (the
+  full interceptor chain, transactions, security, replication), so the
+  scenario's state oracles — money conservation and friends — hold for
+  open-loop runs exactly as they do for closed-loop ones.
+
+Everything runs on one thread through the
+:class:`~repro.runtime.load.scheduler.VirtualTimeScheduler`, so a fixed
+seed fixes the arrival stream, the key popularity, the shed set, and
+the servant effect order — open-loop runs are digest-deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import ReproError, ScenarioError
+from repro.runtime.load.popularity import ZipfSampler
+from repro.runtime.load.schedule import ArrivalSchedule, parse_arrival
+from repro.runtime.load.scheduler import VirtualTimeScheduler
+from repro.runtime.metrics import goodput_summary
+from repro.runtime.observability.histogram import LogHistogram
+
+#: driver knobs and their defaults; ``RunConfig.open_loop`` overrides
+#: per key (unknown keys are rejected so typos cannot silently no-op)
+OPEN_LOOP_DEFAULTS: Dict[str, Any] = {
+    #: simulated-user population size
+    "users": 10_000,
+    #: arrival spec string (see load.schedule.parse_arrival)
+    "arrival": "poisson:2000",
+    #: Zipf popularity exponent over the scenario's partition keys
+    "zipf_s": 1.1,
+    #: admission bound: predicted queue wait above this sheds the op
+    "max_lateness_ms": 50.0,
+    #: modeled virtual service time per operation and channel
+    "service_time_ms": 0.2,
+    #: virtual period of queue-depth gauge samples
+    "sample_every_ms": 250.0,
+    #: SLO-oracle knob: shed fraction the scenario tolerates (1.0 = any)
+    "max_shed_fraction": 1.0,
+}
+
+
+def _hist_ms(hist: LogHistogram) -> Dict[str, float]:
+    """A LogHistogram as the standard ms summary block."""
+    return {
+        "count": hist.count,
+        "mean_ms": hist.mean() * 1000.0,
+        "p50_ms": hist.percentile(0.50) * 1000.0,
+        "p95_ms": hist.percentile(0.95) * 1000.0,
+        "p99_ms": hist.percentile(0.99) * 1000.0,
+        "p999_ms": hist.percentile(0.999) * 1000.0,
+        "max_ms": (hist.max_seen if hist.count else 0.0) * 1000.0,
+    }
+
+
+class UserPopulation:
+    """Struct-of-arrays store of simulated-user state machines.
+
+    Each user is four unsigned counters (issued / ok / failed / shed):
+    a state machine driven by the arrival events that select it, held
+    in flat C arrays instead of per-user objects so populations in the
+    millions stay cheap to allocate and walk.
+    """
+
+    __slots__ = ("size", "issued", "ok", "failed", "shed")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ScenarioError(f"need at least one simulated user (got {size})")
+        self.size = int(size)
+        zero = array("I", [0])
+        self.issued = zero * self.size
+        self.ok = zero * self.size
+        self.failed = zero * self.size
+        self.shed = zero * self.size
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": self.size,
+            #: users the arrival process actually selected at least once
+            "active": self.size - self.issued.count(0),
+            "max_ops_one_user": max(self.issued) if self.size else 0,
+        }
+
+
+class _Station:
+    """One node as a queueing station: parallel channels, FIFO wait."""
+
+    __slots__ = ("name", "channels", "waiting", "admitted", "shed", "max_waiting")
+
+    def __init__(self, name: str, channels: int):
+        self.name = name
+        #: min-heap of per-channel free-at instants (virtual ms)
+        self.channels: List[float] = [0.0] * max(1, channels)
+        self.waiting = 0
+        self.admitted = 0
+        self.shed = 0
+        self.max_waiting = 0
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run (all latencies in *virtual* ms)."""
+
+    config: Dict[str, Any]
+    users: Dict[str, int]
+    offered: int
+    admitted: int
+    completed_ok: int
+    failed: int
+    shed: int
+    virtual_duration_ms: float
+    goodput: Dict[str, float]
+    response: Dict[str, float]
+    lateness: Dict[str, float]
+    stations: Dict[str, Dict[str, Any]]
+    outcomes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def slo_ms(self) -> float:
+        """Worst virtual response an admitted op can see: the admission
+        bound plus one service time."""
+        return self.config["max_lateness_ms"] + self.config["service_time_ms"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": self.config,
+            "users": self.users,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed_ok": self.completed_ok,
+            "failed": self.failed,
+            "shed": self.shed,
+            "shed_fraction": self.shed_fraction,
+            "virtual_duration_ms": self.virtual_duration_ms,
+            "slo_ms": self.slo_ms,
+            "goodput": self.goodput,
+            "response": self.response,
+            "lateness": self.lateness,
+            "stations": self.stations,
+        }
+
+
+class OpenLoopDriver:
+    """Drive one scenario open-loop on the virtual-time scheduler."""
+
+    def __init__(self, federation, scenario, state, run_config, clients):
+        self.federation = federation
+        self.scenario = scenario
+        self.state = state
+        self.run_config = run_config
+        self.clients = clients
+        if not clients:
+            raise ScenarioError("open-loop driving needs at least one client")
+        options = dict(OPEN_LOOP_DEFAULTS)
+        overrides = run_config.open_loop or {}
+        unknown = set(overrides) - set(options)
+        if unknown:
+            raise ScenarioError(
+                f"unknown open_loop option(s): {', '.join(sorted(unknown))}"
+            )
+        options.update(overrides)
+        if options["max_lateness_ms"] < 0 or options["service_time_ms"] < 0:
+            raise ScenarioError("open_loop latencies must be >= 0")
+        if options["sample_every_ms"] <= 0:
+            raise ScenarioError("sample_every_ms must be > 0")
+        self.options = options
+        arrival = options["arrival"]
+        self.schedule: ArrivalSchedule = (
+            arrival if isinstance(arrival, ArrivalSchedule) else parse_arrival(arrival)
+        )
+        try:
+            keys = scenario.open_loop_keys(state)
+        except NotImplementedError:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} does not support open-loop "
+                "driving (no open_loop_keys/open_loop_op)"
+            ) from None
+        self.zipf = ZipfSampler(keys, s=float(options["zipf_s"]))
+        self.population = UserPopulation(int(options["users"]))
+        self.budget = int(run_config.ops)
+        # one master RNG: user selection, key popularity, and op mix all
+        # draw from it in one fixed order, so the seed fixes the run
+        import random
+
+        self.rng = random.Random(run_config.seed * 86_243 + 11)
+        self.sched = VirtualTimeScheduler(federation.clock)
+        self._arrivals = self.schedule.arrivals(run_config.seed * 52_361 + 5)
+        self._stations: Dict[str, _Station] = {}
+        self._outcomes: Dict[str, Dict[str, int]] = {}
+        self._response = LogHistogram()
+        self._lateness = LogHistogram()
+        self._offered = 0
+        self._ok = 0
+        self._failed = 0
+        self._shed = 0
+        self._last_completion_ms = 0.0
+
+    # -- stations ---------------------------------------------------------------
+
+    def _station_for(self, key: str) -> _Station:
+        node = self.federation.node_for(key)
+        station = self._stations.get(node.name)
+        if station is None:
+            channels = max(1, node.dispatcher.workers or 1)
+            station = self._stations[node.name] = _Station(node.name, channels)
+        return station
+
+    # -- events -----------------------------------------------------------------
+
+    def _on_arrival(self, t_ms: float, _payload) -> None:
+        self._offered += 1
+        uid = self.rng.randrange(self.population.size)
+        self.population.issued[uid] += 1
+        key = self.zipf.sample(self.rng)
+        client = self.clients[uid % len(self.clients)]
+        label, thunk = self.scenario.open_loop_op(
+            self.rng, self.federation, self.state, client, key
+        )
+        results = self._outcomes.setdefault(label, {})
+        station = self._station_for(key)
+        free_at = station.channels[0]
+        start = t_ms if free_at <= t_ms else free_at
+        wait = start - t_ms
+        if wait > self.options["max_lateness_ms"]:
+            # bounded lateness: refuse work the SLO already lost
+            station.shed += 1
+            self._shed += 1
+            self.population.shed[uid] += 1
+            results["shed"] = results.get("shed", 0) + 1
+        else:
+            station.admitted += 1
+            completion = start + self.options["service_time_ms"]
+            heapq.heapreplace(station.channels, completion)
+            if start > t_ms:
+                station.waiting += 1
+                if station.waiting > station.max_waiting:
+                    station.max_waiting = station.waiting
+                self.sched.schedule_at(start, self._on_issue, station)
+            self._lateness.add(wait / 1000.0)
+            tracer = self.federation.observability.tracer
+            trace_id = tracer.trace_id_for(
+                self.run_config.seed, uid % 0xFFFF, self._offered % 0xFFFFFF
+            )
+            try:
+                with tracer.client_span(label, trace_id):
+                    thunk()
+            except ReproError as exc:
+                key_name = type(exc).__name__
+                results[key_name] = results.get(key_name, 0) + 1
+                self._failed += 1
+                self.population.failed[uid] += 1
+            else:
+                results["ok"] = results.get("ok", 0) + 1
+                self._ok += 1
+                self.population.ok[uid] += 1
+            self._response.add((completion - t_ms) / 1000.0)
+            if completion > self._last_completion_ms:
+                self._last_completion_ms = completion
+        if self._offered < self.budget:
+            self.sched.schedule_at(next(self._arrivals), self._on_arrival)
+
+    def _on_issue(self, _t_ms: float, station: _Station) -> None:
+        """A queued op reached its channel: its wait is over."""
+        station.waiting -= 1
+
+    def _on_sample(self, t_ms: float, _payload) -> None:
+        """Queue-depth gauges, sampled on the virtual clock."""
+        board = self.federation.metrics.gauges
+        for name, station in sorted(self._stations.items()):
+            board.set(f"load.{name}.queue_depth", station.waiting)
+            board.set(
+                f"load.{name}.busy_channels",
+                sum(1 for free_at in station.channels if free_at > t_ms),
+            )
+        if self._offered < self.budget:
+            self.sched.schedule_at(
+                t_ms + self.options["sample_every_ms"], self._on_sample
+            )
+
+    # -- run --------------------------------------------------------------------
+
+    def run(self) -> LoadReport:
+        if self.budget < 1:
+            raise ScenarioError("open-loop run needs ops >= 1")
+        self.sched.schedule_at(next(self._arrivals), self._on_arrival)
+        self.sched.schedule_at(self.options["sample_every_ms"], self._on_sample)
+        self.sched.run()
+        self._on_sample(self.sched.now_ms, None)  # final gauge reading
+        virtual_ms = max(self._last_completion_ms, self.sched.now_ms)
+        config = {
+            "users": self.population.size,
+            "arrival": self.schedule.to_dict(),
+            "zipf": self.zipf.to_dict(),
+            "max_lateness_ms": float(self.options["max_lateness_ms"]),
+            "service_time_ms": float(self.options["service_time_ms"]),
+            "sample_every_ms": float(self.options["sample_every_ms"]),
+            "max_shed_fraction": float(self.options["max_shed_fraction"]),
+            "ops": self.budget,
+        }
+        report = LoadReport(
+            config=config,
+            users=self.population.stats(),
+            offered=self._offered,
+            admitted=self._ok + self._failed,
+            completed_ok=self._ok,
+            failed=self._failed,
+            shed=self._shed,
+            virtual_duration_ms=virtual_ms,
+            goodput=goodput_summary(self._offered, self._ok, virtual_ms / 1000.0),
+            response=_hist_ms(self._response),
+            lateness=_hist_ms(self._lateness),
+            stations={
+                name: {
+                    "channels": len(station.channels),
+                    "admitted": station.admitted,
+                    "shed": station.shed,
+                    "max_queue_depth": station.max_waiting,
+                }
+                for name, station in sorted(self._stations.items())
+            },
+            outcomes={
+                label: dict(sorted(results.items()))
+                for label, results in sorted(self._outcomes.items())
+            },
+        )
+        # the scenario's SLO oracle reads the report during invariants()
+        self.state["open_loop_report"] = report
+        return report

@@ -1,0 +1,57 @@
+"""Zipf-distributed key popularity: the hot-shard pressure generator.
+
+Real traffic is never uniform: a few keys absorb most of the load
+(rank-frequency follows a power law).  The closed-loop scenarios pick
+partitions uniformly, so every shard heats evenly and hot-shard
+pathologies stay invisible.  :class:`ZipfSampler` draws partition keys
+with probability proportional to ``1 / rank**s`` over a *fixed, sorted*
+key list — rank 1 is always the same key for a given key set, so two
+same-seed runs hammer the same hot shard.
+
+Sampling is inverse-CDF over the precomputed cumulative weights
+(``bisect``; O(log n) per draw), exact for any exponent ``s >= 0``
+(``s == 0`` degenerates to uniform).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ScenarioError
+
+
+class ZipfSampler:
+    """Draw keys with Zipf(s) popularity by rank over a fixed key list."""
+
+    def __init__(self, keys: Sequence[str], s: float = 1.1):
+        if not keys:
+            raise ScenarioError("zipf sampler needs at least one key")
+        if s < 0:
+            raise ScenarioError(f"zipf exponent must be >= 0 (got {s})")
+        #: rank order is the sorted key list — deterministic for a key set
+        self.keys: List[str] = sorted(keys)
+        self.s = float(s)
+        self._cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, len(self.keys) + 1):
+            total += 1.0 / (rank ** self.s)
+            self._cumulative.append(total)
+        self._total = total
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of drawing the key at 1-based ``rank``."""
+        if not 1 <= rank <= len(self.keys):
+            raise ScenarioError(f"rank {rank} out of range")
+        return (1.0 / (rank ** self.s)) / self._total
+
+    def sample(self, rng: random.Random) -> str:
+        point = rng.random() * self._total
+        index = bisect.bisect_right(self._cumulative, point)
+        if index >= len(self.keys):  # float edge: rng.random() ~ 1.0
+            index = len(self.keys) - 1
+        return self.keys[index]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"s": self.s, "keys": len(self.keys)}

@@ -1,0 +1,242 @@
+"""Arrival-rate schedules: when open-loop operations are *offered*.
+
+A schedule is a seeded generator of absolute arrival instants (virtual
+milliseconds).  Arrivals are offered regardless of whether previous
+operations completed — that is what makes the driver open-loop — so the
+schedule alone decides the offered load, and the same seed always
+produces the same arrival stream (digest determinism).
+
+Four shapes:
+
+* :class:`ConstantSchedule` — evenly spaced arrivals (a deterministic
+  fluid approximation; no RNG draws at all);
+* :class:`PoissonSchedule` — memoryless arrivals at a fixed rate
+  (exponential inter-arrival gaps);
+* :class:`BurstyStepSchedule` — a square wave between a base and a
+  burst rate (thinned Poisson), the on/off overload shape;
+* :class:`DiurnalSineSchedule` — a sine-modulated rate (thinned
+  Poisson), the day/night traffic shape.
+
+The time-varying shapes use Lewis–Shedler thinning against their peak
+rate: candidate gaps are drawn at the peak rate and accepted with
+probability ``rate(t) / peak``, so the generated process matches the
+target intensity while staying a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Iterator
+
+from repro.errors import ScenarioError
+
+
+class ArrivalSchedule:
+    """Base schedule: seeded, non-negative, monotone arrival instants."""
+
+    kind = "arrival"
+
+    def rate_at(self, t_ms: float) -> float:
+        """Offered rate (operations per second) at virtual instant ``t_ms``."""
+        raise NotImplementedError
+
+    def arrivals(self, seed: int) -> Iterator[float]:
+        """Yield absolute arrival times in virtual ms, never decreasing."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return ":".join(str(v) for v in self.to_dict().values())
+
+
+class ConstantSchedule(ArrivalSchedule):
+    """Evenly spaced arrivals at ``rate_per_s`` — zero RNG draws."""
+
+    kind = "constant"
+
+    def __init__(self, rate_per_s: float):
+        if rate_per_s <= 0:
+            raise ScenarioError(f"arrival rate must be > 0 (got {rate_per_s})")
+        self.rate_per_s = float(rate_per_s)
+
+    def rate_at(self, t_ms: float) -> float:
+        return self.rate_per_s
+
+    def arrivals(self, seed: int) -> Iterator[float]:
+        gap_ms = 1000.0 / self.rate_per_s
+        k = 1
+        while True:
+            yield k * gap_ms
+            k += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "rate_per_s": self.rate_per_s}
+
+
+class PoissonSchedule(ArrivalSchedule):
+    """Memoryless arrivals: exponential gaps at ``rate_per_s``."""
+
+    kind = "poisson"
+
+    def __init__(self, rate_per_s: float):
+        if rate_per_s <= 0:
+            raise ScenarioError(f"arrival rate must be > 0 (got {rate_per_s})")
+        self.rate_per_s = float(rate_per_s)
+
+    def rate_at(self, t_ms: float) -> float:
+        return self.rate_per_s
+
+    def arrivals(self, seed: int) -> Iterator[float]:
+        rng = random.Random(seed)
+        rate_per_ms = self.rate_per_s / 1000.0
+        t = 0.0
+        while True:
+            t += rng.expovariate(rate_per_ms)
+            yield t
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "rate_per_s": self.rate_per_s}
+
+
+class _ThinnedSchedule(ArrivalSchedule):
+    """Nonhomogeneous Poisson via thinning against the peak rate."""
+
+    def peak_rate(self) -> float:
+        raise NotImplementedError
+
+    def arrivals(self, seed: int) -> Iterator[float]:
+        rng = random.Random(seed)
+        peak = self.peak_rate()
+        peak_per_ms = peak / 1000.0
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak_per_ms)
+            # accept with probability rate(t)/peak; one extra uniform
+            # draw per candidate keeps the stream a pure seed function
+            if rng.random() * peak < self.rate_at(t):
+                yield t
+
+
+class BurstyStepSchedule(_ThinnedSchedule):
+    """A square wave: ``base_rate`` with ``burst_rate`` plateaus.
+
+    Each ``period_ms`` window spends ``duty`` of its length at the
+    burst rate (first), then falls back to the base rate — the shape
+    that drives a federation past saturation and back every period.
+    """
+
+    kind = "bursty"
+
+    def __init__(
+        self,
+        base_rate_per_s: float,
+        burst_rate_per_s: float,
+        period_ms: float,
+        duty: float = 0.5,
+    ):
+        if base_rate_per_s < 0 or burst_rate_per_s <= 0:
+            raise ScenarioError(
+                "bursty schedule needs base >= 0 and burst > 0 "
+                f"(got {base_rate_per_s}, {burst_rate_per_s})"
+            )
+        if burst_rate_per_s < base_rate_per_s:
+            raise ScenarioError("burst rate must be >= base rate")
+        if period_ms <= 0 or not 0.0 < duty < 1.0:
+            raise ScenarioError("bursty schedule needs period > 0 and 0 < duty < 1")
+        self.base_rate_per_s = float(base_rate_per_s)
+        self.burst_rate_per_s = float(burst_rate_per_s)
+        self.period_ms = float(period_ms)
+        self.duty = float(duty)
+
+    def peak_rate(self) -> float:
+        return self.burst_rate_per_s
+
+    def rate_at(self, t_ms: float) -> float:
+        phase = math.fmod(t_ms, self.period_ms) / self.period_ms
+        return self.burst_rate_per_s if phase < self.duty else self.base_rate_per_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "base_rate_per_s": self.base_rate_per_s,
+            "burst_rate_per_s": self.burst_rate_per_s,
+            "period_ms": self.period_ms,
+            "duty": self.duty,
+        }
+
+
+class DiurnalSineSchedule(_ThinnedSchedule):
+    """A sine-modulated rate: ``mean * (1 + amplitude * sin(2πt/period))``.
+
+    ``amplitude`` in [0, 1] keeps the rate non-negative by
+    construction; amplitude 1 touches zero at the trough.
+    """
+
+    kind = "diurnal"
+
+    def __init__(self, mean_rate_per_s: float, amplitude: float, period_ms: float):
+        if mean_rate_per_s <= 0:
+            raise ScenarioError(f"arrival rate must be > 0 (got {mean_rate_per_s})")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ScenarioError(
+                f"diurnal amplitude must be in [0, 1] (got {amplitude}) — "
+                "anything larger would demand a negative rate"
+            )
+        if period_ms <= 0:
+            raise ScenarioError("diurnal schedule needs period > 0")
+        self.mean_rate_per_s = float(mean_rate_per_s)
+        self.amplitude = float(amplitude)
+        self.period_ms = float(period_ms)
+
+    def peak_rate(self) -> float:
+        return self.mean_rate_per_s * (1.0 + self.amplitude)
+
+    def rate_at(self, t_ms: float) -> float:
+        phase = 2.0 * math.pi * (t_ms / self.period_ms)
+        return self.mean_rate_per_s * (1.0 + self.amplitude * math.sin(phase))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "mean_rate_per_s": self.mean_rate_per_s,
+            "amplitude": self.amplitude,
+            "period_ms": self.period_ms,
+        }
+
+
+def parse_arrival(spec: str) -> ArrivalSchedule:
+    """Parse a ``--arrival`` spec string into a schedule.
+
+    Formats (rates in operations/second, periods in virtual ms)::
+
+        constant:RATE
+        poisson:RATE
+        bursty:BASE:BURST:PERIOD_MS[:DUTY]
+        diurnal:MEAN:AMPLITUDE:PERIOD_MS
+    """
+    parts = [p for p in str(spec).strip().split(":") if p != ""]
+    if not parts:
+        raise ScenarioError("empty arrival spec")
+    kind, args = parts[0], parts[1:]
+    try:
+        values = [float(a) for a in args]
+    except ValueError as exc:
+        raise ScenarioError(f"bad arrival spec {spec!r}: {exc}") from None
+    try:
+        if kind == "constant" and len(values) == 1:
+            return ConstantSchedule(values[0])
+        if kind == "poisson" and len(values) == 1:
+            return PoissonSchedule(values[0])
+        if kind == "bursty" and len(values) in (3, 4):
+            return BurstyStepSchedule(*values)
+        if kind == "diurnal" and len(values) == 3:
+            return DiurnalSineSchedule(*values)
+    except ScenarioError:
+        raise
+    raise ScenarioError(
+        f"bad arrival spec {spec!r} (expected constant:RATE, poisson:RATE, "
+        "bursty:BASE:BURST:PERIOD_MS[:DUTY], or diurnal:MEAN:AMPLITUDE:PERIOD_MS)"
+    )

@@ -69,14 +69,35 @@ def format_series_table(
     registry report and the scenario report)."""
     lines = [
         f"{indent}{title:<28}{'count':>7}{'err':>6}"
-        f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}"
+        f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}{'p99.9 ms':>10}"
     ]
     for name, s in series.items():
+        p999 = s.get("p999_ms", s["p99_ms"])
         lines.append(
             f"{indent}{name:<28}{s['count']:>7}{s['errors']:>6}"
             f"{s['p50_ms']:>9.3f}{s['p95_ms']:>9.3f}{s['p99_ms']:>9.3f}"
+            f"{p999:>10.3f}"
         )
     return lines
+
+
+def goodput_summary(offered: int, completed_ok: int, elapsed_s: float) -> Dict[str, float]:
+    """Goodput under offered load.
+
+    Throughput divides *completions* by elapsed time, which under a
+    closed loop always looks healthy: the clients slow down with the
+    system.  Goodput instead relates useful completions to what was
+    *offered* — ``goodput_fraction`` is the share of offered operations
+    that completed successfully (shed and failed work both count
+    against it), the honest overload number.
+    """
+    return {
+        "offered": offered,
+        "completed_ok": completed_ok,
+        "offered_ops_s": offered / elapsed_s if elapsed_s > 0 else 0.0,
+        "goodput_ops_s": completed_ok / elapsed_s if elapsed_s > 0 else 0.0,
+        "goodput_fraction": completed_ok / offered if offered else 0.0,
+    }
 
 
 class MetricsRegistry:

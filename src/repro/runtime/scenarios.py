@@ -273,6 +273,28 @@ class Scenario:
         """Draw one operation: returns ``(label, thunk)``."""
         raise NotImplementedError
 
+    # -- open-loop driving -------------------------------------------------------
+
+    #: scenario-tuned overrides for the open-loop driver's defaults
+    #: (the run's ``open_loop`` block wins over both)
+    open_loop_defaults: Dict[str, Any] = {}
+    #: True = this scenario only makes sense open-loop (its oracle reads
+    #: the load report); the harness rejects closed-loop runs of it
+    requires_open_loop = False
+
+    def open_loop_keys(self, state) -> List[str]:
+        """Partition keys the Zipf popularity distribution ranges over."""
+        raise NotImplementedError
+
+    def open_loop_op(self, rng, federation, state, client, key):
+        """Draw one operation against partition ``key``: ``(label, thunk)``.
+
+        The open-loop counterpart of :meth:`pick` — the *driver* chose
+        the partition (Zipf popularity), the scenario only chooses what
+        to do there.
+        """
+        raise NotImplementedError
+
     def churn_plan(self, config) -> List[Tuple[int, str, Callable]]:
         """Membership events for a ``--churn`` run.
 
@@ -520,6 +542,79 @@ class BankingScenario(Scenario):
             for name, servant in sorted(state["servants"].items())
             if "/Account/" in name
         ]
+
+
+# ---------------------------------------------------------------------------
+# banking_openloop — offered load, bounded lateness, goodput SLO
+# ---------------------------------------------------------------------------
+
+
+class OpenLoopBankingScenario(BankingScenario):
+    name = "banking_openloop"
+    description = (
+        "banking mix offered open-loop on virtual time: Zipf-hot branches, "
+        "bounded-lateness admission; oracles: money conserved, every "
+        "admitted op within the latency SLO, shed fraction bounded"
+    )
+    #: open-loop runs measure the service model, not fault recovery —
+    #: the campaign stays empty so --faults is an explicit choice
+    fault_campaign: List[Tuple[str, float]] = []
+    requires_open_loop = True
+    open_loop_defaults = {
+        "users": 10_000,
+        "arrival": "poisson:4000",
+        "zipf_s": 1.1,
+        "max_lateness_ms": 50.0,
+        "service_time_ms": 0.2,
+        # under the default (sub-saturation) offered load the admission
+        # gate should barely fire; overload runs raise this bound
+        "max_shed_fraction": 0.05,
+    }
+
+    def open_loop_keys(self, state):
+        return [branch["bank"].split("/", 1)[0] for branch in state["branches"]]
+
+    def open_loop_op(self, rng, federation, state, client, key):
+        index = state.get("_branch_by_key")
+        if index is None:
+            index = state["_branch_by_key"] = {
+                branch["bank"].split("/", 1)[0]: branch
+                for branch in state["branches"]
+            }
+        kind = self._roulette(rng, self.MIX)
+        return self._banking_op(kind, rng, index[key], state["tally"], client)
+
+    def invariants(self, federation, state):
+        """Money conservation (inherited) plus the SLO oracle."""
+        violations = super().invariants(federation, state)
+        report = state.get("open_loop_report")
+        if report is None:
+            violations.append("open-loop scenario ran without a load report")
+            return violations
+        limit = report.config["max_shed_fraction"]
+        if report.shed_fraction > limit:
+            violations.append(
+                f"shed fraction {report.shed_fraction:.4f} exceeds "
+                f"allowed {limit:.4f}"
+            )
+        # bounded lateness makes this structural: an admitted op waits at
+        # most max_lateness_ms and is served in service_time_ms, so even
+        # the slowest admitted response must sit within the SLO
+        slo = report.slo_ms
+        if report.response["count"] and report.response["max_ms"] > slo + 1e-6:
+            violations.append(
+                f"admitted response {report.response['max_ms']:.3f} ms "
+                f"breaches the {slo:.3f} ms SLO"
+            )
+        lateness_bound = report.config["max_lateness_ms"]
+        if report.lateness["count"] and (
+            report.lateness["max_ms"] > lateness_bound + 1e-6
+        ):
+            violations.append(
+                f"admitted lateness {report.lateness['max_ms']:.3f} ms "
+                f"exceeds the {lateness_bound:.3f} ms admission bound"
+            )
+        return violations
 
 
 def _add_touch_probe(resource):
@@ -1311,6 +1406,7 @@ SCENARIOS: Dict[str, Scenario] = {
     spec.name: spec
     for spec in (
         BankingScenario(),
+        OpenLoopBankingScenario(),
         AsyncBankingScenario(),
         ElasticBankingScenario(),
         AuctionScenario(),
