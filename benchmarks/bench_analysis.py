@@ -1,0 +1,201 @@
+"""E19 — lock-witness overhead: instrumented locks vs raw stdlib locks.
+
+The claim under test: **the runtime lock witness is cheap enough for
+stress CI and invisible when off**.  Every lock in the runtime is
+created through :mod:`repro.analysis.witness` factories; with the
+witness disabled they return the raw ``threading`` primitives (nothing
+wrapped, the disabled cost is one env check at construction), and with
+``REPRO_LOCK_WITNESS=record`` every acquisition updates a per-thread
+held stack and a global acquisition-order graph.
+
+The measurement is the repository's concurrent banking bench (E14,
+``bench_runtime.py``): 2 nodes, thread-pool dispatchers, 8 concurrent
+clients, zero injected transport latency — the harshest shape for the
+witness, because with no network waits the per-acquire bookkeeping has
+nothing to hide behind.  The witness mode is flipped via the
+environment between runs: locks read the switch at construction, and
+every ``run_scenario`` builds a fresh federation, so alternating
+witnessed/raw windows in one process is sound.
+
+The CI bar is **witnessed <= 2x raw median wall time** (the witness
+touches every acquisition of every hot lock through one shared
+registry, so its budget is far wider than tracing's 10%; measured
+~1.35x on a quiet host, and the margin absorbs CI-runner noise).  The witnessed runs must actually record
+acquisition edges and observe zero inversions — a variant that
+silently stops witnessing cannot pass — and a serial control pair
+asserts the witnessed and raw runs produce the identical outcome
+digest (instrumentation must observe, never perturb).
+
+Run standalone:  python benchmarks/bench_analysis.py
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import statistics
+
+from _benchjson import write_bench_json
+
+from repro.analysis import witness
+from repro.runtime import run_scenario
+
+#: the CI ceiling: median witnessed/raw wall-time ratio
+CEILING_RATIO = 2.0
+SCENARIO = "banking"
+NODES = 2
+CLIENTS = 8
+WORKERS = 4
+OPS = 800
+#: alternating raw/witnessed pairs; the median pair is the estimator
+PAIRS = 6
+#: full pair-set attempts (best median wins): a spiked attempt means
+#: the host degraded mid-bench, and only a sustained overrun should
+#: fail CI
+ATTEMPTS = 3
+EARLY_EXIT_MARGIN = 0.4
+
+
+def _set_witness(mode):
+    if mode is None:
+        os.environ.pop("REPRO_LOCK_WITNESS", None)
+    else:
+        os.environ["REPRO_LOCK_WITNESS"] = mode
+
+
+def run_once(witnessed: bool, ops: int = OPS, concurrent: bool = True):
+    """One harness run; the witness switch is read at lock construction."""
+    _set_witness("record" if witnessed else None)
+    try:
+        gc.collect()
+        result = run_scenario(
+            SCENARIO,
+            nodes=NODES,
+            clients=CLIENTS,
+            ops=ops,
+            seed=1,
+            concurrent=concurrent,
+            workers=WORKERS,
+        )
+    finally:
+        _set_witness(None)
+    assert result.passed, f"banking run failed (witnessed={witnessed})"
+    return result
+
+
+def serial_digest_control():
+    """The witness must not perturb outcomes: serial digests identical."""
+    witness.reset()
+    _set_witness(None)
+    raw = run_once(witnessed=False, ops=120, concurrent=False).digest()
+    observed = run_once(witnessed=True, ops=120, concurrent=False).digest()
+    snapshot = witness.registry().snapshot()
+    assert snapshot["edges"], "witnessed control run recorded no lock edges"
+    assert not snapshot["inversions"], (
+        f"witnessed control run observed inversions: {snapshot['inversions']}"
+    )
+    return raw == observed, raw, observed
+
+
+def measure_pairs(attempt):
+    """One full pair set; returns its stats dict."""
+    raw_ops_s, witnessed_ops_s, ratios = [], [], []
+    for pair in range(PAIRS):
+        # alternate which variant runs first so slow drift and periodic
+        # background load cancel instead of biasing one side
+        if pair % 2 == 0:
+            raw = run_once(witnessed=False)
+            observed = run_once(witnessed=True)
+        else:
+            observed = run_once(witnessed=True)
+            raw = run_once(witnessed=False)
+        assert raw.ops == observed.ops == OPS
+        raw_ops_s.append(raw.throughput_ops_s)
+        witnessed_ops_s.append(observed.throughput_ops_s)
+        # wall-time ratio == inverse throughput ratio at equal ops
+        ratios.append(raw.throughput_ops_s / observed.throughput_ops_s)
+        print(
+            f"attempt {attempt} pair {pair}: "
+            f"raw {raw_ops_s[-1]:,.0f} ops/s, "
+            f"witnessed {witnessed_ops_s[-1]:,.0f} ops/s, "
+            f"ratio {ratios[-1]:.3f}"
+        )
+    return {
+        "raw_ops_s": raw_ops_s,
+        "witnessed_ops_s": witnessed_ops_s,
+        "ratios": ratios,
+        "median_ratio": statistics.median(ratios),
+    }
+
+
+def main():
+    digest_identical, raw_digest, witnessed_digest = serial_digest_control()
+    assert digest_identical, (
+        f"witness changed the outcome digest: {raw_digest} != {witnessed_digest}"
+    )
+    # warm both variants (imports, code paths, allocator)
+    run_once(witnessed=True)
+    run_once(witnessed=False)
+    witness.reset()
+
+    best = None
+    attempts = 0
+    for attempt in range(ATTEMPTS):
+        attempts += 1
+        stats = measure_pairs(attempt)
+        if best is None or stats["median_ratio"] < best["median_ratio"]:
+            best = stats
+        if best["median_ratio"] <= CEILING_RATIO - EARLY_EXIT_MARGIN:
+            break
+        print(
+            f"attempt {attempt}: median {stats['median_ratio']:.3f} above "
+            f"{CEILING_RATIO - EARLY_EXIT_MARGIN:.2f}, "
+            + ("retrying" if attempt + 1 < ATTEMPTS else "out of attempts")
+        )
+
+    snapshot = witness.registry().snapshot()
+    assert snapshot["edges"], "witnessed windows recorded no lock edges"
+    assert not snapshot["inversions"], (
+        f"witnessed windows observed inversions: {snapshot['inversions']}"
+    )
+
+    median_ratio = best["median_ratio"]
+    overhead_pct = (median_ratio - 1.0) * 100.0
+    passed = median_ratio <= CEILING_RATIO
+    print(
+        f"witness overhead ratio {median_ratio:.3f} "
+        f"({overhead_pct:+.1f}% wall time, ceiling {CEILING_RATIO}x), "
+        f"{len(snapshot['edges'])} acquisition edge(s) witnessed, "
+        f"0 inversions, digest {raw_digest[:16]}"
+    )
+    write_bench_json(
+        "analysis",
+        {
+            "scenario": SCENARIO,
+            "nodes": NODES,
+            "clients": CLIENTS,
+            "workers": WORKERS,
+            "ops_per_window": OPS,
+            "pairs": PAIRS,
+            "attempts": attempts,
+            "raw_ops_s": [round(v) for v in best["raw_ops_s"]],
+            "witnessed_ops_s": [round(v) for v in best["witnessed_ops_s"]],
+            "pair_ratios": [round(v, 4) for v in best["ratios"]],
+            "overhead_ratio": round(median_ratio, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "ceiling_ratio": CEILING_RATIO,
+            "edges_witnessed": len(snapshot["edges"]),
+            "inversions": len(snapshot["inversions"]),
+            "digest_identical": digest_identical,
+            "serial_digest": raw_digest,
+            "passed": passed,
+        },
+    )
+    assert passed, (
+        f"witness overhead {median_ratio:.3f}x exceeded the "
+        f"{CEILING_RATIO}x ceiling"
+    )
+
+
+if __name__ == "__main__":
+    main()

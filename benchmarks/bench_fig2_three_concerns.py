@@ -6,7 +6,6 @@ and deployed in application order, and the resulting woven application
 exercised (remote + atomic + secured transfer).
 """
 
-import pytest
 
 from repro.errors import RemoteInvocationError, TransactionAborted
 

@@ -8,7 +8,6 @@ as the experiment record: only the Si-specialized variant preserves the
 money, at a measurable (and modest) cost over the naive aspect.
 """
 
-import pytest
 
 from repro.aop import Aspect
 from repro.codegen import compile_model

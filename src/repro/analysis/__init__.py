@@ -1,0 +1,47 @@
+"""Concurrency correctness toolkit.
+
+Two halves, one lock hierarchy:
+
+* **Static** — :mod:`repro.analysis.lockscan` parses ``src/repro`` into
+  per-function lock IR, :mod:`repro.analysis.lockgraph` evaluates it
+  interprocedurally into an acquired-while-holding graph, checks
+  ``guarded_by`` declarations, and :mod:`repro.analysis.baseline`
+  compares the graph against the checked-in hierarchy
+  (``tools/concurrency_baseline.json``).  ``tools/check_concurrency.py``
+  and ``repro.cli analyze`` drive it; CI fails on any new cycle,
+  guarded-by violation, or baseline drift.
+* **Dynamic** — :mod:`repro.analysis.witness` wraps every named lock at
+  runtime under ``REPRO_LOCK_WITNESS=1`` and raises on the first
+  observed acquisition-order inversion.
+
+See ``docs/CONCURRENCY.md`` for the hierarchy itself and the annotation
+conventions.
+"""
+
+from repro.analysis.baseline import Baseline, check_baseline
+from repro.analysis.lockgraph import LockGraph, analyze_paths
+from repro.analysis.lockscan import scan_paths
+from repro.analysis.report import Finding, render_findings, render_graph
+from repro.analysis.witness import (
+    LockOrderInversion,
+    named_condition,
+    named_lock,
+    named_rlock,
+    registry,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LockGraph",
+    "LockOrderInversion",
+    "analyze_paths",
+    "check_baseline",
+    "named_condition",
+    "named_lock",
+    "named_rlock",
+    "registry",
+    "render_findings",
+    "render_graph",
+    "scan_paths",
+]

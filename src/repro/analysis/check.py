@@ -1,0 +1,75 @@
+"""Driver shared by ``tools/check_concurrency.py`` and ``repro.cli analyze``.
+
+Exit-code discipline matches ``tools/check_md_links.py``: 0 clean,
+1 findings, 2 usage error — so CI heredocs stay one-liners.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, check_baseline, check_cycles
+from repro.analysis.lockgraph import Analysis, analyze_paths
+from repro.analysis.report import render_findings, render_graph
+
+
+def run_check(
+    paths: Sequence[str],
+    baseline_path: Optional[str] = None,
+    update_baseline: bool = False,
+    show_graph: bool = False,
+    out=None,
+) -> int:
+    """Analyze ``paths``; print findings; return the exit code."""
+    out = out if out is not None else sys.stdout
+    missing = [p for p in paths if not Path(p).exists()]
+    if not paths or missing:
+        print(
+            f"usage error: no such path(s): {missing}"
+            if missing
+            else "usage error: at least one path to analyze is required",
+            file=sys.stderr,
+        )
+        return 2
+    analysis: Analysis = analyze_paths(paths)
+    graph = analysis.graph
+    findings: List = list(analysis.findings)
+    baseline = None
+    if baseline_path is not None:
+        if Path(baseline_path).exists():
+            baseline = Baseline.load(baseline_path)
+        elif not update_baseline:
+            print(
+                f"usage error: baseline {baseline_path} does not exist "
+                "(run with --update-baseline to create it)",
+                file=sys.stderr,
+            )
+            return 2
+    if update_baseline:
+        if baseline_path is None:
+            print(
+                "usage error: --update-baseline needs --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        updated = (baseline or Baseline()).updated(graph)
+        updated.self_nest_ok |= set(graph.self_nests)
+        updated.save(baseline_path)
+        print(
+            f"baseline written: {baseline_path} "
+            f"({len(updated.edges)} edge(s))",
+            file=out,
+        )
+        findings.extend(check_cycles(graph))
+    elif baseline is not None:
+        findings.extend(check_baseline(graph, baseline))
+    else:
+        findings.extend(check_cycles(graph))
+    if show_graph:
+        hierarchy = baseline.hierarchy if baseline is not None else None
+        print(render_graph(graph, hierarchy), file=out)
+        print(file=out)
+    print(render_findings(findings), file=out)
+    return 1 if any(f.severity == "error" for f in findings) else 0

@@ -1,0 +1,432 @@
+"""Interprocedural lock-order graph from the scanned IR.
+
+The evaluator abstract-interprets every function's op list with a
+*held-lock tuple*: entering a ``with lock:`` region or a successful
+``.acquire()`` appends the lock, and each acquisition adds
+``held -> acquired`` edges to the :class:`LockGraph`.  Calls are
+followed through the index (``self`` methods, typed attribute chains,
+module functions), locks passed as arguments are bound to the callee's
+parameters, and helpers that *return* locks (``with
+self._servant_lock(key):``) resolve through the callee's return specs —
+so an acquisition three calls deep still lands its edge.
+
+Two passes share one memo:
+
+1. **every** function evaluated as a root with guard checking off —
+   edge completeness does not depend on knowing the entry points;
+2. the *entry points* (public methods, public module functions, and
+   methods referenced as callbacks — thread targets, installed guards)
+   re-evaluated with guard checking on, so a ``# guarded_by:`` field
+   mutated on any path from an entry point without its lock held is a
+   finding, while ``_locked``-suffix helpers evaluated out of context
+   are not.
+
+Acquisitions whose ``blocking``/``timeout`` arguments are not the
+literal ``True`` default are carried as *try-acquire* edges: they are
+real ordering observations but cannot wait, so cycle detection (in
+:mod:`repro.analysis.baseline`) ignores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lockscan import (
+    Acquire,
+    Call,
+    CallSpec,
+    ClassInfo,
+    FuncInfo,
+    Index,
+    Mutate,
+    Op,
+    Region,
+    Release,
+    scan_paths,
+)
+from repro.analysis.report import Finding
+
+#: (file path, line, function qualname) — where an edge was observed
+Site = Tuple[str, int, str]
+
+_MAX_CANDIDATES = 6
+_MAX_DEPTH = 48
+_MAX_SITES = 4
+
+
+@dataclass
+class Edge:
+    src: str
+    dst: str
+    #: True only while *every* observation of this edge is a try-acquire
+    trylock: bool = True
+    sites: List[Site] = field(default_factory=list)
+
+    def observe(self, trylock: bool, site: Site) -> None:
+        self.trylock = self.trylock and trylock
+        if len(self.sites) < _MAX_SITES and site not in self.sites:
+            self.sites.append(site)
+
+
+@dataclass
+class LockGraph:
+    """Acquired-while-holding edges between lock hierarchy names."""
+
+    edges: Dict[Tuple[str, str], Edge] = field(default_factory=dict)
+    #: lock id -> sites where same-name re-entry was statically visible
+    self_nests: Dict[str, List[Site]] = field(default_factory=dict)
+
+    def add(self, src: str, dst: str, trylock: bool, site: Site) -> None:
+        edge = self.edges.get((src, dst))
+        if edge is None:
+            edge = self.edges[(src, dst)] = Edge(src, dst)
+        edge.observe(trylock, site)
+
+    def blocking_pairs(self) -> Set[Tuple[str, str]]:
+        """Edges that can actually wait (cycle-relevant)."""
+        return {pair for pair, edge in self.edges.items() if not edge.trylock}
+
+    def all_pairs(self) -> Set[Tuple[str, str]]:
+        return set(self.edges)
+
+    def nodes(self) -> Set[str]:
+        found: Set[str] = set()
+        for src, dst in self.edges:
+            found.add(src)
+            found.add(dst)
+        return found
+
+
+@dataclass
+class Analysis:
+    index: Index
+    graph: LockGraph
+    findings: List[Finding]
+
+
+#: parameter name -> resolved lock ids it is bound to at a call site
+Env = Dict[str, FrozenSet[str]]
+
+
+class _Interp:
+    def __init__(self, index: Index):
+        self.index = index
+        self.graph = LockGraph()
+        self.findings: List[Finding] = []
+        self._finding_keys: Set[Tuple] = set()
+        self._memo: Set[Tuple] = set()
+        self._active: Set[str] = set()
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self) -> Tuple[LockGraph, List[Finding]]:
+        for func in self._all_functions():
+            self._eval(func, held=(), env={}, check_guards=False, depth=0)
+        for func in self._guard_roots():
+            self._eval(func, held=(), env={}, check_guards=True, depth=0)
+        return self.graph, self.findings
+
+    def _all_functions(self) -> List[FuncInfo]:
+        found: List[FuncInfo] = []
+        for info in self.index.modules.values():
+            found.extend(info.functions.values())
+            for cls in info.classes.values():
+                found.extend(cls.methods.values())
+        return found
+
+    def _guard_roots(self) -> List[FuncInfo]:
+        roots: Dict[str, FuncInfo] = {}
+
+        def is_entry(name: str) -> bool:
+            if not name.startswith("_"):
+                return True
+            return name in ("__call__", "__enter__", "__exit__")
+
+        for info in self.index.modules.values():
+            for name, func in info.functions.items():
+                if is_entry(name):
+                    roots[func.qualname] = func
+            for cls in info.classes.values():
+                for name, func in cls.methods.items():
+                    if is_entry(name):
+                        roots[func.qualname] = func
+            for cls_name, meth in info.callback_refs:
+                cls = self.index.resolve_class(info.module, cls_name)
+                if cls is None:
+                    continue
+                func = self.index.lookup_method(cls, meth)
+                if func is not None:
+                    roots[func.qualname] = func
+        return list(roots.values())
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _eval(
+        self,
+        func: FuncInfo,
+        held: Tuple[str, ...],
+        env: Env,
+        check_guards: bool,
+        depth: int,
+    ) -> None:
+        if depth > _MAX_DEPTH or func.qualname in self._active:
+            return
+        env_key = tuple(sorted((k, tuple(sorted(v))) for k, v in env.items()))
+        key = (func.qualname, frozenset(held), env_key, check_guards)
+        if key in self._memo:
+            return
+        self._memo.add(key)
+        self._active.add(func.qualname)
+        try:
+            self._walk(func, func.ops, held, env, check_guards, depth)
+        finally:
+            self._active.discard(func.qualname)
+
+    def _walk(
+        self,
+        func: FuncInfo,
+        ops: Sequence[Op],
+        held: Tuple[str, ...],
+        env: Env,
+        check_guards: bool,
+        depth: int,
+    ) -> Tuple[str, ...]:
+        for op in ops:
+            if isinstance(op, Region):
+                ids = self._resolve(op.lock, func, env, depth)
+                inner = held
+                for lock_id in ids:
+                    inner = self._acquire(
+                        func, op.lineno, lock_id, inner, trylock=False,
+                        edge_base=held,
+                    )
+                self._walk(func, op.body, inner, env, check_guards, depth)
+            elif isinstance(op, Acquire):
+                for lock_id in self._resolve(op.lock, func, env, depth):
+                    held = self._acquire(
+                        func, op.lineno, lock_id, held, trylock=op.trylock,
+                    )
+            elif isinstance(op, Release):
+                for lock_id in self._resolve(op.lock, func, env, depth):
+                    held = self._drop(held, lock_id)
+            elif isinstance(op, Mutate):
+                if check_guards:
+                    self._check_guard(func, op, held)
+            elif isinstance(op, Call):
+                self._follow_call(func, op, held, env, check_guards, depth)
+        return held
+
+    def _acquire(
+        self,
+        func: FuncInfo,
+        lineno: int,
+        lock_id: str,
+        held: Tuple[str, ...],
+        trylock: bool,
+        edge_base: Optional[Tuple[str, ...]] = None,
+    ) -> Tuple[str, ...]:
+        site: Site = (func.path, lineno, func.qualname)
+        decl = self.index.locks.get(lock_id)
+        reentrant = decl.reentrant if decl is not None else True
+        if lock_id in held:
+            if reentrant:
+                self.graph.self_nests.setdefault(lock_id, [])
+                nests = self.graph.self_nests[lock_id]
+                if len(nests) < _MAX_SITES and site not in nests:
+                    nests.append(site)
+            elif not trylock:
+                self._finding(
+                    "self-deadlock", "error",
+                    f"non-reentrant lock {lock_id} acquired while already "
+                    f"held on this path (via {func.qualname})",
+                    func.path, lineno,
+                )
+            return held
+        base = held if edge_base is None else edge_base
+        for holder in base:
+            if holder != lock_id:
+                self.graph.add(holder, lock_id, trylock, site)
+        return held + (lock_id,)
+
+    @staticmethod
+    def _drop(held: Tuple[str, ...], lock_id: str) -> Tuple[str, ...]:
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == lock_id:
+                return held[:index] + held[index + 1:]
+        return held
+
+    # -- guards --------------------------------------------------------------
+
+    def _check_guard(self, func: FuncInfo, op: Mutate, held: Tuple[str, ...]) -> None:
+        if func.cls is None or func.name == "__init__":
+            return
+        cls = self.index.classes.get(f"{func.module}.{func.cls}")
+        if cls is None:
+            return
+        guard = self.index.lookup_guard(cls, op.attr)
+        if guard is None:
+            return
+        guard_attr, decl_cls = guard
+        decl = self.index.lookup_lock_attr(cls, guard_attr)
+        if decl is None:
+            family = self.index.lookup_family(cls, guard_attr)
+            if family is None:
+                self._finding(
+                    "bad-guard", "warning",
+                    f"{decl_cls.name}.{op.attr} is guarded_by {guard_attr!r}, "
+                    "which is not a known lock attribute",
+                    func.path, op.lineno,
+                )
+                return
+            lock_id = family
+        else:
+            lock_id = decl.lock_id
+        if lock_id not in held:
+            self._finding(
+                "guarded-by", "error",
+                f"{decl_cls.name}.{op.attr} mutated ({op.desc}) in "
+                f"{func.qualname} without holding {lock_id}",
+                func.path, op.lineno,
+            )
+
+    def _finding(
+        self, kind: str, severity: str, message: str, path: str, lineno: int
+    ) -> None:
+        key = (kind, path, lineno, message)
+        if key in self._finding_keys:
+            return
+        self._finding_keys.add(key)
+        self.findings.append(Finding(kind, severity, message, path, lineno))
+
+    # -- calls ---------------------------------------------------------------
+
+    def _follow_call(
+        self,
+        func: FuncInfo,
+        op: Call,
+        held: Tuple[str, ...],
+        env: Env,
+        check_guards: bool,
+        depth: int,
+    ) -> None:
+        callees = self._resolve_callees(op.spec, func, depth)
+        if not callees or len(callees) > _MAX_CANDIDATES:
+            return
+        for callee in callees:
+            callee_env: Env = {}
+            for index, spec in op.pos_locks.items():
+                ids = self._resolve(spec, func, env, depth)
+                if ids and index < len(callee.params):
+                    callee_env[callee.params[index]] = frozenset(ids)
+            for name, spec in op.kw_locks.items():
+                ids = self._resolve(spec, func, env, depth)
+                if ids and name in callee.params:
+                    callee_env[name] = frozenset(ids)
+            self._eval(callee, held, callee_env, check_guards, depth + 1)
+
+    def _class_of(self, func: FuncInfo) -> Optional[ClassInfo]:
+        if func.cls is None:
+            return None
+        return self.index.classes.get(f"{func.module}.{func.cls}")
+
+    def _resolve_callees(
+        self, spec: CallSpec, func: FuncInfo, depth: int
+    ) -> List[FuncInfo]:
+        if spec is None or depth > _MAX_DEPTH:
+            return []
+        index = self.index
+        if spec.kind == "self":
+            cls = self._class_of(func)
+            if cls is None:
+                return []
+            method = index.lookup_method(cls, spec.name)
+            return [method] if method is not None else []
+        if spec.kind in ("selfpath", "localpath"):
+            if spec.kind == "selfpath":
+                start = self._class_of(func)
+                classes = [start] if start is not None else []
+            else:
+                classes = [
+                    cls
+                    for cls in (
+                        index.resolve_class(func.module, name)
+                        for name in spec.types
+                    )
+                    if cls is not None
+                ]
+            for attr in spec.path:
+                step: Dict[str, ClassInfo] = {}
+                for cls in classes:
+                    for nxt in index.lookup_attr_types(cls, attr):
+                        step[nxt.qualname] = nxt
+                classes = list(step.values())
+                if not classes or len(classes) > _MAX_CANDIDATES:
+                    return []
+            found: Dict[str, FuncInfo] = {}
+            for cls in classes:
+                method = index.lookup_method(cls, spec.name)
+                if method is not None:
+                    found[method.qualname] = method
+            return list(found.values())
+        if spec.kind == "clsname":
+            cls = index.resolve_class(func.module, spec.types[0])
+            if cls is None:
+                return []
+            method = index.lookup_method(cls, spec.name)
+            return [method] if method is not None else []
+        if spec.kind == "func":
+            info = index.modules.get(func.module)
+            if info is None:
+                return []
+            if spec.name in info.functions:
+                return [info.functions[spec.name]]
+            target = info.imports.get(spec.name)
+            if target is not None:
+                mod, _, fname = target.rpartition(".")
+                other = index.modules.get(mod)
+                if other is not None and fname in other.functions:
+                    return [other.functions[fname]]
+            return []
+        return []
+
+    def _resolve(
+        self, spec, func: FuncInfo, env: Env, depth: int
+    ) -> List[str]:
+        """LockSpec -> sorted lock ids, following helper returns."""
+        if spec is None or depth > _MAX_DEPTH:
+            return []
+        kind = spec[0]
+        if kind == "concrete":
+            return [spec[1]]
+        if kind == "attr":
+            cls = self._class_of(func)
+            if cls is None:
+                return []
+            decl = self.index.lookup_lock_attr(cls, spec[1])
+            if decl is not None:
+                return [decl.lock_id]
+            family = self.index.lookup_family(cls, spec[1])
+            return [family] if family is not None else []
+        if kind == "param":
+            return sorted(env.get(spec[1], ()))
+        if kind == "call":
+            found: Set[str] = set()
+            for callee in self._resolve_callees(spec[1], func, depth)[
+                :_MAX_CANDIDATES
+            ]:
+                for ret in callee.returns:
+                    found.update(self._resolve(ret, callee, {}, depth + 1))
+            return sorted(found)
+        return []
+
+
+def analyze(index: Index) -> Analysis:
+    """Evaluate a scanned index into a lock graph plus findings."""
+    graph, findings = _Interp(index).run()
+    return Analysis(index=index, graph=graph, findings=findings)
+
+
+def analyze_paths(paths: Sequence[str]) -> Analysis:
+    """Scan ``paths`` and evaluate them in one step."""
+    return analyze(scan_paths(paths))

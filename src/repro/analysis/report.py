@@ -1,0 +1,77 @@
+"""Findings and text rendering for the concurrency analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Finding:
+    """One analyzer result: a cycle, a guard violation, drift, …"""
+
+    kind: str
+    severity: str  # "error" | "warning"
+    message: str
+    file: str = ""
+    line: int = 0
+
+    @property
+    def location(self) -> str:
+        if not self.file:
+            return ""
+        return f"{self.file}:{self.line}" if self.line else self.file
+
+    def render(self) -> str:
+        prefix = f"{self.location}: " if self.file else ""
+        return f"{prefix}{self.severity}: [{self.kind}] {self.message}"
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable findings list, errors first, with a summary line."""
+    ordered = sorted(
+        findings,
+        key=lambda f: (f.severity != "error", f.kind, f.file, f.line),
+    )
+    lines = [finding.render() for finding in ordered]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if findings:
+        lines.append("")
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_graph(graph, hierarchy: Optional[Iterable[Iterable[str]]] = None) -> str:
+    """The acquired-while-holding graph as sorted text.
+
+    Try-acquire-only edges are tagged ``[try]``; each edge shows one
+    observation site.  When a hierarchy (layers, outer first) is given
+    the lock list is grouped by layer first.
+    """
+    lines: List[str] = []
+    nodes = graph.nodes()
+    if hierarchy:
+        lines.append("hierarchy (outer -> inner):")
+        for rank, layer in enumerate(hierarchy):
+            names = ", ".join(sorted(layer))
+            lines.append(f"  [{rank}] {names}")
+        ranked = {name for layer in hierarchy for name in layer}
+        loose = sorted(nodes - ranked)
+        if loose:
+            lines.append(f"  [unranked] {', '.join(loose)}")
+        lines.append("")
+    lines.append(f"acquired-while-holding edges ({len(graph.edges)}):")
+    for (src, dst), edge in sorted(graph.edges.items()):
+        tag = " [try]" if edge.trylock else ""
+        site = ""
+        if edge.sites:
+            path, lineno, via = edge.sites[0]
+            site = f"  ({via} at {path}:{lineno})"
+        lines.append(f"  {src} -> {dst}{tag}{site}")
+    if graph.self_nests:
+        lines.append("")
+        lines.append("same-name nesting observed (needs self_nest_ok):")
+        for name in sorted(graph.self_nests):
+            lines.append(f"  {name}")
+    return "\n".join(lines)

@@ -1,0 +1,323 @@
+"""Runtime lock witness: named primitives + acquisition-order tracking.
+
+Every lock in the runtime is created through the factories here —
+:func:`named_lock`, :func:`named_rlock`, :func:`named_condition` — with a
+stable hierarchy name (``"federation.topology"``, ``"dispatch.servant"``,
+…).  By default the factories return the bare stdlib primitive, so the
+production path pays nothing.  When ``REPRO_LOCK_WITNESS=1`` is set the
+factories return *witnessed* wrappers that
+
+* keep a per-thread stack of held locks,
+* accumulate a process-global acquisition-order graph (``held name ->
+  acquired name``) across the whole run, and
+* raise :class:`LockOrderInversion` the moment a thread acquires ``A``
+  while holding ``B`` when some earlier acquisition took ``B`` while
+  holding ``A`` — turning every stress suite into a dynamic deadlock
+  detector (two such threads interleaving *is* the deadlock; observing
+  both orders is the proof it can happen).
+
+``REPRO_LOCK_WITNESS=record`` accumulates the same graph but only
+records inversions instead of raising — useful for harvesting the full
+order graph from a run that is known to be dirty.
+
+Same-*name* nesting with two different lock objects (the per-servant
+lock family nesting into another servant during an in-process proxy
+call) is recorded as a ``self_nest`` observation, never an inversion:
+whether it is benign depends on a key-ordering argument the baseline
+documents per name (``self_nest_ok``).
+
+The witness's own bookkeeping mutex is a leaf: it is only ever held for
+dictionary updates and never while acquiring a witnessed lock, so it
+cannot participate in any cycle it would report.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderInversion",
+    "WitnessRegistry",
+    "enabled",
+    "named_condition",
+    "named_lock",
+    "named_rlock",
+    "registry",
+    "reset",
+]
+
+_ENV_VAR = "REPRO_LOCK_WITNESS"
+
+
+def enabled() -> bool:
+    """True when lock creation should produce witnessed wrappers."""
+    return os.environ.get(_ENV_VAR, "") not in ("", "0")
+
+
+def _raise_on_inversion() -> bool:
+    return os.environ.get(_ENV_VAR, "") != "record"
+
+
+class LockOrderInversion(AssertionError):
+    """Two locks were observed acquired in both orders (deadlock risk)."""
+
+
+class WitnessRegistry:
+    """Process-global acquisition-order graph and inversion reports."""
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        #: (held name, acquired name) -> observation count
+        self.edges: Dict[Tuple[str, str], int] = {}
+        #: first stack seen per edge, for inversion reports
+        self._edge_stacks: Dict[Tuple[str, str], str] = {}
+        #: same-name different-object nestings observed, per name
+        self.self_nests: Dict[str, int] = {}
+        #: inversion reports (kept even in raise mode, for teardown checks)
+        self.inversions: List[Dict[str, str]] = []
+
+    def record(self, held: List[str], name: str) -> Optional[Dict[str, str]]:
+        """Record edges ``h -> name`` for every held lock; returns the
+        first inversion report produced (None when the order is clean)."""
+        stack = None
+        report = None
+        with self._mutex:
+            for holder in held:
+                if holder == name:
+                    continue
+                edge = (holder, name)
+                seen = self.edges.get(edge, 0)
+                self.edges[edge] = seen + 1
+                if not seen:
+                    if stack is None:
+                        stack = "".join(traceback.format_stack(limit=16)[:-2])
+                    self._edge_stacks[edge] = stack
+                    reverse = (name, holder)
+                    if reverse in self.edges and report is None:
+                        report = {
+                            "first": f"{name} -> {holder}",
+                            "second": f"{holder} -> {name}",
+                            "first_stack": self._edge_stacks.get(reverse, ""),
+                            "second_stack": stack,
+                        }
+                        self.inversions.append(report)
+        return report
+
+    def record_self_nest(self, name: str) -> None:
+        with self._mutex:
+            self.self_nests[name] = self.self_nests.get(name, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-shaped copy of everything observed so far."""
+        with self._mutex:
+            return {
+                "edges": sorted(
+                    [a, b, count] for (a, b), count in self.edges.items()
+                ),
+                "self_nests": dict(sorted(self.self_nests.items())),
+                "inversions": [dict(r) for r in self.inversions],
+            }
+
+    def edge_pairs(self) -> Set[Tuple[str, str]]:
+        with self._mutex:
+            return set(self.edges)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self.edges.clear()
+            self._edge_stacks.clear()
+            self.self_nests.clear()
+            self.inversions.clear()
+
+
+_registry = WitnessRegistry()
+_held_local = threading.local()
+
+
+def registry() -> WitnessRegistry:
+    return _registry
+
+
+def reset() -> None:
+    """Drop every observation (tests isolate themselves with this)."""
+    _registry.clear()
+
+
+def _held_stack() -> List[Tuple[str, int, bool]]:
+    """This thread's held stack: (name, inner lock id, reentrant)."""
+    stack = getattr(_held_local, "stack", None)
+    if stack is None:
+        stack = _held_local.stack = []
+    return stack
+
+
+def _note_acquired(name: str, inner_id: int, reentrant: bool) -> None:
+    """Record order edges for a *successful* acquisition and push it."""
+    stack = _held_stack()
+    if reentrant and any(entry[1] == inner_id for entry in stack):
+        # re-entrant re-acquisition of a lock this thread already holds:
+        # no new ordering information
+        stack.append((name, inner_id, reentrant))
+        return
+    held_names = []
+    for held_name, _held_id, _re in stack:
+        if held_name == name:
+            _registry.record_self_nest(name)
+        else:
+            held_names.append(held_name)
+    report = _registry.record(held_names, name) if held_names else None
+    stack.append((name, inner_id, reentrant))
+    if report is not None and _raise_on_inversion():
+        raise LockOrderInversion(
+            "lock-order inversion: observed both "
+            f"{report['first']} and {report['second']}\n"
+            f"--- earlier order first acquired at ---\n{report['first_stack']}"
+        )
+
+
+def _note_released(inner_id: int) -> None:
+    stack = _held_stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index][1] == inner_id:
+            del stack[index]
+            return
+
+
+class _WitnessLockBase:
+    """Shared acquire/release bookkeeping over a stdlib inner lock."""
+
+    _reentrant = False
+
+    def __init__(self, name: str, inner):
+        self.name = name
+        self._inner = inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            # ordering is recorded only after the acquisition succeeded:
+            # a failed try-acquire never waits, so it cannot deadlock
+            _note_acquired(self.name, id(self._inner), self._reentrant)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        _note_released(id(self._inner))
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} {self._inner!r}>"
+
+
+class WitnessLock(_WitnessLockBase):
+    def __init__(self, name: str):
+        super().__init__(name, threading.Lock())
+
+
+class WitnessRLock(_WitnessLockBase):
+    _reentrant = True
+
+    def __init__(self, name: str):
+        super().__init__(name, threading.RLock())
+
+
+class WitnessCondition:
+    """A named condition sharing its lock's witness identity.
+
+    ``wait`` delegates to a stdlib :class:`threading.Condition` over the
+    *inner* lock, so the temporary release inside ``wait`` bypasses the
+    witness — correctly: the thread still logically owns the region, and
+    it acquires nothing while blocked.
+    """
+
+    _reentrant = True
+
+    def __init__(self, name: str, lock=None):
+        if isinstance(lock, _WitnessLockBase):
+            self.name = lock.name
+            self._inner = lock._inner
+            self._reentrant = lock._reentrant
+        elif lock is not None:
+            self.name = name
+            self._inner = lock
+        else:
+            self.name = name
+            self._inner = threading.RLock()
+        self._cond = threading.Condition(self._inner)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _note_acquired(self.name, id(self._inner), self._reentrant)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        _note_released(id(self._inner))
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._cond.wait(timeout)
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        return self._cond.wait_for(predicate, timeout)
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<WitnessCondition {self.name!r}>"
+
+
+def named_lock(name: str):
+    """A :class:`threading.Lock` carrying ``name`` in the lock hierarchy."""
+    if enabled():
+        return WitnessLock(name)
+    return threading.Lock()
+
+
+def named_rlock(name: str):
+    """A :class:`threading.RLock` carrying ``name`` in the lock hierarchy."""
+    if enabled():
+        return WitnessRLock(name)
+    return threading.RLock()
+
+
+def named_condition(name: str, lock=None):
+    """A :class:`threading.Condition` carrying ``name``.
+
+    ``lock`` may be another named primitive — the condition then shares
+    that lock's identity (the stdlib contract: a condition built over an
+    existing mutex guards the same region).
+    """
+    if enabled():
+        return WitnessCondition(name, lock)
+    if lock is not None and isinstance(lock, _WitnessLockBase):  # pragma: no cover
+        return threading.Condition(lock._inner)
+    return threading.Condition(lock)
+
+
+#: thread-held names, exposed for tests and debugging
+def held_names() -> List[str]:
+    return [name for name, _id, _re in _held_stack()]

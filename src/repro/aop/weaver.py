@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import functools
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
+from repro.analysis.witness import named_rlock
 from repro.errors import WeavingError
 from repro.aop.advice import Advice, AdviceKind, Invocation
 from repro.aop.aspect import Aspect
@@ -90,7 +91,7 @@ class Weaver:
         #: guards memo + counters: dispatch runs on concurrent worker
         #: threads, and a stale memo must never be re-published after a
         #: concurrent deploy/undeploy
-        self._memo_lock = threading.RLock()
+        self._memo_lock = named_rlock("weaver.memo")
         self.pointcut_memo_hits = 0
         self.pointcut_memo_misses = 0
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.codegen import generate_module
@@ -384,6 +385,29 @@ def _cmd_trace(args) -> int:
         print("\n".join(lines))
         shown += 1
     return 0 if shown or not ids else 1
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.check import run_check
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [str(Path(__file__).resolve().parent)]
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline:
+        for candidate in (
+            Path("tools/concurrency_baseline.json"),
+            Path(__file__).resolve().parents[2] / "tools" / "concurrency_baseline.json",
+        ):
+            if candidate.exists():
+                baseline = str(candidate)
+                break
+    return run_check(
+        paths,
+        baseline_path=None if args.no_baseline else baseline,
+        update_baseline=args.update_baseline,
+        show_graph=args.graph,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -772,6 +796,44 @@ def build_parser() -> argparse.ArgumentParser:
         dest="trace_id",
         help="render exactly this trace id",
     )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static lock-order + guarded-by concurrency analysis",
+        description="Scan Python packages for lock declarations, build "
+        "the interprocedural acquired-while-holding graph, and report "
+        "potential deadlock cycles, guarded-by violations, and drift "
+        "against the checked-in lock-hierarchy baseline "
+        "(tools/concurrency_baseline.json).  Exits 0 when clean, 1 on "
+        "findings, 2 on usage errors.",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="packages or files to analyze (default: the installed "
+        "repro package)",
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON (default: tools/concurrency_baseline.json "
+        "when it exists)",
+    )
+    analyze.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip baseline drift checking (cycles + guarded-by only)",
+    )
+    analyze.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline's edge set from the current tree",
+    )
+    analyze.add_argument(
+        "--graph",
+        action="store_true",
+        help="print the acquired-while-holding graph before findings",
+    )
     return parser
 
 
@@ -787,6 +849,7 @@ _COMMANDS = {
     "deploy": _cmd_deploy,
     "node": _cmd_node,
     "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
 }
 
 

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import keyword
 import types as _types
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.errors import CodegenError
 from repro.metamodel.instances import MObject
-from repro.metamodel.kernel import UNBOUNDED
 from repro.uml.metamodel import UML
 from repro.uml.model import classes_of, owned_elements
 from repro.uml.profiles import get_tag, has_stereotype

@@ -8,8 +8,7 @@ middleware services, all sharing one simulation clock and fault injector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.aop.weaver import Weaver
 from repro.middleware.bus import MessageBus

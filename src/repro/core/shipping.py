@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import ReproError
 from repro.metamodel.instances import MObject, ModelResource
@@ -213,8 +213,8 @@ def replay(
         expected = model_fingerprint(parse_xmi(package.final_model_xmi, UML.package))
         actual = model_fingerprint(lifecycle.repository.resource)
         if expected != actual:
-            missing = [l for l in expected if l not in set(actual)]
-            extra = [l for l in actual if l not in set(expected)]
+            missing = [line for line in expected if line not in set(actual)]
+            extra = [line for line in actual if line not in set(expected)]
             raise ShippingError(
                 "replayed model diverges from the shipped final model "
                 f"({len(missing)} line(s) missing, {len(extra)} extra); "

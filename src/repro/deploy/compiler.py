@@ -37,7 +37,6 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.deploy.spec import (
     ApplicationSpec,
-    ConcernSpec,
     DeploymentSpec,
     FaultCampaignSpec,
     FaultSiteSpec,

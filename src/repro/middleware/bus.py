@@ -39,11 +39,11 @@ from __future__ import annotations
 
 import collections
 import itertools
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, FrozenSet, Optional, Tuple
 
 import repro.errors as errors_module
+from repro.analysis.witness import named_lock
 from repro.errors import MarshallingError, RemoteInvocationError, ReproError
 from repro.middleware.clock import SimClock
 from repro.middleware.envelope import (
@@ -272,7 +272,7 @@ class MessageBus:
             lambda: QueuedTransport(workers=self.delivery_workers, name="bus")
         )
         self._servants: Dict[str, Any] = {}
-        self._stats_lock = threading.Lock()
+        self._stats_lock = named_lock("bus.stats")
         #: read-only operation classification per servant *type* name,
         #: declared by the deployment spec (``ServantSpec.read_only_ops``).
         #: Deliveries whose operation is NOT in its type's set bump

@@ -15,9 +15,9 @@ simulated clients schedulable without a thread apiece.
 
 from __future__ import annotations
 
-import threading
 from typing import Optional
 
+from repro.analysis.witness import named_condition
 from repro.errors import MiddlewareError
 
 
@@ -25,8 +25,8 @@ class SimClock:
     """Monotonic logical clock measured in (simulated) milliseconds."""
 
     def __init__(self, start: float = 0.0):
-        self._now = float(start)
-        self._cond = threading.Condition()
+        self._now = float(start)  # guarded_by: _cond
+        self._cond = named_condition("clock.sim")
         # kept as an alias: advance() has always serialized on one mutex
         self._lock = self._cond
 

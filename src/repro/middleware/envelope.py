@@ -34,6 +34,7 @@ import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.witness import named_lock
 from repro.errors import (
     InvocationTimeout,
     MiddlewareError,
@@ -226,7 +227,7 @@ class ReplyFuture:
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._callbacks: List[Callable[["ReplyFuture"], None]] = []
-        self._lock = threading.Lock()
+        self._lock = named_lock("envelope.reply")
 
     # -- completion (transport side) ----------------------------------------
 

@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import fnmatch
 import random
-import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Type
 
+from repro.analysis.witness import named_rlock
 from repro.errors import MiddlewareError
 
 
@@ -50,10 +50,10 @@ class FaultInjector:
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
         self._specs: Dict[str, FaultSpec] = {}
-        self._scripted: Dict[str, int] = {}
-        self._lock = threading.RLock()
+        self._scripted: Dict[str, int] = {}  # guarded_by: _lock
+        self._lock = named_rlock("faults.injector")
         #: counters of injected faults per (concrete) site
-        self.injected: Dict[str, int] = {}
+        self.injected: Dict[str, int] = {}  # guarded_by: _lock
 
     def configure(
         self,

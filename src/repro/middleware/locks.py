@@ -15,11 +15,11 @@ deadlock cycle.
 from __future__ import annotations
 
 import enum
-import threading
 from typing import Dict, Set
 
 import networkx as nx
 
+from repro.analysis.witness import named_rlock
 from repro.errors import DeadlockError, LockTimeoutError
 
 
@@ -47,7 +47,7 @@ class LockManager:
         # concurrent dispatcher workers must see a consistent table and
         # wait-for graph (the 2PL protocol itself never blocks — it
         # raises — so a plain mutex cannot deadlock here)
-        self._mutex = threading.RLock()
+        self._mutex = named_rlock("locks.table")
         #: statistics for the lock-contention benchmark
         self.grants = 0
         self.conflicts = 0

@@ -13,7 +13,7 @@ import fnmatch
 import hashlib
 import itertools
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import AccessDeniedError, AuthenticationError, SecurityError

@@ -35,6 +35,7 @@ Endpoints are strings: ``tcp://127.0.0.1:9307`` or
 from __future__ import annotations
 
 import contextlib
+import logging
 import os
 import select
 import socket
@@ -42,6 +43,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Dict, Deque, Optional, Tuple
 
+from repro.analysis.witness import named_lock
 from repro.errors import NodeDownError, ProtocolError, TransportError
 from repro.middleware.bus import Response
 from repro.middleware.envelope import Envelope, ReplyFuture
@@ -59,6 +61,8 @@ from repro.middleware.wire import (
 )
 
 _RECV_CHUNK = 64 * 1024
+
+_log = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -132,15 +136,16 @@ class WireServer:
         self._unix_path: Optional[str] = None
         self.endpoint: Optional[str] = None
         self._accept_thread: Optional[threading.Thread] = None
-        self._connections: Dict[int, socket.socket] = {}
-        self._conn_counter = 0
-        self._lock = threading.Lock()
+        self._connections: Dict[int, socket.socket] = {}  # guarded_by: _lock
+        self._conn_counter = 0  # guarded_by: _lock
+        self._lock = named_lock("sockets.server")
         self._closed = False
         self._stopped = threading.Event()
         #: served-frame counters (observable in tests and stats)
-        self.requests_served = 0
-        self.faults_returned = 0
-        self.protocol_errors = 0
+        self.requests_served = 0  # guarded_by: _lock
+        self.faults_returned = 0  # guarded_by: _lock
+        self.protocol_errors = 0  # guarded_by: _lock
+        self.oneway_failures = 0  # guarded_by: _lock
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -265,9 +270,20 @@ class WireServer:
                 # at-most-once effect, no client-visible error; the ack
                 # follows the effect so a drained caller (the harness's
                 # quiesce) knows every acked oneway has fully landed
-                with contextlib.suppress(Exception):
+                try:
                     with serving_request():
                         self.request_handler(envelope)
+                except Exception as exc:  # noqa: BLE001 - oneway has no reply path
+                    # nowhere to send a FAULT; count and log instead of
+                    # discarding the only evidence the effect was lost
+                    with self._lock:
+                        self.oneway_failures += 1
+                    _log.warning(
+                        "oneway dispatch failed on %s: %s: %s",
+                        self.node,
+                        type(exc).__name__,
+                        exc,
+                    )
                 with self._lock:
                     self.requests_served += 1
                 conn.sendall(session.send_oneway_ack(envelope.correlation_id))
@@ -389,8 +405,8 @@ class ConnectionPool:
         self.max_idle = max_idle
         self.timeout_s = timeout_s
         self.max_frame = max_frame
-        self._idle: Dict[str, Deque[WireClient]] = {}
-        self._lock = threading.Lock()
+        self._idle: Dict[str, Deque[WireClient]] = {}  # guarded_by: _lock
+        self._lock = named_lock("sockets.pool")
         self._closed = False
         #: pool statistics
         self.dials = 0
@@ -499,9 +515,9 @@ class SocketTransport(Transport):
             node=node, max_idle=max_idle, timeout_s=timeout_s, max_frame=max_frame
         )
         #: transport statistics
-        self.roundtrips = 0
-        self.disconnects = 0
-        self._stats_lock = threading.Lock()
+        self.roundtrips = 0  # guarded_by: _stats_lock
+        self.disconnects = 0  # guarded_by: _stats_lock
+        self._stats_lock = named_lock("sockets.stats")
 
     def submit(self, envelope: Envelope, handler: Handler) -> ReplyFuture:
         future = ReplyFuture(envelope)

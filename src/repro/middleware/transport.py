@@ -39,6 +39,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Dict, Optional
 
+from repro.analysis.witness import named_condition, named_lock
 from repro.errors import TransportError
 from repro.middleware.envelope import Envelope, ReplyFuture, will_retry
 
@@ -134,9 +135,9 @@ class QueuedTransport(Transport):
         self.workers = workers
         self._name = name
         self._queue: "deque" = deque()
-        self._mutex = threading.Lock()
-        self._not_empty = threading.Condition(self._mutex)
-        self._idle = threading.Condition(self._mutex)
+        self._mutex = named_lock("transport.queue")
+        self._not_empty = named_condition("transport.queue", lock=self._mutex)
+        self._idle = named_condition("transport.queue", lock=self._mutex)
         self._threads: list = []
         self._started = False
         self._closed = False
@@ -238,7 +239,7 @@ class LazyQueuedTransport:
     def __init__(self, factory: Callable[[], QueuedTransport]):
         self._factory = factory
         self._transport: Optional[QueuedTransport] = None
-        self._lock = threading.Lock()
+        self._lock = named_lock("transport.lazy")
 
     def get(self) -> QueuedTransport:
         if self._transport is None:

@@ -20,6 +20,7 @@ import itertools
 import threading
 from typing import Any, Dict, List, Optional
 
+from repro.analysis.witness import named_lock
 from repro.errors import (
     NoTransactionError,
     TransactionAborted,
@@ -110,10 +111,10 @@ class TransactionManager:
         self.faults = faults or FaultInjector()
         self.locks = locks or LockManager()
         self._local = threading.local()
-        self._stats_lock = threading.Lock()
+        self._stats_lock = named_lock("txn.stats")
         #: statistics for benchmarks
-        self.commits = 0
-        self.aborts = 0
+        self.commits = 0  # guarded_by: _stats_lock
+        self.aborts = 0  # guarded_by: _stats_lock
 
     @property
     def _stack(self) -> List[Transaction]:

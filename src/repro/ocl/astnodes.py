@@ -7,7 +7,7 @@ Each node keeps the source offset of its first token for error reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,6 @@ from repro.ocl.astnodes import (
     Unary,
     Variable,
 )
-from repro.ocl.parser import parse
 
 
 class Undefined:
@@ -143,6 +142,10 @@ def evaluate(expression, context: Optional[OclContext] = None, self_object=None,
 
 def _is_collection(value) -> bool:
     return isinstance(value, (list, tuple, MList))
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 def _as_list(value) -> List:
@@ -274,7 +277,7 @@ class _Evaluator:
 
     @staticmethod
     def _compare(op: str, left, right) -> bool:
-        numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+        numeric = _is_numeric
         if not (
             (numeric(left) and numeric(right))
             or (isinstance(left, str) and isinstance(right, str))
@@ -292,7 +295,7 @@ class _Evaluator:
     def _arith(op: str, left, right):
         if op == "+" and isinstance(left, str) and isinstance(right, str):
             return left + right
-        numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+        numeric = _is_numeric
         if not (numeric(left) and numeric(right)):
             raise OclTypeError(f"arithmetic {op!r} needs numbers, got {left!r}, {right!r}")
         if op == "+":

@@ -19,7 +19,6 @@ import contextlib
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.metamodel.instances import MObject, ModelResource
-from repro.metamodel.kernel import MetaReference
 from repro.metamodel.notifications import Notification, NotificationKind
 
 #: Deterministic color cycle assigned to concerns in first-painted order.

@@ -33,6 +33,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, TypeVar
 
+from repro.analysis.witness import named_lock, named_rlock
 from repro.errors import MiddlewareError
 from repro.middleware.transport import serving_request
 
@@ -49,11 +50,11 @@ class DispatchStats:
     """Thread-safe counters shared by both dispatcher flavours."""
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self.dispatched = 0
-        self.errors = 0
-        self.in_flight = 0
-        self.max_in_flight = 0
+        self._lock = named_lock("dispatch.stats")
+        self.dispatched = 0  # guarded_by: _lock
+        self.errors = 0  # guarded_by: _lock
+        self.in_flight = 0  # guarded_by: _lock
+        self.max_in_flight = 0  # guarded_by: _lock
 
     def enter(self) -> None:
         with self._lock:
@@ -84,13 +85,15 @@ class _DispatcherBase:
     def __init__(self):
         self.stats = DispatchStats()
         self._servant_locks: Dict[str, threading.RLock] = {}
-        self._locks_guard = threading.Lock()
+        self._locks_guard = named_lock("dispatch.locks_guard")
 
     def _servant_lock(self, key: str) -> threading.RLock:
         lock = self._servant_locks.get(key)
         if lock is None:
             with self._locks_guard:
-                lock = self._servant_locks.setdefault(key, threading.RLock())
+                lock = self._servant_locks.setdefault(
+                    key, named_rlock("dispatch.servant")
+                )
         return lock
 
     def _run(self, key: str, fn: Callable[[], T]) -> T:

@@ -55,6 +55,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.witness import named_condition, named_lock, named_rlock
 from repro.errors import FederationError, NamingError, NodeDownError, ReproError
 from repro.middleware.bus import ObjectRefData, Request, marshal
 from repro.middleware.clock import SimClock
@@ -193,8 +194,8 @@ class ShardedNamingService:
 
     def __init__(self, replicas: int = 64):
         self._replicas = replicas
-        self._topology = _Topology(HashRing(replicas), {}, 0)
-        self._swap_lock = threading.Lock()
+        self._topology = _Topology(HashRing(replicas), {}, 0)  # guarded_by: _swap_lock
+        self._swap_lock = named_lock("naming.swap")
 
     # -- topology -----------------------------------------------------------
 
@@ -374,9 +375,9 @@ class _MigrationGate:
     """
 
     def __init__(self, observer=None):
-        self._cond = threading.Condition()
-        self._frozen: set = set()
-        self._inflight: Dict[str, int] = {}
+        self._cond = named_condition("federation.gate")
+        self._frozen: set = set()  # guarded_by: _cond
+        self._inflight: Dict[str, int] = {}  # guarded_by: _cond
         self._local = threading.local()
         #: callable(partitions, waited_ms) — notified when a delivery
         #: had to block on a frozen partition (observability event)
@@ -607,15 +608,15 @@ class ReplicaManager:
         #: to full-partition syncs on every mutating call (the pre-log
         #: behavior benchmarks baseline against)
         self.dirty_narrowing = True
-        self._groups: Dict[str, ReplicaGroup] = {}
+        self._groups: Dict[str, ReplicaGroup] = {}  # guarded_by: _lock
         #: per-partition append-only op log (log mode only)
-        self._logs: Dict[str, ReplicationLog] = {}
+        self._logs: Dict[str, ReplicationLog] = {}  # guarded_by: _lock
         #: per-partition reverse index object_id -> binding name, rebuilt
         #: on every full sync; lets a narrowed sync map the bus's touched
         #: object ids to bindings without an O(partition) name listing
-        self._index: Dict[str, Dict[str, str]] = {}
-        self._index_epoch: Dict[str, int] = {}
-        self._lock = threading.RLock()
+        self._index: Dict[str, Dict[str, str]] = {}  # guarded_by: _lock
+        self._index_epoch: Dict[str, int] = {}  # guarded_by: _lock
+        self._lock = named_rlock("replication.manager")
         #: syncs that actually refreshed at least one standby copy /
         #: skipped because the routed call touched no mutable servant
         self.syncs = 0
@@ -944,11 +945,11 @@ class Federation:
         self.nodes: Dict[str, Node] = {}
         self.latency_ms = latency_ms
         self.real_latency_s = real_latency_s
-        self._route_lock = threading.Lock()
+        self._route_lock = named_lock("federation.route")
         #: requests routed per target node (transport-level statistic)
-        self.routed: Dict[str, int] = {}
+        self.routed: Dict[str, int] = {}  # guarded_by: _route_lock
         #: pipelined batches delivered per target node
-        self.batches: Dict[str, int] = {}
+        self.batches: Dict[str, int] = {}  # guarded_by: _route_lock
         #: how routed hops travel: "inproc" (caller thread), "queued"
         #: (delivery threads even for sync calls), or "socket" (every
         #: hop crosses a real wire connection to the node's listener)
@@ -988,12 +989,12 @@ class Federation:
         self.chain.add("routing", self._routing_element)
         # -- elastic membership state --
         #: serializes join/retire/fail_over against each other
-        self._topology_lock = threading.RLock()
+        self._topology_lock = named_rlock("federation.topology")
         #: quiesces in-flight envelopes on partitions under migration
         self._gate = _MigrationGate(observer=self.observability.gate_wait)
         #: per-node count of requests currently executing (kill drains it)
-        self._flight_cond = threading.Condition()
-        self._node_flight: Dict[str, int] = {}
+        self._flight_cond = named_condition("federation.flight")
+        self._node_flight: Dict[str, int] = {}  # guarded_by: _flight_cond
         #: users/faults provisioned so far — replayed onto joining nodes
         self._provisioned_users: List[Tuple[str, str, tuple]] = []
         self._fault_sites: List[Tuple[str, float, dict]] = []

@@ -55,6 +55,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.analysis.witness import named_condition
 from repro.errors import InvocationTimeout, ReproError, ScenarioError
 from repro.runtime.federation import Federation, FederationClient
 from repro.runtime.metrics import MetricsRegistry, format_series_table
@@ -427,7 +428,7 @@ class ScenarioRunner:
                 for site, probability in self.spec.fault_campaign:
                     federation.configure_fault(site, probability)
             self._issued = 0
-            self._issued_cond = threading.Condition()
+            self._issued_cond = named_condition("harness.issued")
             #: per-client op counters feeding deterministic trace ids
             self._op_counts = [0] * config.clients
             self._churn: List[Tuple[int, str, Any]] = []

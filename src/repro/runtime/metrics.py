@@ -14,10 +14,10 @@ the observability plane live on :attr:`MetricsRegistry.gauges`.
 from __future__ import annotations
 
 import math
-import threading
 import time
 from typing import Dict, List, Optional
 
+from repro.analysis.witness import named_lock
 from repro.runtime.observability.gauges import GaugeBoard
 from repro.runtime.observability.histogram import LogHistogram
 
@@ -104,9 +104,9 @@ class MetricsRegistry:
     """Thread-safe per-operation and per-node request statistics."""
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self._per_op: Dict[str, _Series] = {}
-        self._per_node: Dict[str, _Series] = {}
+        self._lock = named_lock("metrics.registry")
+        self._per_op: Dict[str, _Series] = {}  # guarded_by: _lock
+        self._per_node: Dict[str, _Series] = {}  # guarded_by: _lock
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
         self._last_record_at: Optional[float] = None

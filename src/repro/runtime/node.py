@@ -17,9 +17,9 @@ replicates onto every host.
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
+from repro.analysis.witness import named_lock
 from repro.core.lifecycle import MdaLifecycle
 from repro.core.runtime import MiddlewareServices
 from repro.errors import NamingError
@@ -71,7 +71,7 @@ class Node:
         self.federation = None
         self.lifecycle: Optional[MdaLifecycle] = None
         self.module = None
-        self._bind_lock = threading.Lock()
+        self._bind_lock = named_lock("node.bind")
 
     # -- application deployment ------------------------------------------------
 

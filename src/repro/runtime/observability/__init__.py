@@ -21,7 +21,7 @@ The bounded histogram backing every metrics series lives in
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from .events import EventLog
 from .gauges import GaugeBoard

@@ -9,7 +9,7 @@ sequence numbers keep counting so consumers can detect the gap.
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.witness import named_lock
 import time
 from collections import deque
 from typing import Any, Dict, List, Optional
@@ -19,10 +19,10 @@ class EventLog:
     """Thread-safe bounded log of structured events."""
 
     def __init__(self, capacity: int = 1024):
-        self._lock = threading.Lock()
+        self._lock = named_lock("observability.events")
         self._records: deque = deque(maxlen=max(1, int(capacity)))
-        self._seq = 0
-        self.dropped = 0
+        self._seq = 0  # guarded_by: _lock
+        self.dropped = 0  # guarded_by: _lock
 
     @property
     def capacity(self) -> int:

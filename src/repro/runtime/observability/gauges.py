@@ -8,7 +8,7 @@ trend line across membership events without unbounded growth.
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.witness import named_lock
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
@@ -26,10 +26,10 @@ class GaugeBoard:
     """Thread-safe named gauges with bounded sample history."""
 
     def __init__(self, capacity: int = 256):
-        self._lock = threading.Lock()
+        self._lock = named_lock("observability.gauges")
         self._capacity = max(1, int(capacity))
-        self._gauges: Dict[str, _Gauge] = {}
-        self._tick = 0
+        self._gauges: Dict[str, _Gauge] = {}  # guarded_by: _lock
+        self._tick = 0  # guarded_by: _lock
 
     def set(self, name: str, value: float) -> None:
         with self._lock:

@@ -33,6 +33,7 @@ import zlib
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.witness import named_lock
 from repro.middleware.envelope import delivery_context_value, will_retry
 
 #: the request-context key the trace rides under
@@ -184,7 +185,7 @@ class Tracer:
         # evicts atomically under the GIL, so finished spans from many
         # threads never serialize behind one tracer lock.  The lock only
         # guards structural swaps (set_capacity).
-        self._lock = threading.Lock()
+        self._lock = named_lock("observability.tracer")
         self._spans: deque = deque(maxlen=max(1, int(capacity)))
         self._finished = 0
         self.slow_count = 0

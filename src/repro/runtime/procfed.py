@@ -55,18 +55,17 @@ import shutil
 import subprocess
 import sys
 import tempfile
-import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.witness import named_lock, named_rlock
 from repro.errors import (
     DeploymentError,
     FederationError,
     NamingError,
     NodeDownError,
     ReproError,
-    TransportError,
 )
 from repro.middleware.bus import ObjectRefData, Request, marshal
 from repro.middleware.clock import SimClock
@@ -374,9 +373,9 @@ class ProcessFederation:
         self.chain.add("routing", self._routing_element)
         self.latency_ms = spec.sim_latency_ms
         self.real_latency_s = spec.real_latency_ms / 1000.0
-        self._route_lock = threading.Lock()
-        self.routed: Dict[str, int] = {}
-        self._topology_lock = threading.RLock()
+        self._route_lock = named_lock("federation.route")
+        self.routed: Dict[str, int] = {}  # guarded_by: _route_lock
+        self._topology_lock = named_rlock("federation.topology")
         #: binding name -> servant type (read-only classification key)
         self._bindings: Dict[str, str] = {}
         #: partition key -> binding names in it
@@ -926,8 +925,8 @@ class ProcessClient:
         self.user = user
         self.password = password
         self.default_qos = qos or DEFAULT_QOS
-        self._tokens: Dict[str, str] = {}
-        self._lock = threading.Lock()
+        self._tokens: Dict[str, str] = {}  # guarded_by: _lock
+        self._lock = named_lock("procfed.client")
 
     def ref(self, name: str) -> ObjectRefData:
         return self.federation.ref(name)

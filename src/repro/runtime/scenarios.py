@@ -19,9 +19,9 @@ configured application as a federation workload:
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.witness import named_lock
 from repro.deploy.spec import (
     ApplicationSpec,
     ConcernSpec,
@@ -94,9 +94,9 @@ class Tally:
     """Thread-safe scratch counters shared by scenario clients."""
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self.numbers: Dict[str, float] = {}
-        self.sets: Dict[str, set] = {}
+        self._lock = named_lock("scenario.tally")
+        self.numbers: Dict[str, float] = {}  # guarded_by: _lock
+        self.sets: Dict[str, set] = {}  # guarded_by: _lock
 
     def add(self, key: str, value: float = 1.0) -> None:
         with self._lock:

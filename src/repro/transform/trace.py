@@ -8,8 +8,8 @@ concrete model elements a transformation produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.metamodel.instances import MObject
 
@@ -46,7 +46,7 @@ class TraceLog:
         return link
 
     def by_transformation(self, name: str) -> List[TraceLink]:
-        return [l for l in self.links if l.transformation == name]
+        return [link for link in self.links if link.transformation == name]
 
     def targets_of(self, source: MObject) -> List[MObject]:
         """Everything recorded as created/derived from ``source``."""

@@ -8,7 +8,7 @@ legal complete sequence (used by tests and the workflow benchmark).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.errors import IllegalStepError, WorkflowError

@@ -1,0 +1,19 @@
+"""Fixture: consistently ordered locks and honoured guards — no findings."""
+
+from repro.analysis.witness import named_lock
+
+
+class Tidy:
+    def __init__(self):
+        self._first = named_lock("fixture.first")
+        self._second = named_lock("fixture.second")
+        self.total = 0  # guarded_by: _second
+
+    def both(self):
+        with self._first:
+            with self._second:
+                self.total += 1
+
+    def inner_only(self):
+        with self._second:
+            self.total -= 1

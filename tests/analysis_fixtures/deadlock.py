@@ -1,0 +1,41 @@
+"""Fixture: a textbook AB/BA lock-order deadlock plus a try-acquire pair."""
+
+from repro.analysis.witness import named_lock
+
+
+class Deadlocky:
+    def __init__(self):
+        self._a = named_lock("fixture.a")
+        self._b = named_lock("fixture.b")
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                return 2
+
+
+class TryOnly:
+    """B->A only through a try-acquire: must NOT count as a cycle."""
+
+    def __init__(self):
+        self._a = named_lock("fixture.try_a")
+        self._b = named_lock("fixture.try_b")
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def ba_try(self):
+        with self._b:
+            if self._a.acquire(blocking=False):
+                try:
+                    return 2
+                finally:
+                    self._a.release()
+        return 0

@@ -1,0 +1,38 @@
+"""Fixture: guarded_by comment + GUARDED_BY map violations and non-violations."""
+
+import threading
+
+
+class Counter:
+    GUARDED_BY = {"mapped": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded_by: _lock
+        self.items = []  # guarded_by: _lock
+        self.mapped = 0
+
+    def good(self):
+        with self._lock:
+            self.count += 1
+            self.items.append(self.count)
+            self.mapped = self.count
+
+    def bad_augassign(self):
+        self.count += 1
+
+    def bad_mutator(self):
+        self.items.append(0)
+
+    def bad_mapped(self):
+        self.mapped = 3
+
+    def _helper_mutate(self):
+        self.count = 0
+
+    def bad_via_helper(self):
+        self._helper_mutate()
+
+    def good_via_helper(self):
+        with self._lock:
+            self._helper_mutate()

@@ -1,0 +1,26 @@
+"""Fixture: locks that travel through helper calls and helper returns."""
+
+from repro.analysis.witness import named_lock
+
+
+def locked_call(lock, fn):
+    with lock:
+        return fn()
+
+
+class ThroughHelper:
+    def __init__(self):
+        self._outer = named_lock("fixture.outer")
+        self._inner = named_lock("fixture.inner")
+
+    def nested(self):
+        with self._outer:
+            return locked_call(self._inner, lambda: 1)
+
+    def _pick(self):
+        return self._inner
+
+    def via_return(self):
+        with self._outer:
+            with self._pick():
+                return 2

@@ -8,17 +8,14 @@ reaching into ``conftest``.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from helpers import FULL_BANK_PARAMS, build_bank_model
 
 from repro.core import MdaLifecycle, MiddlewareServices
-from repro.metamodel import (
-    STRING,
-    UNBOUNDED,
-    MetamodelBuilder,
-    ModelResource,
-)
+from repro.metamodel import STRING, UNBOUNDED, MetamodelBuilder
 
 
 @pytest.fixture()
@@ -84,3 +81,50 @@ def woven_bank(lifecycle):
         "services": services,
         "credential": credential,
     }
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_witness_session():
+    """Turn a witnessed run into a hierarchy check.
+
+    When ``REPRO_LOCK_WITNESS`` is set the named-lock factories already
+    produce witnessed primitives (raising on the first inversion in
+    ``=1`` mode); this fixture additionally validates, at session end,
+    that the acquisition-order graph the run actually observed is
+    consistent with the documented hierarchy in
+    ``tools/concurrency_baseline.json`` — recorded inversions, rank
+    violations, and unapproved same-name nesting all fail the session.
+    """
+    from repro.analysis import witness
+
+    if not witness.enabled():
+        yield
+        return
+    witness.reset()
+    yield
+    snapshot = witness.registry().snapshot()
+    problems = [
+        f"inversion: {r['first']} vs {r['second']}"
+        for r in snapshot["inversions"]
+    ]
+    baseline_path = (
+        Path(__file__).resolve().parents[1] / "tools" / "concurrency_baseline.json"
+    )
+    if baseline_path.exists():
+        from repro.analysis.baseline import Baseline, check_witness_edges
+
+        baseline = Baseline.load(baseline_path)
+        problems.extend(
+            finding.message
+            for finding in check_witness_edges(
+                [(src, dst) for src, dst, _count in snapshot["edges"]],
+                baseline,
+                list(snapshot["self_nests"]),
+            )
+        )
+    if problems:
+        pytest.fail(
+            "lock witness observed hierarchy violations:\n"
+            + "\n".join(problems),
+            pytrace=False,
+        )

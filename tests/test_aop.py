@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import AopError, PointcutSyntaxError, WeavingError
 from repro.aop import (
-    Advice,
     AdviceKind,
     Aspect,
     JoinPoint,

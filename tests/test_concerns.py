@@ -12,14 +12,7 @@ from repro.metamodel import validate
 from repro.ocl.evaluator import types_from_package
 from repro.repository import ModelRepository
 from repro.transform import TransformationEngine
-from repro.uml import (
-    UML,
-    classes_of,
-    find_element,
-    get_tag,
-    has_stereotype,
-    owned_elements,
-)
+from repro.uml import UML, find_element, get_tag, has_stereotype, owned_elements
 
 TYPES = types_from_package(UML.package)
 

@@ -10,9 +10,9 @@ remote/atomic/secure behaviour.
 
 import pytest
 
-from repro.codegen import compile_aspect, compile_model
+from repro.codegen import compile_aspect
 from repro.core import MdaLifecycle, MiddlewareServices
-from repro.errors import AccessDeniedError, AuthenticationError
+from repro.errors import AuthenticationError
 
 from helpers import FULL_BANK_PARAMS, build_bank_model
 

@@ -8,13 +8,7 @@ from repro.errors import (
     MultiplicityError,
     TypeConformanceError,
 )
-from repro.metamodel import (
-    INTEGER,
-    STRING,
-    UNBOUNDED,
-    MetaClass,
-    ModelResource,
-)
+from repro.metamodel import INTEGER, MetaClass, ModelResource
 from repro.metamodel.notifications import NotificationKind
 
 

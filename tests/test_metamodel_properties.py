@@ -10,10 +10,9 @@ Two core invariants are hammered with random operation sequences:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ModelError, ReproError
+from repro.errors import ModelError
 from repro.metamodel import UNBOUNDED, MetamodelBuilder, ModelResource, validate
 from repro.repository.undo import ChangeRecorder, _apply_inverse
 

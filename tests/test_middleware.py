@@ -24,7 +24,6 @@ from repro.middleware import (
     FaultInjector,
     LockManager,
     LockMode,
-    MessageBus,
     NamingService,
     ObjectSnapshotResource,
     Orb,

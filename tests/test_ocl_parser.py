@@ -12,7 +12,6 @@ from repro.ocl.astnodes import (
     If,
     IteratorCall,
     Let,
-    Literal,
     Navigate,
     OperationCall,
     Unary,

@@ -22,7 +22,7 @@ from repro.pipeline import (
 )
 from repro.repository import ModelRepository
 from repro.transform import TransformationEngine
-from repro.uml import UML, find_element, has_stereotype
+from repro.uml import find_element, has_stereotype
 from repro.workflow import PlanWizard, WorkflowModel
 
 

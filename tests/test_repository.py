@@ -11,7 +11,6 @@ from repro.errors import (
 from repro.metamodel import validate
 from repro.repository import ModelRepository, diff_snapshots
 from repro.uml import (
-    add_attribute,
     add_class,
     add_operation,
     apply_stereotype,

@@ -18,7 +18,7 @@ observable outcome of a failing ``transfer``:
 
 import pytest
 
-from repro.aop import Aspect, Weaver
+from repro.aop import Aspect
 from repro.codegen import compile_model
 from repro.core import MiddlewareServices
 from repro.core.registry import default_registry

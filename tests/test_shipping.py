@@ -11,7 +11,7 @@ from repro.core import (
     replay,
     ship,
 )
-from repro.uml import UML, classes_of, find_element, has_stereotype
+from repro.uml import UML, find_element, has_stereotype
 from repro.xmi import parse_xmi
 
 from helpers import FULL_BANK_PARAMS, build_bank_model

@@ -1,7 +1,6 @@
 """Envelope/transport layer: futures, oneway, QoS, chains, pipelining."""
 
 import threading
-import time
 
 import pytest
 

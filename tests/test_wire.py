@@ -28,10 +28,8 @@ from repro.errors import (
 from repro.middleware.bus import ObjectRefData, Request, marshal
 from repro.middleware.envelope import Envelope, QoS
 from repro.middleware.wire import (
-    DEFAULT_MAX_FRAME,
     FAULT,
     HELLO,
-    HELLO_OK,
     MAX_DEPTH,
     REQUEST,
     RESPONSE,

@@ -9,12 +9,10 @@ from repro.metamodel import ModelResource, validate
 from repro.uml import (
     UML,
     add_association,
-    add_attribute,
     add_class,
     add_operation,
     add_package,
     apply_stereotype,
-    ensure_primitives,
     find_element,
     get_tag,
     new_model,
@@ -104,7 +102,9 @@ class TestRoundTrip:
         import re
 
         res, _ = bank_model
-        strip = lambda text: re.sub(r'"o\d+( o\d+)*"', '""', text)
+        def strip(text):
+            return re.sub(r'"o\d+( o\d+)*"', '""', text)
+
         first = xmi_string(res)
         second = xmi_string(_roundtrip(res))
         assert strip(first) == strip(second)

@@ -1,0 +1,72 @@
+"""Static concurrency check: lock-order cycles, guarded-by, baseline drift.
+
+CI runs this over ``src/repro`` so the lock hierarchy is a checked
+artifact instead of tribal knowledge: a new acquired-while-holding
+edge, a potential deadlock cycle, a ``# guarded_by:`` field mutated
+outside its lock, or drift against the checked-in baseline
+(``tools/concurrency_baseline.json``) breaks the build.
+
+Usage::
+
+    python tools/check_concurrency.py src/repro
+    python tools/check_concurrency.py --graph src/repro
+    python tools/check_concurrency.py --update-baseline src/repro
+
+Without ``--baseline`` the default baseline next to this script is used
+when it exists; ``--no-baseline`` skips drift checking (cycles and
+guarded-by only).  Exits 0 when clean, 1 on findings, 2 on usage
+errors — the same discipline as ``check_md_links.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.check import run_check  # noqa: E402
+
+_DEFAULT_BASELINE = Path(__file__).resolve().parent / "concurrency_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="lock-order + guarded-by static analysis",
+    )
+    parser.add_argument("paths", nargs="*", help="packages or files to analyze")
+    parser.add_argument(
+        "--baseline",
+        default=str(_DEFAULT_BASELINE),
+        help="baseline JSON (default: tools/concurrency_baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip baseline drift checking (cycles + guarded-by only)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline's edge set from the current tree",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="print the acquired-while-holding graph before findings",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    return run_check(
+        args.paths,
+        baseline_path=None if args.no_baseline else args.baseline,
+        update_baseline=args.update_baseline,
+        show_graph=args.graph,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
